@@ -1,0 +1,54 @@
+//! Criterion bench for the design-choice ablations:
+//! BFS state dedup on/off, queue watermark, and TA vs kNDS (RDS).
+
+use cbr_bench::{Scale, Workbench};
+use cbr_knds::{ta, Knds, KndsConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let wb = Workbench::build(Scale::micro());
+    let coll = wb.collection("RADIO");
+    let q = coll.rds_queries(1, 5, 31).remove(0);
+    let sds_q = coll.sds_queries(1, 32).remove(0);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for dedup in [true, false] {
+        let cfg = KndsConfig::default()
+            .with_error_threshold(coll.default_eps)
+            .with_dedup_visits(dedup);
+        let engine = Knds::new(&wb.ontology, &coll.source, cfg);
+        group.bench_with_input(BenchmarkId::new("dedup", dedup), &q, |b, q| {
+            b.iter(|| black_box(engine.rds(black_box(q), 10).results.len()))
+        });
+    }
+
+    for cap in [100usize, 50_000] {
+        let cfg = KndsConfig::default()
+            .with_error_threshold(coll.default_eps)
+            .with_queue_cap(cap);
+        let engine = Knds::new(&wb.ontology, &coll.source, cfg);
+        group.bench_with_input(BenchmarkId::new("queue_cap", cap), &sds_q, |b, q| {
+            b.iter(|| black_box(engine.sds(black_box(q), 10).results.len()))
+        });
+    }
+
+    group.bench_function("ta_rds", |b| {
+        b.iter(|| black_box(ta::rds(&wb.ontology, &coll.source, &q, 10).results.len()))
+    });
+    let engine = Knds::new(
+        &wb.ontology,
+        &coll.source,
+        KndsConfig::default().with_error_threshold(coll.default_eps),
+    );
+    group.bench_function("knds_rds", |b| {
+        b.iter(|| black_box(engine.rds(&q, 10).results.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

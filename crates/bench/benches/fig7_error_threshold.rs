@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 7: kNDS query time as a function of the
+//! error threshold εθ, RDS and SDS, on both collection shapes.
+
+use cbr_bench::{Scale, Workbench};
+use cbr_knds::{Knds, KndsConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    let wb = Workbench::build(Scale::micro());
+    for coll in &wb.collections {
+        let rds_query = coll.rds_queries(1, 5, 7).remove(0);
+        let sds_query = coll.sds_queries(1, 8).remove(0);
+        let mut group = c.benchmark_group(format!("fig7/{}", coll.name));
+        group.sample_size(10).measurement_time(Duration::from_secs(2));
+        for eps in [0.0, 0.5, 1.0] {
+            let cfg = KndsConfig::default().with_error_threshold(eps);
+            let engine = Knds::new(&wb.ontology, &coll.source, cfg);
+            group.bench_with_input(BenchmarkId::new("RDS", eps), &rds_query, |b, q| {
+                b.iter(|| black_box(engine.rds(black_box(q), 10).results.len()))
+            });
+            group.bench_with_input(BenchmarkId::new("SDS", eps), &sds_query, |b, q| {
+                b.iter(|| black_box(engine.sds(black_box(q), 10).results.len()))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 8: RDS query time vs query size nq,
+//! kNDS vs the no-pruning baseline.
+
+use cbr_bench::{Scale, Workbench};
+use cbr_knds::{baseline, Knds, KndsConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig8(c: &mut Criterion) {
+    let wb = Workbench::build(Scale::micro());
+    for coll in &wb.collections {
+        let mut group = c.benchmark_group(format!("fig8/{}", coll.name));
+        group.sample_size(10).measurement_time(Duration::from_secs(2));
+        let cfg = KndsConfig::default().with_error_threshold(coll.default_eps);
+        let engine = Knds::new(&wb.ontology, &coll.source, cfg);
+        for nq in [1usize, 5, 10] {
+            let q = coll.rds_queries(1, nq, 11).remove(0);
+            group.bench_with_input(BenchmarkId::new("kNDS", nq), &q, |b, q| {
+                b.iter(|| black_box(engine.rds(black_box(q), 10).results.len()))
+            });
+            group.bench_with_input(BenchmarkId::new("baseline", nq), &q, |b, q| {
+                b.iter(|| {
+                    black_box(
+                        baseline::rds(&wb.ontology, &coll.source, black_box(q), 10)
+                            .results
+                            .len(),
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Figure 9: query time vs number of results k,
+//! kNDS vs the no-pruning baseline, RDS and SDS.
+
+use cbr_bench::{Scale, Workbench};
+use cbr_knds::{baseline, Knds, KndsConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig9(c: &mut Criterion) {
+    let wb = Workbench::build(Scale::micro());
+    for coll in &wb.collections {
+        let rds_query = coll.rds_queries(1, 5, 21).remove(0);
+        let sds_query = coll.sds_queries(1, 22).remove(0);
+        let cfg = KndsConfig::default().with_error_threshold(coll.default_eps);
+        let engine = Knds::new(&wb.ontology, &coll.source, cfg);
+        let mut group = c.benchmark_group(format!("fig9/{}", coll.name));
+        group.sample_size(10).measurement_time(Duration::from_secs(2));
+        for k in [3usize, 10, 100] {
+            group.bench_with_input(BenchmarkId::new("RDS/kNDS", k), &k, |b, &k| {
+                b.iter(|| black_box(engine.rds(black_box(&rds_query), k).results.len()))
+            });
+            group.bench_with_input(BenchmarkId::new("RDS/baseline", k), &k, |b, &k| {
+                b.iter(|| {
+                    black_box(
+                        baseline::rds(&wb.ontology, &coll.source, &rds_query, k).results.len(),
+                    )
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("SDS/kNDS", k), &k, |b, &k| {
+                b.iter(|| black_box(engine.sds(black_box(&sds_query), k).results.len()))
+            });
+            group.bench_with_input(BenchmarkId::new("SDS/baseline", k), &k, |b, &k| {
+                b.iter(|| {
+                    black_box(
+                        baseline::sds(&wb.ontology, &coll.source, &sds_query, k).results.len(),
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

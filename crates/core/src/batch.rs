@@ -1,0 +1,162 @@
+//! Parallel batch query evaluation.
+//!
+//! Section 6.1 of the paper sketches a MapReduce formulation of kNDS for
+//! scale-out; the single-machine analogue is running many queries
+//! concurrently over the shared immutable indexes. Query latencies vary
+//! wildly (a selective query terminates in two BFS levels, a broad one
+//! probes DRC hundreds of times), so static chunking wastes cores — a
+//! work-stealing queue over `crossbeam` keeps them busy.
+
+use crate::engine::{Engine, EngineError};
+use cbr_knds::QueryResult;
+use cbr_ontology::ConceptId;
+use crossbeam::queue::SegQueue;
+
+/// Which query type a batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchKind {
+    /// Relevant-document search for each concept-set query.
+    Rds,
+    /// Similar-document search, treating each entry as a query document.
+    Sds,
+}
+
+impl Engine {
+    /// Evaluates `queries` in parallel across up to `threads` workers
+    /// (0 = all available cores). Results come back in input order; each
+    /// slot is `Err` exactly when the corresponding sequential call would
+    /// have been.
+    pub fn batch(
+        &self,
+        kind: BatchKind,
+        queries: &[Vec<ConceptId>],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Result<QueryResult, EngineError>> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        let threads = threads.min(queries.len().max(1));
+
+        if threads <= 1 {
+            return queries.iter().map(|q| self.run_one(kind, q, k)).collect();
+        }
+
+        let work: SegQueue<usize> = SegQueue::new();
+        for i in 0..queries.len() {
+            work.push(i);
+        }
+        let mut slots: Vec<Option<Result<QueryResult, EngineError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let slot_queue: SegQueue<(usize, Result<QueryResult, EngineError>)> = SegQueue::new();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    while let Some(i) = work.pop() {
+                        slot_queue.push((i, self.run_one(kind, &queries[i], k)));
+                    }
+                });
+            }
+        });
+        while let Some((i, r)) = slot_queue.pop() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every query index was processed"))
+            .collect()
+    }
+
+    fn run_one(
+        &self,
+        kind: BatchKind,
+        query: &[ConceptId],
+        k: usize,
+    ) -> Result<QueryResult, EngineError> {
+        match kind {
+            BatchKind::Rds => self.rds(query, k),
+            BatchKind::Sds => self.sds(query, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use cbr_corpus::{CorpusGenerator, CorpusProfile};
+    use cbr_ontology::{GeneratorConfig, OntologyGenerator};
+
+    fn engine() -> Engine {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(1_500)).generate();
+        let corpus = CorpusGenerator::new(
+            &ont,
+            CorpusProfile::radio_like().with_num_docs(80).with_mean_concepts(10.0),
+        )
+        .generate();
+        EngineBuilder::new().build(ont, corpus)
+    }
+
+    fn queries(e: &Engine, n: usize) -> Vec<Vec<ConceptId>> {
+        e.corpus()
+            .documents()
+            .filter(|d| d.num_concepts() >= 2)
+            .take(n)
+            .map(|d| d.concepts()[..2].to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_order() {
+        let e = engine();
+        let qs = queries(&e, 12);
+        let parallel = e.batch(BatchKind::Rds, &qs, 5, 4);
+        for (q, out) in qs.iter().zip(&parallel) {
+            let seq = e.rds(q, 5).unwrap();
+            let par = out.as_ref().unwrap();
+            for (a, b) in seq.results.iter().zip(par.results.iter()) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(a.distance, b.distance);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sds_works_and_reports_errors_positionally() {
+        let e = engine();
+        let mut qs = queries(&e, 4);
+        qs.insert(2, Vec::new()); // empty query -> EmptyQuery error in place
+        let out = e.batch(BatchKind::Sds, &qs, 3, 2);
+        assert_eq!(out.len(), 5);
+        assert!(out[2].is_err());
+        for (i, r) in out.iter().enumerate() {
+            if i != 2 {
+                assert!(r.is_ok(), "slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_path_matches() {
+        let e = engine();
+        let qs = queries(&e, 3);
+        let a = e.batch(BatchKind::Rds, &qs, 4, 1);
+        let b = e.batch(BatchKind::Rds, &qs, 4, 3);
+        for (x, y) in a.iter().zip(b.iter()) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.results.len(), y.results.len());
+            for (rx, ry) in x.results.iter().zip(y.results.iter()) {
+                assert_eq!(rx.doc, ry.doc);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let e = engine();
+        assert!(e.batch(BatchKind::Rds, &[], 5, 0).is_empty());
+    }
+}

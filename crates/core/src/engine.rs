@@ -1,0 +1,455 @@
+//! The high-level query engine.
+
+use crate::dynamic::DynamicSource;
+use cbr_corpus::{ConceptFilter, Corpus, DocId, FilterConfig};
+use cbr_dradix::Drc;
+use cbr_index::{IndexSource, MemorySource};
+use cbr_knds::{baseline, Knds, KndsConfig, QueryResult};
+use cbr_ontology::{ConceptId, Ontology};
+use std::fmt;
+
+/// Errors surfaced by the [`Engine`]'s checked API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A label did not resolve to any ontology concept.
+    UnknownLabel(String),
+    /// A document id outside the collection.
+    UnknownDocument(DocId),
+    /// The query became empty (input empty, or every concept was removed by
+    /// the eligibility filter).
+    EmptyQuery,
+    /// The referenced document has no eligible concepts to compare with.
+    EmptyDocument(DocId),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownLabel(l) => write!(f, "no concept labeled {l:?}"),
+            EngineError::UnknownDocument(d) => write!(f, "document {d} is not in the collection"),
+            EngineError::EmptyQuery => {
+                write!(f, "query is empty after concept-eligibility filtering")
+            }
+            EngineError::EmptyDocument(d) => write!(f, "document {d} has no eligible concepts"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Builder for [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    knds: KndsConfig,
+    filter: Option<FilterConfig>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder with default kNDS settings and **no** concept
+    /// filtering.
+    pub fn new() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Sets the kNDS configuration (error threshold, queue watermark, …).
+    pub fn knds_config(mut self, config: KndsConfig) -> Self {
+        self.knds = config;
+        self
+    }
+
+    /// Enables the Section 6.1 concept-eligibility filter (depth and
+    /// collection-frequency thresholds) with the given configuration.
+    pub fn filter(mut self, config: FilterConfig) -> Self {
+        self.filter = Some(config);
+        self
+    }
+
+    /// Builds the engine: applies the filter to the corpus, then builds the
+    /// inverted and forward indexes.
+    pub fn build(self, ontology: Ontology, corpus: Corpus) -> Engine {
+        let filter = match self.filter {
+            Some(cfg) => ConceptFilter::build(&ontology, &corpus, cfg),
+            None => ConceptFilter::accept_all(&ontology),
+        };
+        let filtered = filter.apply(&corpus);
+        let source = DynamicSource::new(MemorySource::build(&filtered, ontology.len()));
+        Engine { ontology, corpus: filtered, filter, source, config: self.knds }
+    }
+}
+
+/// An in-memory concept-search engine over one ontology and one corpus.
+///
+/// Thread-safe for concurrent queries (`&self`); document appends take
+/// `&mut self`.
+#[derive(Debug)]
+pub struct Engine {
+    ontology: Ontology,
+    corpus: Corpus,
+    filter: ConceptFilter,
+    source: DynamicSource,
+    config: KndsConfig,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The (filtered) bulk-loaded corpus. Appended documents are not part
+    /// of this view; read them with [`Engine::document_concepts`].
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The active kNDS configuration.
+    pub fn config(&self) -> &KndsConfig {
+        &self.config
+    }
+
+    /// Replaces the kNDS configuration (e.g. to tune `εθ` per collection).
+    pub fn set_config(&mut self, config: KndsConfig) {
+        self.config = config;
+    }
+
+    /// Whether concept `c` survives the eligibility filter.
+    pub fn eligible(&self, c: ConceptId) -> bool {
+        self.filter.allows(c)
+    }
+
+    /// Total documents (bulk + appended).
+    pub fn num_docs(&self) -> usize {
+        self.source.num_docs()
+    }
+
+    /// The concept set of any document, including appended ones.
+    pub fn document_concepts(&self, doc: DocId) -> Result<Vec<ConceptId>, EngineError> {
+        if doc.index() >= self.source.num_docs() {
+            return Err(EngineError::UnknownDocument(doc));
+        }
+        let mut out = Vec::new();
+        self.source.doc_concepts(doc, &mut out);
+        Ok(out)
+    }
+
+    /// Appends a document on the fly (the Section 1 "new patient at the
+    /// point-of-care" scenario): its concepts are filtered for eligibility
+    /// and indexed immediately, with no rebuild.
+    pub fn add_document(&mut self, concepts: Vec<ConceptId>) -> DocId {
+        let kept = concepts.into_iter().filter(|&c| self.filter.allows(c)).collect();
+        self.source.append(kept)
+    }
+
+    /// Deletes a document (tombstone): ids stay stable, but the document
+    /// disappears from postings and query results immediately.
+    pub fn remove_document(&mut self, doc: DocId) -> Result<(), EngineError> {
+        if self.source.delete(doc) {
+            Ok(())
+        } else {
+            Err(EngineError::UnknownDocument(doc))
+        }
+    }
+
+    /// Whether `doc` is live (exists and was not deleted).
+    pub fn is_live(&self, doc: DocId) -> bool {
+        doc.index() < self.source.num_docs()
+            && cbr_index::IndexSource::is_live(&self.source, doc)
+    }
+
+    /// Resolves labels to concepts, failing on the first unknown label.
+    pub fn concepts_by_labels(&self, labels: &[&str]) -> Result<Vec<ConceptId>, EngineError> {
+        labels
+            .iter()
+            .map(|&l| {
+                self.ontology
+                    .concept_by_label(l)
+                    .ok_or_else(|| EngineError::UnknownLabel(l.to_string()))
+            })
+            .collect()
+    }
+
+    fn eligible_query(&self, concepts: &[ConceptId]) -> Result<Vec<ConceptId>, EngineError> {
+        let q: Vec<ConceptId> =
+            concepts.iter().copied().filter(|&c| self.filter.allows(c)).collect();
+        if q.is_empty() {
+            return Err(EngineError::EmptyQuery);
+        }
+        Ok(q)
+    }
+
+    /// RDS (Definition 1): the `k` documents most relevant to a set of
+    /// query concepts. Ineligible concepts are dropped from the query.
+    pub fn rds(&self, query: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
+        let q = self.eligible_query(query)?;
+        Ok(Knds::new(&self.ontology, &self.source, self.config.clone()).rds(&q, k))
+    }
+
+    /// RDS with label-based input.
+    pub fn rds_by_labels(&self, labels: &[&str], k: usize) -> Result<QueryResult, EngineError> {
+        let q = self.concepts_by_labels(labels)?;
+        self.rds(&q, k)
+    }
+
+    /// SDS (Definition 2): the `k` documents most similar to a query
+    /// document given as a concept set.
+    pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
+        let q = self.eligible_query(query_doc)?;
+        Ok(Knds::new(&self.ontology, &self.source, self.config.clone()).sds(&q, k))
+    }
+
+    /// SDS with a collection document as the query (patient-similarity).
+    pub fn sds_by_doc(&self, doc: DocId, k: usize) -> Result<QueryResult, EngineError> {
+        let concepts = self.document_concepts(doc)?;
+        if concepts.is_empty() {
+            return Err(EngineError::EmptyDocument(doc));
+        }
+        self.sds(&concepts, k)
+    }
+
+    /// Exact `Ddq` between one document and a query (Equation 2).
+    pub fn query_distance(&self, doc: DocId, query: &[ConceptId]) -> Result<f64, EngineError> {
+        let q = self.eligible_query(query)?;
+        let concepts = self.document_concepts(doc)?;
+        let d = Drc::new(&self.ontology).document_query_distance(&concepts, &q);
+        Ok(if d == cbr_dradix::INFINITE { f64::INFINITY } else { d as f64 })
+    }
+
+    /// Exact symmetric `Ddd` between two documents (Equation 3).
+    pub fn document_distance(&self, a: DocId, b: DocId) -> Result<f64, EngineError> {
+        let ca = self.document_concepts(a)?;
+        let cb = self.document_concepts(b)?;
+        Ok(Drc::new(&self.ontology).document_document_distance(&ca, &cb))
+    }
+
+    /// Auto-tunes the error threshold `εθ` for this collection by timing a
+    /// sample workload at each candidate (the Figure 7 procedure,
+    /// automated). Updates the engine's configuration and returns the
+    /// chosen threshold. Results are exact under any threshold, so tuning
+    /// is safe at any time.
+    pub fn auto_tune(
+        &mut self,
+        kind: cbr_knds::TuneFor,
+        sample: &[Vec<ConceptId>],
+        k: usize,
+    ) -> Result<f64, EngineError> {
+        let filtered: Vec<Vec<ConceptId>> = sample
+            .iter()
+            .map(|q| self.eligible_query(q))
+            .collect::<Result<_, _>>()?;
+        let (best, _) = cbr_knds::tune_error_threshold(
+            &self.ontology,
+            &self.source,
+            kind,
+            &filtered,
+            k,
+            cbr_knds::tuner::DEFAULT_CANDIDATES,
+            &self.config,
+        );
+        self.config.error_threshold = best;
+        Ok(best)
+    }
+
+    /// Exhaustive (no-pruning) RDS — exposed for benchmarking and
+    /// verification against [`Engine::rds`].
+    pub fn rds_full_scan(&self, query: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
+        let q = self.eligible_query(query)?;
+        Ok(baseline::rds(&self.ontology, &self.source, &q, k))
+    }
+
+    /// Exhaustive (no-pruning) SDS.
+    pub fn sds_full_scan(
+        &self,
+        query_doc: &[ConceptId],
+        k: usize,
+    ) -> Result<QueryResult, EngineError> {
+        let q = self.eligible_query(query_doc)?;
+        Ok(baseline::sds(&self.ontology, &self.source, &q, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_corpus::{CorpusGenerator, CorpusProfile};
+    use cbr_ontology::{GeneratorConfig, OntologyGenerator};
+
+    fn engine() -> Engine {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(1_000)).generate();
+        let corpus = CorpusGenerator::new(
+            &ont,
+            CorpusProfile::radio_like().with_num_docs(40).with_mean_concepts(10.0),
+        )
+        .generate();
+        EngineBuilder::new().filter(FilterConfig::default()).build(ont, corpus)
+    }
+
+    fn some_query(e: &Engine, n: usize) -> Vec<ConceptId> {
+        e.corpus()
+            .documents()
+            .flat_map(|d| d.concepts().iter().copied())
+            .filter(|&c| e.eligible(c))
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn rds_and_full_scan_agree() {
+        let e = engine();
+        let q = some_query(&e, 3);
+        let fast = e.rds(&q, 5).unwrap();
+        let slow = e.rds_full_scan(&q, 5).unwrap();
+        for (a, b) in fast.results.iter().zip(slow.results.iter()) {
+            assert_eq!(a.distance, b.distance);
+        }
+    }
+
+    #[test]
+    fn sds_by_doc_returns_self_first() {
+        let e = engine();
+        let doc = e
+            .corpus()
+            .documents()
+            .find(|d| d.num_concepts() > 0)
+            .map(|d| d.id())
+            .expect("non-empty doc exists");
+        let r = e.sds_by_doc(doc, 3).unwrap();
+        assert_eq!(r.results[0].doc, doc);
+        assert_eq!(r.results[0].distance, 0.0);
+    }
+
+    #[test]
+    fn filters_are_applied_to_queries() {
+        let e = engine();
+        let root = e.ontology().root();
+        assert!(!e.eligible(root), "root is filtered by depth");
+        assert_eq!(e.rds(&[root], 3).unwrap_err(), EngineError::EmptyQuery);
+        // Mixed query: ineligible concepts are dropped, not fatal.
+        let mut q = some_query(&e, 2);
+        q.push(root);
+        assert!(e.rds(&q, 3).is_ok());
+    }
+
+    #[test]
+    fn add_document_is_immediately_searchable() {
+        let mut e = engine();
+        // Pick a concept pair that co-occurs in no existing document, so
+        // the appended document is the unique exact match.
+        let eligible: Vec<ConceptId> = e
+            .corpus()
+            .documents()
+            .flat_map(|d| d.concepts().iter().copied())
+            .filter(|&c| e.eligible(c))
+            .collect();
+        let q = 'outer: {
+            for (i, &a) in eligible.iter().enumerate() {
+                for &b in &eligible[i + 1..] {
+                    if a != b
+                        && !e.corpus().documents().any(|d| d.contains(a) && d.contains(b))
+                    {
+                        break 'outer vec![a, b];
+                    }
+                }
+            }
+            panic!("fixture needs a non-co-occurring pair");
+        };
+        let before = e.num_docs();
+        let id = e.add_document(q.clone());
+        assert_eq!(id.index(), before);
+        // The appended doc contains the query concepts exactly -> distance 0,
+        // and no other document can reach 0.
+        let r = e.rds(&q, 1).unwrap();
+        assert_eq!(r.results[0].doc, id);
+        assert_eq!(r.results[0].distance, 0.0);
+        // And it participates in SDS (it may tie with a superset document,
+        // but only at distance zero).
+        let r = e.sds_by_doc(id, 1).unwrap();
+        assert_eq!(r.results[0].distance, 0.0);
+    }
+
+    #[test]
+    fn auto_tune_picks_a_grid_threshold_and_updates_config() {
+        let mut e = engine();
+        let sample: Vec<Vec<ConceptId>> = (0..3).map(|_| some_query(&e, 2)).collect();
+        let best = e.auto_tune(cbr_knds::TuneFor::Rds, &sample, 5).unwrap();
+        assert!(cbr_knds::tuner::DEFAULT_CANDIDATES.contains(&best));
+        assert_eq!(e.config().error_threshold, best);
+        // Queries still work and stay exact.
+        let q = some_query(&e, 2);
+        let a = e.rds(&q, 4).unwrap();
+        let b = e.rds_full_scan(&q, 4).unwrap();
+        for (x, y) in a.results.iter().zip(b.results.iter()) {
+            assert_eq!(x.distance, y.distance);
+        }
+    }
+
+    #[test]
+    fn removed_documents_leave_results() {
+        let mut e = engine();
+        let q = some_query(&e, 2);
+        let before = e.rds(&q, 3).unwrap();
+        let victim = before.results[0].doc;
+        assert!(e.is_live(victim));
+        e.remove_document(victim).unwrap();
+        assert!(!e.is_live(victim));
+        // Double delete errors.
+        assert!(matches!(
+            e.remove_document(victim),
+            Err(EngineError::UnknownDocument(_))
+        ));
+        let after = e.rds(&q, 3).unwrap();
+        assert!(
+            after.results.iter().all(|r| r.doc != victim),
+            "deleted document must not rank"
+        );
+        // And the full scan agrees.
+        let scan = e.rds_full_scan(&q, 3).unwrap();
+        for (a, b) in after.results.iter().zip(scan.results.iter()) {
+            assert_eq!(a.distance, b.distance);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let e = engine();
+        assert!(matches!(
+            e.rds_by_labels(&["not a real label"], 1),
+            Err(EngineError::UnknownLabel(_))
+        ));
+        assert!(matches!(
+            e.sds_by_doc(DocId(9_999), 1),
+            Err(EngineError::UnknownDocument(_))
+        ));
+        assert_eq!(e.rds(&[], 1).unwrap_err(), EngineError::EmptyQuery);
+    }
+
+    #[test]
+    fn pairwise_distances_are_consistent_with_search() {
+        let e = engine();
+        let q = some_query(&e, 3);
+        let r = e.rds(&q, 3).unwrap();
+        for hit in &r.results {
+            let d = e.query_distance(hit.doc, &q).unwrap();
+            assert_eq!(d, hit.distance);
+        }
+    }
+
+    #[test]
+    fn document_distance_is_symmetric() {
+        let e = engine();
+        let docs: Vec<DocId> = e
+            .corpus()
+            .documents()
+            .filter(|d| d.num_concepts() > 0)
+            .map(|d| d.id())
+            .take(2)
+            .collect();
+        let ab = e.document_distance(docs[0], docs[1]).unwrap();
+        let ba = e.document_distance(docs[1], docs[0]).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+}

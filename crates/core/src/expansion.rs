@@ -1,0 +1,230 @@
+//! Ontology-based query expansion.
+//!
+//! The related work (Section 2) surveys expansion pipelines — Matos et
+//! al.'s concept-oriented expansion, Lu et al.'s MeSH expansion in PubMed,
+//! Ding et al.'s concept-instance substitutions ("pet" → "cat"/"dog") —
+//! and footnote 3 specifies how the paper's own scores combine across
+//! expanded queries: `Ddq(d, qi)` is normalized by the size of each query
+//! variant. This module implements that recipe on top of kNDS:
+//!
+//! 1. each query concept contributes **substitution variants**: the
+//!    concepts within valid-path distance `radius` of it (nearest first,
+//!    capped);
+//! 2. each variant query runs through the engine;
+//! 3. documents merge by the **minimum normalized distance** across
+//!    variants (footnote 3's `Ddq / |q|`).
+
+use crate::engine::{Engine, EngineError};
+use cbr_corpus::DocId;
+use cbr_knds::RankedDoc;
+use cbr_ontology::{distance::multi_source_distances, ConceptId, FxHashMap, Ontology};
+
+/// Expansion configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpansionConfig {
+    /// Maximum valid-path distance of a substitute from the original
+    /// concept.
+    pub radius: u32,
+    /// Maximum substitutes kept per query concept (nearest first).
+    pub max_substitutes: usize,
+    /// Maximum total variant queries (guards combinatorial blowup; variants
+    /// beyond the cap are dropped in generation order).
+    pub max_variants: usize,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        ExpansionConfig { radius: 2, max_substitutes: 3, max_variants: 16 }
+    }
+}
+
+/// The substitutes of one query concept, nearest first (the concept itself
+/// is always the first entry at distance 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Substitutes {
+    /// The original query concept.
+    pub concept: ConceptId,
+    /// `(substitute, valid-path distance)`, ascending by distance.
+    pub alternatives: Vec<(ConceptId, u32)>,
+}
+
+/// Computes the substitution sets for each query concept.
+pub fn substitutes(
+    ont: &Ontology,
+    query: &[ConceptId],
+    config: &ExpansionConfig,
+    eligible: impl Fn(ConceptId) -> bool,
+) -> Vec<Substitutes> {
+    query
+        .iter()
+        .map(|&qc| {
+            let dist = multi_source_distances(ont, &[qc]);
+            let mut alts: Vec<(ConceptId, u32)> = ont
+                .concepts()
+                .filter(|&c| dist[c.index()] <= config.radius && eligible(c))
+                .map(|c| (c, dist[c.index()]))
+                .collect();
+            alts.sort_unstable_by_key(|&(c, d)| (d, c));
+            alts.truncate(config.max_substitutes + 1); // keep the original + n
+            Substitutes { concept: qc, alternatives: alts }
+        })
+        .collect()
+}
+
+/// One-substitution-at-a-time variant generation: the original query plus,
+/// for each query position, each substitute swapped in. (Full cartesian
+/// products explode; single swaps match the Ding et al. substitution
+/// semantics the paper cites.)
+pub fn variants(subs: &[Substitutes], config: &ExpansionConfig) -> Vec<Vec<ConceptId>> {
+    let original: Vec<ConceptId> = subs.iter().map(|s| s.concept).collect();
+    let mut out = vec![original.clone()];
+    'outer: for (i, s) in subs.iter().enumerate() {
+        for &(alt, d) in &s.alternatives {
+            if d == 0 {
+                continue; // the original itself
+            }
+            let mut v = original.clone();
+            v[i] = alt;
+            v.sort_unstable();
+            v.dedup();
+            if !out.contains(&v) {
+                out.push(v);
+            }
+            if out.len() >= config.max_variants {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+impl Engine {
+    /// Expanded RDS: runs every variant query and merges documents by their
+    /// minimum size-normalized distance (footnote 3). Returns the top-k by
+    /// merged score along with the number of variants evaluated.
+    pub fn rds_expanded(
+        &self,
+        query: &[ConceptId],
+        k: usize,
+        config: &ExpansionConfig,
+    ) -> Result<(Vec<RankedDoc>, usize), EngineError> {
+        let q: Vec<ConceptId> = query.iter().copied().filter(|&c| self.eligible(c)).collect();
+        if q.is_empty() {
+            return Err(EngineError::EmptyQuery);
+        }
+        let subs = substitutes(self.ontology(), &q, config, |c| self.eligible(c));
+        let variant_queries = variants(&subs, config);
+
+        let mut best: FxHashMap<DocId, f64> = FxHashMap::default();
+        for v in &variant_queries {
+            let r = self.rds(v, k)?;
+            for hit in &r.results {
+                let normalized = hit.distance / v.len() as f64;
+                best.entry(hit.doc)
+                    .and_modify(|d| *d = d.min(normalized))
+                    .or_insert(normalized);
+            }
+        }
+        let mut merged: Vec<RankedDoc> = best
+            .into_iter()
+            .map(|(doc, distance)| RankedDoc { doc, distance })
+            .collect();
+        merged.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        merged.truncate(k);
+        Ok((merged, variant_queries.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use cbr_corpus::Corpus;
+    use cbr_ontology::fixture;
+
+    fn engine() -> (Engine, Vec<ConceptId>, Vec<ConceptId>) {
+        let fig = fixture::figure3();
+        let c = |n: &str| fig.concept(n);
+        // Doc 1 contains M — distance 2 from I (sibling under I? M is I's
+        // child: distance 1). An expanded query substituting I -> M reaches
+        // it at distance 0.
+        let corpus = Corpus::from_concept_sets(vec![
+            (vec![c("C")], 0),
+            (vec![c("M")], 0),
+            (vec![c("I")], 0),
+        ]);
+        let q = vec![c("I")];
+        let m = vec![c("M")];
+        (EngineBuilder::new().build(fig.ontology, corpus), q, m)
+    }
+
+    #[test]
+    fn substitutes_are_sorted_and_capped() {
+        let fig = fixture::figure3();
+        let cfg = ExpansionConfig { radius: 2, max_substitutes: 4, max_variants: 32 };
+        let subs = substitutes(&fig.ontology, &[fig.concept("I")], &cfg, |_| true);
+        assert_eq!(subs.len(), 1);
+        let alts = &subs[0].alternatives;
+        assert_eq!(alts[0], (fig.concept("I"), 0), "the concept itself leads");
+        assert!(alts.len() <= 5);
+        assert!(alts.windows(2).all(|w| w[0].1 <= w[1].1), "sorted by distance");
+        for &(_, d) in alts {
+            assert!(d <= 2);
+        }
+    }
+
+    #[test]
+    fn variants_swap_one_position() {
+        let fig = fixture::figure3();
+        let cfg = ExpansionConfig::default();
+        let subs = substitutes(
+            &fig.ontology,
+            &[fig.concept("I"), fig.concept("L")],
+            &cfg,
+            |_| true,
+        );
+        let vs = variants(&subs, &cfg);
+        assert_eq!(vs[0], vec![fig.concept("I"), fig.concept("L")]);
+        assert!(vs.len() > 1);
+        for v in &vs[1..] {
+            assert!(!v.is_empty() && v.len() <= 2);
+        }
+        assert!(vs.len() <= cfg.max_variants);
+    }
+
+    #[test]
+    fn expansion_finds_documents_plain_rds_ranks_lower() {
+        let (engine, q, _m) = engine();
+        let plain = engine.rds(&q, 3).unwrap();
+        // Plain RDS: doc 2 (contains I) at 0; doc 1 (contains M) at 1.
+        assert_eq!(plain.results[0].doc, DocId(2));
+        assert_eq!(plain.results[1].doc, DocId(1));
+        assert_eq!(plain.results[1].distance, 1.0);
+
+        let cfg = ExpansionConfig { radius: 1, max_substitutes: 4, max_variants: 8 };
+        let (expanded, nvars) = engine.rds_expanded(&q, 3, &cfg).unwrap();
+        assert!(nvars > 1, "expansion must generate variants");
+        // Doc 1 now matches the M-variant exactly: merged distance 0,
+        // tying with doc 2.
+        let d1 = expanded.iter().find(|r| r.doc == DocId(1)).unwrap();
+        assert_eq!(d1.distance, 0.0);
+    }
+
+    #[test]
+    fn zero_radius_reduces_to_plain_rds() {
+        let (engine, q, _m) = engine();
+        let cfg = ExpansionConfig { radius: 0, max_substitutes: 0, max_variants: 4 };
+        let (expanded, nvars) = engine.rds_expanded(&q, 3, &cfg).unwrap();
+        assert_eq!(nvars, 1);
+        let plain = engine.rds(&q, 3).unwrap();
+        for (a, b) in expanded.iter().zip(plain.results.iter()) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.distance, b.distance / q.len() as f64);
+        }
+    }
+}

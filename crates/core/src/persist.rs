@@ -1,0 +1,189 @@
+//! Whole-engine persistence.
+//!
+//! Rebuilding the path table, filters, and indexes from generators is fast
+//! but not free; a deployed service wants to reopen yesterday's engine.
+//! [`Engine::save`] snapshots the ontology, the *unfiltered* corpus view it
+//! was built from (the filtered corpus plus any live appended documents),
+//! and the configuration; [`Engine::load`] restores an equivalent engine.
+//!
+//! Appended documents are folded into the bulk corpus on save (their ids
+//! shift down over deleted ones), so a saved+loaded engine answers queries
+//! identically but with a compacted id space — the usual semantics of a
+//! checkpoint+restart.
+
+use crate::engine::{Engine, EngineBuilder, EngineError};
+use cbr_corpus::{Corpus, FilterConfig};
+use cbr_index::SnapshotStore;
+use cbr_knds::KndsConfig;
+use cbr_ontology::Ontology;
+use std::io;
+use std::path::Path;
+
+/// Serializable engine configuration.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PersistedConfig {
+    error_threshold: f64,
+    queue_cap: u64,
+    dedup_visits: bool,
+    progressive: bool,
+    min_depth: u32,
+    cf_sigma: f64,
+    filter_enabled: bool,
+}
+
+impl Engine {
+    /// Saves the engine into a snapshot directory. Live documents
+    /// (bulk + appended, minus deleted) are compacted into one corpus.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        let store = SnapshotStore::open(dir)?;
+        store.save("ontology", self.ontology())?;
+
+        // Compact: every live document's concepts, in id order.
+        let mut sets = Vec::new();
+        for i in 0..self.num_docs() {
+            let doc = cbr_corpus::DocId::from_index(i);
+            if !self.is_live(doc) {
+                continue;
+            }
+            let concepts = self
+                .document_concepts(doc)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let tokens = if i < self.corpus().len() {
+                self.corpus().get(doc).token_count()
+            } else {
+                0
+            };
+            sets.push((concepts, tokens));
+        }
+        store.save("corpus", &Corpus::from_concept_sets(sets))?;
+
+        let cfg = self.config();
+        store.save(
+            "config",
+            &PersistedConfig {
+                error_threshold: cfg.error_threshold,
+                queue_cap: cfg.queue_cap as u64,
+                dedup_visits: cfg.dedup_visits,
+                progressive: cfg.progressive,
+                // The filter itself is corpus-derived; persist whether one
+                // was active is not recoverable from the Engine today, so
+                // the loaded engine re-applies no filter (the saved corpus
+                // is already filtered). Fields kept for format stability.
+                min_depth: 0,
+                cf_sigma: f64::INFINITY,
+                filter_enabled: false,
+            },
+        )
+    }
+
+    /// Restores an engine saved with [`Engine::save`].
+    ///
+    /// The saved corpus is already filtered, so no filter is re-applied;
+    /// pass `refilter` to apply a fresh one (e.g. after editing the data).
+    pub fn load(dir: &Path, refilter: Option<FilterConfig>) -> io::Result<Engine> {
+        let store = SnapshotStore::open(dir)?;
+        let ontology: Ontology = store.load("ontology")?;
+        let corpus: Corpus = store.load("corpus")?;
+        let cfg: PersistedConfig = store.load("config")?;
+        let knds = KndsConfig {
+            error_threshold: cfg.error_threshold,
+            queue_cap: cfg.queue_cap as usize,
+            dedup_visits: cfg.dedup_visits,
+            progressive: cfg.progressive,
+        };
+        let mut builder = EngineBuilder::new().knds_config(knds);
+        if let Some(f) = refilter {
+            builder = builder.filter(f);
+        }
+        Ok(builder.build(ontology, corpus))
+    }
+}
+
+/// Convenience: error conversion for callers mixing the two error types.
+impl From<EngineError> for io::Error {
+    fn from(e: EngineError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_corpus::{CorpusGenerator, CorpusProfile};
+    use cbr_ontology::{ConceptId, GeneratorConfig, OntologyGenerator};
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cbr-persist-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine() -> Engine {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(800)).generate();
+        let corpus = CorpusGenerator::new(
+            &ont,
+            CorpusProfile::radio_like().with_num_docs(50).with_mean_concepts(8.0),
+        )
+        .generate();
+        EngineBuilder::new()
+            .knds_config(KndsConfig::default().with_error_threshold(0.75))
+            .filter(FilterConfig::default())
+            .build(ont, corpus)
+    }
+
+    #[test]
+    fn save_load_roundtrips_queries_and_config() {
+        let e = engine();
+        let q: Vec<ConceptId> = e
+            .corpus()
+            .documents()
+            .find(|d| d.num_concepts() >= 2)
+            .map(|d| d.concepts()[..2].to_vec())
+            .unwrap();
+        let before = e.rds(&q, 5).unwrap();
+
+        let dir = tmp("rt");
+        e.save(&dir).unwrap();
+        let loaded = Engine::load(&dir, None).unwrap();
+        assert_eq!(loaded.config().error_threshold, 0.75);
+        assert_eq!(loaded.num_docs(), e.num_docs());
+        let after = loaded.rds(&q, 5).unwrap();
+        for (a, b) in before.results.iter().zip(after.results.iter()) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.distance, b.distance);
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn appends_and_deletes_are_compacted() {
+        let mut e = engine();
+        let q: Vec<ConceptId> = e
+            .corpus()
+            .documents()
+            .find(|d| d.num_concepts() >= 2)
+            .map(|d| d.concepts()[..2].to_vec())
+            .unwrap();
+        let added = e.add_document(q.clone());
+        let victim = cbr_corpus::DocId(0);
+        e.remove_document(victim).unwrap();
+
+        let dir = tmp("compact");
+        e.save(&dir).unwrap();
+        let loaded = Engine::load(&dir, None).unwrap();
+        // One fewer than before (delete), including the appended one.
+        assert_eq!(loaded.num_docs(), e.num_docs() - 1);
+        let _ = added;
+        // The appended exact match is still findable at distance 0.
+        let r = loaded.rds(&q, 1).unwrap();
+        assert_eq!(r.results[0].distance, 0.0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_fails() {
+        let dir = tmp("missing");
+        assert!(Engine::load(&dir, None).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

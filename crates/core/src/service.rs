@@ -1,0 +1,131 @@
+//! A concurrent engine handle for the point-of-care scenario.
+//!
+//! The paper's motivating deployment interleaves reads (clinicians
+//! querying) with writes (new EMRs arriving) — "when a new patient arrives
+//! at the point-of-care, we can instantly add his or her EMR to our
+//! database" (Section 1). [`SharedEngine`] wraps an [`Engine`] in a
+//! `parking_lot::RwLock`: queries run concurrently under read locks,
+//! appends take a brief write lock (the dynamic overlay makes them
+//! `O(|concepts|)`), and clones of the handle share one engine.
+
+use crate::engine::{Engine, EngineError};
+use cbr_corpus::DocId;
+use cbr_knds::QueryResult;
+use cbr_ontology::ConceptId;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to a shared [`Engine`].
+#[derive(Debug, Clone)]
+pub struct SharedEngine {
+    inner: Arc<RwLock<Engine>>,
+}
+
+impl SharedEngine {
+    /// Wraps an engine.
+    pub fn new(engine: Engine) -> SharedEngine {
+        SharedEngine { inner: Arc::new(RwLock::new(engine)) }
+    }
+
+    /// Concurrent RDS query (read lock).
+    pub fn rds(&self, query: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
+        self.inner.read().rds(query, k)
+    }
+
+    /// Concurrent SDS query (read lock).
+    pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
+        self.inner.read().sds(query_doc, k)
+    }
+
+    /// Concurrent SDS query with a collection document (read lock).
+    pub fn sds_by_doc(&self, doc: DocId, k: usize) -> Result<QueryResult, EngineError> {
+        self.inner.read().sds_by_doc(doc, k)
+    }
+
+    /// Appends a document (write lock); immediately visible to queries.
+    pub fn add_document(&self, concepts: Vec<ConceptId>) -> DocId {
+        self.inner.write().add_document(concepts)
+    }
+
+    /// Total documents currently searchable.
+    pub fn num_docs(&self) -> usize {
+        self.inner.read().num_docs()
+    }
+
+    /// Runs `f` with shared access to the engine (for reads not covered by
+    /// the convenience methods).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use cbr_corpus::{CorpusGenerator, CorpusProfile};
+    use cbr_ontology::{GeneratorConfig, OntologyGenerator};
+
+    fn shared() -> (SharedEngine, Vec<ConceptId>) {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(1_000)).generate();
+        let corpus = CorpusGenerator::new(
+            &ont,
+            CorpusProfile::radio_like().with_num_docs(50).with_mean_concepts(8.0),
+        )
+        .generate();
+        let engine = EngineBuilder::new().build(ont, corpus);
+        let q = engine
+            .corpus()
+            .documents()
+            .find(|d| d.num_concepts() >= 2)
+            .map(|d| d.concepts()[..2].to_vec())
+            .unwrap();
+        (SharedEngine::new(engine), q)
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let (shared, q) = shared();
+        let before = shared.num_docs();
+        std::thread::scope(|scope| {
+            // Readers hammer queries while a writer appends documents.
+            for _ in 0..4 {
+                let s = shared.clone();
+                let q = q.clone();
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let r = s.rds(&q, 3).unwrap();
+                        assert!(!r.results.is_empty());
+                    }
+                });
+            }
+            let s = shared.clone();
+            let q = q.clone();
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    s.add_document(q.clone());
+                }
+            });
+        });
+        assert_eq!(shared.num_docs(), before + 10);
+        // The appended exact matches dominate the ranking now.
+        let r = shared.rds(&q, 1).unwrap();
+        assert_eq!(r.results[0].distance, 0.0);
+    }
+
+    #[test]
+    fn with_engine_exposes_reads() {
+        let (shared, _q) = shared();
+        let n = shared.with_engine(|e| e.ontology().len());
+        assert_eq!(n, 1_000);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (shared, q) = shared();
+        let other = shared.clone();
+        let id = shared.add_document(q);
+        assert!(other.num_docs() > id.index());
+        assert_eq!(other.num_docs(), shared.num_docs());
+    }
+}

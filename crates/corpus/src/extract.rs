@@ -1,0 +1,361 @@
+//! Dictionary-based concept extraction — the MetaMap stand-in.
+//!
+//! Section 6.1 of the paper links clinical notes to SNOMED-CT in three
+//! steps: expand abbreviations from a public list, identify concept
+//! mentions with MetaMap, and drop mentions with negative polarity
+//! (domain experts consider negated concepts irrelevant for inter-patient
+//! similarity). [`ConceptExtractor`] reproduces that pipeline
+//! deterministically:
+//!
+//! 1. **tokenize** — lowercase alphanumeric word tokens; sentence
+//!    boundaries are retained as marker tokens so negation never leaks
+//!    across sentences;
+//! 2. **expand abbreviations** — a configurable short-form → long-form
+//!    table applied at the token level;
+//! 3. **match** — greedy longest-match lookup of token n-grams against the
+//!    lexicon built from ontology concept labels (plus registered
+//!    synonyms);
+//! 4. **polarity** — a mention within `negation_window` tokens after a
+//!    negation trigger (`no`, `denies`, `without`, `absence`, …) in the
+//!    same sentence is [`Polarity::Negative`] and excluded from the
+//!    document's concept set.
+
+use crate::document::{DocId, Document};
+use cbr_ontology::{ConceptId, FxHashMap, Ontology};
+
+/// Polarity of a concept mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Asserted mention; contributes to the document's concept set.
+    Positive,
+    /// Negated mention ("absence of bradycardia"); excluded per the paper.
+    Negative,
+}
+
+/// One recognized concept mention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mention {
+    /// The matched concept.
+    pub concept: ConceptId,
+    /// Token offset of the first matched token.
+    pub start: usize,
+    /// Number of tokens matched.
+    pub len: usize,
+    /// Whether the mention was negated.
+    pub polarity: Polarity,
+}
+
+/// Extractor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractorConfig {
+    /// Tokens after a negation trigger within which a mention counts as
+    /// negated (within the same sentence). MetaMap/NegEx-style windows are
+    /// around 5 tokens.
+    pub negation_window: usize,
+    /// Whether abbreviation expansion runs before matching.
+    pub expand_abbreviations: bool,
+}
+
+impl Default for ExtractorConfig {
+    fn default() -> Self {
+        ExtractorConfig { negation_window: 5, expand_abbreviations: true }
+    }
+}
+
+/// Negation triggers recognized by the polarity pass.
+const NEGATION_TRIGGERS: &[&str] = &["no", "not", "denies", "without", "absence", "negative"];
+
+/// Sentence-boundary marker inserted by the tokenizer. Never matches a
+/// lexicon entry (lexicon tokens are lowercase alphanumerics).
+const BOUNDARY: &str = ".";
+
+/// Dictionary matcher from text to ontology concepts.
+#[derive(Debug)]
+pub struct ConceptExtractor {
+    /// Phrase (joined lowercase tokens) → concept.
+    lexicon: FxHashMap<String, ConceptId>,
+    /// Longest phrase length in tokens.
+    max_phrase_len: usize,
+    /// Short form (lowercase) → expansion tokens.
+    abbreviations: FxHashMap<String, Vec<String>>,
+    config: ExtractorConfig,
+}
+
+impl ConceptExtractor {
+    /// Builds the lexicon from every concept label of `ont`.
+    ///
+    /// Labels colliding after normalization keep the first concept (ontology
+    /// labels are unique, so this only matters for registered synonyms).
+    pub fn new(ont: &Ontology, config: ExtractorConfig) -> Self {
+        let mut lexicon = FxHashMap::default();
+        let mut max_phrase_len = 1;
+        for c in ont.concepts() {
+            let tokens = tokenize(ont.label(c));
+            let words: Vec<&str> = tokens.iter().map(|t| t.as_str()).collect();
+            if words.is_empty() {
+                continue;
+            }
+            max_phrase_len = max_phrase_len.max(words.len());
+            lexicon.entry(words.join(" ")).or_insert(c);
+        }
+        ConceptExtractor {
+            lexicon,
+            max_phrase_len,
+            abbreviations: FxHashMap::default(),
+            config,
+        }
+    }
+
+    /// Registers a synonym phrase for a concept (e.g. "heart attack" for
+    /// the concept labeled "myocardial infarction").
+    pub fn add_synonym(&mut self, phrase: &str, concept: ConceptId) {
+        let tokens = tokenize(phrase);
+        if tokens.is_empty() {
+            return;
+        }
+        self.max_phrase_len = self.max_phrase_len.max(tokens.len());
+        self.lexicon.insert(tokens.join(" "), concept);
+    }
+
+    /// Registers an abbreviation (e.g. `"ccf"` → `"chronic cardiac
+    /// finding"`), applied before matching when enabled.
+    pub fn add_abbreviation(&mut self, short: &str, expansion: &str) {
+        self.abbreviations
+            .insert(short.to_ascii_lowercase(), tokenize(expansion));
+    }
+
+    /// Number of lexicon phrases.
+    pub fn lexicon_size(&self) -> usize {
+        self.lexicon.len()
+    }
+
+    /// Extracts all concept mentions from `text` with polarity.
+    pub fn extract(&self, text: &str) -> Vec<Mention> {
+        let mut tokens = tokenize_with_boundaries(text);
+        if self.config.expand_abbreviations {
+            tokens = self.expand(tokens);
+        }
+
+        // Token offsets (from the start of the *expanded* stream) of the
+        // most recent negation trigger in the current sentence.
+        let mut last_trigger: Option<usize> = None;
+        let mut mentions = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if tok == BOUNDARY {
+                last_trigger = None;
+                i += 1;
+                continue;
+            }
+            if NEGATION_TRIGGERS.contains(&tok.as_str()) {
+                last_trigger = Some(i);
+                i += 1;
+                continue;
+            }
+
+            // Greedy longest match starting at i.
+            let mut matched = None;
+            let upper = self.max_phrase_len.min(tokens.len() - i);
+            for len in (1..=upper).rev() {
+                let window = &tokens[i..i + len];
+                if window.iter().any(|t| t == BOUNDARY) {
+                    continue;
+                }
+                let key = window.join(" ");
+                if let Some(&concept) = self.lexicon.get(&key) {
+                    matched = Some((concept, len));
+                    break;
+                }
+            }
+
+            if let Some((concept, len)) = matched {
+                let polarity = match last_trigger {
+                    Some(t) if i - t <= self.config.negation_window => Polarity::Negative,
+                    _ => Polarity::Positive,
+                };
+                mentions.push(Mention { concept, start: i, len, polarity });
+                i += len;
+            } else {
+                i += 1;
+            }
+        }
+        mentions
+    }
+
+    /// Extracts the positive concept set of `text` as a [`Document`].
+    /// The token count excludes sentence-boundary markers.
+    pub fn extract_document(&self, id: DocId, text: &str) -> Document {
+        let mentions = self.extract(text);
+        let concepts = mentions
+            .iter()
+            .filter(|m| m.polarity == Polarity::Positive)
+            .map(|m| m.concept)
+            .collect();
+        let token_count = tokenize(text).len() as u32;
+        Document::new(id, concepts, token_count)
+    }
+
+    fn expand(&self, tokens: Vec<String>) -> Vec<String> {
+        let mut out = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            match self.abbreviations.get(&t) {
+                Some(exp) => out.extend(exp.iter().cloned()),
+                None => out.push(t),
+            }
+        }
+        out
+    }
+}
+
+/// Lowercase alphanumeric word tokens (no boundary markers).
+fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+/// Tokens plus `BOUNDARY` markers at sentence-ending punctuation.
+fn tokenize_with_boundaries(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            word.push(ch.to_ascii_lowercase());
+        } else {
+            if !word.is_empty() {
+                out.push(std::mem::take(&mut word));
+            }
+            if matches!(ch, '.' | ';' | '!' | '?' | '\n')
+                && out.last().map(|t| t != BOUNDARY).unwrap_or(false) {
+                    out.push(BOUNDARY.to_string());
+                }
+        }
+    }
+    if !word.is_empty() {
+        out.push(word);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_ontology::{GeneratorConfig, OntologyGenerator};
+
+    fn fixture() -> (Ontology, ConceptExtractor) {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(200)).generate();
+        let ex = ConceptExtractor::new(&ont, ExtractorConfig::default());
+        (ont, ex)
+    }
+
+    #[test]
+    fn matches_full_labels() {
+        let (ont, ex) = fixture();
+        let c = ont.concepts().nth(17).unwrap();
+        let text = format!("assessment shows {} today", ont.label(c));
+        let mentions = ex.extract(&text);
+        assert!(mentions.iter().any(|m| m.concept == c && m.polarity == Polarity::Positive));
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // "severe cardiac stenosis" must not also fire shorter sub-phrases
+        // if a full 3-token label exists.
+        let (ont, ex) = fixture();
+        let c = ont.concepts().nth(23).unwrap();
+        let label = ont.label(c).to_string();
+        let mentions = ex.extract(&label);
+        assert_eq!(mentions.len(), 1, "one mention for {label:?}, got {mentions:?}");
+        assert_eq!(mentions[0].concept, c);
+        assert_eq!(mentions[0].len, label.split_whitespace().count());
+    }
+
+    #[test]
+    fn negation_excludes_mention() {
+        let (ont, ex) = fixture();
+        let c = ont.concepts().nth(9).unwrap();
+        let text = format!("absence of {}", ont.label(c));
+        let mentions = ex.extract(&text);
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].polarity, Polarity::Negative);
+
+        let doc = ex.extract_document(DocId(0), &text);
+        assert!(!doc.contains(c), "negated concept must not enter the document");
+    }
+
+    #[test]
+    fn negation_does_not_cross_sentences() {
+        let (ont, ex) = fixture();
+        let c = ont.concepts().nth(9).unwrap();
+        let text = format!("patient denies pain. {} present", ont.label(c));
+        let mentions = ex.extract(&text);
+        assert_eq!(mentions[0].polarity, Polarity::Positive);
+    }
+
+    #[test]
+    fn negation_window_is_bounded() {
+        let (ont, ex) = fixture();
+        let c = ont.concepts().nth(9).unwrap();
+        // 6 intervening tokens > default window of 5.
+        let text = format!("no one two three four five six {}", ont.label(c));
+        let mentions = ex.extract(&text);
+        assert_eq!(mentions[0].polarity, Polarity::Positive);
+    }
+
+    #[test]
+    fn abbreviations_expand_before_matching() {
+        let (ont, mut ex) = fixture();
+        let c = ont.concepts().nth(31).unwrap();
+        let label = ont.label(c).to_string();
+        let abbrev = crate::textgen::NoteGenerator::abbreviation(&label);
+        ex.add_abbreviation(&abbrev, &label);
+        let text = format!("assessment shows {abbrev} today");
+        let doc = ex.extract_document(DocId(0), &text);
+        assert!(doc.contains(c), "abbreviated mention of {label:?} must match");
+    }
+
+    #[test]
+    fn synonyms_match() {
+        let (ont, mut ex) = fixture();
+        let c = ont.concepts().nth(5).unwrap();
+        ex.add_synonym("heart attack", c);
+        let doc = ex.extract_document(DocId(0), "history of heart attack");
+        assert!(doc.contains(c));
+    }
+
+    #[test]
+    fn roundtrip_with_note_generator() {
+        // concepts -> note text -> extraction must recover exactly the
+        // positive concepts (given registered abbreviations).
+        let ont = OntologyGenerator::new(GeneratorConfig::small(300)).generate();
+        let mut ex = ConceptExtractor::new(&ont, ExtractorConfig::default());
+        for c in ont.concepts() {
+            let label = ont.label(c).to_string();
+            ex.add_abbreviation(&crate::textgen::NoteGenerator::abbreviation(&label), &label);
+        }
+        let gen = crate::textgen::NoteGenerator::new(&ont, 11);
+        let concepts: Vec<ConceptId> = ont.concepts().skip(40).step_by(7).take(10).collect();
+        let distractors: Vec<ConceptId> = ont.concepts().skip(3).step_by(11).take(10).collect();
+        let note = gen.render(&concepts, &distractors);
+        let doc = ex.extract_document(DocId(0), &note);
+        for &c in &concepts {
+            assert!(doc.contains(c), "lost concept {:?} in note: {note}", ont.label(c));
+        }
+        for &d in &distractors {
+            if !concepts.contains(&d) {
+                assert!(!doc.contains(d), "negated distractor {:?} leaked", ont.label(d));
+            }
+        }
+    }
+
+    #[test]
+    fn tokenizer_handles_punctuation_and_case() {
+        assert_eq!(tokenize("Hello, WORLD-2!"), vec!["hello", "world", "2"]);
+        let t = tokenize_with_boundaries("a b. c");
+        assert_eq!(t, vec!["a", "b", ".", "c"]);
+        let t = tokenize_with_boundaries("x.. y");
+        assert_eq!(t, vec!["x", ".", "y"], "boundaries collapse");
+    }
+}

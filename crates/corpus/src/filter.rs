@@ -1,0 +1,202 @@
+//! Concept eligibility filters (Section 6.1).
+//!
+//! The paper excludes two kinds of concepts before indexing and querying:
+//!
+//! * **generic concepts** via a depth threshold — "we excluded all concepts
+//!   in a depth level that is lower than 4", which still retains over 99%
+//!   of SNOMED-CT concepts (generic nodes like *disease* sit near the
+//!   root);
+//! * **very common concepts** via a collection-frequency threshold — the
+//!   default is `µ + σ` of the per-concept document frequencies, which
+//!   retains about 92% of the concepts (terms like *blood* appear in
+//!   nearly every note and carry no ranking signal).
+
+use crate::document::Corpus;
+use cbr_ontology::{ConceptId, Ontology};
+
+/// Configuration for [`ConceptFilter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Minimum depth (inclusive) a concept must have to be eligible.
+    /// The paper's default is 4.
+    pub min_depth: u32,
+    /// Number of standard deviations above the mean collection frequency at
+    /// which a concept is considered "too common". The paper uses `µ + σ`,
+    /// i.e. 1.0. Set to `f64::INFINITY` to disable frequency filtering.
+    pub cf_sigma: f64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig { min_depth: 4, cf_sigma: 1.0 }
+    }
+}
+
+/// A precomputed eligibility predicate over concepts.
+#[derive(Debug, Clone)]
+pub struct ConceptFilter {
+    eligible: Vec<bool>,
+    cf_threshold: f64,
+    num_eligible: usize,
+}
+
+impl ConceptFilter {
+    /// Builds the filter for `ont` and `corpus` under `config`.
+    ///
+    /// The frequency statistics (µ, σ) are estimated over concepts that
+    /// occur in the corpus at least once; concepts absent from the corpus
+    /// are eligible by depth alone (they can still appear in queries).
+    pub fn build(ont: &Ontology, corpus: &Corpus, config: FilterConfig) -> ConceptFilter {
+        let freq = corpus.concept_frequencies();
+        let (mean, sd) = mean_sd(freq.values().map(|&v| v as f64));
+        let cf_threshold = mean + config.cf_sigma * sd;
+
+        let mut eligible = vec![false; ont.len()];
+        let mut num_eligible = 0;
+        for c in ont.concepts() {
+            if ont.depth(c) < config.min_depth {
+                continue;
+            }
+            let cf = freq.get(&c).copied().unwrap_or(0) as f64;
+            if config.cf_sigma.is_finite() && cf > cf_threshold {
+                continue;
+            }
+            eligible[c.index()] = true;
+            num_eligible += 1;
+        }
+        ConceptFilter { eligible, cf_threshold, num_eligible }
+    }
+
+    /// A filter that admits every concept of `ont` (used by tests and by
+    /// callers that pre-filter their data).
+    pub fn accept_all(ont: &Ontology) -> ConceptFilter {
+        ConceptFilter {
+            eligible: vec![true; ont.len()],
+            cf_threshold: f64::INFINITY,
+            num_eligible: ont.len(),
+        }
+    }
+
+    /// Whether concept `c` survives the thresholds.
+    #[inline]
+    pub fn allows(&self, c: ConceptId) -> bool {
+        self.eligible.get(c.index()).copied().unwrap_or(false)
+    }
+
+    /// The computed collection-frequency cutoff (`µ + cf_sigma·σ`).
+    pub fn cf_threshold(&self) -> f64 {
+        self.cf_threshold
+    }
+
+    /// Number of eligible concepts.
+    pub fn num_eligible(&self) -> usize {
+        self.num_eligible
+    }
+
+    /// Fraction of the ontology's concepts that remain eligible.
+    pub fn retention(&self) -> f64 {
+        self.num_eligible as f64 / self.eligible.len() as f64
+    }
+
+    /// Applies the filter to a whole corpus (documents keep their ids).
+    pub fn apply(&self, corpus: &Corpus) -> Corpus {
+        corpus.retained(|c| self.allows(c))
+    }
+}
+
+fn mean_sd(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut n = 0f64;
+    let mut sum = 0f64;
+    let mut sum_sq = 0f64;
+    for v in values {
+        n += 1.0;
+        sum += v;
+        sum_sq += v * v;
+    }
+    if n == 0.0 {
+        return (0.0, 0.0);
+    }
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_ontology::{GeneratorConfig, OntologyGenerator};
+
+    #[test]
+    fn depth_threshold_excludes_shallow_concepts() {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(300)).generate();
+        let corpus = Corpus::default();
+        let f = ConceptFilter::build(
+            &ont,
+            &corpus,
+            FilterConfig { min_depth: 4, cf_sigma: f64::INFINITY },
+        );
+        for c in ont.concepts() {
+            assert_eq!(f.allows(c), ont.depth(c) >= 4, "concept {c}");
+        }
+        assert!(!f.allows(ont.root()));
+    }
+
+    #[test]
+    fn frequency_threshold_excludes_ubiquitous_concepts() {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(200)).generate();
+        // Pick a deep concept and put it in every document; other concepts
+        // appear once each.
+        let deep: Vec<ConceptId> = ont.concepts().filter(|&c| ont.depth(c) >= 4).collect();
+        assert!(deep.len() > 10, "fixture needs deep concepts");
+        let common = deep[0];
+        let sets: Vec<(Vec<ConceptId>, u32)> = deep[1..21]
+            .iter()
+            .map(|&c| (vec![common, c], 0))
+            .collect();
+        let corpus = Corpus::from_concept_sets(sets);
+        let f = ConceptFilter::build(&ont, &corpus, FilterConfig::default());
+        assert!(!f.allows(common), "ubiquitous concept must be filtered");
+        assert!(f.allows(deep[1]), "rare deep concept must survive");
+    }
+
+    #[test]
+    fn accept_all_admits_everything() {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(50)).generate();
+        let f = ConceptFilter::accept_all(&ont);
+        assert!(ont.concepts().all(|c| f.allows(c)));
+        assert_eq!(f.num_eligible(), 50);
+        assert_eq!(f.retention(), 1.0);
+    }
+
+    #[test]
+    fn apply_strips_filtered_concepts_from_corpus() {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(300)).generate();
+        let all: Vec<ConceptId> = ont.concepts().collect();
+        let corpus = Corpus::from_concept_sets(vec![(all.clone(), 0)]);
+        let f = ConceptFilter::build(
+            &ont,
+            &corpus,
+            FilterConfig { min_depth: 4, cf_sigma: f64::INFINITY },
+        );
+        let filtered = f.apply(&corpus);
+        let kept = filtered.get(crate::DocId(0)).num_concepts();
+        assert_eq!(kept, f.num_eligible());
+        assert!(kept < all.len());
+    }
+
+    #[test]
+    fn out_of_range_concept_is_rejected() {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(10)).generate();
+        let f = ConceptFilter::accept_all(&ont);
+        assert!(!f.allows(ConceptId(1000)));
+    }
+
+    #[test]
+    fn mean_sd_basic() {
+        let (m, s) = super::mean_sd([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter());
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.0).abs() < 1e-9);
+        let (m, s) = super::mean_sd(std::iter::empty());
+        assert_eq!((m, s), (0.0, 0.0));
+    }
+}

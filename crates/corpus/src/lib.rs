@@ -1,0 +1,39 @@
+//! Document corpora for concept-based ranking.
+//!
+//! The paper (Section 1, Section 3.1) views a document — an Electronic
+//! Medical Record — as a **set of ontological concepts** extracted from its
+//! free text with tools such as MetaMap or cTAKES. This crate provides that
+//! document model plus everything around it:
+//!
+//! * [`Document`] / [`Corpus`] — concept-set documents with token counts;
+//! * [`CorpusStats`] — the Table 3 statistics (documents, distinct
+//!   concepts, average tokens and concepts per document);
+//! * [`ConceptFilter`] — the Section 6.1 preprocessing thresholds: a depth
+//!   threshold excluding overly generic concepts (default 4) and a
+//!   collection-frequency threshold excluding very common ones (µ + σ);
+//! * [`generator`] — synthetic corpora calibrated to the paper's two MIMIC
+//!   II collections: **PATIENT** (983 documents, ~706 densely clustered
+//!   concepts each) and **RADIO** (12,373 documents, ~125 sparse concepts
+//!   each); the real MIMIC II data sits behind a data-use agreement;
+//! * [`textgen`] + [`extract`] — a deterministic clinical-note generator
+//!   and a dictionary-based concept extractor (with abbreviation expansion
+//!   and negation filtering) standing in for the MetaMap pipeline, so the
+//!   full text → concepts → index path is exercised end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod extract;
+pub mod filter;
+pub mod generator;
+pub mod io;
+pub mod stats;
+pub mod textgen;
+
+pub use document::{Corpus, DocId, Document};
+pub use extract::{ConceptExtractor, ExtractorConfig, Mention, Polarity};
+pub use filter::{ConceptFilter, FilterConfig};
+pub use generator::{CorpusGenerator, CorpusProfile};
+pub use stats::CorpusStats;
+pub use textgen::NoteGenerator;

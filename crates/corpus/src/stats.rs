@@ -1,0 +1,91 @@
+//! Corpus statistics — the Table 3 report of the paper.
+
+use crate::document::Corpus;
+use std::fmt;
+
+/// The statistics the paper reports for its two collections in Table 3:
+///
+/// | metric                | PATIENT | RADIO  |
+/// |-----------------------|---------|--------|
+/// | total documents       | 983     | 12,373 |
+/// | total concepts        | 16,811  | 8,629  |
+/// | avg tokens/document   | 8,184   | 273.7  |
+/// | avg concepts/document | 706.6   | 125.3  |
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Number of documents.
+    pub total_documents: usize,
+    /// Number of distinct concepts across the collection.
+    pub total_concepts: usize,
+    /// Mean source-text tokens per document.
+    pub avg_tokens_per_doc: f64,
+    /// Mean distinct concepts per document.
+    pub avg_concepts_per_doc: f64,
+    /// Maximum distinct concepts in any document.
+    pub max_concepts_per_doc: usize,
+}
+
+impl CorpusStats {
+    /// Computes the statistics of `corpus`.
+    pub fn compute(corpus: &Corpus) -> CorpusStats {
+        let n = corpus.len();
+        let mut distinct = cbr_ontology::FxHashSet::default();
+        let mut token_sum = 0u64;
+        let mut concept_sum = 0u64;
+        let mut max_concepts = 0usize;
+        for d in corpus.documents() {
+            token_sum += d.token_count() as u64;
+            concept_sum += d.num_concepts() as u64;
+            max_concepts = max_concepts.max(d.num_concepts());
+            distinct.extend(d.concepts().iter().copied());
+        }
+        CorpusStats {
+            total_documents: n,
+            total_concepts: distinct.len(),
+            avg_tokens_per_doc: if n == 0 { 0.0 } else { token_sum as f64 / n as f64 },
+            avg_concepts_per_doc: if n == 0 { 0.0 } else { concept_sum as f64 / n as f64 },
+            max_concepts_per_doc: max_concepts,
+        }
+    }
+}
+
+impl fmt::Display for CorpusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total documents:       {}", self.total_documents)?;
+        writeln!(f, "total concepts:        {}", self.total_concepts)?;
+        writeln!(f, "avg tokens/document:   {:.1}", self.avg_tokens_per_doc)?;
+        write!(
+            f,
+            "avg concepts/document: {:.1} (max {})",
+            self.avg_concepts_per_doc, self.max_concepts_per_doc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_ontology::ConceptId;
+
+    #[test]
+    fn computes_all_fields() {
+        let corpus = Corpus::from_concept_sets(vec![
+            (vec![ConceptId(1), ConceptId(2)], 10),
+            (vec![ConceptId(2), ConceptId(3), ConceptId(4)], 20),
+        ]);
+        let s = CorpusStats::compute(&corpus);
+        assert_eq!(s.total_documents, 2);
+        assert_eq!(s.total_concepts, 4);
+        assert!((s.avg_tokens_per_doc - 15.0).abs() < 1e-9);
+        assert!((s.avg_concepts_per_doc - 2.5).abs() < 1e-9);
+        assert_eq!(s.max_concepts_per_doc, 3);
+        assert!(s.to_string().contains("total documents:       2"));
+    }
+
+    #[test]
+    fn empty_corpus_is_all_zero() {
+        let s = CorpusStats::compute(&Corpus::default());
+        assert_eq!(s.total_documents, 0);
+        assert_eq!(s.avg_tokens_per_doc, 0.0);
+    }
+}

@@ -1,0 +1,602 @@
+//! The D-Radix DAG (Definition 3) and its construction.
+//!
+//! Given two concept sets `d` (document) and `q` (query), the D-Radix DAG
+//! `T(d,q)` indexes every Dewey address of every concept in `d ∪ q`. Each
+//! node carries two distances — from the nearest document concept and from
+//! the nearest query concept — initialized to 0 for member concepts and ∞
+//! otherwise, then *tuned* with one bottom-up and one top-down relaxation
+//! pass (Equation 4). Unlike a plain Radix tree:
+//!
+//! * nodes carry the two distances;
+//! * two concept nodes are never merged even without branching — only
+//!   non-member prefix nodes are compressed away;
+//! * the structure is a DAG: a concept with several root paths is one node
+//!   with several incoming edges (`FindNodeByDewey` in the paper resolves
+//!   a path address to its concept; here that is an ontology walk).
+//!
+//! Insertion follows Function InsertPath: walk from the root matching edge
+//! labels against the remaining suffix; on divergence, split the edge at
+//! the longest common prefix, whose endpoint is resolved to a concept and
+//! materialized as a node. Splits recurse so that re-reaching an existing
+//! sub-DAG through a second route (Example 2, steps 6–8 of the paper)
+//! merges cleanly instead of duplicating edges.
+
+use cbr_ontology::{ConceptId, FxHashMap, Ontology};
+
+/// Distance placeholder before tuning (`∞` in the paper).
+pub const UNSET: u32 = u32::MAX;
+
+/// One radix node: the two tracked distances plus outgoing edges.
+#[derive(Debug, Clone)]
+struct Node {
+    concept: ConceptId,
+    /// Distance from the nearest document concept (`Ddc(d, ci)`).
+    doc_dist: u32,
+    /// Distance from the nearest query concept (`Ddc(q, ci)`).
+    query_dist: u32,
+    /// Outgoing edges; at most one child edge per leading Dewey component.
+    edges: Vec<Edge>,
+    /// Number of incoming edges (for the topological pass).
+    indegree: u32,
+}
+
+/// A compressed edge: the Dewey components between two materialized nodes.
+#[derive(Debug, Clone)]
+struct Edge {
+    target: u32,
+    label: Box<[u32]>,
+    /// Total cost of the compressed ontology edges: the component count in
+    /// the unit-weight case, or the weight sum under [`EdgeWeights`].
+    weight: u32,
+}
+
+/// Shape statistics of a built DAG (used by tests and the ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DagStats {
+    /// Materialized radix nodes (including the root).
+    pub nodes: usize,
+    /// Compressed edges.
+    pub edges: usize,
+    /// Dewey addresses inserted (`|Pd| + |Pq|`).
+    pub addresses: usize,
+}
+
+/// The D-Radix DAG over one `(document, query)` pair.
+#[derive(Debug)]
+pub struct DRadixDag {
+    nodes: Vec<Node>,
+    by_concept: FxHashMap<ConceptId, u32>,
+    addresses_inserted: usize,
+}
+
+impl DRadixDag {
+    /// Builds the DAG for `doc` and `query` over `ont`, inserting the
+    /// lexicographically sorted Dewey address lists `Pd` and `Pq`
+    /// (Algorithm 1, construction phase) and initializing member distances
+    /// to zero. Unit edge weights (the paper's metric).
+    pub fn build(ont: &Ontology, doc: &[ConceptId], query: &[ConceptId]) -> DRadixDag {
+        Self::build_impl(ont, doc, query, None)
+    }
+
+    /// Like [`DRadixDag::build`] but pricing every compressed edge with the
+    /// weight sum of the ontology edges it spans (the weighted-edge
+    /// future-work prototype, see [`cbr_ontology::weighted`]).
+    pub fn build_weighted(
+        ont: &Ontology,
+        doc: &[ConceptId],
+        query: &[ConceptId],
+        weights: &cbr_ontology::EdgeWeights,
+    ) -> DRadixDag {
+        Self::build_impl(ont, doc, query, Some(weights))
+    }
+
+    fn build_impl(
+        ont: &Ontology,
+        doc: &[ConceptId],
+        query: &[ConceptId],
+        weights: Option<&cbr_ontology::EdgeWeights>,
+    ) -> DRadixDag {
+        let paths = ont.path_table();
+        let in_doc: cbr_ontology::FxHashSet<ConceptId> = doc.iter().copied().collect();
+        let in_query: cbr_ontology::FxHashSet<ConceptId> = query.iter().copied().collect();
+
+        let mut dag = DRadixDag {
+            nodes: Vec::with_capacity(doc.len() + query.len() + 8),
+            by_concept: FxHashMap::default(),
+            addresses_inserted: 0,
+        };
+        // Initialize with the root (Algorithm 1 line 4).
+        let root = ont.root();
+        dag.slot_for(root, &in_doc, &in_query);
+
+        // Merge-consume Pd and Pq in lexicographic order (lines 6–14).
+        let pd = paths.sorted_address_list(doc);
+        let pq = paths.sorted_address_list(query);
+        let (mut i, mut j) = (0, 0);
+        while i < pd.len() || j < pq.len() {
+            let take_doc = match (pd.get(i), pq.get(j)) {
+                (Some(a), Some(b)) => a.0 <= b.0,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            let (addr, concept) = if take_doc {
+                i += 1;
+                pd[i - 1]
+            } else {
+                j += 1;
+                pq[j - 1]
+            };
+            dag.insert_address(ont, weights, concept, addr, &in_doc, &in_query);
+        }
+        dag
+    }
+
+    /// Runs the tuning phase (Algorithm 1 lines 19–27): a bottom-up pass in
+    /// reverse topological order followed by a top-down pass, both relaxing
+    /// with Equation 4. After this every node holds its exact valid-path
+    /// distance from the nearest document and query concepts.
+    pub fn tune(&mut self) {
+        let order = self.topological_order();
+        // Bottom-up: pull distances from children.
+        for &n in order.iter().rev() {
+            let node = &self.nodes[n as usize];
+            let mut doc = node.doc_dist;
+            let mut query = node.query_dist;
+            for e in &node.edges {
+                let child = &self.nodes[e.target as usize];
+                doc = doc.min(child.doc_dist.saturating_add(e.weight));
+                query = query.min(child.query_dist.saturating_add(e.weight));
+            }
+            let node = &mut self.nodes[n as usize];
+            node.doc_dist = doc;
+            node.query_dist = query;
+        }
+        // Top-down: push distances to children.
+        for &n in &order {
+            let node = &self.nodes[n as usize];
+            let doc = node.doc_dist;
+            let query = node.query_dist;
+            let edges: Vec<(u32, u32)> = node
+                .edges
+                .iter()
+                .map(|e| (e.target, e.weight))
+                .collect();
+            for (target, w) in edges {
+                let child = &mut self.nodes[target as usize];
+                child.doc_dist = child.doc_dist.min(doc.saturating_add(w));
+                child.query_dist = child.query_dist.min(query.saturating_add(w));
+            }
+        }
+    }
+
+    /// Distance of radix node `c` from the nearest *document* concept
+    /// (`Ddc(d, c)`), exact after [`tune`](Self::tune). Returns `None` for
+    /// concepts not materialized in the DAG.
+    pub fn doc_distance(&self, c: ConceptId) -> Option<u32> {
+        self.by_concept.get(&c).map(|&n| self.nodes[n as usize].doc_dist)
+    }
+
+    /// Distance of radix node `c` from the nearest *query* concept
+    /// (`Ddc(q, c)`), exact after [`tune`](Self::tune).
+    pub fn query_distance(&self, c: ConceptId) -> Option<u32> {
+        self.by_concept.get(&c).map(|&n| self.nodes[n as usize].query_dist)
+    }
+
+    /// Shape statistics.
+    pub fn stats(&self) -> DagStats {
+        DagStats {
+            nodes: self.nodes.len(),
+            edges: self.nodes.iter().map(|n| n.edges.len()).sum(),
+            addresses: self.addresses_inserted,
+        }
+    }
+
+    /// Whether concept `c` is materialized as a node.
+    pub fn contains(&self, c: ConceptId) -> bool {
+        self.by_concept.contains_key(&c)
+    }
+
+    /// Iterates the materialized nodes as
+    /// `(concept, doc distance, query distance)`.
+    pub fn nodes(&self) -> impl Iterator<Item = (ConceptId, u32, u32)> + '_ {
+        self.nodes.iter().map(|n| (n.concept, n.doc_dist, n.query_dist))
+    }
+
+    /// Iterates the compressed edges as
+    /// `(parent concept, child concept, label components, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (ConceptId, ConceptId, &[u32], u32)> + '_ {
+        self.nodes.iter().flat_map(move |n| {
+            n.edges.iter().map(move |e| {
+                (n.concept, self.nodes[e.target as usize].concept, e.label.as_ref(), e.weight)
+            })
+        })
+    }
+
+    /// Renders the DAG in Graphviz DOT, Figure 5(g)-style: every node shows
+    /// its concept label with the `(document distance, query distance)`
+    /// pair, and edges carry their Dewey labels.
+    pub fn to_dot(&self, ont: &Ontology) -> String {
+        use std::fmt::Write as _;
+        let fmt_dist = |d: u32| {
+            if d == UNSET {
+                "∞".to_string()
+            } else {
+                d.to_string()
+            }
+        };
+        let mut out =
+            String::from("digraph dradix {\n  rankdir=TB;\n  node [fontsize=10, shape=ellipse];\n");
+        let mut nodes: Vec<&Node> = self.nodes.iter().collect();
+        nodes.sort_by_key(|n| n.concept);
+        for n in &nodes {
+            let _ = writeln!(
+                out,
+                "  c{} [label=\"{} ({}, {})\"];",
+                n.concept.0,
+                cbr_ontology::dot::escape_label(ont.label(n.concept)),
+                fmt_dist(n.doc_dist),
+                fmt_dist(n.query_dist)
+            );
+        }
+        for n in &nodes {
+            for e in &n.edges {
+                let label: Vec<String> =
+                    e.label.iter().map(|c| c.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  c{} -> c{} [label=\"{}\"];",
+                    n.concept.0,
+                    self.nodes[e.target as usize].concept.0,
+                    label.join(".")
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    // --- construction internals -------------------------------------------
+
+    fn slot_for(
+        &mut self,
+        concept: ConceptId,
+        in_doc: &cbr_ontology::FxHashSet<ConceptId>,
+        in_query: &cbr_ontology::FxHashSet<ConceptId>,
+    ) -> u32 {
+        if let Some(&n) = self.by_concept.get(&concept) {
+            return n;
+        }
+        let n = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            concept,
+            doc_dist: if in_doc.contains(&concept) { 0 } else { UNSET },
+            query_dist: if in_query.contains(&concept) { 0 } else { UNSET },
+            edges: Vec::new(),
+            indegree: 0,
+        });
+        self.by_concept.insert(concept, n);
+        n
+    }
+
+    fn insert_address(
+        &mut self,
+        ont: &Ontology,
+        weights: Option<&cbr_ontology::EdgeWeights>,
+        concept: ConceptId,
+        addr: &[u32],
+        in_doc: &cbr_ontology::FxHashSet<ConceptId>,
+        in_query: &cbr_ontology::FxHashSet<ConceptId>,
+    ) {
+        self.addresses_inserted += 1;
+        let root = self.by_concept[&ont.root()];
+        self.insert_suffix(ont, weights, root, concept, addr, in_doc, in_query);
+    }
+
+    /// Function InsertPath: attaches `target`, reachable from the concept of
+    /// node `from` by walking the ontology along `label`, into the radix
+    /// structure below `from`.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_suffix(
+        &mut self,
+        ont: &Ontology,
+        weights: Option<&cbr_ontology::EdgeWeights>,
+        from: u32,
+        target: ConceptId,
+        label: &[u32],
+        in_doc: &cbr_ontology::FxHashSet<ConceptId>,
+        in_query: &cbr_ontology::FxHashSet<ConceptId>,
+    ) {
+        let mut cn = from;
+        let mut v = label;
+        loop {
+            if v.is_empty() {
+                // Fully matched: the walk ended on an existing node, which
+                // must be the target (equal Dewey position ⇒ equal concept).
+                debug_assert_eq!(self.nodes[cn as usize].concept, target);
+                return;
+            }
+            // At most one edge shares the leading component with v.
+            let edge_idx = self.nodes[cn as usize]
+                .edges
+                .iter()
+                .position(|e| e.label[0] == v[0]);
+            let Some(idx) = edge_idx else {
+                // No shared prefix: target becomes a direct child (lines 11–13).
+                let t = self.slot_for(target, in_doc, in_query);
+                let w = self.price(ont, weights, cn, v);
+                self.add_edge(cn, t, v, w);
+                return;
+            };
+
+            let (m_target, m_label) = {
+                let e = &self.nodes[cn as usize].edges[idx];
+                (e.target, e.label.clone())
+            };
+            let lcp = cbr_ontology::dewey::longest_common_prefix(v, &m_label);
+            if lcp == m_label.len() {
+                // v contains the full edge label: descend (lines 14–17).
+                cn = m_target;
+                v = &v[lcp..];
+                continue;
+            }
+
+            // Partial overlap: split the edge at the LCP (lines 18–27). The
+            // LCP endpoint is a real ontology node, resolved by walking from
+            // cn's concept (the paper's FindNodeByDewey).
+            let mid_concept = resolve_relative(ont, self.nodes[cn as usize].concept, &v[..lcp]);
+            self.remove_edge(cn, idx);
+            let mid = self.slot_for(mid_concept, in_doc, in_query);
+            let w = self.price(ont, weights, cn, &v[..lcp]);
+            self.add_edge(cn, mid, &v[..lcp], w);
+            // Re-attach the displaced edge below the split point; recursion
+            // handles the case where `mid` already owns a sub-DAG reached
+            // through another root path.
+            let old_target_concept = self.nodes[m_target as usize].concept;
+            self.insert_suffix(ont, weights, mid, old_target_concept, &m_label[lcp..], in_doc, in_query);
+            if mid_concept != target {
+                self.insert_suffix(ont, weights, mid, target, &v[lcp..], in_doc, in_query);
+            }
+            return;
+        }
+    }
+
+    /// Cost of walking `comps` down from node `from` under the active
+    /// weighting (component count when unweighted).
+    fn price(
+        &self,
+        ont: &Ontology,
+        weights: Option<&cbr_ontology::EdgeWeights>,
+        from: u32,
+        comps: &[u32],
+    ) -> u32 {
+        match weights {
+            None => comps.len() as u32,
+            Some(w) => w.path_weight(ont, self.nodes[from as usize].concept, comps),
+        }
+    }
+
+    fn add_edge(&mut self, from: u32, to: u32, label: &[u32], weight: u32) {
+        debug_assert!(!label.is_empty(), "radix edges carry at least one component");
+        // Idempotence: re-reaching an existing sub-DAG may re-derive an
+        // identical edge (paper Example 2, step 8) — skip it.
+        let node = &self.nodes[from as usize];
+        if node
+            .edges
+            .iter()
+            .any(|e| e.target == to && e.label.as_ref() == label)
+        {
+            return;
+        }
+        debug_assert!(
+            node.edges.iter().all(|e| e.label[0] != label[0]),
+            "radix invariant: one edge per leading component"
+        );
+        self.nodes[from as usize]
+            .edges
+            .push(Edge { target: to, label: label.into(), weight });
+        self.nodes[to as usize].indegree += 1;
+    }
+
+    fn remove_edge(&mut self, from: u32, idx: usize) {
+        let edge = self.nodes[from as usize].edges.swap_remove(idx);
+        self.nodes[edge.target as usize].indegree -= 1;
+    }
+
+    /// Kahn topological order from the root over radix edges.
+    fn topological_order(&self) -> Vec<u32> {
+        let mut indegree: Vec<u32> = self.nodes.iter().map(|n| n.indegree).collect();
+        let mut queue: std::collections::VecDeque<u32> = (0..self.nodes.len() as u32)
+            .filter(|&n| indegree[n as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for e in &self.nodes[n as usize].edges {
+                indegree[e.target as usize] -= 1;
+                if indegree[e.target as usize] == 0 {
+                    queue.push_back(e.target);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.nodes.len(), "radix DAG must be acyclic");
+        order
+    }
+}
+
+/// Walks `comps` child ordinals down from `from`, returning the endpoint.
+fn resolve_relative(ont: &Ontology, from: ConceptId, comps: &[u32]) -> ConceptId {
+    let mut cur = from;
+    for &comp in comps {
+        cur = ont
+            .child_at(cur, comp)
+            .expect("edge labels are valid ontology paths");
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_ontology::fixture;
+
+    /// Builds the paper's running example: d = {F,R,T,V}, q = {I,L,U}.
+    fn example_dag() -> (fixture::Figure3, DRadixDag) {
+        let fig = fixture::figure3();
+        let dag = DRadixDag::build(&fig.ontology, &fig.example_document(), &fig.example_query());
+        (fig, dag)
+    }
+
+    #[test]
+    fn example2_materializes_expected_nodes() {
+        // Figure 5(e): the constructed DAG holds A (root), G, I, J, R, U, V,
+        // F, H, T, L — the member concepts plus branch points G, J, H.
+        let (fig, dag) = example_dag();
+        for name in ["A", "G", "I", "J", "R", "U", "V", "F", "H", "T", "L"] {
+            assert!(dag.contains(fig.concept(name)), "node {name} missing");
+        }
+        // Compressed-away prefixes must NOT be materialized: B, E (merged
+        // into the edge towards G), K, O, S, P, Q, and the untouched C, D,
+        // M, N.
+        for name in ["B", "C", "D", "E", "K", "M", "N", "O", "P", "Q", "S"] {
+            assert!(!dag.contains(fig.concept(name)), "node {name} should be compressed");
+        }
+        assert_eq!(dag.stats().nodes, 11);
+        assert_eq!(dag.stats().addresses, 10, "Table 1 lists 6 + 4 addresses");
+    }
+
+    #[test]
+    fn tuned_distances_match_figure_5g() {
+        // Figure 5(g) annotates every node with (doc distance, query
+        // distance) after both traversals.
+        let (fig, mut dag) = example_dag();
+        dag.tune();
+        let expect = [
+            // (node, doc_dist, query_dist) — read off Figure 5(g) and
+            // re-derived from the ontology by hand.
+            ("I", 4, 0),
+            ("L", 2, 0),
+            ("U", 1, 0),
+            ("F", 0, 2),
+            ("R", 0, 1),
+            ("T", 0, 4),
+            ("V", 0, 5),
+            ("G", 3, 1),
+            ("J", 1, 2),
+            ("H", 1, 1),
+            ("A", 2, 4),
+        ];
+        for (name, dd, qd) in expect {
+            let c = fig.concept(name);
+            assert_eq!(dag.doc_distance(c), Some(dd), "doc distance of {name}");
+            assert_eq!(dag.query_distance(c), Some(qd), "query distance of {name}");
+        }
+    }
+
+    #[test]
+    fn member_nodes_start_at_zero_before_tuning() {
+        let (fig, dag) = example_dag();
+        assert_eq!(dag.doc_distance(fig.concept("F")), Some(0));
+        assert_eq!(dag.query_distance(fig.concept("F")), Some(UNSET));
+        assert_eq!(dag.query_distance(fig.concept("I")), Some(0));
+        assert_eq!(dag.doc_distance(fig.concept("I")), Some(UNSET));
+        assert_eq!(dag.doc_distance(fig.concept("A")), Some(UNSET));
+    }
+
+    #[test]
+    fn concept_in_both_sets_has_both_zero() {
+        let fig = fixture::figure3();
+        let shared = vec![fig.concept("R")];
+        let mut dag = DRadixDag::build(&fig.ontology, &shared, &shared);
+        dag.tune();
+        assert_eq!(dag.doc_distance(fig.concept("R")), Some(0));
+        assert_eq!(dag.query_distance(fig.concept("R")), Some(0));
+    }
+
+    #[test]
+    fn absent_concept_reports_none() {
+        let (fig, dag) = example_dag();
+        assert_eq!(dag.doc_distance(fig.concept("M")), None);
+        assert_eq!(dag.query_distance(fig.concept("M")), None);
+    }
+
+    #[test]
+    fn dot_export_renders_figure5_style() {
+        let (fig, mut dag) = example_dag();
+        dag.tune();
+        let dot = dag.to_dot(&fig.ontology);
+        assert!(dot.starts_with("digraph dradix"));
+        // Figure 5(g): node I carries (4, 0).
+        let i = fig.concept("I").0;
+        assert!(dot.contains(&format!("c{i} [label=\"I (4, 0)\"]")), "{dot}");
+        // The compressed edge from the root towards G carries label 1.1.1.
+        let a = fig.concept("A").0;
+        let g = fig.concept("G").0;
+        assert!(dot.contains(&format!("c{a} -> c{g} [label=\"1.1.1\"]")), "{dot}");
+    }
+
+    #[test]
+    fn node_and_edge_iterators_are_consistent_with_stats() {
+        let (_fig, dag) = example_dag();
+        let s = dag.stats();
+        assert_eq!(dag.nodes().count(), s.nodes);
+        assert_eq!(dag.edges().count(), s.edges);
+        // Every edge's endpoints are materialized nodes.
+        for (from, to, label, weight) in dag.edges() {
+            assert!(dag.contains(from) && dag.contains(to));
+            assert_eq!(label.len() as u32, weight, "unit weights equal label length");
+        }
+    }
+
+    #[test]
+    fn stress_radix_invariants_on_large_random_inputs() {
+        // Debug assertions inside add_edge/insert_suffix check the radix
+        // invariants (one edge per leading component, acyclicity, concept
+        // identity at full matches) on every operation; build many DAGs over
+        // a large multi-parent ontology to shake them.
+        use cbr_ontology::{GeneratorConfig, OntologyGenerator};
+        let ont = OntologyGenerator::new(GeneratorConfig::snomed_like(3_000)).generate();
+        let all: Vec<ConceptId> = ont.concepts().collect();
+        for trial in 0..20u64 {
+            let pick = |mul: u64, n: usize| -> Vec<ConceptId> {
+                let mut v: Vec<ConceptId> = (0..n)
+                    .map(|i| {
+                        let h = (trial + 1)
+                            .wrapping_mul(mul)
+                            .wrapping_add(i as u64 * 0x9E37_79B9)
+                            .wrapping_mul(0x2545_F491_4F6C_DD1D);
+                        all[(h % all.len() as u64) as usize]
+                    })
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let doc = pick(31, 40);
+            let query = pick(77, 15);
+            let mut dag = DRadixDag::build(&ont, &doc, &query);
+            dag.tune();
+            // Every member concept is materialized with distance 0 on its
+            // own side.
+            for &c in &doc {
+                assert_eq!(dag.doc_distance(c), Some(0));
+            }
+            for &c in &query {
+                assert_eq!(dag.query_distance(c), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_route_concepts_are_single_nodes() {
+        // R, U, V each have two Dewey addresses (Table 1) but must appear
+        // exactly once; their second route arrives through F's subtree.
+        let (_fig, dag) = example_dag();
+        let s = dag.stats();
+        assert_eq!(s.nodes, 11);
+        // Edge count: from Figure 5(g): A→G, A→I(no: I is under G)… count
+        // instead: every node except A has ≥1 parent; R, U?, V gain second
+        // parents through the F route. Assert the DAG is a DAG with more
+        // edges than a tree would have.
+        assert!(s.edges > s.nodes - 1, "DAG must contain multi-parent nodes");
+    }
+}

@@ -1,0 +1,294 @@
+//! The DRC algorithm: D-Radix construction + tuning + aggregation.
+
+use crate::dag::DRadixDag;
+use cbr_ontology::{ConceptId, Ontology};
+
+/// Computes document-query (Equation 2) and document-document
+/// (Equation 3) distances in `O((|Pd| + |Pq|) log(|Pd| + |Pq|))` via the
+/// D-Radix DAG.
+///
+/// One `Drc` is cheap to create and borrows the ontology; each distance
+/// call builds and tunes a fresh DAG (the paper's Algorithm 1 runs per
+/// document-query pair at query time — no precomputation is required,
+/// which is what lets new EMRs join the collection instantly, Section 1).
+#[derive(Debug, Clone, Copy)]
+pub struct Drc<'a> {
+    ontology: &'a Ontology,
+    weights: Option<&'a cbr_ontology::EdgeWeights>,
+}
+
+impl<'a> Drc<'a> {
+    /// Creates the algorithm over `ontology` (materializes the path table
+    /// on first use). Unit edge weights — the paper's metric.
+    pub fn new(ontology: &'a Ontology) -> Self {
+        Drc { ontology, weights: None }
+    }
+
+    /// Creates a weighted-edge variant (the Section 7 future-work
+    /// prototype): every distance below prices ontology edges by
+    /// `weights` instead of 1.
+    pub fn with_weights(ontology: &'a Ontology, weights: &'a cbr_ontology::EdgeWeights) -> Self {
+        Drc { ontology, weights: Some(weights) }
+    }
+
+    /// The ontology in use.
+    pub fn ontology(&self) -> &'a Ontology {
+        self.ontology
+    }
+
+    /// Builds and tunes the D-Radix DAG for `(doc, query)`. Exposed for
+    /// inspection and tests; the distance methods below wrap it.
+    pub fn build_dag(&self, doc: &[ConceptId], query: &[ConceptId]) -> DRadixDag {
+        let mut dag = match self.weights {
+            None => DRadixDag::build(self.ontology, doc, query),
+            Some(w) => DRadixDag::build_weighted(self.ontology, doc, query, w),
+        };
+        dag.tune();
+        dag
+    }
+
+    /// `Ddq(d, q) = Σᵢ Ddc(d, qᵢ)` (Equation 2) — the RDS distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` is empty; an empty *document* yields
+    /// [`crate::INFINITE`] (no concept can cover any query node).
+    pub fn document_query_distance(&self, doc: &[ConceptId], query: &[ConceptId]) -> u64 {
+        assert!(!query.is_empty(), "RDS distance requires a non-empty query");
+        if doc.is_empty() {
+            return crate::INFINITE;
+        }
+        let dag = self.build_dag(doc, query);
+        let mut sum = 0u64;
+        for &qi in query {
+            let d = dag
+                .doc_distance(qi)
+                .expect("query concepts are materialized in the DAG");
+            debug_assert_ne!(d, u32::MAX, "single-rooted ontology has finite distances");
+            sum += d as u64;
+        }
+        sum
+    }
+
+    /// `Ddq(d, q) / |q|` — the query-size-normalized form the paper uses
+    /// when merging scores across expanded queries (footnote 3).
+    pub fn document_query_distance_normalized(
+        &self,
+        doc: &[ConceptId],
+        query: &[ConceptId],
+    ) -> f64 {
+        let d = self.document_query_distance(doc, query);
+        if d == crate::INFINITE {
+            f64::INFINITY
+        } else {
+            d as f64 / query.len() as f64
+        }
+    }
+
+    /// `Ddd(d1, d2)` (Equation 3) — the symmetric SDS distance with equal
+    /// concept weights:
+    ///
+    /// ```text
+    /// Ddd = Σ_{c ∈ d1} Ddc(d2, c) / |C1|  +  Σ_{c ∈ d2} Ddc(d1, c) / |C2|
+    /// ```
+    ///
+    /// Returns `f64::INFINITY` if either document is empty.
+    pub fn document_document_distance(&self, d1: &[ConceptId], d2: &[ConceptId]) -> f64 {
+        self.document_document_distance_weighted(d1, d2, None)
+    }
+
+    /// Equation 3 generalized with per-concept weights (Melton et al.'s
+    /// original inter-patient measure; the paper fixes all weights to 1).
+    /// `weights[c.index()]` scales concept `c`'s contribution on both
+    /// sides; normalizers become weight sums.
+    pub fn document_document_distance_weighted(
+        &self,
+        d1: &[ConceptId],
+        d2: &[ConceptId],
+        weights: Option<&[f64]>,
+    ) -> f64 {
+        if d1.is_empty() || d2.is_empty() {
+            return f64::INFINITY;
+        }
+        // Build one DAG treating d1 as the "document" and d2 as the
+        // "query"; both directions read off the same tuned structure.
+        let dag = self.build_dag(d1, d2);
+        let w = |c: ConceptId| weights.map_or(1.0, |ws| ws[c.index()]);
+
+        let mut sum_d2 = 0.0; // Σ_{c ∈ d2} Ddc(d1, c) — distances from d1 side
+        let mut norm_d2 = 0.0;
+        for &c in d2 {
+            let d = dag.doc_distance(c).expect("d2 concepts are in the DAG");
+            sum_d2 += w(c) * d as f64;
+            norm_d2 += w(c);
+        }
+        let mut sum_d1 = 0.0; // Σ_{c ∈ d1} Ddc(d2, c) — distances from d2 side
+        let mut norm_d1 = 0.0;
+        for &c in d1 {
+            let d = dag.query_distance(c).expect("d1 concepts are in the DAG");
+            sum_d1 += w(c) * d as f64;
+            norm_d1 += w(c);
+        }
+        sum_d1 / norm_d1 + sum_d2 / norm_d2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_ontology::fixture;
+
+    #[test]
+    fn example1_rds_distance_is_seven() {
+        // Ddq(d, q) = Ddc(d,I) + Ddc(d,L) + Ddc(d,U) = 4 + 2 + 1 = 7.
+        let fig = fixture::figure3();
+        let drc = Drc::new(&fig.ontology);
+        let d = fig.example_document();
+        let q = fig.example_query();
+        assert_eq!(drc.document_query_distance(&d, &q), 7);
+        assert!((drc.document_query_distance_normalized(&d, &q) - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_sds_distance() {
+        // Treating q = {I, L, U} as a query document: the d-side distances
+        // are the query distances of F, R, T, V (2, 1, 4, 5) and the
+        // q-side distances are 4, 2, 1.
+        let fig = fixture::figure3();
+        let drc = Drc::new(&fig.ontology);
+        let d = fig.example_document();
+        let q = fig.example_query();
+        let expected = (2.0 + 1.0 + 4.0 + 5.0) / 4.0 + (4.0 + 2.0 + 1.0) / 3.0;
+        assert!((drc.document_document_distance(&d, &q) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sds_distance_is_symmetric() {
+        let fig = fixture::figure3();
+        let drc = Drc::new(&fig.ontology);
+        let d = fig.example_document();
+        let q = fig.example_query();
+        let ab = drc.document_document_distance(&d, &q);
+        let ba = drc.document_document_distance(&q, &d);
+        assert!((ab - ba).abs() < 1e-12, "Equation 3 is symmetric: {ab} vs {ba}");
+    }
+
+    #[test]
+    fn identical_documents_have_zero_distance() {
+        let fig = fixture::figure3();
+        let drc = Drc::new(&fig.ontology);
+        let d = fig.example_document();
+        assert_eq!(drc.document_document_distance(&d, &d), 0.0);
+        assert_eq!(drc.document_query_distance(&d, &d), 0);
+    }
+
+    #[test]
+    fn empty_document_is_infinitely_far() {
+        let fig = fixture::figure3();
+        let drc = Drc::new(&fig.ontology);
+        let q = fig.example_query();
+        assert_eq!(drc.document_query_distance(&[], &q), crate::INFINITE);
+        assert_eq!(drc.document_document_distance(&[], &q), f64::INFINITY);
+        assert_eq!(drc.document_document_distance(&q, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty query")]
+    fn empty_query_panics() {
+        let fig = fixture::figure3();
+        Drc::new(&fig.ontology).document_query_distance(&fig.example_document(), &[]);
+    }
+
+    #[test]
+    fn weighted_distance_reduces_to_unweighted_with_unit_weights() {
+        let fig = fixture::figure3();
+        let drc = Drc::new(&fig.ontology);
+        let d = fig.example_document();
+        let q = fig.example_query();
+        let unit = vec![1.0; fig.ontology.len()];
+        let a = drc.document_document_distance(&d, &q);
+        let b = drc.document_document_distance_weighted(&d, &q, Some(&unit));
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_edges_match_weighted_brute_force_on_figure3() {
+        use cbr_ontology::weighted;
+        let fig = fixture::figure3();
+        let ont = &fig.ontology;
+        let root = ont.root();
+        let g = fig.concept("G");
+        // Non-uniform weights: root edges cost 3, G's edges cost 2.
+        let w = cbr_ontology::EdgeWeights::from_fn(ont, |p, _| {
+            if p == root {
+                3
+            } else if p == g {
+                2
+            } else {
+                1
+            }
+        });
+        let drc = Drc::with_weights(ont, &w);
+        let d = fig.example_document();
+        let q = fig.example_query();
+        assert_eq!(
+            drc.document_query_distance(&d, &q),
+            weighted::document_query_distance(ont, &w, &d, &q)
+        );
+        let x = drc.document_document_distance(&d, &q);
+        let y = weighted::document_document_distance(ont, &w, &d, &q);
+        assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+    }
+
+    #[test]
+    fn weighted_edges_match_weighted_brute_force_on_random_dags() {
+        use cbr_ontology::weighted;
+        use cbr_ontology::{GeneratorConfig, OntologyGenerator};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..3u64 {
+            let ont = OntologyGenerator::new(
+                GeneratorConfig::small(120).with_seed(3_000 + seed),
+            )
+            .generate();
+            // Pseudo-random weights in 1..=4 keyed on the parent id.
+            let w = cbr_ontology::EdgeWeights::from_fn(&ont, |p, c| {
+                1 + ((p.0.wrapping_mul(31).wrapping_add(c.0)) % 4)
+            });
+            let drc = Drc::with_weights(&ont, &w);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let all: Vec<ConceptId> = ont.concepts().collect();
+            for _ in 0..8 {
+                let pick = |rng: &mut StdRng, n: usize| -> Vec<ConceptId> {
+                    let mut v: Vec<ConceptId> =
+                        (0..n).map(|_| all[rng.random_range(0..all.len())]).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                let d = pick(&mut rng, 7);
+                let q = pick(&mut rng, 4);
+                assert_eq!(
+                    drc.document_query_distance(&d, &q),
+                    weighted::document_query_distance(&ont, &w, &d, &q),
+                    "seed {seed}: weighted Ddq mismatch d={d:?} q={q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_distance_emphasizes_heavy_concepts() {
+        let fig = fixture::figure3();
+        let drc = Drc::new(&fig.ontology);
+        let d = fig.example_document();
+        let q = fig.example_query();
+        // Up-weighting I (the farthest query concept, Ddc = 4) must
+        // increase the distance relative to equal weights.
+        let mut w = vec![1.0; fig.ontology.len()];
+        w[fig.concept("I").index()] = 10.0;
+        let heavy = drc.document_document_distance_weighted(&d, &q, Some(&w));
+        let plain = drc.document_document_distance(&d, &q);
+        assert!(heavy > plain, "{heavy} should exceed {plain}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Ranking-effectiveness metrics.
+//!
+//! The paper defers effectiveness to prior user studies ("previous works
+//! [17, 21] have studied the effectiveness of the distance metrics that we
+//! have used, hence our experiments will focus on efficiency"). This crate
+//! provides the standard IR metrics so the reproduction can still *measure*
+//! effectiveness on synthetic ground truth — the corpus generator's cohort
+//! labels act as relevance judgments (documents generated from the same
+//! cluster centers are "relevant" to each other), which lets the
+//! `repro effectiveness` report compare ranking families (shortest-path vs
+//! information-content vs expanded retrieval).
+//!
+//! All functions take the ranked list as document ids (best first) and the
+//! relevant set; they are total (empty inputs give 0) and pure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+
+pub use stats::{welch_t_test, TTest};
+
+use cbr_corpus::DocId;
+use std::collections::HashSet;
+
+/// Fraction of the top-k that is relevant. `k` is clamped to the ranking
+/// length; an empty ranking or `k = 0` scores 0.
+pub fn precision_at_k(ranking: &[DocId], relevant: &HashSet<DocId>, k: usize) -> f64 {
+    let k = k.min(ranking.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranking[..k].iter().filter(|d| relevant.contains(d)).count();
+    hits as f64 / k as f64
+}
+
+/// Fraction of the relevant set found in the top-k.
+pub fn recall_at_k(ranking: &[DocId], relevant: &HashSet<DocId>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(ranking.len());
+    let hits = ranking[..k].iter().filter(|d| relevant.contains(d)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Average precision: the mean of `precision@i` over the ranks `i` holding
+/// a relevant document, normalized by `|relevant|`. 1.0 iff every relevant
+/// document precedes every irrelevant one.
+pub fn average_precision(ranking: &[DocId], relevant: &HashSet<DocId>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, d) in ranking.iter().enumerate() {
+        if relevant.contains(d) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Binary-gain nDCG@k: DCG with gain 1 at relevant ranks, divided by the
+/// ideal DCG (all relevant documents first).
+pub fn ndcg_at_k(ranking: &[DocId], relevant: &HashSet<DocId>, k: usize) -> f64 {
+    let k = k.min(ranking.len());
+    if k == 0 || relevant.is_empty() {
+        return 0.0;
+    }
+    let discount = |rank: usize| 1.0 / ((rank + 2) as f64).log2();
+    let dcg: f64 = ranking[..k]
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| relevant.contains(*d))
+        .map(|(i, _)| discount(i))
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(k)).map(discount).sum();
+    if ideal == 0.0 {
+        0.0
+    } else {
+        dcg / ideal
+    }
+}
+
+/// Reciprocal rank of the first relevant document (`1/rank`), 0 when no
+/// relevant document appears. Averaged over queries this is MRR.
+pub fn reciprocal_rank(ranking: &[DocId], relevant: &HashSet<DocId>) -> f64 {
+    ranking
+        .iter()
+        .position(|d| relevant.contains(d))
+        .map(|i| 1.0 / (i + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// Whether any relevant document appears in the top-k (success@k).
+pub fn success_at_k(ranking: &[DocId], relevant: &HashSet<DocId>, k: usize) -> bool {
+    ranking[..k.min(ranking.len())].iter().any(|d| relevant.contains(d))
+}
+
+/// Kendall rank-correlation tau-a between two rankings of the same item
+/// set, in `[-1, 1]`. Items missing from either ranking are ignored; fewer
+/// than two shared items give 0.
+pub fn kendall_tau(a: &[DocId], b: &[DocId]) -> f64 {
+    let pos_b: std::collections::HashMap<DocId, usize> =
+        b.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+    let shared: Vec<usize> = a.iter().filter_map(|d| pos_b.get(d).copied()).collect();
+    let n = shared.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            if shared[i] < shared[j] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// Convenience aggregate over a workload of `(ranking, relevant)` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Effectiveness {
+    /// Mean precision@k.
+    pub precision: f64,
+    /// Mean recall@k.
+    pub recall: f64,
+    /// Mean average precision (MAP).
+    pub map: f64,
+    /// Mean nDCG@k.
+    pub ndcg: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Fraction of queries with any relevant document in the top-k.
+    pub success: f64,
+}
+
+/// Averages the four metrics over a workload at cutoff `k`.
+pub fn evaluate(
+    runs: &[(Vec<DocId>, HashSet<DocId>)],
+    k: usize,
+) -> Effectiveness {
+    if runs.is_empty() {
+        return Effectiveness::default();
+    }
+    let n = runs.len() as f64;
+    let mut out = Effectiveness::default();
+    for (ranking, relevant) in runs {
+        out.precision += precision_at_k(ranking, relevant, k);
+        out.recall += recall_at_k(ranking, relevant, k);
+        out.map += average_precision(ranking, relevant);
+        out.ndcg += ndcg_at_k(ranking, relevant, k);
+        out.mrr += reciprocal_rank(ranking, relevant);
+        out.success += success_at_k(ranking, relevant, k) as u8 as f64;
+    }
+    out.precision /= n;
+    out.recall /= n;
+    out.map /= n;
+    out.ndcg /= n;
+    out.mrr /= n;
+    out.success /= n;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(v: u32) -> DocId {
+        DocId(v)
+    }
+
+    fn rel(ids: &[u32]) -> HashSet<DocId> {
+        ids.iter().map(|&v| DocId(v)).collect()
+    }
+
+    #[test]
+    fn precision_and_recall_basics() {
+        let ranking = vec![d(1), d(2), d(3), d(4)];
+        let relevant = rel(&[1, 3, 9]);
+        assert_eq!(precision_at_k(&ranking, &relevant, 2), 0.5);
+        assert_eq!(precision_at_k(&ranking, &relevant, 4), 0.5);
+        assert!((recall_at_k(&ranking, &relevant, 4) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&[], &relevant, 5), 0.0);
+        assert_eq!(recall_at_k(&ranking, &rel(&[]), 5), 0.0);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranking = vec![d(1), d(2), d(3)];
+        let relevant = rel(&[1, 2, 3]);
+        assert_eq!(precision_at_k(&ranking, &relevant, 3), 1.0);
+        assert_eq!(average_precision(&ranking, &relevant), 1.0);
+        assert!((ndcg_at_k(&ranking, &relevant, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_penalizes_late_hits() {
+        let relevant = rel(&[1]);
+        let early = average_precision(&[d(1), d(2), d(3)], &relevant);
+        let late = average_precision(&[d(2), d(3), d(1)], &relevant);
+        assert_eq!(early, 1.0);
+        assert!((late - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_orders_by_position() {
+        let relevant = rel(&[7]);
+        let first = ndcg_at_k(&[d(7), d(1), d(2)], &relevant, 3);
+        let third = ndcg_at_k(&[d(1), d(2), d(7)], &relevant, 3);
+        assert_eq!(first, 1.0);
+        assert!(third < first && third > 0.0);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let a = vec![d(1), d(2), d(3), d(4)];
+        let rev: Vec<DocId> = a.iter().rev().copied().collect();
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        assert_eq!(kendall_tau(&a, &rev), -1.0);
+        // One swap out of six pairs: (6-2·1)/6.
+        let swapped = vec![d(2), d(1), d(3), d(4)];
+        assert!((kendall_tau(&a, &swapped) - (4.0 / 6.0)).abs() < 1e-12);
+        assert_eq!(kendall_tau(&a, &[d(9)]), 0.0);
+    }
+
+    #[test]
+    fn kendall_ignores_non_shared_items() {
+        let a = vec![d(1), d(5), d(2)];
+        let b = vec![d(1), d(2), d(9)];
+        assert_eq!(kendall_tau(&a, &b), 1.0, "only 1 and 2 are shared, in order");
+    }
+
+    #[test]
+    fn mrr_and_success() {
+        let relevant = rel(&[5]);
+        assert_eq!(reciprocal_rank(&[d(5), d(1)], &relevant), 1.0);
+        assert_eq!(reciprocal_rank(&[d(1), d(5)], &relevant), 0.5);
+        assert_eq!(reciprocal_rank(&[d(1), d(2)], &relevant), 0.0);
+        assert!(success_at_k(&[d(1), d(5)], &relevant, 2));
+        assert!(!success_at_k(&[d(1), d(5)], &relevant, 1));
+    }
+
+    #[test]
+    fn evaluate_averages() {
+        let runs = vec![
+            (vec![d(1), d(2)], rel(&[1])),
+            (vec![d(3), d(4)], rel(&[4])),
+        ];
+        let e = evaluate(&runs, 1);
+        assert_eq!(e.precision, 0.5);
+        assert_eq!(e.recall, 0.5);
+        assert!(e.map > 0.0 && e.ndcg > 0.0);
+        assert_eq!(e.success, 0.5);
+        assert!((e.mrr - 0.75).abs() < 1e-12);
+        assert_eq!(evaluate(&[], 5), Effectiveness::default());
+    }
+}

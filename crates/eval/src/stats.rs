@@ -1,0 +1,211 @@
+//! Significance testing for timing comparisons.
+//!
+//! Section 6.1: "In order to examine the statistical significance of our
+//! results, we ran a two-tailed t-test for the times reported in Figure 9
+//! with two sample variances and found out that the execution times
+//! measured are statistically significant with p-value < 0.001." This
+//! module provides the same instrument — Welch's unequal-variance t-test —
+//! so the harness can print the paper's claim from live measurements.
+
+/// Sample mean and unbiased variance. Returns `(mean, var, n)`.
+pub fn mean_var(samples: &[f64]) -> (f64, f64, usize) {
+    let n = samples.len();
+    if n == 0 {
+        return (0.0, 0.0, 0);
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return (mean, 0.0, n);
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    (mean, var, n)
+}
+
+/// Result of a two-sample Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic (sign follows `a − b`).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p: f64,
+}
+
+/// Welch's unequal-variance two-sample t-test ("two sample variances" in
+/// the paper's words). Returns `None` when either sample has fewer than
+/// two points or both variances are zero.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    let (ma, va, na) = mean_var(a);
+    let (mb, vb, nb) = mean_var(b);
+    if na < 2 || nb < 2 {
+        return None;
+    }
+    let sa = va / na as f64;
+    let sb = vb / nb as f64;
+    if sa + sb == 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / (sa + sb).sqrt();
+    let df = (sa + sb).powi(2)
+        / (sa.powi(2) / (na as f64 - 1.0) + sb.powi(2) / (nb as f64 - 1.0));
+    let p = two_tailed_p(t, df);
+    Some(TTest { t, df, p })
+}
+
+/// Two-tailed p-value for a t statistic with `df` degrees of freedom:
+/// `p = I_{df/(df+t²)}(df/2, 1/2)` (regularized incomplete beta).
+pub fn two_tailed_p(t: f64, df: f64) -> f64 {
+    if !t.is_finite() || df <= 0.0 {
+        return f64::NAN;
+    }
+    let x = df / (df + t * t);
+    reg_inc_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz
+/// continued fraction (Numerical Recipes §6.4).
+fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)` (g = 7, n = 9), accurate to ~1e-13
+/// for positive arguments.
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_312e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-12); // Γ(1) = 1
+        assert!((ln_gamma(2.0)).abs() < 1e-12); // Γ(2) = 1
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10); // Γ(5) = 24
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn p_values_match_tables() {
+        // Standard t tables: t = 2.228, df = 10 → p = 0.05.
+        assert!((two_tailed_p(2.228, 10.0) - 0.05).abs() < 1e-3);
+        // t = 4.587, df = 10 → p = 0.001.
+        assert!((two_tailed_p(4.587, 10.0) - 0.001).abs() < 2e-4);
+        // t = 0 → p = 1.
+        assert!((two_tailed_p(0.0, 10.0) - 1.0).abs() < 1e-12);
+        // Large df approaches the normal distribution: t = 1.96 → p ≈ 0.05.
+        assert!((two_tailed_p(1.96, 10_000.0) - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn welch_distinguishes_separated_samples() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0];
+        let b = [5.0, 5.2, 4.8, 5.1, 4.9, 5.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.t < 0.0, "a is smaller");
+        assert!(r.p < 0.001, "clear separation: p = {}", r.p);
+    }
+
+    #[test]
+    fn welch_accepts_identical_distributions() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.1, 2.1, 2.9, 4.1, 4.8];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.p > 0.5, "no real difference: p = {}", r.p);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+        let (m, v, n) = mean_var(&[]);
+        assert_eq!((m, v, n), (0.0, 0.0, 0));
+    }
+}

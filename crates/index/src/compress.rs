@@ -1,0 +1,231 @@
+//! Delta + varint compressed posting lists.
+//!
+//! The paper's baseline analysis (Section 4.1) turns on index size: the
+//! precomputed-distance design needs `O(|D||C|)` space, which is exactly
+//! why kNDS avoids precomputation. This module makes the space axis
+//! measurable for *our* indexes too: posting lists store document-id
+//! deltas in LEB128 varints (sorted postings make deltas small), and
+//! [`CompressedSource`] serves queries straight from the compressed form
+//! so the benches can weigh bytes against decode time.
+
+use crate::source::IndexSource;
+use crate::{ForwardIndex, InvertedIndex};
+use cbr_corpus::DocId;
+use cbr_ontology::ConceptId;
+
+/// Appends `value` as a LEB128 varint.
+#[inline]
+fn put_varint(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint; returns `(value, bytes_consumed)`.
+#[inline]
+fn get_varint(bytes: &[u8]) -> (u32, usize) {
+    let mut value = 0u32;
+    let mut shift = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        value |= ((b & 0x7F) as u32) << shift;
+        if b & 0x80 == 0 {
+            return (value, i + 1);
+        }
+        shift += 7;
+        debug_assert!(shift < 35, "varint too long");
+    }
+    panic!("truncated varint in compressed postings");
+}
+
+/// An inverted index with delta-varint-compressed posting lists.
+#[derive(Debug, Clone)]
+pub struct CompressedPostings {
+    /// Byte offsets per concept into `data` (length `num_concepts + 1`).
+    offsets: Vec<u32>,
+    data: Vec<u8>,
+    num_docs: u32,
+}
+
+impl CompressedPostings {
+    /// Compresses an [`InvertedIndex`].
+    pub fn build(index: &InvertedIndex) -> CompressedPostings {
+        let mut offsets = Vec::with_capacity(index.num_concepts() + 1);
+        let mut data = Vec::new();
+        offsets.push(0u32);
+        for c in 0..index.num_concepts() {
+            let mut prev = 0u32;
+            for &d in index.postings(ConceptId(c as u32)) {
+                // First delta is the raw id; postings are sorted and unique,
+                // so later deltas are ≥ 1.
+                put_varint(&mut data, d.0 - prev);
+                prev = d.0;
+            }
+            offsets.push(data.len() as u32);
+        }
+        CompressedPostings { offsets, data, num_docs: index.num_docs() as u32 }
+    }
+
+    /// Decodes concept `c`'s postings, appending to `out`.
+    pub fn decode(&self, c: ConceptId, out: &mut Vec<DocId>) {
+        let i = c.index();
+        if i + 1 >= self.offsets.len() {
+            return;
+        }
+        let mut slice = &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize];
+        let mut prev = 0u32;
+        let mut first = true;
+        while !slice.is_empty() {
+            let (delta, used) = get_varint(slice);
+            slice = &slice[used..];
+            prev = if first { delta } else { prev + delta };
+            first = false;
+            out.push(DocId(prev));
+        }
+    }
+
+    /// Compressed payload size in bytes (excluding the offset table).
+    pub fn data_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total size in bytes including the offset table.
+    pub fn total_bytes(&self) -> usize {
+        self.data.len() + self.offsets.len() * 4
+    }
+
+    /// Number of concepts covered.
+    pub fn num_concepts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of documents in the indexed corpus.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs as usize
+    }
+}
+
+/// An [`IndexSource`] serving postings from the compressed form (forward
+/// lookups stay uncompressed — DRC needs them rarely and whole).
+#[derive(Debug)]
+pub struct CompressedSource {
+    postings: CompressedPostings,
+    forward: ForwardIndex,
+}
+
+impl CompressedSource {
+    /// Builds from prebuilt indexes.
+    pub fn new(inverted: &InvertedIndex, forward: ForwardIndex) -> CompressedSource {
+        assert_eq!(inverted.num_docs(), forward.num_docs(), "index corpus mismatch");
+        CompressedSource { postings: CompressedPostings::build(inverted), forward }
+    }
+
+    /// The compressed postings.
+    pub fn postings(&self) -> &CompressedPostings {
+        &self.postings
+    }
+}
+
+impl IndexSource for CompressedSource {
+    fn postings(&self, c: ConceptId, out: &mut Vec<DocId>) {
+        self.postings.decode(c, out);
+    }
+
+    fn doc_concepts(&self, d: DocId, out: &mut Vec<ConceptId>) {
+        out.extend_from_slice(self.forward.concepts(d));
+    }
+
+    fn doc_len(&self, d: DocId) -> usize {
+        self.forward.num_concepts(d)
+    }
+
+    fn num_docs(&self) -> usize {
+        self.forward.num_docs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_corpus::Corpus;
+
+    fn c(v: u32) -> ConceptId {
+        ConceptId(v)
+    }
+
+    fn corpus() -> Corpus {
+        Corpus::from_concept_sets(vec![
+            (vec![c(1), c(3)], 0),
+            (vec![c(3)], 0),
+            (vec![c(1), c(2), c(3)], 0),
+            (vec![c(3)], 0),
+        ])
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let (back, used) = get_varint(&buf);
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn decode_matches_raw_postings() {
+        let corpus = corpus();
+        let raw = InvertedIndex::build(&corpus, 5);
+        let comp = CompressedPostings::build(&raw);
+        for i in 0..5u32 {
+            let mut out = Vec::new();
+            comp.decode(c(i), &mut out);
+            assert_eq!(out.as_slice(), raw.postings(c(i)), "concept {i}");
+        }
+        // Out of range: nothing decoded.
+        let mut out = Vec::new();
+        comp.decode(c(99), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dense_postings_compress_below_raw_size() {
+        // 1000 docs all containing concept 0 -> deltas of 1 -> 1 byte each
+        // vs 4 bytes raw.
+        let sets: Vec<(Vec<ConceptId>, u32)> = (0..1000).map(|_| (vec![c(0)], 0)).collect();
+        let corpus = Corpus::from_concept_sets(sets);
+        let raw = InvertedIndex::build(&corpus, 1);
+        let comp = CompressedPostings::build(&raw);
+        // First id (0) is one byte, then 999 one-byte deltas.
+        assert_eq!(comp.data_bytes(), 1000);
+        assert!(comp.data_bytes() < raw.total_postings() * 4);
+    }
+
+    #[test]
+    fn compressed_source_answers_like_memory_source() {
+        use crate::MemorySource;
+        let corpus = corpus();
+        let mem = MemorySource::build(&corpus, 5);
+        let comp = CompressedSource::new(mem.inverted(), ForwardIndex::build(&corpus));
+        assert_eq!(comp.num_docs(), mem.num_docs());
+        for i in 0..5u32 {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            mem.postings(c(i), &mut a);
+            IndexSource::postings(&comp, c(i), &mut b);
+            assert_eq!(a, b);
+        }
+        for d in corpus.doc_ids() {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            mem.doc_concepts(d, &mut a);
+            comp.doc_concepts(d, &mut b);
+            assert_eq!(a, b);
+            assert_eq!(comp.doc_len(d), mem.doc_len(d));
+        }
+    }
+}

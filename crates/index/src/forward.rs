@@ -1,0 +1,94 @@
+//! Forward index: document → its concept set.
+
+use cbr_corpus::{Corpus, DocId};
+use cbr_ontology::ConceptId;
+use serde::{Deserialize, Serialize};
+
+/// CSR-layout forward index over a corpus.
+///
+/// kNDS consults this when a document needs its full concept set: DRC
+/// probes (Algorithm 2 line 19) and the `|C|` normalizers of the SDS
+/// distance (Equation 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForwardIndex {
+    offsets: Vec<u32>,
+    concepts: Vec<ConceptId>,
+}
+
+impl ForwardIndex {
+    /// Builds the index for `corpus`.
+    pub fn build(corpus: &Corpus) -> ForwardIndex {
+        let mut offsets = Vec::with_capacity(corpus.len() + 1);
+        let mut concepts = Vec::new();
+        offsets.push(0u32);
+        for d in corpus.documents() {
+            concepts.extend_from_slice(d.concepts());
+            offsets.push(concepts.len() as u32);
+        }
+        ForwardIndex { offsets, concepts }
+    }
+
+    /// The sorted concept set of document `d`.
+    #[inline]
+    pub fn concepts(&self, d: DocId) -> &[ConceptId] {
+        let i = d.index();
+        &self.concepts[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of distinct concepts of `d` (`|C|` of Equation 3).
+    #[inline]
+    pub fn num_concepts(&self, d: DocId) -> usize {
+        self.concepts(d).len()
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Raw CSR parts (offsets, concepts) — used by the file image writer.
+    pub(crate) fn parts(&self) -> (&[u32], &[ConceptId]) {
+        (&self.offsets, &self.concepts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_documents_to_concepts() {
+        let corpus = Corpus::from_concept_sets(vec![
+            (vec![ConceptId(3), ConceptId(1)], 0),
+            (vec![], 0),
+            (vec![ConceptId(2)], 0),
+        ]);
+        let idx = ForwardIndex::build(&corpus);
+        assert_eq!(idx.concepts(DocId(0)), &[ConceptId(1), ConceptId(3)]);
+        assert_eq!(idx.concepts(DocId(1)), &[] as &[ConceptId]);
+        assert_eq!(idx.concepts(DocId(2)), &[ConceptId(2)]);
+        assert_eq!(idx.num_concepts(DocId(0)), 2);
+        assert_eq!(idx.num_docs(), 3);
+    }
+
+    #[test]
+    fn agrees_with_corpus() {
+        let corpus = Corpus::from_concept_sets(vec![
+            (vec![ConceptId(5), ConceptId(2), ConceptId(5)], 0),
+            (vec![ConceptId(9)], 0),
+        ]);
+        let idx = ForwardIndex::build(&corpus);
+        for d in corpus.documents() {
+            assert_eq!(idx.concepts(d.id()), d.concepts());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let corpus = Corpus::from_concept_sets(vec![(vec![ConceptId(1)], 0)]);
+        let idx = ForwardIndex::build(&corpus);
+        let bytes = cbr_ontology::ser::to_tokens(&idx).unwrap();
+        let back: ForwardIndex = cbr_ontology::ser::from_tokens(&bytes).unwrap();
+        assert_eq!(back.concepts(DocId(0)), idx.concepts(DocId(0)));
+    }
+}

@@ -1,0 +1,34 @@
+//! Concept indexes for document ranking.
+//!
+//! Section 5.3 of the paper assumes "an index that allows us to traverse
+//! the ontology efficiently (this would typically fit in memory) as well as
+//! an inverted and a forward index that map concepts to documents and
+//! vice-versa (memory or disk-based)". The prototype loads the latter two
+//! from MySQL and reports I/O time separately. This crate supplies both
+//! access paths:
+//!
+//! * [`InvertedIndex`] — concept → documents, CSR layout;
+//! * [`ForwardIndex`] — document → concepts, CSR layout;
+//! * [`IndexSource`] — the access trait the ranking algorithms program
+//!   against, with [`MemorySource`] (both indexes resident) and
+//!   [`FileSource`] (per-access `pread` against an on-disk image, the
+//!   MySQL stand-in whose access time the harness reports as I/O time);
+//! * [`SnapshotStore`] — typed binary snapshots of any serde value using
+//!   the workspace codec ([`cbr_ontology::ser`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod file;
+pub mod forward;
+pub mod inverted;
+pub mod snapshot;
+pub mod source;
+
+pub use compress::{CompressedPostings, CompressedSource};
+pub use file::FileSource;
+pub use forward::ForwardIndex;
+pub use inverted::InvertedIndex;
+pub use snapshot::SnapshotStore;
+pub use source::{IndexSource, MemorySource};

@@ -1,0 +1,142 @@
+//! Typed binary snapshots of serde values.
+//!
+//! The reproduction pipeline builds its artifacts (ontology, corpus,
+//! indexes) deterministically but not instantly; [`SnapshotStore`] lets the
+//! harness persist and reload them between runs, playing the role of the
+//! paper's MySQL-loaded index tables. Values are encoded with the
+//! workspace's binary codec ([`cbr_ontology::ser`]) and framed with a magic
+//! header so a wrong-type load fails loudly instead of misdecoding.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"CBRSNAP1";
+
+/// A directory of named binary snapshots.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.snap"))
+    }
+
+    /// Whether a snapshot named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.path(name).is_file()
+    }
+
+    /// Serializes `value` under `name`, replacing any previous snapshot.
+    pub fn save<T: Serialize>(&self, name: &str, value: &T) -> io::Result<()> {
+        let body = cbr_ontology::ser::to_tokens(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&(body.len() as u64).to_le_bytes())?;
+            f.write_all(&body)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path(name))
+    }
+
+    /// Loads and decodes the snapshot `name` as a `T`.
+    pub fn load<T: DeserializeOwned>(&self, name: &str) -> io::Result<T> {
+        let raw = fs::read(self.path(name))?;
+        if raw.len() < 16 || &raw[..8] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot header"));
+        }
+        let len = u64::from_le_bytes(raw[8..16].try_into().unwrap()) as usize;
+        let body = raw
+            .get(16..16 + len)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "snapshot truncated"))?;
+        cbr_ontology::ser::from_tokens(body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Names of all snapshots in the store.
+    pub fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(name) = entry
+                .file_name()
+                .to_str()
+                .and_then(|n| n.strip_suffix(".snap"))
+            {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_corpus::Corpus;
+    use cbr_ontology::ConceptId;
+
+    fn store(tag: &str) -> SnapshotStore {
+        let dir = std::env::temp_dir().join(format!("cbr-snap-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = store("rt");
+        let corpus = Corpus::from_concept_sets(vec![(vec![ConceptId(7)], 3)]);
+        s.save("corpus", &corpus).unwrap();
+        assert!(s.contains("corpus"));
+        let back: Corpus = s.load("corpus").unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.get(cbr_corpus::DocId(0)).concepts(), &[ConceptId(7)]);
+        fs::remove_dir_all(s.dir()).unwrap();
+    }
+
+    #[test]
+    fn list_names_snapshots() {
+        let s = store("list");
+        s.save("b", &1u32).unwrap();
+        s.save("a", &2u32).unwrap();
+        assert_eq!(s.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        fs::remove_dir_all(s.dir()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_fails_loudly() {
+        let s = store("corrupt");
+        fs::write(s.dir().join("x.snap"), b"garbage").unwrap();
+        let err = s.load::<u32>("x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(s.dir()).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_not_found() {
+        let s = store("missing");
+        assert!(!s.contains("nope"));
+        assert!(s.load::<u32>("nope").is_err());
+        fs::remove_dir_all(s.dir()).unwrap();
+    }
+}

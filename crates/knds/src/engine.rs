@@ -1,0 +1,763 @@
+//! The kNDS engine (Algorithm 2) for RDS and SDS queries.
+//!
+//! One search proceeds in breadth-first **levels**. Level `l` processes
+//! every valid-path BFS state at distance `l` from some query concept:
+//!
+//! 1. **coverage** — for each state `(origin, node)` reached for the first
+//!    time, the posting list of `node` updates every containing document's
+//!    partial distance (`Md` of Equation 5; for SDS also the reverse map
+//!    `M'd` of Equation 7 on the node's global first touch);
+//! 2. **expansion** — ascending states push parents (still ascending) and
+//!    children (now descending); descending states push only children, so
+//!    every traversed path is ∧-shaped (the valid-path rule of
+//!    Section 3.1);
+//! 3. **examination** — candidates are sorted by lower bound
+//!    (Equations 6/8) and examined while the error estimate
+//!    `εd = 1 − Dpartial/D⁻` stays at or below `εθ` (Equation 9): complete
+//!    candidates finalize from their partial sums (Section 5.3,
+//!    optimization 3), incomplete ones get a DRC probe;
+//! 4. **termination** — once the top-k heap is full and the smallest lower
+//!    bound among unexamined *and unseen* documents reaches the k-th
+//!    distance `D⁺ₖ`, the remaining collection is provably outside the
+//!    top-k.
+//!
+//! Exactness does not depend on `εθ` or the queue watermark: both only
+//! steer when exact distances are computed.
+
+use crate::config::KndsConfig;
+use crate::metrics::QueryMetrics;
+use crate::util::TopK;
+use cbr_corpus::DocId;
+use cbr_dradix::Drc;
+use cbr_index::IndexSource;
+use cbr_ontology::{ConceptId, FxHashMap, FxHashSet, Ontology};
+use std::time::Instant;
+
+/// One ranked result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedDoc {
+    /// The document.
+    pub doc: DocId,
+    /// Its exact distance from the query (`Ddq` for RDS — an integer value
+    /// widened to `f64` — or the normalized `Ddd` for SDS).
+    pub distance: f64,
+}
+
+/// Results plus instrumentation for one query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The top-k documents, ascending by distance (ties by id).
+    pub results: Vec<RankedDoc>,
+    /// Work and timing counters.
+    pub metrics: QueryMetrics,
+}
+
+/// The kNDS query engine over an ontology and an [`IndexSource`].
+#[derive(Debug)]
+pub struct Knds<'a, S: IndexSource> {
+    ontology: &'a Ontology,
+    source: &'a S,
+    config: KndsConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Rds,
+    Sds,
+}
+
+#[derive(Debug)]
+pub(crate) struct Candidate {
+    /// One bit per query concept: covered by the forward expansion.
+    covered_bits: Box<[u64]>,
+    pub(crate) covered: u32,
+    /// Σ of first-touch levels over covered query concepts.
+    pub(crate) partial: u64,
+    /// SDS only: concepts of this document touched by any expansion.
+    pub(crate) rev_covered: u32,
+    /// SDS only: Σ of first-touch levels over covered document concepts.
+    pub(crate) rev_sum: u64,
+    /// `|d|` (number of concepts), needed by the SDS normalizers.
+    pub(crate) doc_len: u32,
+    pub(crate) examined: bool,
+}
+
+impl Candidate {
+    pub(crate) fn new(nq: usize, doc_len: u32) -> Candidate {
+        Candidate {
+            covered_bits: vec![0u64; nq.div_ceil(64)].into_boxed_slice(),
+            covered: 0,
+            partial: 0,
+            rev_covered: 0,
+            rev_sum: 0,
+            doc_len,
+            examined: false,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cover(&mut self, origin: u32, level: u32) -> bool {
+        let (word, bit) = ((origin / 64) as usize, origin % 64);
+        if self.covered_bits[word] & (1 << bit) != 0 {
+            return false;
+        }
+        self.covered_bits[word] |= 1 << bit;
+        self.covered += 1;
+        self.partial += level as u64;
+        true
+    }
+}
+
+impl<'a, S: IndexSource> Knds<'a, S> {
+    /// Creates an engine over `ontology` and `source`.
+    pub fn new(ontology: &'a Ontology, source: &'a S, config: KndsConfig) -> Self {
+        Knds { ontology, source, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KndsConfig {
+        &self.config
+    }
+
+    /// Evaluates an RDS query (Definition 1): the `k` documents minimizing
+    /// `Ddq(d, q)` (Equation 2). `query` is treated as a set.
+    ///
+    /// ```
+    /// use cbr_corpus::Corpus;
+    /// use cbr_index::MemorySource;
+    /// use cbr_knds::{Knds, KndsConfig};
+    /// use cbr_ontology::fixture;
+    ///
+    /// let fig = fixture::figure3();
+    /// let corpus = Corpus::from_concept_sets(vec![
+    ///     (fig.example_document(), 0),
+    ///     (fig.example_query(), 0),
+    /// ]);
+    /// let source = MemorySource::build(&corpus, fig.ontology.len());
+    /// let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+    ///
+    /// let top = knds.rds(&fig.example_query(), 2);
+    /// assert_eq!(top.results[0].distance, 0.0); // doc 1 is the query itself
+    /// assert_eq!(top.results[1].distance, 7.0); // the paper's Example 1
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` is empty or `k` is zero.
+    pub fn rds(&self, query: &[ConceptId], k: usize) -> QueryResult {
+        self.run(Kind::Rds, query, k)
+    }
+
+    /// Evaluates an SDS query (Definition 2): the `k` documents minimizing
+    /// the symmetric `Ddd(d, dq)` (Equation 3), where `query_doc` is the
+    /// query document's concept set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query_doc` is empty or `k` is zero.
+    pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> QueryResult {
+        self.run(Kind::Sds, query_doc, k)
+    }
+
+    /// RDS with progressive emission (Section 5.3, optimization 4):
+    /// `on_final` fires for each document the moment it is *provably* in
+    /// the top-k — its exact distance is strictly below every unexamined
+    /// and unseen document's lower bound — and the emission order is
+    /// non-decreasing in distance. Every result is emitted exactly once;
+    /// the returned [`QueryResult`] is identical to [`Knds::rds`].
+    pub fn rds_streaming(
+        &self,
+        query: &[ConceptId],
+        k: usize,
+        on_final: impl FnMut(RankedDoc),
+    ) -> QueryResult {
+        self.run_hooked(Kind::Rds, query, k, Some(Box::new(on_final)), None)
+    }
+
+    /// SDS with progressive emission; see [`Knds::rds_streaming`].
+    pub fn sds_streaming(
+        &self,
+        query_doc: &[ConceptId],
+        k: usize,
+        on_final: impl FnMut(RankedDoc),
+    ) -> QueryResult {
+        self.run_hooked(Kind::Sds, query_doc, k, Some(Box::new(on_final)), None)
+    }
+
+    /// RDS with a [`TraceEvent`](crate::trace::TraceEvent) stream — the
+    /// paper's Table 2 walkthrough, live. Tracing is verbose; use it for
+    /// debugging and teaching, not benchmarking.
+    pub fn rds_traced(
+        &self,
+        query: &[ConceptId],
+        k: usize,
+        on_trace: impl FnMut(crate::trace::TraceEvent),
+    ) -> QueryResult {
+        self.run_hooked(Kind::Rds, query, k, None, Some(Box::new(on_trace)))
+    }
+
+    /// SDS with a trace stream; see [`Knds::rds_traced`].
+    pub fn sds_traced(
+        &self,
+        query_doc: &[ConceptId],
+        k: usize,
+        on_trace: impl FnMut(crate::trace::TraceEvent),
+    ) -> QueryResult {
+        self.run_hooked(Kind::Sds, query_doc, k, None, Some(Box::new(on_trace)))
+    }
+
+    fn run(&self, kind: Kind, query: &[ConceptId], k: usize) -> QueryResult {
+        self.run_hooked(kind, query, k, None, None)
+    }
+
+    fn run_hooked(
+        &self,
+        kind: Kind,
+        query: &[ConceptId],
+        k: usize,
+        on_final: Option<Box<dyn FnMut(RankedDoc) + '_>>,
+        on_trace: Option<crate::trace::TraceSink<'_>>,
+    ) -> QueryResult {
+        assert!(k > 0, "k must be positive");
+        let mut q: Vec<ConceptId> = query.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        assert!(!q.is_empty(), "query must contain at least one concept");
+
+        Search {
+            ont: self.ontology,
+            source: self.source,
+            drc: Drc::new(self.ontology),
+            config: &self.config,
+            kind,
+            nq: q.len(),
+            query: q,
+            candidates: FxHashMap::default(),
+            first_touch: FxHashMap::default(),
+            covered_pairs: FxHashSet::default(),
+            seen_states: FxHashSet::default(),
+            heap: TopK::new(k),
+            metrics: QueryMetrics::default(),
+            postings_buf: Vec::new(),
+            concepts_buf: Vec::new(),
+            emitted: FxHashSet::default(),
+            on_final,
+            on_trace,
+        }
+        .run()
+    }
+}
+
+/// BFS state: `(origin query-concept index, node, has descended?)`.
+/// Ascending states (`false`) may still move to parents; once a state
+/// descends to a child the flag flips and only further descents are valid.
+pub(crate) type State = (u32, ConceptId, bool);
+
+struct Search<'a, S: IndexSource> {
+    ont: &'a Ontology,
+    source: &'a S,
+    drc: Drc<'a>,
+    config: &'a KndsConfig,
+    kind: Kind,
+    query: Vec<ConceptId>,
+    nq: usize,
+    candidates: FxHashMap<DocId, Candidate>,
+    /// node → level of its global first touch (drives `M'd`).
+    first_touch: FxHashMap<ConceptId, u32>,
+    /// `(origin, node)` pairs whose postings were already applied (`Md`).
+    covered_pairs: FxHashSet<u64>,
+    /// `(origin, node, direction)` states already enqueued (dedup mode).
+    seen_states: FxHashSet<u64>,
+    heap: TopK,
+    metrics: QueryMetrics,
+    postings_buf: Vec<DocId>,
+    concepts_buf: Vec<ConceptId>,
+    /// Documents already reported through `on_final`.
+    emitted: FxHashSet<DocId>,
+    /// Progressive-result sink (Section 5.3, optimization 4).
+    on_final: Option<Box<dyn FnMut(RankedDoc) + 'a>>,
+    /// Trace sink (the Table 2 walkthrough).
+    on_trace: Option<crate::trace::TraceSink<'a>>,
+}
+
+impl<S: IndexSource> Search<'_, S> {
+    fn run(mut self) -> QueryResult {
+        let mut frontier: Vec<State> = self
+            .query
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u32, c, false))
+            .collect();
+        if self.config.dedup_visits {
+            for &s in &frontier {
+                self.seen_states.insert(pack_state(s));
+            }
+        }
+
+        let mut level: u32 = 0;
+        loop {
+            self.trace(|| crate::trace::TraceEvent::LevelStart {
+                level,
+                frontier: frontier.len(),
+            });
+            // --- coverage + expansion (traversal bucket) --------------------
+            let t0 = Instant::now();
+            let mut next: Vec<State> = Vec::new();
+            let mut forced = false;
+            for &(origin, node, descending) in &frontier {
+                self.metrics.nodes_visited += 1;
+                self.apply_coverage(origin, node, level);
+                self.expand(origin, node, descending, &mut next);
+            }
+            if next.len() > self.config.queue_cap {
+                forced = true;
+                self.metrics.forced_rounds += 1;
+            }
+            self.metrics.traversal += t0.elapsed();
+            self.metrics.levels += 1;
+
+            // --- examination (distance-calculation bucket) ------------------
+            let min_unexamined = self.examine(level, forced);
+
+            // --- termination -------------------------------------------------
+            let d_minus = min_unexamined.min(self.unseen_bound(level));
+            if self.config.progressive {
+                let final_now = self.heap.iter().filter(|&(_, d)| d <= d_minus).count();
+                self.metrics.progressive_results =
+                    self.metrics.progressive_results.max(final_now);
+                self.emit_final(d_minus);
+            }
+            if self.heap.is_full() && d_minus >= self.heap.threshold() {
+                let threshold = self.heap.threshold();
+                self.trace(|| crate::trace::TraceEvent::Terminated {
+                    level,
+                    d_minus,
+                    threshold,
+                });
+                break;
+            }
+            if next.is_empty() {
+                self.finalize_exhausted();
+                break;
+            }
+            frontier = next;
+            level += 1;
+        }
+
+        self.metrics.candidates_seen = self.candidates.len();
+        let results: Vec<RankedDoc> = std::mem::replace(&mut self.heap, TopK::new(1))
+            .into_sorted()
+            .into_iter()
+            .map(|(doc, distance)| RankedDoc { doc, distance })
+            .collect();
+        // Flush the remaining results (already sorted) to the sink.
+        if let Some(sink) = self.on_final.as_mut() {
+            for &r in &results {
+                if self.emitted.insert(r.doc) {
+                    sink(r);
+                }
+            }
+        }
+        QueryResult { results, metrics: self.metrics }
+    }
+
+    /// Emits every held result whose distance is strictly below `d_minus`:
+    /// no unexamined or unseen document can beat it, so it is final. Any
+    /// later emission has distance ≥ `d_minus`, keeping the stream sorted.
+    fn emit_final(&mut self, d_minus: f64) {
+        let Some(sink) = self.on_final.as_mut() else { return };
+        let mut ready: Vec<RankedDoc> = self
+            .heap
+            .iter()
+            .filter(|&(doc, d)| d < d_minus && !self.emitted.contains(&doc))
+            .map(|(doc, distance)| RankedDoc { doc, distance })
+            .collect();
+        ready.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        for r in ready {
+            self.emitted.insert(r.doc);
+            sink(r);
+        }
+    }
+
+    /// Applies the posting list of `node` to the candidate bookkeeping:
+    /// forward coverage once per `(origin, node)`, reverse coverage (SDS)
+    /// once per `node`.
+    fn apply_coverage(&mut self, origin: u32, node: ConceptId, level: u32) {
+        let fwd_new = self.covered_pairs.insert(pack_pair(origin, node));
+        let rev_new = self.kind == Kind::Sds && !self.first_touch.contains_key(&node);
+        if !fwd_new && !rev_new {
+            return;
+        }
+        if rev_new {
+            self.first_touch.insert(node, level);
+        }
+
+        let t = Instant::now();
+        self.postings_buf.clear();
+        self.source.postings(node, &mut self.postings_buf);
+        self.metrics.io += t.elapsed();
+
+        for i in 0..self.postings_buf.len() {
+            let d = self.postings_buf[i];
+            let cand = match self.candidates.entry(d) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let len = if self.kind == Kind::Sds {
+                        self.source.doc_len(d) as u32
+                    } else {
+                        0
+                    };
+                    e.insert(Candidate::new(self.nq, len))
+                }
+            };
+            if cand.examined {
+                continue; // already in Sd (Algorithm 2 line 11)
+            }
+            if fwd_new {
+                cand.cover(origin, level);
+            }
+            if rev_new {
+                cand.rev_covered += 1;
+                cand.rev_sum += level as u64;
+            }
+        }
+    }
+
+    /// Pushes the valid-path neighbors of a state: once a traversal has
+    /// descended it may not ascend again (the "{G,F} not pushed" rule of
+    /// Example 4).
+    fn expand(&mut self, origin: u32, node: ConceptId, descending: bool, next: &mut Vec<State>) {
+        if !descending {
+            for &p in self.ont.parents(node) {
+                self.push_state((origin, p, false), next);
+            }
+        }
+        for &c in self.ont.children(node) {
+            self.push_state((origin, c, true), next);
+        }
+    }
+
+    #[inline]
+    fn push_state(&mut self, state: State, next: &mut Vec<State>) {
+        if self.config.dedup_visits && !self.seen_states.insert(pack_state(state)) {
+            return;
+        }
+        next.push(state);
+    }
+
+    /// Sorts unexamined candidates by lower bound and examines while the
+    /// error estimate allows (or unconditionally in a forced round).
+    /// Returns the smallest lower bound left unexamined.
+    fn examine(&mut self, level: u32, forced: bool) -> f64 {
+        let t0 = Instant::now();
+        let mut order: Vec<(f64, DocId)> = self
+            .candidates
+            .iter()
+            .filter(|(_, c)| !c.examined)
+            .map(|(&d, c)| (self.lower_bound(c, level), d))
+            .collect();
+        order.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        });
+        self.metrics.traversal += t0.elapsed();
+
+        if self.on_trace.is_some() {
+            for &(_, doc) in &order {
+                let c = &self.candidates[&doc];
+                let (covered, partial) = (c.covered, c.partial);
+                self.trace(|| crate::trace::TraceEvent::Candidate { doc, covered, partial });
+            }
+        }
+
+        let mut min_unexamined = f64::INFINITY;
+        for &(lb, doc) in &order {
+            if self.heap.is_full() && lb >= self.heap.threshold() {
+                // Optimization 1 (Section 5.3): nothing below this bound can
+                // enter the top-k; the sorted order makes the rest moot too.
+                min_unexamined = lb;
+                break;
+            }
+            let eps = self.error_estimate(doc, lb);
+            if !forced && eps > self.config.error_threshold {
+                min_unexamined = lb;
+                break;
+            }
+            let (exact, via_drc) = self.exact_distance(doc);
+            let cand = self.candidates.get_mut(&doc).expect("candidate exists");
+            cand.examined = true;
+            self.metrics.docs_examined += 1;
+            self.heap.offer(doc, exact);
+            self.trace(|| crate::trace::TraceEvent::Examined {
+                doc,
+                lower_bound: lb,
+                error: eps,
+                exact,
+                via_drc,
+            });
+        }
+        let threshold = self.heap.threshold();
+        self.trace(|| crate::trace::TraceEvent::ExamineBreak {
+            min_unexamined,
+            threshold,
+        });
+        min_unexamined
+    }
+
+    /// Emits a trace event if a sink is attached (the closure keeps event
+    /// construction off the hot path).
+    #[inline]
+    fn trace(&mut self, event: impl FnOnce() -> crate::trace::TraceEvent) {
+        if let Some(sink) = self.on_trace.as_mut() {
+            sink(event());
+        }
+    }
+
+    /// Equation 6 (RDS) / Equation 8 (SDS): partial distance plus `l + 1`
+    /// for every uncovered term.
+    fn lower_bound(&self, c: &Candidate, level: u32) -> f64 {
+        let next = (level + 1) as u64;
+        let fwd = c.partial + (self.nq as u64 - c.covered as u64) * next;
+        match self.kind {
+            Kind::Rds => fwd as f64,
+            Kind::Sds => {
+                let rev = c.rev_sum + (c.doc_len as u64 - c.rev_covered as u64) * next;
+                fwd as f64 / self.nq as f64 + rev as f64 / c.doc_len.max(1) as f64
+            }
+        }
+    }
+
+    /// The partial (currently known) distance — Equation 5 / 7.
+    fn partial_distance(&self, c: &Candidate) -> f64 {
+        match self.kind {
+            Kind::Rds => c.partial as f64,
+            Kind::Sds => {
+                c.partial as f64 / self.nq as f64
+                    + c.rev_sum as f64 / c.doc_len.max(1) as f64
+            }
+        }
+    }
+
+    /// Equation 9: `εd = 1 − Dpartial / D⁻`.
+    fn error_estimate(&self, doc: DocId, lb: f64) -> f64 {
+        let c = &self.candidates[&doc];
+        if lb <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.partial_distance(c) / lb
+    }
+
+    /// Smallest possible distance of a document no expansion has seen yet:
+    /// every term is uncovered, so every term contributes at least `l + 1`.
+    fn unseen_bound(&self, level: u32) -> f64 {
+        let next = (level + 1) as f64;
+        match self.kind {
+            Kind::Rds => self.nq as f64 * next,
+            Kind::Sds => 2.0 * next,
+        }
+    }
+
+    /// Exact distance of `doc` and whether DRC was needed: complete partial
+    /// information short-circuits (Section 5.3, optimization 3), otherwise
+    /// a DRC probe runs.
+    fn exact_distance(&mut self, doc: DocId) -> (f64, bool) {
+        let c = &self.candidates[&doc];
+        let complete = match self.kind {
+            Kind::Rds => c.covered as usize == self.nq,
+            Kind::Sds => c.covered as usize == self.nq && c.rev_covered == c.doc_len,
+        };
+        if complete {
+            self.metrics.exact_from_partial += 1;
+            return (self.partial_distance(c), false);
+        }
+
+        let t = Instant::now();
+        self.concepts_buf.clear();
+        self.source.doc_concepts(doc, &mut self.concepts_buf);
+        self.metrics.io += t.elapsed();
+
+        let t = Instant::now();
+        let exact = match self.kind {
+            Kind::Rds => {
+                let d = self.drc.document_query_distance(&self.concepts_buf, &self.query);
+                if d == cbr_dradix::INFINITE {
+                    f64::INFINITY
+                } else {
+                    d as f64
+                }
+            }
+            Kind::Sds => self.drc.document_document_distance(&self.concepts_buf, &self.query),
+        };
+        self.metrics.distance_calc += t.elapsed();
+        self.metrics.drc_calls += 1;
+        (exact, true)
+    }
+
+    /// The expansion exhausted every reachable state: every candidate's
+    /// coverage is complete, so partial sums *are* the exact distances.
+    /// Documents never seen contain no reachable concepts (i.e. none at
+    /// all) and sit at infinite distance.
+    fn finalize_exhausted(&mut self) {
+        let t0 = Instant::now();
+        let docs: Vec<DocId> = self
+            .candidates
+            .iter()
+            .filter(|(_, c)| !c.examined)
+            .map(|(&d, _)| d)
+            .collect();
+        let finalized = docs.len();
+        self.trace(|| crate::trace::TraceEvent::Exhausted { finalized });
+        for doc in docs {
+            let c = &self.candidates[&doc];
+            debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
+            let exact = self.partial_distance(c);
+            self.metrics.exact_from_partial += 1;
+            self.metrics.docs_examined += 1;
+            self.candidates.get_mut(&doc).expect("exists").examined = true;
+            self.heap.offer(doc, exact);
+        }
+        if !self.heap.is_full() {
+            for i in 0..self.source.num_docs() {
+                let d = DocId::from_index(i);
+                if !self.candidates.contains_key(&d) && self.source.is_live(d) {
+                    self.heap.offer(d, f64::INFINITY);
+                }
+            }
+        }
+        self.metrics.distance_calc += t0.elapsed();
+    }
+}
+
+#[inline]
+pub(crate) fn pack_pair(origin: u32, node: ConceptId) -> u64 {
+    ((origin as u64) << 32) | node.0 as u64
+}
+
+#[inline]
+pub(crate) fn pack_state((origin, node, desc): State) -> u64 {
+    debug_assert!(origin < (1 << 31));
+    ((origin as u64) << 33) | ((node.0 as u64) << 1) | desc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_corpus::Corpus;
+    use cbr_index::MemorySource;
+    use cbr_ontology::fixture;
+
+    /// A small collection over the Figure 3 ontology.
+    fn setup() -> (fixture::Figure3, Corpus, MemorySource) {
+        let fig = fixture::figure3();
+        let c = |n: &str| fig.concept(n);
+        let corpus = Corpus::from_concept_sets(vec![
+            (vec![c("F"), c("R"), c("T"), c("V")], 0), // the paper's example doc
+            (vec![c("I"), c("L"), c("U")], 0),         // equals the example query
+            (vec![c("M"), c("N")], 0),
+            (vec![c("C")], 0),
+            (vec![c("G"), c("H")], 0),
+            (vec![c("U"), c("L")], 0),
+        ]);
+        let source = MemorySource::build(&corpus, fig.ontology.len());
+        (fig, corpus, source)
+    }
+
+    #[test]
+    fn rds_finds_exact_match_first() {
+        let (fig, _corpus, source) = setup();
+        let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let q = fig.example_query(); // {I, L, U} == doc 1
+        let r = knds.rds(&q, 2);
+        assert_eq!(r.results[0].doc, DocId(1));
+        assert_eq!(r.results[0].distance, 0.0);
+        assert_eq!(r.results.len(), 2);
+    }
+
+    #[test]
+    fn rds_distances_match_drc() {
+        let (fig, corpus, source) = setup();
+        let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let drc = Drc::new(&fig.ontology);
+        let q = fig.example_query();
+        let r = knds.rds(&q, 6);
+        assert_eq!(r.results.len(), 6);
+        for rd in &r.results {
+            let doc = corpus.get(rd.doc);
+            let expect = drc.document_query_distance(doc.concepts(), &q);
+            assert_eq!(rd.distance, expect as f64, "distance of {:?}", rd.doc);
+        }
+        // Ranking is non-decreasing.
+        for w in r.results.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn example_doc_query_distance_is_seven() {
+        let (fig, _corpus, source) = setup();
+        let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let r = knds.rds(&fig.example_query(), 6);
+        let d0 = r.results.iter().find(|r| r.doc == DocId(0)).unwrap();
+        assert_eq!(d0.distance, 7.0, "Example 1 of the paper");
+    }
+
+    #[test]
+    fn sds_self_similarity_is_zero() {
+        let (fig, _corpus, source) = setup();
+        let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let q = fig.example_query();
+        let r = knds.sds(&q, 1);
+        assert_eq!(r.results[0].doc, DocId(1));
+        assert_eq!(r.results[0].distance, 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_collection_returns_everything() {
+        let (fig, _corpus, source) = setup();
+        let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let r = knds.rds(&[fig.concept("U")], 100);
+        assert_eq!(r.results.len(), 6, "all documents returned");
+    }
+
+    #[test]
+    fn duplicate_query_concepts_collapse() {
+        let (fig, _corpus, source) = setup();
+        let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let u = fig.concept("U");
+        let a = knds.rds(&[u, u, u], 3);
+        let b = knds.rds(&[u], 3);
+        for (x, y) in a.results.iter().zip(b.results.iter()) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.distance, y.distance);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one concept")]
+    fn empty_query_panics() {
+        let (fig, _corpus, source) = setup();
+        Knds::new(&fig.ontology, &source, KndsConfig::default()).rds(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let (fig, _corpus, source) = setup();
+        Knds::new(&fig.ontology, &source, KndsConfig::default()).rds(&[fig.concept("U")], 0);
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let (fig, _corpus, source) = setup();
+        let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let r = knds.rds(&fig.example_query(), 2);
+        assert!(r.metrics.nodes_visited > 0);
+        assert!(r.metrics.levels > 0);
+        assert!(r.metrics.docs_examined >= 2);
+        assert!(r.metrics.candidates_seen >= r.metrics.docs_examined);
+    }
+}

@@ -1,0 +1,133 @@
+//! Small ordering helpers shared by the engines.
+
+use cbr_corpus::DocId;
+use std::cmp::Ordering;
+
+/// A totally ordered `f64` wrapper for heap keys. Distances are never NaN;
+/// if one sneaks in it orders last (treated as +∞).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.0.partial_cmp(&other.0) {
+            Some(o) => o,
+            None => self.0.is_nan().cmp(&other.0.is_nan()),
+        }
+    }
+}
+
+/// Bounded max-heap of the k best (lowest-distance) documents — the `Hk`
+/// of Algorithm 2. `peek_worst` is the paper's `D⁺ₖ` when full.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<(OrdF64, DocId)>,
+}
+
+impl TopK {
+    /// Creates an empty heap of capacity `k` (≥ 1).
+    pub fn new(k: usize) -> TopK {
+        assert!(k > 0, "k must be positive");
+        TopK { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a document; keeps it only if it beats the current k-th.
+    /// Ties on distance prefer the smaller document id (deterministic).
+    pub fn offer(&mut self, doc: DocId, distance: f64) {
+        let key = (OrdF64(distance), doc);
+        if self.heap.len() < self.k {
+            self.heap.push(key);
+        } else if let Some(&worst) = self.heap.peek() {
+            if key < worst {
+                self.heap.pop();
+                self.heap.push(key);
+            }
+        }
+    }
+
+    /// Whether k documents are held.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Number of documents held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no documents are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The distance of the k-th (worst kept) document — `D⁺ₖ`; `+∞` while
+    /// not yet full.
+    pub fn threshold(&self) -> f64 {
+        if self.is_full() {
+            self.heap.peek().map(|&(OrdF64(d), _)| d).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Extracts the results sorted by ascending distance (ties by id).
+    pub fn into_sorted(self) -> Vec<(DocId, f64)> {
+        let mut v: Vec<(OrdF64, DocId)> = self.heap.into_vec();
+        v.sort_unstable();
+        v.into_iter().map(|(OrdF64(d), doc)| (doc, d)).collect()
+    }
+
+    /// Iterates over the held entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, f64)> + '_ {
+        self.heap.iter().map(|&(OrdF64(d), doc)| (doc, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordf64_total_order() {
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert!(OrdF64(f64::INFINITY) > OrdF64(1e300));
+        assert!(OrdF64(f64::NAN) > OrdF64(f64::INFINITY), "NaN orders last");
+        assert_eq!(OrdF64(3.0).cmp(&OrdF64(3.0)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn topk_keeps_k_best() {
+        let mut h = TopK::new(2);
+        assert_eq!(h.threshold(), f64::INFINITY);
+        h.offer(DocId(1), 5.0);
+        h.offer(DocId(2), 3.0);
+        h.offer(DocId(3), 4.0); // evicts 5.0
+        h.offer(DocId(4), 9.0); // rejected
+        assert!(h.is_full());
+        assert_eq!(h.threshold(), 4.0);
+        assert_eq!(h.into_sorted(), vec![(DocId(2), 3.0), (DocId(3), 4.0)]);
+    }
+
+    #[test]
+    fn topk_breaks_ties_by_doc_id() {
+        let mut h = TopK::new(1);
+        h.offer(DocId(7), 2.0);
+        h.offer(DocId(3), 2.0); // same distance, lower id wins
+        assert_eq!(h.into_sorted(), vec![(DocId(3), 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        TopK::new(0);
+    }
+}

@@ -1,0 +1,558 @@
+//! Weighted-edge kNDS — the Section 7 future-work variant.
+//!
+//! The paper closes by asking "how non is-a ontological edges can be
+//! incorporated into the similarity function and how this would affect the
+//! algorithms' performance". With per-edge integer weights
+//! ([`cbr_ontology::EdgeWeights`]) the level-synchronized BFS of the
+//! unit-weight engine becomes a **bucketed Dijkstra**: states pop in
+//! non-decreasing accumulated weight, one bucket per integer distance.
+//! All the Algorithm 2 machinery carries over —
+//!
+//! * coverage at first (minimal-distance) pop gives exact `Md`/`M'd`
+//!   entries, because pops are globally distance-ordered;
+//! * after finishing bucket `d`, every uncovered term has distance at
+//!   least `d + 1` (weights are ≥ 1), so the Equation 6/8 lower bounds and
+//!   the Equation 9 error estimate apply verbatim;
+//! * termination is still `D⁻ ≥ D⁺ₖ`, so results are exact for any `εθ`.
+//!
+//! Push-time state deduplication (safe with unit steps) is replaced by the
+//! classic lazy-deletion rule: a state re-pushed with a smaller tentative
+//! distance supersedes the old entry, and stale pops are skipped.
+
+use crate::config::KndsConfig;
+use crate::engine::{pack_pair, pack_state, Candidate, Kind, QueryResult, RankedDoc, State};
+use crate::metrics::QueryMetrics;
+use crate::util::TopK;
+use cbr_corpus::DocId;
+use cbr_dradix::Drc;
+use cbr_index::IndexSource;
+use cbr_ontology::{ConceptId, EdgeWeights, FxHashMap, FxHashSet, Ontology};
+use std::time::Instant;
+
+/// Top-k search under weighted valid-path distances.
+#[derive(Debug)]
+pub struct WeightedKnds<'a, S: IndexSource> {
+    ontology: &'a Ontology,
+    weights: &'a EdgeWeights,
+    source: &'a S,
+    config: KndsConfig,
+}
+
+impl<'a, S: IndexSource> WeightedKnds<'a, S> {
+    /// Creates the weighted engine.
+    pub fn new(
+        ontology: &'a Ontology,
+        weights: &'a EdgeWeights,
+        source: &'a S,
+        config: KndsConfig,
+    ) -> Self {
+        WeightedKnds { ontology, weights, source, config }
+    }
+
+    /// Weighted RDS: top-k under `Ddq` with weighted concept distances.
+    pub fn rds(&self, query: &[ConceptId], k: usize) -> QueryResult {
+        self.run(Kind::Rds, query, k)
+    }
+
+    /// Weighted SDS: top-k under the symmetric `Ddd` with weighted
+    /// concept distances.
+    pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> QueryResult {
+        self.run(Kind::Sds, query_doc, k)
+    }
+
+    fn run(&self, kind: Kind, query: &[ConceptId], k: usize) -> QueryResult {
+        assert!(k > 0, "k must be positive");
+        let mut q: Vec<ConceptId> = query.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        assert!(!q.is_empty(), "query must contain at least one concept");
+
+        WeightedSearch {
+            ont: self.ontology,
+            weights: self.weights,
+            source: self.source,
+            drc: Drc::with_weights(self.ontology, self.weights),
+            config: &self.config,
+            kind,
+            nq: q.len(),
+            query: q,
+            candidates: FxHashMap::default(),
+            first_touch: FxHashSet::default(),
+            covered_pairs: FxHashSet::default(),
+            best_dist: FxHashMap::default(),
+            heap: TopK::new(k),
+            metrics: QueryMetrics::default(),
+            postings_buf: Vec::new(),
+            concepts_buf: Vec::new(),
+        }
+        .run()
+    }
+}
+
+struct WeightedSearch<'a, S: IndexSource> {
+    ont: &'a Ontology,
+    weights: &'a EdgeWeights,
+    source: &'a S,
+    drc: Drc<'a>,
+    config: &'a KndsConfig,
+    kind: Kind,
+    query: Vec<ConceptId>,
+    nq: usize,
+    candidates: FxHashMap<DocId, Candidate>,
+    /// Nodes already coverage-applied for the reverse direction.
+    first_touch: FxHashSet<ConceptId>,
+    /// `(origin, node)` pairs already coverage-applied (forward).
+    covered_pairs: FxHashSet<u64>,
+    /// Best tentative distance per state (Dijkstra lazy deletion).
+    best_dist: FxHashMap<u64, u32>,
+    heap: TopK,
+    metrics: QueryMetrics,
+    postings_buf: Vec<DocId>,
+    concepts_buf: Vec<ConceptId>,
+}
+
+impl<S: IndexSource> WeightedSearch<'_, S> {
+    fn run(mut self) -> QueryResult {
+        // Distance-indexed buckets of states. Buckets grow on demand; the
+        // maximum useful distance is bounded by termination.
+        let mut buckets: Vec<Vec<State>> = vec![Vec::new()];
+        for (i, &c) in self.query.clone().iter().enumerate() {
+            let s: State = (i as u32, c, false);
+            self.best_dist.insert(pack_state(s), 0);
+            buckets[0].push(s);
+        }
+
+        let mut d: u32 = 0;
+        loop {
+            // --- process bucket `d` (traversal bucket) ----------------------
+            let t0 = Instant::now();
+            let mut forced = false;
+            let current = std::mem::take(&mut buckets[d as usize]);
+            for &state in &current {
+                let (origin, node, descending) = state;
+                // Lazy deletion: skip stale entries.
+                if self
+                    .best_dist
+                    .get(&pack_state(state))
+                    .is_some_and(|&best| best < d)
+                {
+                    continue;
+                }
+                self.metrics.nodes_visited += 1;
+                self.apply_coverage(origin, node, d);
+                self.expand(state, d, descending, &mut buckets);
+            }
+            let frontier_size: usize = buckets.iter().map(|b| b.len()).sum();
+            if frontier_size > self.config.queue_cap {
+                forced = true;
+                self.metrics.forced_rounds += 1;
+            }
+            self.metrics.traversal += t0.elapsed();
+            self.metrics.levels += 1;
+
+            // --- examination -------------------------------------------------
+            let min_unexamined = self.examine(d, forced);
+
+            // --- termination -------------------------------------------------
+            let d_minus = min_unexamined.min(self.unseen_bound(d));
+            if self.config.progressive {
+                let final_now = self.heap.iter().filter(|&(_, dd)| dd <= d_minus).count();
+                self.metrics.progressive_results =
+                    self.metrics.progressive_results.max(final_now);
+            }
+            if self.heap.is_full() && d_minus >= self.heap.threshold() {
+                break;
+            }
+            // Advance to the next non-empty bucket.
+            let next = (d as usize + 1..buckets.len()).find(|&i| !buckets[i].is_empty());
+            match next {
+                Some(i) => d = i as u32,
+                None => {
+                    self.finalize_exhausted();
+                    break;
+                }
+            }
+        }
+
+        self.metrics.candidates_seen = self.candidates.len();
+        let results = std::mem::replace(&mut self.heap, TopK::new(1))
+            .into_sorted()
+            .into_iter()
+            .map(|(doc, distance)| RankedDoc { doc, distance })
+            .collect();
+        QueryResult { results, metrics: self.metrics }
+    }
+
+    fn apply_coverage(&mut self, origin: u32, node: ConceptId, dist: u32) {
+        let fwd_new = self.covered_pairs.insert(pack_pair(origin, node));
+        let rev_new = self.kind == Kind::Sds && self.first_touch.insert(node);
+        if !fwd_new && !rev_new {
+            return;
+        }
+        let t = Instant::now();
+        self.postings_buf.clear();
+        self.source.postings(node, &mut self.postings_buf);
+        self.metrics.io += t.elapsed();
+
+        for i in 0..self.postings_buf.len() {
+            let doc = self.postings_buf[i];
+            let cand = match self.candidates.entry(doc) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let len = if self.kind == Kind::Sds {
+                        self.source.doc_len(doc) as u32
+                    } else {
+                        0
+                    };
+                    e.insert(Candidate::new(self.nq, len))
+                }
+            };
+            if cand.examined {
+                continue;
+            }
+            if fwd_new {
+                cand.cover(origin, dist);
+            }
+            if rev_new {
+                cand.rev_covered += 1;
+                cand.rev_sum += dist as u64;
+            }
+        }
+    }
+
+    fn expand(&mut self, state: State, d: u32, descending: bool, buckets: &mut Vec<Vec<State>>) {
+        let (origin, node, _) = state;
+        if !descending {
+            for &p in self.ont.parents(node) {
+                let w = self
+                    .weights
+                    .weight(self.ont, p, node)
+                    .expect("parent adjacency is symmetric");
+                self.push(buckets, (origin, p, false), d + w);
+            }
+        }
+        for (pos, &child) in self.ont.children(node).iter().enumerate() {
+            let w = self.weights.weight_at(node, pos);
+            self.push(buckets, (origin, child, true), d + w);
+        }
+    }
+
+    fn push(&mut self, buckets: &mut Vec<Vec<State>>, state: State, dist: u32) {
+        if self.config.dedup_visits {
+            // Dijkstra relaxation: only keep strictly improving pushes.
+            match self.best_dist.entry(pack_state(state)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if *e.get() <= dist {
+                        return;
+                    }
+                    e.insert(dist);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(dist);
+                }
+            }
+        }
+        if buckets.len() <= dist as usize {
+            buckets.resize(dist as usize + 1, Vec::new());
+        }
+        buckets[dist as usize].push(state);
+    }
+
+    fn examine(&mut self, d: u32, forced: bool) -> f64 {
+        let t0 = Instant::now();
+        let mut order: Vec<(f64, DocId)> = self
+            .candidates
+            .iter()
+            .filter(|(_, c)| !c.examined)
+            .map(|(&doc, c)| (self.lower_bound(c, d), doc))
+            .collect();
+        order.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        });
+        self.metrics.traversal += t0.elapsed();
+
+        let mut min_unexamined = f64::INFINITY;
+        for &(lb, doc) in &order {
+            if self.heap.is_full() && lb >= self.heap.threshold() {
+                min_unexamined = lb;
+                break;
+            }
+            let eps = self.error_estimate(doc, lb);
+            if !forced && eps > self.config.error_threshold {
+                min_unexamined = lb;
+                break;
+            }
+            let exact = self.exact_distance(doc);
+            let cand = self.candidates.get_mut(&doc).expect("candidate exists");
+            cand.examined = true;
+            self.metrics.docs_examined += 1;
+            self.heap.offer(doc, exact);
+        }
+        min_unexamined
+    }
+
+    fn lower_bound(&self, c: &Candidate, d: u32) -> f64 {
+        let next = (d + 1) as u64;
+        let fwd = c.partial + (self.nq as u64 - c.covered as u64) * next;
+        match self.kind {
+            Kind::Rds => fwd as f64,
+            Kind::Sds => {
+                let rev = c.rev_sum + (c.doc_len as u64 - c.rev_covered as u64) * next;
+                fwd as f64 / self.nq as f64 + rev as f64 / c.doc_len.max(1) as f64
+            }
+        }
+    }
+
+    fn partial_distance(&self, c: &Candidate) -> f64 {
+        match self.kind {
+            Kind::Rds => c.partial as f64,
+            Kind::Sds => {
+                c.partial as f64 / self.nq as f64 + c.rev_sum as f64 / c.doc_len.max(1) as f64
+            }
+        }
+    }
+
+    fn error_estimate(&self, doc: DocId, lb: f64) -> f64 {
+        let c = &self.candidates[&doc];
+        if lb <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.partial_distance(c) / lb
+    }
+
+    fn unseen_bound(&self, d: u32) -> f64 {
+        let next = (d + 1) as f64;
+        match self.kind {
+            Kind::Rds => self.nq as f64 * next,
+            Kind::Sds => 2.0 * next,
+        }
+    }
+
+    fn exact_distance(&mut self, doc: DocId) -> f64 {
+        let c = &self.candidates[&doc];
+        let complete = match self.kind {
+            Kind::Rds => c.covered as usize == self.nq,
+            Kind::Sds => c.covered as usize == self.nq && c.rev_covered == c.doc_len,
+        };
+        if complete {
+            self.metrics.exact_from_partial += 1;
+            return self.partial_distance(c);
+        }
+        let t = Instant::now();
+        self.concepts_buf.clear();
+        self.source.doc_concepts(doc, &mut self.concepts_buf);
+        self.metrics.io += t.elapsed();
+
+        let t = Instant::now();
+        let exact = match self.kind {
+            Kind::Rds => {
+                let dd = self.drc.document_query_distance(&self.concepts_buf, &self.query);
+                if dd == cbr_dradix::INFINITE {
+                    f64::INFINITY
+                } else {
+                    dd as f64
+                }
+            }
+            Kind::Sds => self.drc.document_document_distance(&self.concepts_buf, &self.query),
+        };
+        self.metrics.distance_calc += t.elapsed();
+        self.metrics.drc_calls += 1;
+        exact
+    }
+
+    fn finalize_exhausted(&mut self) {
+        let t0 = Instant::now();
+        let docs: Vec<DocId> = self
+            .candidates
+            .iter()
+            .filter(|(_, c)| !c.examined)
+            .map(|(&doc, _)| doc)
+            .collect();
+        for doc in docs {
+            let c = &self.candidates[&doc];
+            debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
+            let exact = self.partial_distance(c);
+            self.metrics.exact_from_partial += 1;
+            self.metrics.docs_examined += 1;
+            self.candidates.get_mut(&doc).expect("exists").examined = true;
+            self.heap.offer(doc, exact);
+        }
+        if !self.heap.is_full() {
+            for i in 0..self.source.num_docs() {
+                let doc = DocId::from_index(i);
+                if !self.candidates.contains_key(&doc) && self.source.is_live(doc) {
+                    self.heap.offer(doc, f64::INFINITY);
+                }
+            }
+        }
+        self.metrics.distance_calc += t0.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_corpus::{Corpus, CorpusGenerator, CorpusProfile};
+    use cbr_index::MemorySource;
+    use cbr_ontology::{fixture, weighted, GeneratorConfig, OntologyGenerator};
+
+    /// Exhaustive weighted baseline for verification.
+    fn weighted_scan_rds(
+        ont: &Ontology,
+        w: &EdgeWeights,
+        source: &MemorySource,
+        q: &[ConceptId],
+        k: usize,
+    ) -> Vec<f64> {
+        let mut dists: Vec<f64> = (0..source.num_docs())
+            .map(|i| {
+                let mut buf = Vec::new();
+                source.doc_concepts(DocId::from_index(i), &mut buf);
+                let d = weighted::document_query_distance(ont, w, &buf, q);
+                if d == u64::MAX {
+                    f64::INFINITY
+                } else {
+                    d as f64
+                }
+            })
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.truncate(k);
+        dists
+    }
+
+    fn weighted_scan_sds(
+        ont: &Ontology,
+        w: &EdgeWeights,
+        source: &MemorySource,
+        q: &[ConceptId],
+        k: usize,
+    ) -> Vec<f64> {
+        let mut dists: Vec<f64> = (0..source.num_docs())
+            .map(|i| {
+                let mut buf = Vec::new();
+                source.doc_concepts(DocId::from_index(i), &mut buf);
+                weighted::document_document_distance(ont, w, &buf, q)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.truncate(k);
+        dists
+    }
+
+    #[test]
+    fn unit_weights_match_the_unweighted_engine() {
+        let fig = fixture::figure3();
+        let c = |n: &str| fig.concept(n);
+        let corpus = Corpus::from_concept_sets(vec![
+            (vec![c("F"), c("R"), c("T"), c("V")], 0),
+            (vec![c("I"), c("L"), c("U")], 0),
+            (vec![c("M"), c("N")], 0),
+        ]);
+        let source = MemorySource::build(&corpus, fig.ontology.len());
+        let w = EdgeWeights::uniform(&fig.ontology);
+        let weighted_engine =
+            WeightedKnds::new(&fig.ontology, &w, &source, KndsConfig::default());
+        let plain = crate::Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let q = fig.example_query();
+        let a = weighted_engine.rds(&q, 3);
+        let b = plain.rds(&q, 3);
+        for (x, y) in a.results.iter().zip(b.results.iter()) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.distance, y.distance);
+        }
+    }
+
+    #[test]
+    fn weighted_rds_matches_exhaustive_scan() {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(400).with_seed(9)).generate();
+        let corpus = CorpusGenerator::new(
+            &ont,
+            CorpusProfile::radio_like().with_num_docs(50).with_mean_concepts(8.0),
+        )
+        .generate();
+        let source = MemorySource::build(&corpus, ont.len());
+        let w = EdgeWeights::from_fn(&ont, |p, c| 1 + (p.0.wrapping_add(c.0) % 3));
+        let engine = WeightedKnds::new(&ont, &w, &source, KndsConfig::default());
+        let queries: Vec<Vec<ConceptId>> = corpus
+            .documents()
+            .filter(|d| d.num_concepts() >= 2)
+            .take(5)
+            .map(|d| d.concepts()[..2].to_vec())
+            .collect();
+        for (i, q) in queries.iter().enumerate() {
+            for eps in [0.0, 0.5, 1.0] {
+                let cfg = KndsConfig::default().with_error_threshold(eps);
+                let engine = WeightedKnds::new(&ont, &w, &source, cfg);
+                let got: Vec<f64> = engine.rds(q, 5).results.iter().map(|r| r.distance).collect();
+                let expect = weighted_scan_rds(&ont, &w, &source, q, 5);
+                assert_eq!(got.len(), expect.len());
+                for (a, b) in got.iter().zip(expect.iter()) {
+                    assert!(
+                        (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()),
+                        "query {i} eps {eps}: {a} vs {b}"
+                    );
+                }
+            }
+            let _ = engine;
+        }
+    }
+
+    #[test]
+    fn weighted_sds_matches_exhaustive_scan() {
+        let ont = OntologyGenerator::new(GeneratorConfig::small(300).with_seed(10)).generate();
+        let corpus = CorpusGenerator::new(
+            &ont,
+            CorpusProfile::radio_like().with_num_docs(40).with_mean_concepts(6.0),
+        )
+        .generate();
+        let source = MemorySource::build(&corpus, ont.len());
+        let w = EdgeWeights::from_fn(&ont, |p, _| 1 + (p.0 % 2));
+        let q = corpus
+            .documents()
+            .find(|d| d.num_concepts() >= 3)
+            .unwrap()
+            .concepts()
+            .to_vec();
+        let engine = WeightedKnds::new(&ont, &w, &source, KndsConfig::default());
+        let got: Vec<f64> = engine.sds(&q, 5).results.iter().map(|r| r.distance).collect();
+        let expect = weighted_scan_sds(&ont, &w, &source, &q, 5);
+        for (a, b) in got.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn heavier_weights_change_the_ranking() {
+        // Sanity: the weighting actually matters — a query whose unit-weight
+        // winner is reached through a penalized region must change distance.
+        let fig = fixture::figure3();
+        let c = |n: &str| fig.concept(n);
+        let corpus = Corpus::from_concept_sets(vec![
+            (vec![c("M")], 0), // near I through G
+            (vec![c("T")], 0), // far from I
+        ]);
+        let source = MemorySource::build(&corpus, fig.ontology.len());
+        let q = vec![c("I")];
+
+        let unit = EdgeWeights::uniform(&fig.ontology);
+        let a = WeightedKnds::new(&fig.ontology, &unit, &source, KndsConfig::default())
+            .rds(&q, 2);
+        assert_eq!(a.results[0].doc, DocId(0));
+
+        // Penalize I's own edges heavily: both documents get farther, and
+        // the distances reflect the weights.
+        let i = c("I");
+        let g = c("G");
+        let heavy = EdgeWeights::from_fn(&fig.ontology, |p, ch| {
+            if p == i || (p == g && ch == i) {
+                50
+            } else {
+                1
+            }
+        });
+        let b = WeightedKnds::new(&fig.ontology, &heavy, &source, KndsConfig::default())
+            .rds(&q, 2);
+        assert!(b.results[0].distance > a.results[0].distance);
+    }
+}

@@ -1,0 +1,87 @@
+//! Progressive-emission invariants (Section 5.3, optimization 4):
+//! each result is emitted exactly once, in non-decreasing distance order,
+//! and the emitted set equals the final top-k.
+
+use cbr_corpus::{CorpusGenerator, CorpusProfile};
+use cbr_index::MemorySource;
+use cbr_knds::{Knds, KndsConfig, RankedDoc};
+use cbr_ontology::{ConceptId, GeneratorConfig, OntologyGenerator};
+
+fn setup() -> (cbr_ontology::Ontology, MemorySource, Vec<Vec<ConceptId>>) {
+    let ont = OntologyGenerator::new(GeneratorConfig::small(600)).generate();
+    let corpus = CorpusGenerator::new(
+        &ont,
+        CorpusProfile::radio_like().with_num_docs(70).with_mean_concepts(10.0),
+    )
+    .generate();
+    let queries: Vec<Vec<ConceptId>> = corpus
+        .documents()
+        .filter(|d| d.num_concepts() >= 3)
+        .take(6)
+        .map(|d| d.concepts()[..3].to_vec())
+        .collect();
+    let source = MemorySource::build(&corpus, ont.len());
+    (ont, source, queries)
+}
+
+fn check_stream(emitted: &[RankedDoc], result: &[RankedDoc], ctx: &str) {
+    assert_eq!(emitted.len(), result.len(), "{ctx}: every result emitted exactly once");
+    // Emission is sorted by distance.
+    for w in emitted.windows(2) {
+        assert!(w[0].distance <= w[1].distance, "{ctx}: stream out of order");
+    }
+    // Emitted set equals result set.
+    let mut a: Vec<_> = emitted.iter().map(|r| (r.doc, r.distance.to_bits())).collect();
+    let mut b: Vec<_> = result.iter().map(|r| (r.doc, r.distance.to_bits())).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "{ctx}: emitted set mismatch");
+}
+
+#[test]
+fn rds_stream_matches_results_for_all_thresholds() {
+    let (ont, source, queries) = setup();
+    for eps in [0.0, 0.5, 1.0] {
+        let knds = Knds::new(&ont, &source, KndsConfig::default().with_error_threshold(eps));
+        for (i, q) in queries.iter().enumerate() {
+            let mut emitted = Vec::new();
+            let r = knds.rds_streaming(q, 5, |d| emitted.push(d));
+            check_stream(&emitted, &r.results, &format!("eps {eps} query {i}"));
+        }
+    }
+}
+
+#[test]
+fn sds_stream_matches_results() {
+    let (ont, source, queries) = setup();
+    let knds = Knds::new(&ont, &source, KndsConfig::default());
+    for (i, q) in queries.iter().enumerate() {
+        let mut emitted = Vec::new();
+        let r = knds.sds_streaming(q, 4, |d| emitted.push(d));
+        check_stream(&emitted, &r.results, &format!("sds query {i}"));
+    }
+}
+
+#[test]
+fn some_results_arrive_before_termination_on_selective_queries() {
+    let (ont, source, queries) = setup();
+    let knds = Knds::new(&ont, &source, KndsConfig::default());
+    // Aggregate: across the workload, at least one query should emit one or
+    // more results early (otherwise the optimization is dead code).
+    let mut early = 0usize;
+    for q in &queries {
+        let r = knds.rds(q, 5);
+        early += r.metrics.progressive_results;
+    }
+    assert!(early > 0, "progressive emission never fired across the workload");
+}
+
+#[test]
+fn streaming_with_progressive_disabled_still_flushes_everything() {
+    let (ont, source, queries) = setup();
+    let cfg = KndsConfig { progressive: false, ..KndsConfig::default() };
+    let knds = Knds::new(&ont, &source, cfg);
+    let mut emitted = Vec::new();
+    let r = knds.rds_streaming(&queries[0], 5, |d| emitted.push(d));
+    check_stream(&emitted, &r.results, "progressive off");
+}

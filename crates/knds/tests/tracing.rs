@@ -1,0 +1,106 @@
+//! Trace-stream invariants: events arrive in a consistent order and agree
+//! with the returned metrics and results.
+
+use cbr_corpus::Corpus;
+use cbr_index::MemorySource;
+use cbr_knds::{Knds, KndsConfig, TraceEvent};
+use cbr_ontology::fixture;
+
+fn setup() -> (fixture::Figure3, MemorySource) {
+    let fig = fixture::figure3();
+    let c = |n: &str| fig.concept(n);
+    let corpus = Corpus::from_concept_sets(vec![
+        (vec![c("F"), c("R"), c("T"), c("V")], 0),
+        (vec![c("I"), c("L"), c("U")], 0),
+        (vec![c("M"), c("N")], 0),
+        (vec![c("C")], 0),
+        (vec![c("G"), c("H")], 0),
+    ]);
+    let source = MemorySource::build(&corpus, fig.ontology.len());
+    (fig, source)
+}
+
+#[test]
+fn trace_is_ordered_and_complete() {
+    let (fig, source) = setup();
+    let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+    let mut events = Vec::new();
+    let r = knds.rds_traced(&fig.example_query(), 2, |e| events.push(e));
+
+    // Levels start at 0 and increase by one.
+    let levels: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::LevelStart { level, .. } => Some(*level),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(levels[0], 0);
+    assert!(levels.windows(2).all(|w| w[1] == w[0] + 1), "{levels:?}");
+    assert_eq!(levels.len() as u32, r.metrics.levels);
+
+    // Examined events match the metrics counter and the DRC split.
+    let examined: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Examined { doc, exact, via_drc, .. } => Some((*doc, *exact, *via_drc)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(examined.len(), r.metrics.docs_examined);
+    let via_drc = examined.iter().filter(|(_, _, d)| *d).count();
+    assert_eq!(via_drc, r.metrics.drc_calls);
+
+    // Every returned result was examined with exactly its final distance.
+    for res in &r.results {
+        assert!(
+            examined.iter().any(|&(d, x, _)| d == res.doc && x == res.distance),
+            "result {res:?} missing from trace"
+        );
+    }
+
+    // Termination (or exhaustion) closes the stream.
+    assert!(matches!(
+        events.last(),
+        Some(TraceEvent::Terminated { .. })
+            | Some(TraceEvent::Exhausted { .. })
+            | Some(TraceEvent::ExamineBreak { .. })
+    ));
+}
+
+#[test]
+fn candidate_events_report_coverage_monotonically() {
+    let (fig, source) = setup();
+    let knds = Knds::new(&fig.ontology, &source, KndsConfig::default().with_error_threshold(0.0));
+    let mut events = Vec::new();
+    knds.rds_traced(&fig.example_query(), 3, |e| events.push(e));
+    // For any document, coverage counts never decrease across levels.
+    let mut last: std::collections::HashMap<cbr_corpus::DocId, u32> = Default::default();
+    for e in &events {
+        if let TraceEvent::Candidate { doc, covered, .. } = e {
+            let prev = last.insert(*doc, *covered).unwrap_or(0);
+            assert!(*covered >= prev, "coverage regressed for {doc}");
+        }
+    }
+    assert!(!last.is_empty(), "candidates were traced");
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    let (fig, source) = setup();
+    let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+    let q = fig.example_query();
+    let plain = knds.rds(&q, 3);
+    let traced = knds.rds_traced(&q, 3, |_| {});
+    for (a, b) in plain.results.iter().zip(traced.results.iter()) {
+        assert_eq!(a.doc, b.doc);
+        assert_eq!(a.distance, b.distance);
+    }
+    // SDS too.
+    let plain = knds.sds(&q, 2);
+    let traced = knds.sds_traced(&q, 2, |_| {});
+    for (a, b) in plain.results.iter().zip(traced.results.iter()) {
+        assert_eq!(a.doc, b.doc);
+        assert_eq!(a.distance, b.distance);
+    }
+}

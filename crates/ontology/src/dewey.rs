@@ -1,0 +1,336 @@
+//! Dewey path addresses (Section 3.1).
+//!
+//! Every root-to-concept path is encoded with the Dewey Decimal scheme: if a
+//! node `cj` is the `j`-th child of `ci` and `l{ci}` labels a path from the
+//! root to `ci`, then `l{ci}.j` labels the extended path to `cj`. The root's
+//! own address is the empty sequence `ε`. Because the ontology is a DAG, a
+//! concept owns one address per distinct root path; [`PathTable`]
+//! materializes all of them in an arena, sorted lexicographically per
+//! concept (the order the DRC construction phase consumes them in,
+//! Algorithm 1 line 3).
+
+use crate::graph::Ontology;
+use crate::id::ConceptId;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An owned Dewey address: the sequence of 1-based child ordinals along one
+/// root-to-concept path. Displayed in the paper's dotted form (`1.1.1.2`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DeweyAddress(Vec<u32>);
+
+impl DeweyAddress {
+    /// Creates an address from raw components.
+    pub fn new(components: Vec<u32>) -> Self {
+        DeweyAddress(components)
+    }
+
+    /// The components of the address.
+    #[inline]
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of components — equal to the depth of the path's endpoint.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the root's empty address.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Parses the dotted notation used throughout the paper (`"1.1.1.2"`).
+    /// An empty string parses to the root address.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return Some(DeweyAddress(Vec::new()));
+        }
+        s.split('.')
+            .map(|part| part.parse::<u32>().ok().filter(|&c| c > 0))
+            .collect::<Option<Vec<u32>>>()
+            .map(DeweyAddress)
+    }
+}
+
+impl fmt::Display for DeweyAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DeweyAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Compares two component slices lexicographically, shorter-prefix-first —
+/// the order `Pd`/`Pq` are consumed in by Algorithm 1.
+#[inline]
+pub fn compare_components(a: &[u32], b: &[u32]) -> Ordering {
+    a.cmp(b)
+}
+
+/// Length of the longest common prefix of two component slices.
+#[inline]
+pub fn longest_common_prefix(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// All Dewey addresses of every concept, stored in a shared arena.
+///
+/// Addresses of one concept are contiguous and sorted lexicographically.
+/// Build cost is `O(Σ_c paths(c) · depth(c))`; the generator bounds
+/// `paths(c)` (Section 2 of DESIGN.md) so this stays linear in practice.
+#[derive(Debug)]
+pub struct PathTable {
+    /// Arena of address components.
+    arena: Vec<u32>,
+    /// Per-address `(arena offset, length)`; addresses of concept `c` occupy
+    /// `addr_ranges[concept_offsets[c] .. concept_offsets[c+1]]`.
+    addr_ranges: Vec<(u32, u16)>,
+    concept_offsets: Vec<u32>,
+}
+
+impl PathTable {
+    /// Enumerates every root path of every concept of `ont`.
+    pub fn build(ont: &Ontology) -> PathTable {
+        Self::build_impl(ont, None).expect("uncapped build cannot fail")
+    }
+
+    /// Like [`PathTable::build`] but fails with
+    /// [`OntologyError::TooManyPaths`](crate::OntologyError::TooManyPaths)
+    /// if any concept exceeds `cap` addresses. SNOMED-CT's maximum is 29
+    /// paths per concept; a cap around 32–64 guards against pathological
+    /// inputs without affecting realistic ontologies.
+    pub fn build_capped(ont: &Ontology, cap: usize) -> crate::Result<PathTable> {
+        Self::build_impl(ont, Some(cap))
+    }
+
+    fn build_impl(ont: &Ontology, cap: Option<usize>) -> crate::Result<PathTable> {
+        let n = ont.len();
+        // Addresses per concept, filled in topological order so every
+        // parent's addresses are complete before its children extend them.
+        let mut per_concept: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
+        per_concept[ont.root().index()].push(Vec::new());
+
+        for &c in ont.topological_order() {
+            if c != ont.root() {
+                let mut addrs = Vec::new();
+                for &p in ont.parents(c) {
+                    let ordinal = ont
+                        .child_ordinal(p, c)
+                        .expect("parent/child adjacency is symmetric");
+                    for base in &per_concept[p.index()] {
+                        let mut addr = Vec::with_capacity(base.len() + 1);
+                        addr.extend_from_slice(base);
+                        addr.push(ordinal);
+                        addrs.push(addr);
+                    }
+                }
+                if let Some(cap) = cap {
+                    if addrs.len() > cap {
+                        return Err(crate::OntologyError::TooManyPaths { concept: c, cap });
+                    }
+                }
+                addrs.sort_unstable();
+                per_concept[c.index()] = addrs;
+            }
+        }
+
+        // Flatten into the arena.
+        let mut arena = Vec::new();
+        let mut addr_ranges = Vec::new();
+        let mut concept_offsets = Vec::with_capacity(n + 1);
+        concept_offsets.push(0u32);
+        for addrs in &per_concept {
+            for addr in addrs {
+                debug_assert!(addr.len() <= u16::MAX as usize, "path deeper than 65535");
+                addr_ranges.push((arena.len() as u32, addr.len() as u16));
+                arena.extend_from_slice(addr);
+            }
+            concept_offsets.push(addr_ranges.len() as u32);
+        }
+
+        Ok(PathTable { arena, addr_ranges, concept_offsets })
+    }
+
+    /// The Dewey addresses of `c` as component slices, lexicographically
+    /// sorted.
+    pub fn addresses(&self, c: ConceptId) -> impl ExactSizeIterator<Item = &[u32]> + Clone + '_ {
+        let lo = self.concept_offsets[c.index()] as usize;
+        let hi = self.concept_offsets[c.index() + 1] as usize;
+        self.addr_ranges[lo..hi]
+            .iter()
+            .map(move |&(off, len)| &self.arena[off as usize..off as usize + len as usize])
+    }
+
+    /// Number of addresses (root paths) of concept `c`.
+    #[inline]
+    pub fn path_count(&self, c: ConceptId) -> usize {
+        (self.concept_offsets[c.index() + 1] - self.concept_offsets[c.index()]) as usize
+    }
+
+    /// Total number of addresses across all concepts.
+    pub fn total_addresses(&self) -> usize {
+        self.addr_ranges.len()
+    }
+
+    /// Number of concepts covered.
+    pub fn num_concepts(&self) -> usize {
+        self.concept_offsets.len() - 1
+    }
+
+    /// Mean addresses per concept (the paper reports 9.78 for SNOMED-CT).
+    pub fn avg_paths_per_concept(&self) -> f64 {
+        self.total_addresses() as f64 / self.num_concepts() as f64
+    }
+
+    /// Mean address length (the paper reports 14.1 for SNOMED-CT).
+    pub fn avg_path_length(&self) -> f64 {
+        if self.addr_ranges.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.addr_ranges.iter().map(|&(_, len)| len as u64).sum();
+        total as f64 / self.addr_ranges.len() as f64
+    }
+
+    /// Collects the lexicographically sorted address list for a set of
+    /// concepts — the `Pd` / `Pq` inputs of Algorithm 1. Each entry pairs an
+    /// address with the concept it leads to.
+    pub fn sorted_address_list(&self, concepts: &[ConceptId]) -> Vec<(&[u32], ConceptId)> {
+        let mut out: Vec<(&[u32], ConceptId)> = Vec::new();
+        for &c in concepts {
+            for addr in self.addresses(c) {
+                out.push((addr, c));
+            }
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(b.0).then_with(|| a.1.cmp(&b.1)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OntologyBuilder;
+
+    fn diamond() -> Ontology {
+        let mut b = OntologyBuilder::new();
+        let root = b.add_concept("root");
+        let a = b.add_concept("a");
+        let bb = b.add_concept("b");
+        let leaf = b.add_concept("leaf");
+        b.add_edge(root, a).unwrap();
+        b.add_edge(root, bb).unwrap();
+        b.add_edge(a, leaf).unwrap();
+        b.add_edge(bb, leaf).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dewey_display_and_parse() {
+        let a = DeweyAddress::parse("1.1.1.2").unwrap();
+        assert_eq!(a.components(), &[1, 1, 1, 2]);
+        assert_eq!(a.to_string(), "1.1.1.2");
+        assert_eq!(a.len(), 4);
+        assert!(DeweyAddress::parse("").unwrap().is_empty());
+        assert!(DeweyAddress::parse("1..2").is_none());
+        assert!(DeweyAddress::parse("0.1").is_none(), "components are 1-based");
+        assert!(DeweyAddress::parse("a.b").is_none());
+    }
+
+    #[test]
+    fn lcp_and_ordering() {
+        assert_eq!(longest_common_prefix(&[1, 1, 2], &[1, 1, 3]), 2);
+        assert_eq!(longest_common_prefix(&[1], &[2]), 0);
+        assert_eq!(longest_common_prefix(&[1, 2], &[1, 2]), 2);
+        assert_eq!(compare_components(&[1, 1], &[1, 1, 1]), Ordering::Less);
+        assert_eq!(compare_components(&[1, 2], &[1, 1, 9]), Ordering::Greater);
+    }
+
+    #[test]
+    fn diamond_path_table() {
+        let ont = diamond();
+        let pt = ont.path_table();
+        assert_eq!(pt.path_count(ConceptId(0)), 1); // root: ε
+        assert_eq!(pt.addresses(ConceptId(0)).next().unwrap(), &[] as &[u32]);
+        assert_eq!(pt.path_count(ConceptId(3)), 2);
+        let leaf_addrs: Vec<&[u32]> = pt.addresses(ConceptId(3)).collect();
+        assert_eq!(leaf_addrs, vec![&[1u32, 1][..], &[2u32, 1][..]]);
+        assert_eq!(pt.total_addresses(), 5);
+        assert_eq!(pt.num_concepts(), 4);
+    }
+
+    #[test]
+    fn addresses_are_sorted_per_concept() {
+        // root with children x(1), y(2); both parents of z — z's addresses
+        // [1,*] and [2,*] must come out sorted.
+        let mut b = OntologyBuilder::new();
+        let root = b.add_concept("root");
+        let x = b.add_concept("x");
+        let y = b.add_concept("y");
+        let z = b.add_concept("z");
+        b.add_edge(root, x).unwrap();
+        b.add_edge(root, y).unwrap();
+        b.add_edge(y, z).unwrap(); // declare the deeper edge first
+        b.add_edge(x, z).unwrap();
+        let ont = b.build().unwrap();
+        let pt = ont.path_table();
+        let addrs: Vec<&[u32]> = pt.addresses(z).collect();
+        assert_eq!(addrs, vec![&[1u32, 1][..], &[2u32, 1][..]]);
+    }
+
+    #[test]
+    fn capped_build_rejects_explosion() {
+        // A chain of diamonds doubles the path count at every level.
+        let mut b = OntologyBuilder::new();
+        let mut top = b.add_concept("root");
+        for i in 0..6 {
+            let l = b.add_concept(format!("l{i}"));
+            let r = b.add_concept(format!("r{i}"));
+            let bottom = b.add_concept(format!("m{i}"));
+            b.add_edge(top, l).unwrap();
+            b.add_edge(top, r).unwrap();
+            b.add_edge(l, bottom).unwrap();
+            b.add_edge(r, bottom).unwrap();
+            top = bottom;
+        }
+        let ont = b.build().unwrap();
+        assert!(PathTable::build_capped(&ont, 16).is_err());
+        let pt = PathTable::build_capped(&ont, 64).unwrap();
+        assert_eq!(pt.path_count(top), 64);
+    }
+
+    #[test]
+    fn sorted_address_list_merges_concept_sets() {
+        let ont = diamond();
+        let pt = ont.path_table();
+        let list = pt.sorted_address_list(&[ConceptId(3), ConceptId(1)]);
+        let addrs: Vec<&[u32]> = list.iter().map(|&(a, _)| a).collect();
+        assert_eq!(addrs, vec![&[1u32][..], &[1u32, 1][..], &[2u32, 1][..]]);
+        assert_eq!(list[0].1, ConceptId(1));
+        assert_eq!(list[1].1, ConceptId(3));
+    }
+
+    #[test]
+    fn stats_match_structure() {
+        let ont = diamond();
+        let pt = ont.path_table();
+        assert!((pt.avg_paths_per_concept() - 1.25).abs() < 1e-9);
+        // lengths: 0 (root), 1, 1, 2, 2 -> 6/5
+        assert!((pt.avg_path_length() - 1.2).abs() < 1e-9);
+    }
+}

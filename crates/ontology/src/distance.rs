@@ -1,0 +1,272 @@
+//! Valid-path semantic distances (Section 3.2).
+//!
+//! The concept-concept distance `D(ci, cj)` is the shortest-path distance of
+//! Rada et al. restricted to **valid paths**: a path counts only if it
+//! passes through a common ancestor of the two concepts, i.e. it ascends
+//! from one concept to an ancestor and then descends to the other
+//! (∧-shaped). The paper's example: in Figure 3, `D(G, F)` is 5 rather than
+//! 2 because the 2-edge path through their shared *descendant* `J` is not
+//! valid.
+//!
+//! Two equivalent formulations are implemented:
+//!
+//! * [`concept_distance`] — the Dewey form: minimize
+//!   `(|p| − lcp) + (|q| − lcp)` over all address pairs `(p, q)` of the two
+//!   concepts. Every common ancestor plus a pair of descending paths is
+//!   realized by some root-address pair, so this equals the ∧-path minimum.
+//! * [`concept_distance_graph`] — the graph form: breadth-first search over
+//!   parent edges from both concepts and minimize the summed ascent depths
+//!   over every common ancestor. Used as the reference implementation in
+//!   tests and by callers that have no [`PathTable`] at hand.
+
+use crate::dewey::{longest_common_prefix, PathTable};
+use crate::graph::Ontology;
+use crate::id::ConceptId;
+
+/// Distance value used for "not reachable / not yet known" intermediate
+/// states. Never returned from the public distance functions on a
+/// single-rooted ontology (the root is a universal common ancestor).
+pub const D_INF: u32 = u32::MAX;
+
+/// Concept-concept valid-path distance via Dewey addresses.
+///
+/// Cost is `O(|P(a)| · |P(b)| · depth)` — the quadratic per-pair cost that
+/// the DRC algorithm of Section 4 exists to avoid at document scale.
+pub fn concept_distance(paths: &PathTable, a: ConceptId, b: ConceptId) -> u32 {
+    if a == b {
+        return 0;
+    }
+    let mut best = D_INF;
+    for pa in paths.addresses(a) {
+        for pb in paths.addresses(b) {
+            let lcp = longest_common_prefix(pa, pb);
+            let d = (pa.len() - lcp) as u32 + (pb.len() - lcp) as u32;
+            best = best.min(d);
+        }
+    }
+    best
+}
+
+/// Concept-concept valid-path distance via graph traversal (reference
+/// implementation).
+///
+/// Computes the minimum ascent distance from each concept to every ancestor
+/// with a BFS over parent edges, then minimizes the sum over common
+/// ancestors. `O(V + E)` per call.
+pub fn concept_distance_graph(ont: &Ontology, a: ConceptId, b: ConceptId) -> u32 {
+    if a == b {
+        return 0;
+    }
+    let up_a = ascent_distances(ont, a);
+    let up_b = ascent_distances(ont, b);
+    let mut best = D_INF;
+    for i in 0..ont.len() {
+        let (da, db) = (up_a[i], up_b[i]);
+        if da != D_INF && db != D_INF {
+            best = best.min(da + db);
+        }
+    }
+    best
+}
+
+/// Minimum number of parent edges from `c` to every ancestor (including `c`
+/// itself at distance 0); `D_INF` for non-ancestors.
+pub fn ascent_distances(ont: &Ontology, c: ConceptId) -> Vec<u32> {
+    let mut dist = vec![D_INF; ont.len()];
+    dist[c.index()] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(c);
+    while let Some(cur) = queue.pop_front() {
+        let d = dist[cur.index()];
+        for &p in ont.parents(cur) {
+            if dist[p.index()] == D_INF {
+                dist[p.index()] = d + 1;
+                queue.push_back(p);
+            }
+        }
+    }
+    dist
+}
+
+/// Document-concept distance `Ddc(d, c)` (Equation 1): the distance from `c`
+/// to the nearest concept associated with the document.
+///
+/// This is the naive per-pair form used by the BL baseline of Section 6.2;
+/// `cbr-dradix` provides the `O(n log n)` batch alternative.
+pub fn document_concept_distance(
+    paths: &PathTable,
+    doc_concepts: &[ConceptId],
+    c: ConceptId,
+) -> u32 {
+    doc_concepts
+        .iter()
+        .map(|&dc| concept_distance(paths, dc, c))
+        .min()
+        .unwrap_or(D_INF)
+}
+
+/// All valid-path distances from a *set* of source concepts to every concept
+/// of the ontology, i.e. `min_{s ∈ sources} D(s, c)` for every `c`.
+///
+/// Implemented as a two-phase relaxation that mirrors the ∧-path structure:
+/// first propagate minimum ascent distances upward (reverse topological
+/// order), then propagate downward (topological order), which also lets
+/// descents branch off any ancestor reached during ascent. `O(V + E)`.
+///
+/// This is the oracle used to validate the kNDS breadth-first expansion and
+/// to materialize distance-sorted postings for the TA comparator.
+pub fn multi_source_distances(ont: &Ontology, sources: &[ConceptId]) -> Vec<u32> {
+    let mut up = vec![D_INF; ont.len()];
+    for &s in sources {
+        up[s.index()] = 0;
+    }
+    // Ascend: min over children of (their ascent distance + 1). Reverse
+    // topological order visits children before parents.
+    for &c in ont.topological_order().iter().rev() {
+        let d = up[c.index()];
+        if d == D_INF {
+            continue;
+        }
+        for &p in ont.parents(c) {
+            let cand = d + 1;
+            if cand < up[p.index()] {
+                up[p.index()] = cand;
+            }
+        }
+    }
+    // Descend: a valid path may stop ascending at any point and descend.
+    let mut dist = up;
+    for &c in ont.topological_order() {
+        let d = dist[c.index()];
+        if d == D_INF {
+            continue;
+        }
+        for &child in ont.children(c) {
+            let cand = d + 1;
+            if cand < dist[child.index()] {
+                dist[child.index()] = cand;
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+    use crate::graph::OntologyBuilder;
+
+    fn chain() -> Ontology {
+        // root -> a -> b -> c
+        let mut b = OntologyBuilder::new();
+        let mut prev = b.add_concept("root");
+        for name in ["a", "b", "c"] {
+            let n = b.add_concept(name);
+            b.add_edge(prev, n).unwrap();
+            prev = n;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_distances_are_path_lengths() {
+        let ont = chain();
+        let pt = ont.path_table();
+        let ids: Vec<ConceptId> = ont.concepts().collect();
+        assert_eq!(concept_distance(pt, ids[0], ids[3]), 3);
+        assert_eq!(concept_distance(pt, ids[1], ids[2]), 1);
+        assert_eq!(concept_distance(pt, ids[2], ids[2]), 0);
+    }
+
+    #[test]
+    fn siblings_meet_at_parent() {
+        let mut b = OntologyBuilder::new();
+        let root = b.add_concept("root");
+        let x = b.add_concept("x");
+        let y = b.add_concept("y");
+        b.add_edge(root, x).unwrap();
+        b.add_edge(root, y).unwrap();
+        let ont = b.build().unwrap();
+        assert_eq!(concept_distance(ont.path_table(), x, y), 2);
+        assert_eq!(concept_distance_graph(&ont, x, y), 2);
+    }
+
+    #[test]
+    fn paper_example_d_g_f_is_five_not_two() {
+        // Section 3.2: G and F share the descendant J (2 edges apart through
+        // it) but their only common ancestor is the root A, so D(G, F) = 5.
+        let fig3 = fixture::figure3();
+        let g = fig3.concept("G");
+        let f = fig3.concept("F");
+        let pt = fig3.ontology.path_table();
+        assert_eq!(concept_distance(pt, g, f), 5);
+        assert_eq!(concept_distance_graph(&fig3.ontology, g, f), 5);
+    }
+
+    #[test]
+    fn dewey_and_graph_forms_agree_on_figure3() {
+        let fig3 = fixture::figure3();
+        let ont = &fig3.ontology;
+        let pt = ont.path_table();
+        for a in ont.concepts() {
+            for b in ont.concepts() {
+                assert_eq!(
+                    concept_distance(pt, a, b),
+                    concept_distance_graph(ont, a, b),
+                    "mismatch for {} vs {}",
+                    ont.label(a),
+                    ont.label(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_on_figure3() {
+        let fig3 = fixture::figure3();
+        let pt = fig3.ontology.path_table();
+        for a in fig3.ontology.concepts() {
+            for b in fig3.ontology.concepts() {
+                assert_eq!(concept_distance(pt, a, b), concept_distance(pt, b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn document_concept_distance_takes_minimum() {
+        // Example 1 of the paper: d = {F, R, T, V}, q = {I, L, U} gives
+        // Ddc(d, I) = 4, Ddc(d, L) = 2, Ddc(d, U) = 1.
+        let fig3 = fixture::figure3();
+        let pt = fig3.ontology.path_table();
+        let d: Vec<ConceptId> = ["F", "R", "T", "V"].iter().map(|l| fig3.concept(l)).collect();
+        assert_eq!(document_concept_distance(pt, &d, fig3.concept("I")), 4);
+        assert_eq!(document_concept_distance(pt, &d, fig3.concept("L")), 2);
+        assert_eq!(document_concept_distance(pt, &d, fig3.concept("U")), 1);
+    }
+
+    #[test]
+    fn multi_source_matches_pairwise_minimum() {
+        let fig3 = fixture::figure3();
+        let ont = &fig3.ontology;
+        let pt = ont.path_table();
+        let sources = vec![fig3.concept("I"), fig3.concept("L"), fig3.concept("U")];
+        let dist = multi_source_distances(ont, &sources);
+        for c in ont.concepts() {
+            let expected = sources
+                .iter()
+                .map(|&s| concept_distance(pt, s, c))
+                .min()
+                .unwrap();
+            assert_eq!(dist[c.index()], expected, "concept {}", ont.label(c));
+        }
+    }
+
+    #[test]
+    fn multi_source_of_single_source_matches_pairwise() {
+        let ont = chain();
+        let ids: Vec<ConceptId> = ont.concepts().collect();
+        let dist = multi_source_distances(&ont, &[ids[3]]);
+        assert_eq!(dist, vec![3, 2, 1, 0]);
+    }
+}

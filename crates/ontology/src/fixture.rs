@@ -1,0 +1,196 @@
+//! The paper's Figure 3 ontology, reconstructed from published addresses.
+//!
+//! Figure 3 itself is an image, but Table 1 lists the complete Dewey address
+//! sets of every concept used in the worked examples, and Sections 3–5 pin
+//! down the remaining neighborhoods (`D(G,F) = 5`; the kNDS trace of
+//! Table 2 names the neighbors of `F` and `I`). The DAG below reproduces
+//! every one of those facts; the module tests assert each address from
+//! Table 1 verbatim.
+//!
+//! Structure (parent: children in Dewey ordinal order):
+//!
+//! ```text
+//! A: B(1) C(2) D(3)        F: J(1) H(2)        J: K(1) O(2)
+//! B: E(1)                  G: I(1) J(2)        K: R(1)    R: U(1)
+//! D: F(1)                  H: P(1) L(2)        O: S(1)    S: V(1)
+//! E: G(1)                  I: M(1) N(2)        P: Q(1)    Q: T(1)
+//! ```
+//!
+//! `J` is the shared child of `G` and `F` — the multi-parent node that makes
+//! the example a DAG rather than a tree and produces the double addresses of
+//! `R`, `U`, `V` in Table 1.
+
+use crate::graph::{Ontology, OntologyBuilder};
+use crate::hash::FxHashMap;
+use crate::id::ConceptId;
+
+/// The Figure 3 ontology plus label lookup helpers.
+#[derive(Debug)]
+pub struct Figure3 {
+    /// The reconstructed ontology.
+    pub ontology: Ontology,
+    names: FxHashMap<&'static str, ConceptId>,
+}
+
+impl Figure3 {
+    /// Resolves a single-letter concept name (`"A"` … `"V"`). Panics on an
+    /// unknown name — the fixture is for tests and examples.
+    pub fn concept(&self, name: &str) -> ConceptId {
+        *self
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("no concept named {name:?} in the Figure 3 fixture"))
+    }
+
+    /// The running example's document `d = {F, R, T, V}` (Examples 1–2).
+    pub fn example_document(&self) -> Vec<ConceptId> {
+        ["F", "R", "T", "V"].iter().map(|l| self.concept(l)).collect()
+    }
+
+    /// The running example's query `q = {I, L, U}` (Examples 1–3).
+    pub fn example_query(&self) -> Vec<ConceptId> {
+        ["I", "L", "U"].iter().map(|l| self.concept(l)).collect()
+    }
+}
+
+/// Builds the Figure 3 fixture.
+pub fn figure3() -> Figure3 {
+    let mut b = OntologyBuilder::new();
+    let labels = [
+        "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q",
+        "R", "S", "T", "U", "V",
+    ];
+    let mut names = FxHashMap::default();
+    let mut id = FxHashMap::default();
+    for &l in &labels {
+        let c = b.add_concept(l);
+        names.insert(l, c);
+        id.insert(l, c);
+    }
+    // Children in Dewey ordinal order (the insertion order defines the
+    // ordinal, so the order of these calls is load-bearing).
+    let edges: &[(&str, &str)] = &[
+        ("A", "B"),
+        ("A", "C"),
+        ("A", "D"),
+        ("B", "E"),
+        ("D", "F"),
+        ("E", "G"),
+        ("F", "J"),
+        ("F", "H"),
+        ("G", "I"),
+        ("G", "J"),
+        ("H", "P"),
+        ("H", "L"),
+        ("I", "M"),
+        ("I", "N"),
+        ("J", "K"),
+        ("J", "O"),
+        ("K", "R"),
+        ("O", "S"),
+        ("P", "Q"),
+        ("Q", "T"),
+        ("R", "U"),
+        ("S", "V"),
+    ];
+    for &(p, c) in edges {
+        b.add_edge(id[p], id[c]).expect("fixture edges are valid");
+    }
+    let ontology = b.build().expect("Figure 3 fixture is a valid single-rooted DAG");
+    Figure3 { ontology, names }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addresses_of(fig: &Figure3, name: &str) -> Vec<String> {
+        let pt = fig.ontology.path_table();
+        pt.addresses(fig.concept(name))
+            .map(|a| {
+                a.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(".")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table1_document_addresses() {
+        let fig = figure3();
+        // Pd for d = {F, R, T, V} — Table 1 of the paper.
+        assert_eq!(addresses_of(&fig, "F"), vec!["3.1"]);
+        assert_eq!(addresses_of(&fig, "R"), vec!["1.1.1.2.1.1", "3.1.1.1.1"]);
+        assert_eq!(addresses_of(&fig, "V"), vec!["1.1.1.2.2.1.1", "3.1.1.2.1.1"]);
+        assert_eq!(addresses_of(&fig, "T"), vec!["3.1.2.1.1.1"]);
+    }
+
+    #[test]
+    fn table1_query_addresses() {
+        let fig = figure3();
+        // Pq for q = {I, L, U} — Table 1 of the paper.
+        assert_eq!(addresses_of(&fig, "I"), vec!["1.1.1.1"]);
+        assert_eq!(addresses_of(&fig, "U"), vec!["1.1.1.2.1.1.1", "3.1.1.1.1.1"]);
+        assert_eq!(addresses_of(&fig, "L"), vec!["3.1.2.2"]);
+    }
+
+    #[test]
+    fn intermediate_addresses_match_example2() {
+        let fig = figure3();
+        // Example 2 narrates node G at 1.1.1, J at 1.1.1.2 and 3.1.1,
+        // H at 3.1.2.
+        assert_eq!(addresses_of(&fig, "G"), vec!["1.1.1"]);
+        assert_eq!(addresses_of(&fig, "J"), vec!["1.1.1.2", "3.1.1"]);
+        assert_eq!(addresses_of(&fig, "H"), vec!["3.1.2"]);
+    }
+
+    #[test]
+    fn root_and_reachability() {
+        let fig = figure3();
+        assert_eq!(fig.ontology.root(), fig.concept("A"));
+        assert_eq!(fig.ontology.len(), 22);
+        // J has two parents: G and F.
+        let j = fig.concept("J");
+        let parents: Vec<&str> =
+            fig.ontology.parents(j).iter().map(|&p| fig.ontology.label(p)).collect();
+        assert_eq!(parents, vec!["F", "G"]);
+    }
+
+    #[test]
+    fn knds_example3_neighborhoods() {
+        // Example 3: BFS from q = {I, L, U}; the depth-1 frontier is
+        // {G, M, N, R, H}: G (parent of I), M/N (children of I),
+        // R (parent of U), H (parent of L).
+        let fig = figure3();
+        let ont = &fig.ontology;
+        let i = fig.concept("I");
+        assert_eq!(ont.parents(i), &[fig.concept("G")]);
+        assert_eq!(ont.children(i), &[fig.concept("M"), fig.concept("N")]);
+        assert_eq!(ont.parents(fig.concept("U")), &[fig.concept("R")]);
+        assert_eq!(ont.parents(fig.concept("L")), &[fig.concept("H")]);
+        assert!(ont.children(fig.concept("U")).is_empty());
+        assert!(ont.children(fig.concept("L")).is_empty());
+    }
+
+    #[test]
+    fn knds_example4_neighborhoods_of_f() {
+        // Table 2 iteration 0 pushes {D,F}, {H,F}, {J,F}: D is F's parent,
+        // H and J its children.
+        let fig = figure3();
+        let ont = &fig.ontology;
+        let f = fig.concept("F");
+        assert_eq!(ont.parents(f), &[fig.concept("D")]);
+        assert_eq!(ont.children(f), &[fig.concept("J"), fig.concept("H")]);
+    }
+
+    #[test]
+    fn example_document_and_query_helpers() {
+        let fig = figure3();
+        assert_eq!(fig.example_document().len(), 4);
+        assert_eq!(fig.example_query().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no concept named")]
+    fn unknown_name_panics() {
+        figure3().concept("Z");
+    }
+}

@@ -1,0 +1,129 @@
+//! Fast, non-cryptographic hashing for integer-keyed hot maps.
+//!
+//! The ranking algorithms keep many small maps keyed by [`ConceptId`] or
+//! document ids on their hot paths (the `Md`/`M'd` coverage maps of
+//! Section 5, the D-Radix node table of Section 4). The standard library's
+//! SipHash is needlessly slow for such keys, so this module provides an
+//! `FxHash`-style multiplicative hasher (the algorithm used inside rustc).
+//! HashDoS resistance is irrelevant here: keys are internally generated.
+//!
+//! [`ConceptId`]: crate::ConceptId
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Firefox/rustc `FxHasher` (a truncated golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiplicative hasher suitable for small integer-like keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8-byte words, then the tail. Hot keys (u32/u64) take the
+        // dedicated integer paths below instead.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConceptId;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    fn hash_of<T: std::hash::Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&ConceptId(7)), hash_of(&ConceptId(7)));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        // 9 bytes: one full word plus a 1-byte tail.
+        assert_ne!(hash_of(&[0u8; 9].as_slice()), hash_of(&[1u8; 9].as_slice()));
+        let mut a = [7u8; 9];
+        let mut b = [7u8; 9];
+        a[8] = 1;
+        b[8] = 2;
+        assert_ne!(hash_of(&a.as_slice()), hash_of(&b.as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<ConceptId, u32> = FxHashMap::default();
+        m.insert(ConceptId(1), 10);
+        m.insert(ConceptId(2), 20);
+        assert_eq!(m[&ConceptId(1)], 10);
+
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(5);
+        assert!(s.contains(&5));
+        assert!(!s.contains(&6));
+    }
+}

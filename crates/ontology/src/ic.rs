@@ -1,0 +1,316 @@
+//! Information-content-based semantic similarity measures.
+//!
+//! The paper adopts the structural shortest-path distance (Rada et al.)
+//! after noting that "complicated distance metrics do not clearly improve
+//! the retrieval effectiveness", and names exploring other semantic
+//! distances as future work (Section 7). This module implements the
+//! classic **information-content (IC)** family it cites — Resnik and
+//! Lin, plus Jiang–Conrath and the structural Wu–Palmer measure
+//! — so the reproduction can compare ranking families.
+//!
+//! Information content follows Resnik's corpus-based definition: the
+//! probability of a concept is the probability of encountering it *or any
+//! of its descendants*; `IC(c) = −ln p(c)`. Occurrence counts therefore
+//! propagate to every ancestor (deduplicated — the DAG may reach an
+//! ancestor over several paths). Concepts never observed get the maximum
+//! observed IC plus one nat, keeping the measures total.
+
+use crate::distance::{ascent_distances, D_INF};
+use crate::graph::Ontology;
+use crate::id::ConceptId;
+
+/// Per-concept information content derived from occurrence counts.
+#[derive(Debug, Clone)]
+pub struct InformationContent {
+    ic: Vec<f64>,
+    max_ic: f64,
+}
+
+impl InformationContent {
+    /// Computes IC from per-concept occurrence counts (e.g. collection
+    /// frequencies). Counts propagate to all ancestors; the root's
+    /// subsumed count is the total, giving it `IC = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != ont.len()`.
+    pub fn from_counts(ont: &Ontology, counts: &[u64]) -> InformationContent {
+        assert_eq!(counts.len(), ont.len(), "one count per concept required");
+        let mut subsumed = vec![0u64; ont.len()];
+        // Deduplicated ancestor propagation: one parent-BFS per occurring
+        // concept. Σ over occurring concepts of their ancestor-set size.
+        let mut stack = Vec::new();
+        let mut seen = vec![u32::MAX; ont.len()];
+        for c in ont.concepts() {
+            let n = counts[c.index()];
+            if n == 0 {
+                continue;
+            }
+            stack.clear();
+            stack.push(c);
+            seen[c.index()] = c.0;
+            while let Some(cur) = stack.pop() {
+                subsumed[cur.index()] += n;
+                for &p in ont.parents(cur) {
+                    if seen[p.index()] != c.0 {
+                        seen[p.index()] = c.0;
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        let total = subsumed[ont.root().index()].max(1) as f64;
+        let mut max_ic = 0.0f64;
+        let mut ic: Vec<f64> = subsumed
+            .iter()
+            .map(|&s| {
+                if s == 0 {
+                    f64::NAN // patched below
+                } else {
+                    let v = -(s as f64 / total).ln();
+                    max_ic = max_ic.max(v);
+                    v
+                }
+            })
+            .collect();
+        let unseen = max_ic + 1.0;
+        for v in &mut ic {
+            if v.is_nan() {
+                *v = unseen;
+            }
+        }
+        InformationContent { ic, max_ic: max_ic.max(unseen) }
+    }
+
+    /// Uniform IC: every concept's probability proportional to its subtree
+    /// size is replaced by a constant-per-concept count of one. Useful when
+    /// no corpus statistics exist.
+    pub fn uniform(ont: &Ontology) -> InformationContent {
+        Self::from_counts(ont, &vec![1; ont.len()])
+    }
+
+    /// The information content of `c` in nats.
+    #[inline]
+    pub fn ic(&self, c: ConceptId) -> f64 {
+        self.ic[c.index()]
+    }
+
+    /// The largest IC assigned to any concept.
+    pub fn max_ic(&self) -> f64 {
+        self.max_ic
+    }
+}
+
+/// IC- and structure-based pairwise similarity measures over one ontology.
+#[derive(Debug)]
+pub struct SemanticSimilarity<'a> {
+    ont: &'a Ontology,
+    ic: InformationContent,
+}
+
+impl<'a> SemanticSimilarity<'a> {
+    /// Creates the measure set from precomputed information content.
+    pub fn new(ont: &'a Ontology, ic: InformationContent) -> Self {
+        assert_eq!(ic.ic.len(), ont.len(), "IC table does not match the ontology");
+        SemanticSimilarity { ont, ic }
+    }
+
+    /// The information-content table in use.
+    pub fn information_content(&self) -> &InformationContent {
+        &self.ic
+    }
+
+    /// The **most informative common ancestor** of `a` and `b` (Resnik's
+    /// MICA) and, as a tiebreaker-free byproduct, the **deepest** common
+    /// ancestor (Wu–Palmer's LCS). Always defined: the root subsumes
+    /// everything.
+    pub fn mica(&self, a: ConceptId, b: ConceptId) -> ConceptId {
+        self.common_ancestors(a, b)
+            .into_iter()
+            .max_by(|&x, &y| {
+                self.ic
+                    .ic(x)
+                    .partial_cmp(&self.ic.ic(y))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(self.ont.depth(x).cmp(&self.ont.depth(y)))
+                    .then(y.cmp(&x))
+            })
+            .expect("root is always a common ancestor")
+    }
+
+    /// Deepest common ancestor (by minimum depth), the Wu–Palmer LCS.
+    pub fn lcs(&self, a: ConceptId, b: ConceptId) -> ConceptId {
+        self.common_ancestors(a, b)
+            .into_iter()
+            .max_by(|&x, &y| self.ont.depth(x).cmp(&self.ont.depth(y)).then(y.cmp(&x)))
+            .expect("root is always a common ancestor")
+    }
+
+    /// Resnik similarity: `IC(MICA(a, b))`. Range `[0, max_ic]`.
+    pub fn resnik(&self, a: ConceptId, b: ConceptId) -> f64 {
+        self.ic.ic(self.mica(a, b))
+    }
+
+    /// Lin similarity: `2·IC(MICA) / (IC(a) + IC(b))`. Range `[0, 1]`,
+    /// 1 exactly when `a == b` (for concepts with positive IC).
+    pub fn lin(&self, a: ConceptId, b: ConceptId) -> f64 {
+        let denom = self.ic.ic(a) + self.ic.ic(b);
+        if denom == 0.0 {
+            return if a == b { 1.0 } else { 0.0 };
+        }
+        2.0 * self.resnik(a, b) / denom
+    }
+
+    /// Jiang–Conrath **distance**: `IC(a) + IC(b) − 2·IC(MICA)`. Zero for
+    /// identical concepts, growing with unrelatedness.
+    pub fn jiang_conrath(&self, a: ConceptId, b: ConceptId) -> f64 {
+        (self.ic.ic(a) + self.ic.ic(b) - 2.0 * self.resnik(a, b)).max(0.0)
+    }
+
+    /// Wu–Palmer similarity in its path-based DAG form:
+    /// `2·N3 / (N1 + N2 + 2·N3)`, where `N3` is the depth of the LCS
+    /// (counted from 1 at the root) and `N1`, `N2` are the edge distances
+    /// from `a` and `b` up to that LCS. Range `(0, 1]`, exactly 1 for
+    /// `a == b`.
+    ///
+    /// The naive `2·d(LCS)/(d(a)+d(b))` formulation overshoots 1 on DAGs,
+    /// because a node's *minimum* depth can undercut its ancestor's when a
+    /// second, shallower parent path exists.
+    pub fn wu_palmer(&self, a: ConceptId, b: ConceptId) -> f64 {
+        let up_a = ascent_distances(self.ont, a);
+        let up_b = ascent_distances(self.ont, b);
+        // Maximize over all common ancestors (the usual generalization on
+        // DAGs): picking a single "deepest" ancestor is not even reflexive
+        // here, because an ancestor's minimum depth can exceed the
+        // concept's own.
+        self.ont
+            .concepts()
+            .filter(|c| up_a[c.index()] != D_INF && up_b[c.index()] != D_INF)
+            .map(|c| {
+                let n1 = up_a[c.index()] as f64;
+                let n2 = up_b[c.index()] as f64;
+                let n3 = self.ont.depth(c) as f64 + 1.0;
+                2.0 * n3 / (n1 + n2 + 2.0 * n3)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// All common ancestors of `a` and `b` (including themselves when one
+    /// subsumes the other).
+    fn common_ancestors(&self, a: ConceptId, b: ConceptId) -> Vec<ConceptId> {
+        let up_a = ascent_distances(self.ont, a);
+        let up_b = ascent_distances(self.ont, b);
+        self.ont
+            .concepts()
+            .filter(|c| up_a[c.index()] != D_INF && up_b[c.index()] != D_INF)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+
+    fn sim(fig: &fixture::Figure3) -> SemanticSimilarity<'_> {
+        // Give every concept one occurrence — subtree sizes drive IC.
+        SemanticSimilarity::new(&fig.ontology, InformationContent::uniform(&fig.ontology))
+    }
+
+    #[test]
+    fn root_has_zero_ic_and_leaves_are_most_informative() {
+        let fig = fixture::figure3();
+        let ic = InformationContent::uniform(&fig.ontology);
+        assert_eq!(ic.ic(fig.concept("A")), 0.0);
+        assert!(ic.ic(fig.concept("M")) > ic.ic(fig.concept("I")));
+        assert!(ic.ic(fig.concept("I")) > ic.ic(fig.concept("G")));
+    }
+
+    #[test]
+    fn subsumed_counts_deduplicate_dag_paths() {
+        // J is reachable from A via B and via D; its subtree must be counted
+        // once. With uniform counts, p(A) = 1 exactly (total / total) — any
+        // double counting would push the root's subsumed count past the
+        // total and its IC negative.
+        let fig = fixture::figure3();
+        let ic = InformationContent::uniform(&fig.ontology);
+        for c in fig.ontology.concepts() {
+            assert!(ic.ic(c) >= 0.0, "negative IC for {c}");
+        }
+    }
+
+    #[test]
+    fn mica_and_lcs_of_g_and_f_is_root() {
+        // Same configuration as the paper's D(G,F) example: the only common
+        // ancestor of G and F is A.
+        let fig = fixture::figure3();
+        let s = sim(&fig);
+        assert_eq!(s.mica(fig.concept("G"), fig.concept("F")), fig.concept("A"));
+        assert_eq!(s.lcs(fig.concept("G"), fig.concept("F")), fig.concept("A"));
+        assert_eq!(s.resnik(fig.concept("G"), fig.concept("F")), 0.0);
+    }
+
+    #[test]
+    fn mica_of_descendant_pair_is_the_ancestor() {
+        let fig = fixture::figure3();
+        let s = sim(&fig);
+        // R and V share J (via K and O); J is deeper/more informative than A.
+        let m = s.mica(fig.concept("R"), fig.concept("V"));
+        assert_eq!(fig.ontology.label(m), "J");
+        // U below R: the MICA of (R, U) is R itself.
+        assert_eq!(s.mica(fig.concept("R"), fig.concept("U")), fig.concept("R"));
+    }
+
+    #[test]
+    fn lin_is_normalized_and_reflexive() {
+        let fig = fixture::figure3();
+        let s = sim(&fig);
+        for a in ["M", "R", "V", "L"] {
+            let c = fig.concept(a);
+            assert!((s.lin(c, c) - 1.0).abs() < 1e-12, "lin({a},{a}) = {}", s.lin(c, c));
+        }
+        let l = s.lin(fig.concept("M"), fig.concept("T"));
+        assert!((0.0..=1.0).contains(&l));
+    }
+
+    #[test]
+    fn jiang_conrath_is_a_distance() {
+        let fig = fixture::figure3();
+        let s = sim(&fig);
+        assert_eq!(s.jiang_conrath(fig.concept("R"), fig.concept("R")), 0.0);
+        let near = s.jiang_conrath(fig.concept("R"), fig.concept("U"));
+        let far = s.jiang_conrath(fig.concept("M"), fig.concept("T"));
+        assert!(near < far, "related pair ({near}) should beat unrelated ({far})");
+    }
+
+    #[test]
+    fn wu_palmer_prefers_deep_lcs() {
+        let fig = fixture::figure3();
+        let s = sim(&fig);
+        // R and U share R (deep); M and T share only A (shallow).
+        let close = s.wu_palmer(fig.concept("R"), fig.concept("U"));
+        let distant = s.wu_palmer(fig.concept("M"), fig.concept("T"));
+        assert!(close > distant);
+        assert!((0.0..=1.0).contains(&close));
+        assert_eq!(s.wu_palmer(fig.concept("A"), fig.concept("A")), 1.0);
+    }
+
+    #[test]
+    fn corpus_counts_shift_ic() {
+        let fig = fixture::figure3();
+        let mut counts = vec![0u64; fig.ontology.len()];
+        counts[fig.concept("M").index()] = 100; // very common
+        counts[fig.concept("T").index()] = 1; // rare
+        let ic = InformationContent::from_counts(&fig.ontology, &counts);
+        assert!(ic.ic(fig.concept("T")) > ic.ic(fig.concept("M")));
+        // Never-observed concepts get max+1.
+        assert!(ic.ic(fig.concept("L")) > ic.ic(fig.concept("T")));
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per concept")]
+    fn count_arity_is_checked() {
+        let fig = fixture::figure3();
+        InformationContent::from_counts(&fig.ontology, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,684 @@
+//! A compact bincode-style binary codec for serde types.
+//!
+//! The paper's prototype persists its ontology, inverted, and forward
+//! indexes in MySQL (Section 6.1). This reproduction instead snapshots them
+//! to flat binary files; this module provides the codec. It is a
+//! non-self-describing little-endian format:
+//!
+//! * fixed-width little-endian integers and floats;
+//! * `bool` as one byte (`0`/`1`);
+//! * lengths (strings, byte arrays, sequences, maps) as `u64`;
+//! * `Option` as a one-byte tag followed by the value;
+//! * enum variants as a `u32` variant index followed by the payload.
+//!
+//! Because the format is not self-describing, decoding must use the same
+//! type the value was encoded from — exactly how the snapshot files are
+//! used. `deserialize_any` is unsupported by design.
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::{ser, Serialize};
+use std::fmt;
+
+/// Errors from encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Custom message from serde.
+    Message(String),
+    /// Input ended before the value was fully decoded.
+    UnexpectedEof,
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// A `bool`/`Option` tag byte had an invalid value.
+    InvalidTag(u8),
+    /// A char was not a valid Unicode scalar value.
+    InvalidChar(u32),
+    /// Decoding finished with bytes left over.
+    TrailingBytes(usize),
+    /// A sequence was serialized without a known length.
+    UnknownLength,
+    /// `deserialize_any` was called (the format is not self-describing).
+    NotSelfDescribing,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Message(m) => write!(f, "{m}"),
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            CodecError::InvalidTag(t) => write!(f, "invalid tag byte {t}"),
+            CodecError::InvalidChar(c) => write!(f, "invalid char scalar {c}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            CodecError::UnknownLength => write!(f, "sequence length must be known up front"),
+            CodecError::NotSelfDescribing => {
+                write!(f, "format is not self-describing (deserialize_any unsupported)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+/// Encodes `value` into a byte vector.
+pub fn to_tokens<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    value.serialize(&mut Encoder { out: &mut out })?;
+    Ok(out)
+}
+
+/// Decodes a value of type `T` from `bytes`, requiring full consumption.
+pub fn from_tokens<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut dec = Decoder { input: bytes };
+    let value = T::deserialize(&mut dec)?;
+    if dec.input.is_empty() {
+        Ok(value)
+    } else {
+        Err(CodecError::TrailingBytes(dec.input.len()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+struct Encoder<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl Encoder<'_> {
+    fn put_len(&mut self, len: usize) {
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+}
+
+macro_rules! encode_prim {
+    ($fn_name:ident, $ty:ty) => {
+        fn $fn_name(self, v: $ty) -> Result<(), CodecError> {
+            self.out.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+    };
+}
+
+impl<'a, 'b> ser::Serializer for &'a mut Encoder<'b> {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    encode_prim!(serialize_i8, i8);
+    encode_prim!(serialize_i16, i16);
+    encode_prim!(serialize_i32, i32);
+    encode_prim!(serialize_i64, i64);
+    encode_prim!(serialize_u8, u8);
+    encode_prim!(serialize_u16, u16);
+    encode_prim!(serialize_u32, u32);
+    encode_prim!(serialize_u64, u64);
+    encode_prim!(serialize_f32, f32);
+    encode_prim!(serialize_f64, f64);
+
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or(CodecError::UnknownLength)?;
+        self.put_len(len);
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.out.extend_from_slice(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or(CodecError::UnknownLength)?;
+        self.put_len(len);
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.out.extend_from_slice(&variant_index.to_le_bytes());
+        Ok(self)
+    }
+}
+
+macro_rules! encode_compound {
+    ($trait_:path, $method:ident) => {
+        impl<'a, 'b> $trait_ for &'a mut Encoder<'b> {
+            type Ok = ();
+            type Error = CodecError;
+
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut **self)
+            }
+
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+encode_compound!(ser::SerializeSeq, serialize_element);
+encode_compound!(ser::SerializeTuple, serialize_element);
+encode_compound!(ser::SerializeTupleStruct, serialize_field);
+encode_compound!(ser::SerializeTupleVariant, serialize_field);
+
+impl<'a, 'b> ser::SerializeMap for &'a mut Encoder<'b> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStruct for &'a mut Encoder<'b> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn skip_field(&mut self, _key: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStructVariant for &'a mut Encoder<'b> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+struct Decoder<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Decoder<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn take_len(&mut self) -> Result<usize, CodecError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()) as usize)
+    }
+
+    fn take_u32(&mut self) -> Result<u32, CodecError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+}
+
+macro_rules! decode_prim {
+    ($fn_name:ident, $visit:ident, $ty:ty, $n:expr) => {
+        fn $fn_name<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let bytes = self.take($n)?;
+            visitor.$visit(<$ty>::from_le_bytes(bytes.try_into().unwrap()))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::NotSelfDescribing)
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+
+    decode_prim!(deserialize_i8, visit_i8, i8, 1);
+    decode_prim!(deserialize_i16, visit_i16, i16, 2);
+    decode_prim!(deserialize_i32, visit_i32, i32, 4);
+    decode_prim!(deserialize_i64, visit_i64, i64, 8);
+    decode_prim!(deserialize_u8, visit_u8, u8, 1);
+    decode_prim!(deserialize_u16, visit_u16, u16, 2);
+    decode_prim!(deserialize_u32, visit_u32, u32, 4);
+    decode_prim!(deserialize_u64, visit_u64, u64, 8);
+    decode_prim!(deserialize_f32, visit_f32, f32, 4);
+    decode_prim!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let scalar = self.take_u32()?;
+        let c = char::from_u32(scalar).ok_or(CodecError::InvalidChar(scalar))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            t => Err(CodecError::InvalidTag(t)),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_map(Counted { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::NotSelfDescribing)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::NotSelfDescribing)
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    remaining: usize,
+}
+
+impl<'de, 'a> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de, 'a> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = CodecError;
+    type Variant = Self;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), CodecError> {
+        let index = self.de.take_u32()?;
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, self))
+    }
+}
+
+impl<'de, 'a> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn rt<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_tokens(&value).unwrap();
+        let back: T = from_tokens(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        rt(true);
+        rt(false);
+        rt(42u8);
+        rt(-7i32);
+        rt(u64::MAX);
+        rt(3.5f64);
+        rt('λ');
+        rt("hello".to_string());
+        rt(());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        rt(vec![1u32, 2, 3]);
+        rt(Vec::<String>::new());
+        rt(Some(9i64));
+        rt(Option::<u8>::None);
+        rt((1u8, "two".to_string(), 3.0f32));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32]);
+        m.insert("b".to_string(), vec![2, 3]);
+        rt(m);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        name: String,
+        values: Vec<u32>,
+        flag: Option<bool>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Shape {
+        Unit,
+        Newtype(u32),
+        Tuple(u8, u8),
+        Struct { w: u32, h: u32 },
+    }
+
+    #[test]
+    fn structs_and_enums_roundtrip() {
+        rt(Nested { name: "n".into(), values: vec![1, 2], flag: Some(true) });
+        rt(Shape::Unit);
+        rt(Shape::Newtype(5));
+        rt(Shape::Tuple(1, 2));
+        rt(Shape::Struct { w: 3, h: 4 });
+        rt(vec![Shape::Unit, Shape::Newtype(1)]);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let bytes = to_tokens(&12345u64).unwrap();
+        let r: Result<u64, _> = from_tokens(&bytes[..4]);
+        assert_eq!(r.unwrap_err(), CodecError::UnexpectedEof);
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = to_tokens(&1u8).unwrap();
+        bytes.push(0);
+        let r: Result<u8, _> = from_tokens(&bytes);
+        assert_eq!(r.unwrap_err(), CodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn rejects_bad_tags() {
+        let r: Result<bool, _> = from_tokens(&[7]);
+        assert_eq!(r.unwrap_err(), CodecError::InvalidTag(7));
+        let r: Result<Option<u8>, _> = from_tokens(&[9]);
+        assert_eq!(r.unwrap_err(), CodecError::InvalidTag(9));
+    }
+}

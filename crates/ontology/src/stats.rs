@@ -1,0 +1,127 @@
+//! Shape statistics of an ontology.
+//!
+//! Section 6.1 of the paper characterizes SNOMED-CT by exactly these
+//! numbers (296,433 concepts; 4.53 average children; 9.78 Dewey paths per
+//! concept of average length 14.1). The synthetic generator is calibrated
+//! against this report, and the reproduction harness prints it next to the
+//! paper's figures.
+
+use crate::graph::Ontology;
+use std::fmt;
+
+/// Aggregate shape statistics of an [`Ontology`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OntologyStats {
+    /// Total concepts.
+    pub num_concepts: usize,
+    /// Total `is-a` edges.
+    pub num_edges: usize,
+    /// Concepts without children.
+    pub num_leaves: usize,
+    /// Mean children over *internal* (non-leaf) concepts — the "average of
+    /// 4.53 children" figure the paper quotes for SNOMED-CT.
+    pub avg_children_internal: f64,
+    /// Mean children over all concepts (= edges / concepts).
+    pub avg_children_all: f64,
+    /// Mean parents over non-root concepts.
+    pub avg_parents: f64,
+    /// Maximum minimum-depth.
+    pub max_depth: u32,
+    /// Mean minimum-depth over all concepts.
+    pub avg_depth: f64,
+    /// Mean Dewey addresses per concept (paper: 9.78).
+    pub avg_paths_per_concept: f64,
+    /// Maximum Dewey addresses of any concept (paper: up to 29).
+    pub max_paths_per_concept: usize,
+    /// Mean Dewey address length (paper: 14.1).
+    pub avg_path_length: f64,
+}
+
+impl OntologyStats {
+    /// Computes statistics for `ont`, materializing its path table if
+    /// needed.
+    pub fn compute(ont: &Ontology) -> OntologyStats {
+        let n = ont.len();
+        let mut num_leaves = 0usize;
+        let mut max_depth = 0u32;
+        let mut depth_sum = 0u64;
+        for c in ont.concepts() {
+            if ont.is_leaf(c) {
+                num_leaves += 1;
+            }
+            let d = ont.depth(c);
+            max_depth = max_depth.max(d);
+            depth_sum += d as u64;
+        }
+        let internal = n - num_leaves;
+        let pt = ont.path_table();
+        let max_paths = ont.concepts().map(|c| pt.path_count(c)).max().unwrap_or(0);
+        OntologyStats {
+            num_concepts: n,
+            num_edges: ont.num_edges(),
+            num_leaves,
+            avg_children_internal: if internal == 0 {
+                0.0
+            } else {
+                ont.num_edges() as f64 / internal as f64
+            },
+            avg_children_all: ont.num_edges() as f64 / n as f64,
+            avg_parents: if n <= 1 {
+                0.0
+            } else {
+                ont.num_edges() as f64 / (n - 1) as f64
+            },
+            max_depth,
+            avg_depth: depth_sum as f64 / n as f64,
+            avg_paths_per_concept: pt.avg_paths_per_concept(),
+            max_paths_per_concept: max_paths,
+            avg_path_length: pt.avg_path_length(),
+        }
+    }
+}
+
+impl fmt::Display for OntologyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "concepts:              {}", self.num_concepts)?;
+        writeln!(f, "edges:                 {}", self.num_edges)?;
+        writeln!(f, "leaves:                {}", self.num_leaves)?;
+        writeln!(f, "avg children (int.):   {:.2}", self.avg_children_internal)?;
+        writeln!(f, "avg parents:           {:.2}", self.avg_parents)?;
+        writeln!(f, "max / avg depth:       {} / {:.1}", self.max_depth, self.avg_depth)?;
+        writeln!(
+            f,
+            "paths per concept:     {:.2} avg, {} max",
+            self.avg_paths_per_concept, self.max_paths_per_concept
+        )?;
+        write!(f, "avg path length:       {:.1}", self.avg_path_length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+
+    #[test]
+    fn figure3_stats() {
+        let fig = fixture::figure3();
+        let s = OntologyStats::compute(&fig.ontology);
+        assert_eq!(s.num_concepts, 22);
+        assert_eq!(s.num_edges, 22);
+        // Leaves: C, M, N, L, T, U, V.
+        assert_eq!(s.num_leaves, 7);
+        assert_eq!(s.max_depth, 6); // U and V sit 6 below A via D.F...
+        assert!(s.avg_paths_per_concept > 1.0);
+        assert_eq!(s.max_paths_per_concept, 2);
+        let rendered = s.to_string();
+        assert!(rendered.contains("concepts:"));
+        assert!(rendered.contains("22"));
+    }
+
+    #[test]
+    fn avg_children_internal_exceeds_all() {
+        let fig = fixture::figure3();
+        let s = OntologyStats::compute(&fig.ontology);
+        assert!(s.avg_children_internal >= s.avg_children_all);
+    }
+}

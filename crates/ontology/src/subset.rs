@@ -1,0 +1,160 @@
+//! Sub-ontology extraction.
+//!
+//! Production ontologies are huge (SNOMED-CT: ~300k concepts) while many
+//! studies work inside one branch — "cardiac findings", "procedures".
+//! [`subtree`] extracts the DAG induced by a concept and its descendants as
+//! a standalone [`Ontology`] (the chosen concept becomes the root), with an
+//! id mapping back to the source. Child order is preserved, so Dewey
+//! addresses inside the subset are suffixes of the originals.
+
+use crate::graph::{Ontology, OntologyBuilder};
+use crate::hash::FxHashMap;
+use crate::id::ConceptId;
+
+/// A standalone sub-ontology plus the id correspondence.
+#[derive(Debug)]
+pub struct Subset {
+    /// The extracted ontology (root = the requested concept).
+    pub ontology: Ontology,
+    /// For each new id (by index), the source ontology's id.
+    pub to_source: Vec<ConceptId>,
+    /// Source id → new id.
+    pub from_source: FxHashMap<ConceptId, ConceptId>,
+}
+
+impl Subset {
+    /// Maps a source concept into the subset, if present.
+    pub fn map(&self, source: ConceptId) -> Option<ConceptId> {
+        self.from_source.get(&source).copied()
+    }
+
+    /// Maps a set of source concepts, dropping the ones outside the subset.
+    pub fn map_all(&self, source: &[ConceptId]) -> Vec<ConceptId> {
+        source.iter().filter_map(|&c| self.map(c)).collect()
+    }
+}
+
+/// Extracts `root` and all of its descendants from `ont`.
+///
+/// Edges from retained concepts to retained concepts survive; edges
+/// entering from outside the branch are dropped (which is what makes the
+/// result single-rooted at `root`).
+pub fn subtree(ont: &Ontology, root: ConceptId) -> Subset {
+    // Collect descendants in BFS order (deterministic), then renumber in
+    // *source id* order so ids are stable regardless of traversal.
+    let mut in_subset = vec![false; ont.len()];
+    in_subset[root.index()] = true;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(c) = queue.pop_front() {
+        for &child in ont.children(c) {
+            if !in_subset[child.index()] {
+                in_subset[child.index()] = true;
+                queue.push_back(child);
+            }
+        }
+    }
+    // Keep the designated root first so it gets id 0 and stays parentless
+    // even if its source id is larger than a descendant's.
+    let mut members: Vec<ConceptId> = vec![root];
+    members.extend(
+        ont.concepts()
+            .filter(|&c| c != root && in_subset[c.index()]),
+    );
+
+    let mut builder = OntologyBuilder::new();
+    let mut from_source: FxHashMap<ConceptId, ConceptId> = FxHashMap::default();
+    for &c in &members {
+        let new = builder.add_concept(ont.label(c));
+        from_source.insert(c, new);
+    }
+    for &c in &members {
+        let new_parent = from_source[&c];
+        for &child in ont.children(c) {
+            // Children of retained nodes are retained by construction.
+            let new_child = from_source[&child];
+            builder
+                .add_edge(new_parent, new_child)
+                .expect("subset ids are valid");
+        }
+    }
+    let ontology = builder.build().expect("a subtree is a valid single-rooted DAG");
+    Subset { ontology, to_source: members, from_source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+
+    #[test]
+    fn subtree_of_g_contains_its_descendants_only() {
+        let fig = fixture::figure3();
+        let sub = subtree(&fig.ontology, fig.concept("G"));
+        // Descendants of G: I, J (via G), K, M, N, O, R, S, U, V — plus G.
+        assert_eq!(sub.ontology.len(), 11);
+        assert_eq!(sub.ontology.root(), ConceptId(0));
+        assert_eq!(sub.ontology.label(sub.ontology.root()), "G");
+        for name in ["I", "J", "K", "M", "N", "O", "R", "S", "U", "V"] {
+            assert!(sub.map(fig.concept(name)).is_some(), "{name} missing");
+        }
+        for name in ["A", "B", "C", "D", "E", "F", "H", "L", "P", "Q", "T"] {
+            assert!(sub.map(fig.concept(name)).is_none(), "{name} leaked in");
+        }
+    }
+
+    #[test]
+    fn child_order_and_dewey_suffixes_are_preserved() {
+        let fig = fixture::figure3();
+        let sub = subtree(&fig.ontology, fig.concept("G"));
+        let g = sub.ontology.root();
+        let i = sub.map(fig.concept("I")).unwrap();
+        let j = sub.map(fig.concept("J")).unwrap();
+        assert_eq!(sub.ontology.child_ordinal(g, i), Some(1));
+        assert_eq!(sub.ontology.child_ordinal(g, j), Some(2));
+        // R keeps a single address under G: original 1.1.1|.2.1.1 → 2.1.1.
+        let r = sub.map(fig.concept("R")).unwrap();
+        let pt = sub.ontology.path_table();
+        let addrs: Vec<Vec<u32>> = pt.addresses(r).map(|a| a.to_vec()).collect();
+        assert_eq!(addrs, vec![vec![2, 1, 1]]);
+    }
+
+    #[test]
+    fn distances_inside_the_branch_survive() {
+        // Valid paths that stay inside the branch keep their lengths;
+        // pairs whose only common ancestor was outside become unreachable
+        // in the subset — which cannot happen here because G is an
+        // ancestor of everything retained.
+        let fig = fixture::figure3();
+        let sub = subtree(&fig.ontology, fig.concept("G"));
+        let pt_sub = sub.ontology.path_table();
+        let m = sub.map(fig.concept("M")).unwrap();
+        let u = sub.map(fig.concept("U")).unwrap();
+        // M..U via G: M sits 2 below G (G→I→M), U sits 4 below
+        // (G→J→K→R→U) — 6 edges, in the full graph and in the branch.
+        assert_eq!(crate::concept_distance(pt_sub, m, u), 6);
+        assert_eq!(
+            crate::concept_distance(fig.ontology.path_table(), fig.concept("M"), fig.concept("U")),
+            6
+        );
+    }
+
+    #[test]
+    fn mapping_roundtrips() {
+        let fig = fixture::figure3();
+        let sub = subtree(&fig.ontology, fig.concept("J"));
+        for (new_idx, &old) in sub.to_source.iter().enumerate() {
+            assert_eq!(sub.from_source[&old], ConceptId::from_index(new_idx));
+            assert_eq!(sub.ontology.label(ConceptId::from_index(new_idx)), fig.ontology.label(old));
+        }
+        let mapped = sub.map_all(&[fig.concept("K"), fig.concept("A"), fig.concept("V")]);
+        assert_eq!(mapped.len(), 2, "A is outside the J branch");
+    }
+
+    #[test]
+    fn leaf_subtree_is_a_single_node() {
+        let fig = fixture::figure3();
+        let sub = subtree(&fig.ontology, fig.concept("M"));
+        assert_eq!(sub.ontology.len(), 1);
+        assert!(sub.ontology.is_leaf(sub.ontology.root()));
+    }
+}

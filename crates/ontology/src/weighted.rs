@@ -1,0 +1,283 @@
+//! Weighted-edge valid-path distances — the Section 7 future-work
+//! prototype ("how non is-a ontological edges can be incorporated into the
+//! similarity function").
+//!
+//! Real ontologies mix relationship types (`is-a`, `part-of`,
+//! `finding-site`, …) that should not all cost the same when measuring
+//! semantic distance. [`EdgeWeights`] assigns every parent→child edge a
+//! positive integer weight — callers encode relationship types by mapping
+//! them to weights — and the functions below generalize the valid-path
+//! distance to weighted ∧-paths. The unit-weight case reproduces the
+//! paper's metric exactly (tested).
+//!
+//! Weighted distances compose with DRC (see
+//! `cbr_dradix::Drc::with_weights`): a D-Radix edge's length becomes the
+//! weight sum of the ontology edges it compresses. The kNDS engine remains
+//! unit-weight, as in the paper — its level-synchronized frontier assumes
+//! unit steps; weighted top-k search goes through the exhaustive path.
+
+use crate::distance::D_INF;
+use crate::graph::Ontology;
+use crate::id::ConceptId;
+
+/// Positive integer weights for every parent→child edge, aligned with the
+/// ontology's child adjacency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeWeights {
+    /// `weights[k]` belongs to the k-th entry of the ontology's flattened
+    /// child adjacency (iterate concepts in id order, children in Dewey
+    /// order).
+    weights: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl EdgeWeights {
+    /// All edges cost 1 — the paper's metric.
+    pub fn uniform(ont: &Ontology) -> EdgeWeights {
+        Self::from_fn(ont, |_, _| 1)
+    }
+
+    /// Builds weights from a function of `(parent, child)`.
+    ///
+    /// ```
+    /// use cbr_ontology::{fixture, weighted, EdgeWeights};
+    ///
+    /// let fig = fixture::figure3();
+    /// let ont = &fig.ontology;
+    /// // Price edges out of the root at 10 — crossing the top of the
+    /// // hierarchy becomes expensive.
+    /// let w = EdgeWeights::from_fn(ont, |p, _| if p == ont.root() { 10 } else { 1 });
+    /// let d = weighted::concept_distance(ont, &w, fig.concept("G"), fig.concept("F"));
+    /// assert_eq!(d, 23); // 5 unit edges, two of them now costing 10
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function returns 0 (zero-weight edges would make
+    /// "distance 0" ambiguous).
+    pub fn from_fn(ont: &Ontology, mut f: impl FnMut(ConceptId, ConceptId) -> u32) -> EdgeWeights {
+        let mut weights = Vec::with_capacity(ont.num_edges());
+        let mut offsets = Vec::with_capacity(ont.len() + 1);
+        offsets.push(0u32);
+        for p in ont.concepts() {
+            for &c in ont.children(p) {
+                let w = f(p, c);
+                assert!(w > 0, "edge weights must be positive ({p} -> {c})");
+                weights.push(w);
+            }
+            offsets.push(weights.len() as u32);
+        }
+        EdgeWeights { weights, offsets }
+    }
+
+    /// The weight of the edge from `parent` to its `i`-th child (0-based
+    /// adjacency position).
+    #[inline]
+    pub fn weight_at(&self, parent: ConceptId, child_pos: usize) -> u32 {
+        self.weights[self.offsets[parent.index()] as usize + child_pos]
+    }
+
+    /// The weight of the edge `parent → child`, or `None` if absent.
+    pub fn weight(&self, ont: &Ontology, parent: ConceptId, child: ConceptId) -> Option<u32> {
+        ont.children(parent)
+            .iter()
+            .position(|&c| c == child)
+            .map(|pos| self.weight_at(parent, pos))
+    }
+
+    /// Total weight of walking `comps` Dewey components down from `from`.
+    /// Used by the weighted D-Radix to price compressed edges.
+    pub fn path_weight(&self, ont: &Ontology, from: ConceptId, comps: &[u32]) -> u32 {
+        let mut cur = from;
+        let mut total = 0u32;
+        for &comp in comps {
+            let pos = comp as usize - 1;
+            total += self.weight_at(cur, pos);
+            cur = ont.child_at(cur, comp).expect("valid ontology path");
+        }
+        total
+    }
+}
+
+/// Weighted valid-path distances from a set of source concepts to every
+/// concept: `min over sources of (weighted ascent + weighted descent)`.
+///
+/// The same two-phase topological relaxation as the unit-weight version —
+/// relaxation in topological order is exact on DAGs for any non-negative
+/// weights.
+pub fn multi_source_distances(
+    ont: &Ontology,
+    weights: &EdgeWeights,
+    sources: &[ConceptId],
+) -> Vec<u32> {
+    let mut up = vec![D_INF; ont.len()];
+    for &s in sources {
+        up[s.index()] = 0;
+    }
+    // Ascend (children before parents).
+    for &c in ont.topological_order().iter().rev() {
+        let base = up[c.index()];
+        if base == D_INF {
+            continue;
+        }
+        // `c`'s ascent can improve each parent via the parent→c edge.
+        for &p in ont.parents(c) {
+            let w = weights
+                .weight(ont, p, c)
+                .expect("parent adjacency is symmetric");
+            let cand = base + w;
+            if cand < up[p.index()] {
+                up[p.index()] = cand;
+            }
+        }
+    }
+    // Descend.
+    let mut dist = up;
+    for &c in ont.topological_order() {
+        let base = dist[c.index()];
+        if base == D_INF {
+            continue;
+        }
+        for (pos, &child) in ont.children(c).iter().enumerate() {
+            let cand = base + weights.weight_at(c, pos);
+            if cand < dist[child.index()] {
+                dist[child.index()] = cand;
+            }
+        }
+    }
+    dist
+}
+
+/// Weighted concept-concept valid-path distance.
+pub fn concept_distance(
+    ont: &Ontology,
+    weights: &EdgeWeights,
+    a: ConceptId,
+    b: ConceptId,
+) -> u32 {
+    if a == b {
+        return 0;
+    }
+    multi_source_distances(ont, weights, &[a])[b.index()]
+}
+
+/// Weighted `Ddq` (Equation 2 with weighted `D`).
+pub fn document_query_distance(
+    ont: &Ontology,
+    weights: &EdgeWeights,
+    doc: &[ConceptId],
+    query: &[ConceptId],
+) -> u64 {
+    assert!(!query.is_empty(), "RDS distance requires a non-empty query");
+    if doc.is_empty() {
+        return u64::MAX;
+    }
+    let dist = multi_source_distances(ont, weights, doc);
+    query.iter().map(|&q| dist[q.index()] as u64).sum()
+}
+
+/// Weighted `Ddd` (Equation 3 with weighted `D`).
+pub fn document_document_distance(
+    ont: &Ontology,
+    weights: &EdgeWeights,
+    d1: &[ConceptId],
+    d2: &[ConceptId],
+) -> f64 {
+    if d1.is_empty() || d2.is_empty() {
+        return f64::INFINITY;
+    }
+    let from_d1 = multi_source_distances(ont, weights, d1);
+    let from_d2 = multi_source_distances(ont, weights, d2);
+    let sum2: u64 = d2.iter().map(|&c| from_d1[c.index()] as u64).sum();
+    let sum1: u64 = d1.iter().map(|&c| from_d2[c.index()] as u64).sum();
+    sum1 as f64 / d1.len() as f64 + sum2 as f64 / d2.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+
+    #[test]
+    fn uniform_weights_reproduce_unit_distances() {
+        let fig = fixture::figure3();
+        let ont = &fig.ontology;
+        let w = EdgeWeights::uniform(ont);
+        let pt = ont.path_table();
+        for a in ont.concepts() {
+            for b in ont.concepts() {
+                assert_eq!(
+                    concept_distance(ont, &w, a, b),
+                    crate::concept_distance(pt, a, b),
+                    "{} vs {}",
+                    ont.label(a),
+                    ont.label(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavier_edges_lengthen_paths() {
+        let fig = fixture::figure3();
+        let ont = &fig.ontology;
+        let g = fig.concept("G");
+        let f = fig.concept("F");
+        // Make every edge out of the root cost 10: the G..A..F path
+        // (through the root) now costs 5 - 2 + 20 = 23.
+        let root = ont.root();
+        let w = EdgeWeights::from_fn(ont, |p, _| if p == root { 10 } else { 1 });
+        assert_eq!(concept_distance(ont, &w, g, f), 23);
+    }
+
+    #[test]
+    fn weights_can_reroute_shortest_paths() {
+        let fig = fixture::figure3();
+        let ont = &fig.ontology;
+        // I's nearest document concept is R (distance 4 through G). Penalize
+        // the G→J edge and the ∧-path through the root (6 + penalties…)
+        // becomes competitive.
+        let g = fig.concept("G");
+        let j = fig.concept("J");
+        let i = fig.concept("I");
+        let r = fig.concept("R");
+        let w = EdgeWeights::from_fn(ont, |p, c| if p == g && c == j { 100 } else { 1 });
+        // Valid paths I..R: via G→J (1 + 100 + 2 = 103) or up to A and down
+        // through D,F,J,K (4 up + 5 down = 9... I→G→E→B→A = 4, A→D→F→J→K→R = 5).
+        assert_eq!(concept_distance(ont, &w, i, r), 9);
+    }
+
+    #[test]
+    fn path_weight_walks_components() {
+        let fig = fixture::figure3();
+        let ont = &fig.ontology;
+        let w = EdgeWeights::from_fn(ont, |p, _| if p == ont.root() { 7 } else { 2 });
+        // Address of G is 1.1.1: root edge (7) + two deeper edges (2 + 2).
+        assert_eq!(w.path_weight(ont, ont.root(), &[1, 1, 1]), 11);
+        assert_eq!(w.path_weight(ont, ont.root(), &[]), 0);
+    }
+
+    #[test]
+    fn weighted_document_distances_reduce_to_unit() {
+        let fig = fixture::figure3();
+        let ont = &fig.ontology;
+        let w = EdgeWeights::uniform(ont);
+        let d = fig.example_document();
+        let q = fig.example_query();
+        assert_eq!(document_query_distance(ont, &w, &d, &q), 7);
+        let ddd = document_document_distance(ont, &w, &d, &q);
+        let unit = cbr_expected_ddd();
+        assert!((ddd - unit).abs() < 1e-12);
+    }
+
+    fn cbr_expected_ddd() -> f64 {
+        (2.0 + 1.0 + 4.0 + 5.0) / 4.0 + (4.0 + 2.0 + 1.0) / 3.0
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weights_are_rejected() {
+        let fig = fixture::figure3();
+        EdgeWeights::from_fn(&fig.ontology, |_, _| 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build an engine over synthetic EMR data and run both query
+//! types of the paper (RDS and SDS).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use concept_rank::prelude::*;
+use concept_rank_repro::demo;
+
+fn main() {
+    // 1. A SNOMED-shaped ontology (5,000 concepts) and a RADIO-shaped
+    //    corpus (300 documents, ~25 concepts each). Both deterministic.
+    println!("building ontology + corpus + engine …");
+    let engine = demo::engine(5_000, 300, 25.0);
+    println!(
+        "  {} concepts, {} documents\n",
+        engine.ontology().len(),
+        engine.num_docs()
+    );
+
+    // 2. RDS: find documents relevant to a set of query concepts —
+    //    the paper's "clinical researcher screening trial candidates".
+    let query: Vec<ConceptId> = engine
+        .corpus()
+        .documents()
+        .find(|d| d.num_concepts() >= 3)
+        .map(|d| d.concepts()[..3].to_vec())
+        .expect("corpus has a document with three concepts");
+
+    println!("RDS query on {} concepts:", query.len());
+    for &c in &query {
+        println!("  - {}", engine.ontology().label(c));
+    }
+    let hits = engine.rds(&query, 5).expect("query is non-empty");
+    println!("top-5 relevant documents:");
+    for hit in &hits.results {
+        println!("  {}  Ddq = {}", hit.doc, hit.distance);
+    }
+    println!(
+        "  [{} docs examined of {} candidates, {} BFS levels, {:?} total]\n",
+        hits.metrics.docs_examined,
+        hits.metrics.candidates_seen,
+        hits.metrics.levels,
+        hits.metrics.total()
+    );
+
+    // 3. Explanation: why did the best document match?
+    let best = hits.results[0].doc;
+    let explanation = engine.explain_rds(best, &query).expect("explainable");
+    println!("why {best} matched:");
+    for m in &explanation.matches {
+        println!(
+            "  {:?} → nearest concept {:?} at distance {}",
+            engine.ontology().label(m.query_concept),
+            engine.ontology().label(m.nearest),
+            m.distance
+        );
+    }
+    println!();
+
+    // 4. SDS: most similar documents to a given patient record.
+    let patient = DocId(0);
+    let sims = engine.sds_by_doc(patient, 4).expect("document exists");
+    println!("documents most similar to {patient} (SDS):");
+    for s in &sims.results {
+        println!("  {}  Ddd = {:.3}", s.doc, s.distance);
+    }
+}

@@ -1,0 +1,40 @@
+//! Workspace umbrella for the EDBT 2014 reproduction.
+//!
+//! The real library surface lives in [`concept_rank`]; this crate hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`), plus a few helpers they share.
+
+pub use concept_rank::*;
+
+/// Shared scaffolding for examples and integration tests.
+pub mod demo {
+    use cbr_corpus::{Corpus, CorpusGenerator, CorpusProfile};
+    use cbr_ontology::{GeneratorConfig, Ontology, OntologyGenerator};
+    use concept_rank::{Engine, EngineBuilder};
+
+    /// A small SNOMED-shaped ontology (deterministic).
+    pub fn small_ontology(concepts: usize) -> Ontology {
+        OntologyGenerator::new(GeneratorConfig::snomed_like(concepts)).generate()
+    }
+
+    /// A RADIO-shaped corpus over `ont` (deterministic).
+    pub fn small_corpus(ont: &Ontology, docs: usize, mean_concepts: f64) -> Corpus {
+        CorpusGenerator::new(
+            ont,
+            CorpusProfile::radio_like()
+                .with_num_docs(docs)
+                .with_mean_concepts(mean_concepts),
+        )
+        .generate()
+    }
+
+    /// A ready-made engine over the two generators above, with the paper's
+    /// Section 6.1 concept filter enabled.
+    pub fn engine(concepts: usize, docs: usize, mean_concepts: f64) -> Engine {
+        let ont = small_ontology(concepts);
+        let corpus = small_corpus(&ont, docs, mean_concepts);
+        EngineBuilder::new()
+            .filter(cbr_corpus::FilterConfig::default())
+            .build(ont, corpus)
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: the full pipeline from generation through
+//! persistence to querying, including the file-backed access path.
+
+use cbr_corpus::{CorpusGenerator, CorpusProfile, FilterConfig};
+use cbr_index::{FileSource, ForwardIndex, IndexSource, InvertedIndex, MemorySource, SnapshotStore};
+use cbr_knds::{Knds, KndsConfig};
+use cbr_ontology::{GeneratorConfig, Ontology, OntologyGenerator};
+use concept_rank::EngineBuilder;
+use concept_rank_repro::demo;
+
+#[test]
+fn generated_pipeline_produces_consistent_engine() {
+    let engine = demo::engine(3_000, 120, 15.0);
+    let query: Vec<_> = engine
+        .corpus()
+        .documents()
+        .find(|d| d.num_concepts() >= 2)
+        .map(|d| d.concepts()[..2].to_vec())
+        .unwrap();
+    let fast = engine.rds(&query, 8).unwrap();
+    let slow = engine.rds_full_scan(&query, 8).unwrap();
+    assert_eq!(fast.results.len(), 8);
+    for (a, b) in fast.results.iter().zip(slow.results.iter()) {
+        assert_eq!(a.distance, b.distance);
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_query_results() {
+    let dir = std::env::temp_dir().join(format!("cbr-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SnapshotStore::open(&dir).unwrap();
+
+    let ont = OntologyGenerator::new(GeneratorConfig::small(1_500)).generate();
+    let corpus = CorpusGenerator::new(
+        &ont,
+        CorpusProfile::radio_like().with_num_docs(80).with_mean_concepts(12.0),
+    )
+    .generate();
+    store.save("ontology", &ont).unwrap();
+    store.save("corpus", &corpus).unwrap();
+
+    let ont2: Ontology = store.load("ontology").unwrap();
+    let corpus2: cbr_corpus::Corpus = store.load("corpus").unwrap();
+
+    let q: Vec<_> = corpus
+        .documents()
+        .find(|d| d.num_concepts() >= 3)
+        .map(|d| d.concepts()[..3].to_vec())
+        .unwrap();
+    let src1 = MemorySource::build(&corpus, ont.len());
+    let src2 = MemorySource::build(&corpus2, ont2.len());
+    let r1 = Knds::new(&ont, &src1, KndsConfig::default()).rds(&q, 5);
+    let r2 = Knds::new(&ont2, &src2, KndsConfig::default()).rds(&q, 5);
+    for (a, b) in r1.results.iter().zip(r2.results.iter()) {
+        assert_eq!(a.doc, b.doc);
+        assert_eq!(a.distance, b.distance);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn file_backed_source_answers_identically() {
+    let ont = OntologyGenerator::new(GeneratorConfig::small(1_200)).generate();
+    let corpus = CorpusGenerator::new(
+        &ont,
+        CorpusProfile::radio_like().with_num_docs(60).with_mean_concepts(10.0),
+    )
+    .generate();
+    let inverted = InvertedIndex::build(&corpus, ont.len());
+    let forward = ForwardIndex::build(&corpus);
+    let mem = MemorySource::new(inverted.clone(), forward.clone());
+
+    let path = std::env::temp_dir().join(format!("cbr-e2e-{}.idx", std::process::id()));
+    FileSource::write_image(&path, &inverted, &forward).unwrap();
+    let file = FileSource::open(&path).unwrap();
+    assert_eq!(file.num_docs(), mem.num_docs());
+
+    let q: Vec<_> = corpus
+        .documents()
+        .find(|d| d.num_concepts() >= 2)
+        .map(|d| d.concepts()[..2].to_vec())
+        .unwrap();
+    let a = Knds::new(&ont, &mem, KndsConfig::default()).rds(&q, 6);
+    let b = Knds::new(&ont, &file, KndsConfig::default()).rds(&q, 6);
+    for (x, y) in a.results.iter().zip(b.results.iter()) {
+        assert_eq!(x.doc, y.doc);
+        assert_eq!(x.distance, y.distance);
+    }
+    // The file-backed run attributes real time to the I/O bucket.
+    assert!(b.metrics.io >= a.metrics.io);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn text_to_query_pipeline() {
+    use cbr_corpus::{ConceptExtractor, Corpus, DocId, ExtractorConfig, NoteGenerator};
+
+    let ont = OntologyGenerator::new(GeneratorConfig::small(400)).generate();
+    let extractor = ConceptExtractor::new(&ont, ExtractorConfig::default());
+    let concepts: Vec<_> = ont.concepts().skip(50).step_by(9).take(6).collect();
+    let mut gen = NoteGenerator::new(&ont, 5);
+    gen.abbreviation_rate = 0.0; // keep mentions literal for this test
+    let note = gen.render(&concepts, &[]);
+    let doc = extractor.extract_document(DocId(0), &note);
+    for &c in &concepts {
+        assert!(doc.contains(c));
+    }
+
+    let corpus = Corpus::new(vec![doc]);
+    let engine = EngineBuilder::new().build(ont, corpus);
+    let r = engine.rds(&concepts, 1).unwrap();
+    assert_eq!(r.results[0].distance, 0.0, "note must match its own concepts");
+}
+
+#[test]
+fn filtering_changes_are_consistent_between_engine_and_manual_path() {
+    let ont = OntologyGenerator::new(GeneratorConfig::small(2_000)).generate();
+    let corpus = CorpusGenerator::new(
+        &ont,
+        CorpusProfile::patient_like().with_num_docs(50).with_mean_concepts(40.0),
+    )
+    .generate();
+    let filter = cbr_corpus::ConceptFilter::build(&ont, &corpus, FilterConfig::default());
+    let filtered = filter.apply(&corpus);
+    let engine = EngineBuilder::new()
+        .filter(FilterConfig::default())
+        .build(
+            OntologyGenerator::new(GeneratorConfig::small(2_000)).generate(),
+            corpus.clone(),
+        );
+    // Same generator seed -> same ontology -> engine's corpus equals the
+    // manually filtered one.
+    for (a, b) in engine.corpus().documents().zip(filtered.documents()) {
+        assert_eq!(a.concepts(), b.concepts());
+    }
+}
+
+#[test]
+fn dynamic_appends_interact_with_filtering() {
+    let mut engine = demo::engine(2_000, 40, 12.0);
+    let root = engine.ontology().root();
+    let eligible: Vec<_> = engine
+        .corpus()
+        .documents()
+        .flat_map(|d| d.concepts().iter().copied())
+        .filter(|&c| engine.eligible(c))
+        .take(3)
+        .collect();
+    // Root is depth-filtered: an appended doc keeps only eligible concepts.
+    let mut payload = eligible.clone();
+    payload.push(root);
+    let id = engine.add_document(payload);
+    let stored = engine.document_concepts(id).unwrap();
+    assert_eq!(stored.len(), eligible.len());
+    assert!(!stored.contains(&root));
+}
