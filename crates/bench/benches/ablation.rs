@@ -1,8 +1,9 @@
 //! Criterion bench for the design-choice ablations:
-//! BFS state dedup on/off, queue watermark, and TA vs kNDS (RDS).
+//! BFS state dedup on/off, queue watermark, TA vs kNDS (RDS), and
+//! fresh-per-query workspaces vs one reused `KndsWorkspace`.
 
 use cbr_bench::{Scale, Workbench};
-use cbr_knds::{ta, Knds, KndsConfig};
+use cbr_knds::{ta, Knds, KndsConfig, KndsWorkspace};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -17,9 +18,8 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(10).measurement_time(Duration::from_secs(2));
 
     for dedup in [true, false] {
-        let cfg = KndsConfig::default()
-            .with_error_threshold(coll.default_eps)
-            .with_dedup_visits(dedup);
+        let cfg =
+            KndsConfig::default().with_error_threshold(coll.default_eps).with_dedup_visits(dedup);
         let engine = Knds::new(&wb.ontology, &coll.source, cfg);
         group.bench_with_input(BenchmarkId::new("dedup", dedup), &q, |b, q| {
             b.iter(|| black_box(engine.rds(black_box(q), 10).results.len()))
@@ -27,9 +27,7 @@ fn bench_ablation(c: &mut Criterion) {
     }
 
     for cap in [100usize, 50_000] {
-        let cfg = KndsConfig::default()
-            .with_error_threshold(coll.default_eps)
-            .with_queue_cap(cap);
+        let cfg = KndsConfig::default().with_error_threshold(coll.default_eps).with_queue_cap(cap);
         let engine = Knds::new(&wb.ontology, &coll.source, cfg);
         group.bench_with_input(BenchmarkId::new("queue_cap", cap), &sds_q, |b, q| {
             b.iter(|| black_box(engine.sds(black_box(q), 10).results.len()))
@@ -44,8 +42,23 @@ fn bench_ablation(c: &mut Criterion) {
         &coll.source,
         KndsConfig::default().with_error_threshold(coll.default_eps),
     );
-    group.bench_function("knds_rds", |b| {
+    group.bench_function("knds_rds", |b| b.iter(|| black_box(engine.rds(&q, 10).results.len())));
+
+    // Zero-allocation query path: fresh per-query state vs one warm
+    // workspace reused across iterations (RDS and SDS).
+    group.bench_function("workspace_fresh_rds", |b| {
         b.iter(|| black_box(engine.rds(&q, 10).results.len()))
+    });
+    group.bench_function("workspace_reused_rds", |b| {
+        let mut ws = KndsWorkspace::new();
+        b.iter(|| black_box(engine.rds_with(&mut ws, &q, 10).results.len()))
+    });
+    group.bench_function("workspace_fresh_sds", |b| {
+        b.iter(|| black_box(engine.sds(&sds_q, 10).results.len()))
+    });
+    group.bench_function("workspace_reused_sds", |b| {
+        let mut ws = KndsWorkspace::new();
+        b.iter(|| black_box(engine.sds_with(&mut ws, &sds_q, 10).results.len()))
     });
     group.finish();
 }

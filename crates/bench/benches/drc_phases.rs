@@ -1,7 +1,9 @@
 //! Criterion bench splitting DRC into its two phases (Section 4.3):
 //! D-Radix construction (`O((|Pd|+|Pq|) log(|Pd|+|Pq|))`) vs distance
 //! tuning (`O(|Pd|+|Pq|)`), across document sizes. The paper analyses the
-//! phases separately; this bench verifies construction dominates.
+//! phases separately; this bench verifies construction dominates. The
+//! `reused` rows rebuild into one retained DAG (the `DagScratch` path every
+//! query takes through a warm `KndsWorkspace`) vs allocating fresh.
 
 use cbr_bench::{Scale, Workbench};
 use cbr_dradix::DRadixDag;
@@ -27,12 +29,27 @@ fn bench_drc_phases(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("construct", doc_size), &doc, |b, doc| {
             b.iter(|| black_box(DRadixDag::build(&wb.ontology, black_box(doc), &query).stats()))
         });
+        group.bench_with_input(BenchmarkId::new("construct+tune", doc_size), &doc, |b, doc| {
+            b.iter(|| {
+                let mut dag = DRadixDag::build(&wb.ontology, black_box(doc), &query);
+                dag.tune();
+                black_box(dag.stats())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("construct_reused", doc_size), &doc, |b, doc| {
+            let mut dag = DRadixDag::new();
+            b.iter(|| {
+                dag.build_into(&wb.ontology, black_box(doc), &query);
+                black_box(dag.stats())
+            })
+        });
         group.bench_with_input(
-            BenchmarkId::new("construct+tune", doc_size),
+            BenchmarkId::new("construct+tune_reused", doc_size),
             &doc,
             |b, doc| {
+                let mut dag = DRadixDag::new();
                 b.iter(|| {
-                    let mut dag = DRadixDag::build(&wb.ontology, black_box(doc), &query);
+                    dag.build_into(&wb.ontology, black_box(doc), &query);
                     dag.tune();
                     black_box(dag.stats())
                 })

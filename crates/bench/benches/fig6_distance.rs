@@ -10,7 +10,7 @@ use std::time::Duration;
 
 fn bench_fig6(c: &mut Criterion) {
     let wb = Workbench::build(Scale::micro());
-    let drc = Drc::new(&wb.ontology);
+    let mut drc = Drc::new(&wb.ontology);
     let _ = wb.ontology.path_table(); // materialize outside the timings
 
     for coll in &wb.collections {

@@ -22,9 +22,7 @@ fn bench_fig8(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("baseline", nq), &q, |b, q| {
                 b.iter(|| {
                     black_box(
-                        baseline::rds(&wb.ontology, &coll.source, black_box(q), 10)
-                            .results
-                            .len(),
+                        baseline::rds(&wb.ontology, &coll.source, black_box(q), 10).results.len(),
                     )
                 })
             });

@@ -115,8 +115,7 @@ fn run_knds_rds(
 ) -> Timing {
     let cfg = KndsConfig::default().with_error_threshold(eps);
     let engine = Knds::new(&wb.ontology, &coll.source, cfg);
-    let metrics: Vec<QueryMetrics> =
-        queries.iter().map(|q| engine.rds(q, k).metrics).collect();
+    let metrics: Vec<QueryMetrics> = queries.iter().map(|q| engine.rds(q, k).metrics).collect();
     Timing::from_metrics(&metrics, k)
 }
 
@@ -129,8 +128,7 @@ fn run_knds_sds(
 ) -> Timing {
     let cfg = KndsConfig::default().with_error_threshold(eps);
     let engine = Knds::new(&wb.ontology, &coll.source, cfg);
-    let metrics: Vec<QueryMetrics> =
-        queries.iter().map(|q| engine.sds(q, k).metrics).collect();
+    let metrics: Vec<QueryMetrics> = queries.iter().map(|q| engine.sds(q, k).metrics).collect();
     Timing::from_metrics(&metrics, k)
 }
 
@@ -140,10 +138,8 @@ fn run_baseline_rds(
     queries: &[Vec<ConceptId>],
     k: usize,
 ) -> Timing {
-    let metrics: Vec<QueryMetrics> = queries
-        .iter()
-        .map(|q| baseline::rds(&wb.ontology, &coll.source, q, k).metrics)
-        .collect();
+    let metrics: Vec<QueryMetrics> =
+        queries.iter().map(|q| baseline::rds(&wb.ontology, &coll.source, q, k).metrics).collect();
     Timing::from_metrics(&metrics, k)
 }
 
@@ -153,10 +149,8 @@ fn run_baseline_sds(
     queries: &[Vec<ConceptId>],
     k: usize,
 ) -> Timing {
-    let metrics: Vec<QueryMetrics> = queries
-        .iter()
-        .map(|q| baseline::sds(&wb.ontology, &coll.source, q, k).metrics)
-        .collect();
+    let metrics: Vec<QueryMetrics> =
+        queries.iter().map(|q| baseline::sds(&wb.ontology, &coll.source, q, k).metrics).collect();
     Timing::from_metrics(&metrics, k)
 }
 
@@ -181,8 +175,7 @@ fn table3(wb: &Workbench) {
     let mut t = Table::new(&["metric", "PATIENT", "RADIO"]);
     // Table 3 describes the extracted corpus before the Section 6.1
     // thresholds, so report the raw statistics.
-    let stats: Vec<CorpusStats> =
-        wb.collections.iter().map(|c| c.raw_stats.clone()).collect();
+    let stats: Vec<CorpusStats> = wb.collections.iter().map(|c| c.raw_stats.clone()).collect();
     t.row(vec![
         "total documents".into(),
         stats[0].total_documents.to_string(),
@@ -218,7 +211,7 @@ fn fig6(wb: &Workbench) {
         let docs_per_query = 3;
         let n_queries = wb.scale.queries_per_point;
         let mut rng = StdRng::seed_from_u64(wb.scale.seed ^ 0x6);
-        let drc = Drc::new(&wb.ontology);
+        let mut drc = Drc::new(&wb.ontology);
         // Force path-table materialization outside the timings.
         let _ = wb.ontology.path_table();
         for &nq in &sweep {
@@ -227,13 +220,11 @@ fn fig6(wb: &Workbench) {
             }
             let queries = coll.query_documents(n_queries, nq, wb.scale.seed ^ nq as u64);
             let targets: Vec<&[ConceptId]> = (0..n_queries * docs_per_query)
-                .map(|_| {
-                    loop {
-                        let d = rng.random_range(0..coll.corpus.len());
-                        let doc = coll.corpus.get(cbr_corpus::DocId(d as u32));
-                        if doc.num_concepts() > 0 {
-                            break doc.concepts();
-                        }
+                .map(|_| loop {
+                    let d = rng.random_range(0..coll.corpus.len());
+                    let doc = coll.corpus.get(cbr_corpus::DocId(d as u32));
+                    if doc.num_concepts() > 0 {
+                        break doc.concepts();
                     }
                 })
                 .collect();
@@ -254,8 +245,7 @@ fn fig6(wb: &Workbench) {
             let t0 = Instant::now();
             for (qi, q) in queries.iter().enumerate() {
                 for ti in 0..docs_per_query {
-                    sink += drc
-                        .document_document_distance(targets[qi * docs_per_query + ti], q);
+                    sink += drc.document_document_distance(targets[qi * docs_per_query + ti], q);
                 }
             }
             let dd = t0.elapsed() / (n_queries * docs_per_query) as u32;
@@ -283,10 +273,9 @@ fn fig7(wb: &Workbench) {
     let k = 10;
 
     // 7(a)-(e): RDS sweeps.
-    for (coll_name, nqs, figs) in [
-        ("PATIENT", vec![3usize, 5], "7(a)-(b)"),
-        ("RADIO", vec![3, 5, 10], "7(c)-(e)"),
-    ] {
+    for (coll_name, nqs, figs) in
+        [("PATIENT", vec![3usize, 5], "7(a)-(b)"), ("RADIO", vec![3, 5, 10], "7(c)-(e)")]
+    {
         let coll = wb.collection(coll_name);
         let mut t = Table::new(&["nq \\ εθ", "0.00", "0.25", "0.50", "0.75", "1.00", "best εθ"]);
         let mut optimal: Vec<(usize, f64)> = Vec::new();
@@ -374,9 +363,8 @@ fn fig9(wb: &Workbench) {
                 "RDS" => coll.rds_queries(wb.scale.queries_per_point, nq, wb.scale.seed ^ 0x90),
                 _ => coll.sds_queries(wb.scale.queries_per_point, wb.scale.seed ^ 0x91),
             };
-            let mut t = Table::new(&[
-                "k", "kNDS", "kNDS p95", "baseline", "speedup", "exam. precision",
-            ]);
+            let mut t =
+                Table::new(&["k", "kNDS", "kNDS p95", "baseline", "speedup", "exam. precision"]);
             for k in [3usize, 5, 10, 50, 100] {
                 let (fast, slow) = match kind {
                     "RDS" => (
@@ -453,12 +441,10 @@ fn ablation(wb: &Workbench) {
     let queries = coll.rds_queries(wb.scale.queries_per_point, nq, wb.scale.seed ^ 0xA0);
     let mut t = Table::new(&["dedup", "time", "states visited"]);
     for dedup in [true, false] {
-        let cfg = KndsConfig::default()
-            .with_error_threshold(coll.default_eps)
-            .with_dedup_visits(dedup);
+        let cfg =
+            KndsConfig::default().with_error_threshold(coll.default_eps).with_dedup_visits(dedup);
         let engine = Knds::new(&wb.ontology, &coll.source, cfg);
-        let metrics: Vec<QueryMetrics> =
-            queries.iter().map(|q| engine.rds(q, k).metrics).collect();
+        let metrics: Vec<QueryMetrics> = queries.iter().map(|q| engine.rds(q, k).metrics).collect();
         let states: usize = metrics.iter().map(|m| m.nodes_visited).sum();
         let timing = Timing::from_metrics(&metrics, k);
         t.row(vec![
@@ -475,12 +461,9 @@ fn ablation(wb: &Workbench) {
     let queries = coll.sds_queries(wb.scale.queries_per_point, wb.scale.seed ^ 0xA1);
     let mut t = Table::new(&["queue cap", "time", "DRC calls", "forced rounds"]);
     for cap in [100usize, 1_000, 10_000, 50_000] {
-        let cfg = KndsConfig::default()
-            .with_error_threshold(coll.default_eps)
-            .with_queue_cap(cap);
+        let cfg = KndsConfig::default().with_error_threshold(coll.default_eps).with_queue_cap(cap);
         let engine = Knds::new(&wb.ontology, &coll.source, cfg);
-        let metrics: Vec<QueryMetrics> =
-            queries.iter().map(|q| engine.sds(q, k).metrics).collect();
+        let metrics: Vec<QueryMetrics> = queries.iter().map(|q| engine.sds(q, k).metrics).collect();
         let forced: usize = metrics.iter().map(|m| m.forced_rounds).sum();
         let timing = Timing::from_metrics(&metrics, k);
         t.row(vec![
@@ -499,18 +482,13 @@ fn ablation(wb: &Workbench) {
     let mut t = Table::new(&["method", "time", "notes"]);
     let fast = run_knds_rds(wb, coll, &queries, k, coll.default_eps);
     t.row(vec!["kNDS".into(), format!("{:.2} ms", fast.ms()), "no precomputation".into()]);
-    let metrics: Vec<QueryMetrics> = queries
-        .iter()
-        .map(|q| ta::rds(&wb.ontology, &coll.source, q, k).metrics)
-        .collect();
+    let metrics: Vec<QueryMetrics> =
+        queries.iter().map(|q| ta::rds(&wb.ontology, &coll.source, q, k).metrics).collect();
     let tat = Timing::from_metrics(&metrics, k);
     t.row(vec![
         "TA".into(),
         format!("{:.2} ms", tat.ms()),
-        format!(
-            "incl. {:.2} ms/query list materialization",
-            tat.distance_calc.as_secs_f64() * 1e3
-        ),
+        format!("incl. {:.2} ms/query list materialization", tat.distance_calc.as_secs_f64() * 1e3),
     ]);
     let slow = run_baseline_rds(wb, coll, &queries, k);
     t.row(vec!["full scan".into(), format!("{:.2} ms", slow.ms()), "DRC on every doc".into()]);
@@ -539,18 +517,15 @@ fn ablation(wb: &Workbench) {
     let mut t = Table::new(&["collection", "raw bytes", "compressed", "ratio", "kNDS time"]);
     for coll in &wb.collections {
         let raw_bytes = coll.source.inverted().total_postings() * 4;
-        let compressed = cbr_index::CompressedSource::new(
-            coll.source.inverted(),
-            coll.source.forward().clone(),
-        );
+        let compressed =
+            cbr_index::CompressedSource::new(coll.source.inverted(), coll.source.forward().clone());
         // Both layouts carry the same per-concept offset table; compare the
         // postings payloads themselves.
         let comp_bytes = compressed.postings().data_bytes();
         let queries = coll.rds_queries(wb.scale.queries_per_point, nq, wb.scale.seed ^ 0xA4);
         let cfg = KndsConfig::default().with_error_threshold(coll.default_eps);
         let engine = Knds::new(&wb.ontology, &compressed, cfg);
-        let metrics: Vec<QueryMetrics> =
-            queries.iter().map(|q| engine.rds(q, k).metrics).collect();
+        let metrics: Vec<QueryMetrics> = queries.iter().map(|q| engine.rds(q, k).metrics).collect();
         let timing = Timing::from_metrics(&metrics, k);
         t.row(vec![
             coll.name.to_string(),
@@ -582,8 +557,7 @@ fn ablation(wb: &Workbench) {
     t.row(vec!["BFS (unit)".into(), format!("{:.2} ms", timing.ms())]);
     for (name, w) in [("Dijkstra (unit)", &unit), ("Dijkstra (skewed)", &skewed)] {
         let engine = cbr_knds::WeightedKnds::new(&wb.ontology, w, &coll.source, cfg.clone());
-        let metrics: Vec<QueryMetrics> =
-            queries.iter().map(|q| engine.rds(q, k).metrics).collect();
+        let metrics: Vec<QueryMetrics> = queries.iter().map(|q| engine.rds(q, k).metrics).collect();
         let timing = Timing::from_metrics(&metrics, k);
         t.row(vec![name.to_string(), format!("{:.2} ms", timing.ms())]);
     }
@@ -620,8 +594,7 @@ fn effectiveness(wb: &Workbench) {
                 continue;
             }
             let q = members[0];
-            let relevant: HashSet<DocId> =
-                members.iter().copied().filter(|&d| d != q).collect();
+            let relevant: HashSet<DocId> = members.iter().copied().filter(|&d| d != q).collect();
             queries.push((q, relevant));
             if queries.len() >= wb.scale.queries_per_point {
                 break;
@@ -660,13 +633,8 @@ fn effectiveness(wb: &Workbench) {
             sds_runs.push((ranked, relevant.clone()));
 
             // Lin re-rank of the shortest-path top-50.
-            let pool: Vec<DocId> = engine
-                .sds(&profile, 50)
-                .results
-                .iter()
-                .map(|r| r.doc)
-                .filter(|d| d != q)
-                .collect();
+            let pool: Vec<DocId> =
+                engine.sds(&profile, 50).results.iter().map(|r| r.doc).filter(|d| d != q).collect();
             let mut scored: Vec<(f64, DocId)> = pool
                 .iter()
                 .map(|&d| {
@@ -680,13 +648,8 @@ fn effectiveness(wb: &Workbench) {
                     (s, d)
                 })
                 .collect();
-            scored.sort_by(|a, b| {
-                b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
-            });
-            lin_runs.push((
-                scored.into_iter().map(|(_, d)| d).take(k).collect(),
-                relevant.clone(),
-            ));
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            lin_runs.push((scored.into_iter().map(|(_, d)| d).take(k).collect(), relevant.clone()));
 
             // Random reference.
             let mut all: Vec<DocId> = coll.corpus.doc_ids().filter(|d| d != q).collect();
@@ -698,11 +661,9 @@ fn effectiveness(wb: &Workbench) {
         }
 
         let mut t = Table::new(&["ranking", "P@10", "R@10", "MAP", "nDCG@10"]);
-        for (name, runs) in [
-            ("shortest-path SDS", &sds_runs),
-            ("Lin re-rank", &lin_runs),
-            ("random", &random_runs),
-        ] {
+        for (name, runs) in
+            [("shortest-path SDS", &sds_runs), ("Lin re-rank", &lin_runs), ("random", &random_runs)]
+        {
             let e = cbr_eval::evaluate(runs, k);
             t.row(vec![
                 name.to_string(),

@@ -144,8 +144,7 @@ impl Workbench {
             ),
         ];
         for (name, profile, default_eps) in profiles {
-            let (raw, cohorts) =
-                CorpusGenerator::new(&ontology, profile).generate_with_cohorts();
+            let (raw, cohorts) = CorpusGenerator::new(&ontology, profile).generate_with_cohorts();
             let raw_stats = cbr_corpus::CorpusStats::compute(&raw);
             let filter = ConceptFilter::build(&ontology, &raw, FilterConfig::default());
             let corpus = filter.apply(&raw);
@@ -203,12 +202,8 @@ impl Collection {
     /// (Section 6.2), skipping empty ones.
     pub fn sds_queries(&self, n: usize, seed: u64) -> Vec<Vec<ConceptId>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let nonempty: Vec<DocId> = self
-            .corpus
-            .documents()
-            .filter(|d| d.num_concepts() > 0)
-            .map(|d| d.id())
-            .collect();
+        let nonempty: Vec<DocId> =
+            self.corpus.documents().filter(|d| d.num_concepts() > 0).map(|d| d.id()).collect();
         (0..n)
             .map(|_| {
                 let d = nonempty[rng.random_range(0..nonempty.len())];

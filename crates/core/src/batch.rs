@@ -8,7 +8,7 @@
 //! work-stealing queue over `crossbeam` keeps them busy.
 
 use crate::engine::{Engine, EngineError};
-use cbr_knds::QueryResult;
+use cbr_knds::{KndsWorkspace, QueryResult};
 use cbr_ontology::ConceptId;
 use crossbeam::queue::SegQueue;
 
@@ -41,7 +41,8 @@ impl Engine {
         let threads = threads.min(queries.len().max(1));
 
         if threads <= 1 {
-            return queries.iter().map(|q| self.run_one(kind, q, k)).collect();
+            let mut ws = KndsWorkspace::new();
+            return queries.iter().map(|q| self.run_one(kind, q, k, &mut ws)).collect();
         }
 
         let work: SegQueue<usize> = SegQueue::new();
@@ -55,8 +56,12 @@ impl Engine {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
+                    // One workspace per worker, reused across every query
+                    // the worker steals: after the first query the worker's
+                    // hot loop stops allocating.
+                    let mut ws = KndsWorkspace::new();
                     while let Some(i) = work.pop() {
-                        slot_queue.push((i, self.run_one(kind, &queries[i], k)));
+                        slot_queue.push((i, self.run_one(kind, &queries[i], k, &mut ws)));
                     }
                 });
             }
@@ -64,10 +69,7 @@ impl Engine {
         while let Some((i, r)) = slot_queue.pop() {
             slots[i] = Some(r);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every query index was processed"))
-            .collect()
+        slots.into_iter().map(|s| s.expect("every query index was processed")).collect()
     }
 
     fn run_one(
@@ -75,10 +77,11 @@ impl Engine {
         kind: BatchKind,
         query: &[ConceptId],
         k: usize,
+        ws: &mut KndsWorkspace,
     ) -> Result<QueryResult, EngineError> {
         match kind {
-            BatchKind::Rds => self.rds(query, k),
-            BatchKind::Sds => self.sds(query, k),
+            BatchKind::Rds => self.rds_with(ws, query, k),
+            BatchKind::Sds => self.sds_with(ws, query, k),
         }
     }
 }
@@ -152,6 +155,18 @@ mod tests {
                 assert_eq!(rx.doc, ry.doc);
             }
         }
+    }
+
+    #[test]
+    fn batch_workers_reuse_workspaces() {
+        let e = engine();
+        let qs = queries(&e, 10);
+        let seq = e.batch(BatchKind::Rds, &qs, 3, 1);
+        let reused: usize = seq.iter().map(|r| r.as_ref().unwrap().metrics.workspace_reused).sum();
+        assert_eq!(reused, qs.len() - 1, "sequential path shares one workspace");
+        let par = e.batch(BatchKind::Rds, &qs, 3, 2);
+        let reused: usize = par.iter().map(|r| r.as_ref().unwrap().metrics.workspace_reused).sum();
+        assert!(reused >= qs.len() - 2, "each worker is cold at most once, got {reused}");
     }
 
     #[test]

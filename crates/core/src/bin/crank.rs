@@ -14,9 +14,7 @@
 use cbr_corpus::{io as cio, Corpus, CorpusStats, DocId, FilterConfig};
 use cbr_index::SnapshotStore;
 use cbr_knds::KndsConfig;
-use cbr_ontology::{
-    GeneratorConfig, Ontology, OntologyGenerator, OntologyStats,
-};
+use cbr_ontology::{GeneratorConfig, Ontology, OntologyGenerator, OntologyStats};
 use concept_rank::{Engine, EngineBuilder, ExpansionConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -74,9 +72,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, AnyError> {
             .strip_prefix("--")
             .or_else(|| args[i].strip_prefix('-'))
             .ok_or_else(|| format!("expected a flag, found {:?}", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -119,9 +115,7 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     let ont = OntologyGenerator::new(GeneratorConfig::small(n_concepts)).generate();
     let corpus = cbr_corpus::CorpusGenerator::new(
         &ont,
-        cbr_corpus::CorpusProfile::radio_like()
-            .with_num_docs(n_docs)
-            .with_mean_concepts(12.0),
+        cbr_corpus::CorpusProfile::radio_like().with_num_docs(n_docs).with_mean_concepts(12.0),
     )
     .generate();
     let names: Vec<String> = (0..corpus.len()).map(|i| format!("note-{i:04}")).collect();
@@ -146,10 +140,8 @@ fn build(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     let (corpus, names) = match (flags.get("docs"), flags.get("text-docs")) {
         (Some(path), None) => cio::parse_documents(&std::fs::read_to_string(path)?, &ont)?,
         (None, Some(path)) => {
-            let extractor = cbr_corpus::ConceptExtractor::new(
-                &ont,
-                cbr_corpus::ExtractorConfig::default(),
-            );
+            let extractor =
+                cbr_corpus::ConceptExtractor::new(&ont, cbr_corpus::ExtractorConfig::default());
             cio::parse_text_documents(&std::fs::read_to_string(path)?, &extractor)?
         }
         _ => return Err("pass exactly one of --docs or --text-docs".into()),
@@ -178,8 +170,8 @@ fn load(flags: &HashMap<String, String>) -> Result<LoadedIndex, AnyError> {
 
     let eps: f64 = parse_or(flags, "eps", 0.5)?;
     let min_depth: u32 = parse_or(flags, "min-depth", 0)?;
-    let mut builder = EngineBuilder::new()
-        .knds_config(KndsConfig::default().with_error_threshold(eps));
+    let mut builder =
+        EngineBuilder::new().knds_config(KndsConfig::default().with_error_threshold(eps));
     if min_depth > 0 {
         builder = builder.filter(FilterConfig { min_depth, cf_sigma: f64::INFINITY });
     }
@@ -199,7 +191,8 @@ fn rds(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     let idx = load(flags)?;
     let query_text = required(flags, "query")?;
     let k: usize = parse_or(flags, "k", 10)?;
-    let labels: Vec<&str> = query_text.split('|').map(str::trim).filter(|l| !l.is_empty()).collect();
+    let labels: Vec<&str> =
+        query_text.split('|').map(str::trim).filter(|l| !l.is_empty()).collect();
     let query = idx.engine.concepts_by_labels(&labels)?;
 
     let expand_radius: u32 = parse_or(flags, "expand", 0)?;
@@ -214,11 +207,7 @@ fn rds(flags: &HashMap<String, String>) -> Result<(), AnyError> {
 
     println!("{:<24} {:>10}", "document", "distance");
     for hit in &results {
-        let name = idx
-            .names
-            .get(hit.doc.index())
-            .cloned()
-            .unwrap_or_else(|| hit.doc.to_string());
+        let name = idx.names.get(hit.doc.index()).cloned().unwrap_or_else(|| hit.doc.to_string());
         println!("{name:<24} {:>10.3}", hit.distance);
     }
     Ok(())
@@ -233,11 +222,7 @@ fn sds(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     let r = idx.engine.sds_by_doc(doc, k)?;
     println!("{:<24} {:>10}", "document", "Ddd");
     for hit in &r.results {
-        let name = idx
-            .names
-            .get(hit.doc.index())
-            .cloned()
-            .unwrap_or_else(|| hit.doc.to_string());
+        let name = idx.names.get(hit.doc.index()).cloned().unwrap_or_else(|| hit.doc.to_string());
         let marker = if hit.doc == doc { "  (query document)" } else { "" };
         println!("{name:<24} {:>10.3}{marker}", hit.distance);
     }
@@ -282,10 +267,7 @@ fn dot(flags: &HashMap<String, String>) -> Result<(), AnyError> {
     let labels: Vec<&str> =
         query_text.split('|').map(str::trim).filter(|l| !l.is_empty()).collect();
     let query = idx.engine.concepts_by_labels(&labels)?;
-    let opts = cbr_ontology::dot::DotOptions {
-        triangles: query.clone(),
-        ..Default::default()
-    };
+    let opts = cbr_ontology::dot::DotOptions { triangles: query.clone(), ..Default::default() };
     let rendered =
         cbr_ontology::dot::neighborhood_dot(idx.engine.ontology(), &query, radius, &opts);
     match flags.get("out") {

@@ -133,10 +133,7 @@ mod tests {
     }
 
     fn base() -> MemorySource {
-        let corpus = Corpus::from_concept_sets(vec![
-            (vec![c(1), c(2)], 0),
-            (vec![c(2)], 0),
-        ]);
+        let corpus = Corpus::from_concept_sets(vec![(vec![c(1), c(2)], 0), (vec![c(2)], 0)]);
         MemorySource::build(&corpus, 6)
     }
 

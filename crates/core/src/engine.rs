@@ -4,7 +4,7 @@ use crate::dynamic::DynamicSource;
 use cbr_corpus::{ConceptFilter, Corpus, DocId, FilterConfig};
 use cbr_dradix::Drc;
 use cbr_index::{IndexSource, MemorySource};
-use cbr_knds::{baseline, Knds, KndsConfig, QueryResult};
+use cbr_knds::{baseline, Knds, KndsConfig, KndsWorkspace, QueryResult};
 use cbr_ontology::{ConceptId, Ontology};
 use std::fmt;
 
@@ -157,8 +157,7 @@ impl Engine {
 
     /// Whether `doc` is live (exists and was not deleted).
     pub fn is_live(&self, doc: DocId) -> bool {
-        doc.index() < self.source.num_docs()
-            && cbr_index::IndexSource::is_live(&self.source, doc)
+        doc.index() < self.source.num_docs() && cbr_index::IndexSource::is_live(&self.source, doc)
     }
 
     /// Resolves labels to concepts, failing on the first unknown label.
@@ -185,8 +184,23 @@ impl Engine {
     /// RDS (Definition 1): the `k` documents most relevant to a set of
     /// query concepts. Ineligible concepts are dropped from the query.
     pub fn rds(&self, query: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
+        let mut ws = KndsWorkspace::new();
+        self.rds_with(&mut ws, query, k)
+    }
+
+    /// [`Engine::rds`] over a caller-owned [`KndsWorkspace`]: all per-query
+    /// maps and buffers (candidate table, BFS frontier, DRC DAG scratch)
+    /// are borrowed from `ws` and returned clean, so a long-lived caller —
+    /// a service worker, a batch thread — stops allocating once the
+    /// workspace is warm. Results are identical to [`Engine::rds`].
+    pub fn rds_with(
+        &self,
+        ws: &mut KndsWorkspace,
+        query: &[ConceptId],
+        k: usize,
+    ) -> Result<QueryResult, EngineError> {
         let q = self.eligible_query(query)?;
-        Ok(Knds::new(&self.ontology, &self.source, self.config.clone()).rds(&q, k))
+        Ok(Knds::new(&self.ontology, &self.source, self.config.clone()).rds_with(ws, &q, k))
     }
 
     /// RDS with label-based input.
@@ -198,17 +212,41 @@ impl Engine {
     /// SDS (Definition 2): the `k` documents most similar to a query
     /// document given as a concept set.
     pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
+        let mut ws = KndsWorkspace::new();
+        self.sds_with(&mut ws, query_doc, k)
+    }
+
+    /// [`Engine::sds`] over a caller-owned workspace; see
+    /// [`Engine::rds_with`].
+    pub fn sds_with(
+        &self,
+        ws: &mut KndsWorkspace,
+        query_doc: &[ConceptId],
+        k: usize,
+    ) -> Result<QueryResult, EngineError> {
         let q = self.eligible_query(query_doc)?;
-        Ok(Knds::new(&self.ontology, &self.source, self.config.clone()).sds(&q, k))
+        Ok(Knds::new(&self.ontology, &self.source, self.config.clone()).sds_with(ws, &q, k))
     }
 
     /// SDS with a collection document as the query (patient-similarity).
     pub fn sds_by_doc(&self, doc: DocId, k: usize) -> Result<QueryResult, EngineError> {
+        let mut ws = KndsWorkspace::new();
+        self.sds_by_doc_with(&mut ws, doc, k)
+    }
+
+    /// [`Engine::sds_by_doc`] over a caller-owned workspace; see
+    /// [`Engine::rds_with`].
+    pub fn sds_by_doc_with(
+        &self,
+        ws: &mut KndsWorkspace,
+        doc: DocId,
+        k: usize,
+    ) -> Result<QueryResult, EngineError> {
         let concepts = self.document_concepts(doc)?;
         if concepts.is_empty() {
             return Err(EngineError::EmptyDocument(doc));
         }
-        self.sds(&concepts, k)
+        self.sds_with(ws, &concepts, k)
     }
 
     /// Exact `Ddq` between one document and a query (Equation 2).
@@ -237,10 +275,8 @@ impl Engine {
         sample: &[Vec<ConceptId>],
         k: usize,
     ) -> Result<f64, EngineError> {
-        let filtered: Vec<Vec<ConceptId>> = sample
-            .iter()
-            .map(|q| self.eligible_query(q))
-            .collect::<Result<_, _>>()?;
+        let filtered: Vec<Vec<ConceptId>> =
+            sample.iter().map(|q| self.eligible_query(q)).collect::<Result<_, _>>()?;
         let (best, _) = cbr_knds::tune_error_threshold(
             &self.ontology,
             &self.source,
@@ -309,6 +345,23 @@ mod tests {
     }
 
     #[test]
+    fn workspace_queries_match_and_report_reuse() {
+        let e = engine();
+        let q = some_query(&e, 3);
+        let mut ws = KndsWorkspace::new();
+        let cold = e.rds_with(&mut ws, &q, 5).unwrap();
+        assert_eq!(cold.metrics.workspace_reused, 0, "first borrow is cold");
+        let warm = e.rds_with(&mut ws, &q, 5).unwrap();
+        assert_eq!(warm.metrics.workspace_reused, 1, "second borrow is warm");
+        assert_eq!(cold.results, warm.results);
+        assert_eq!(e.rds(&q, 5).unwrap().results, warm.results);
+        // SDS interleaves on the same workspace.
+        let a = e.sds_with(&mut ws, &q, 4).unwrap();
+        let b = e.sds(&q, 4).unwrap();
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
     fn sds_by_doc_returns_self_first() {
         let e = engine();
         let doc = e
@@ -348,9 +401,7 @@ mod tests {
         let q = 'outer: {
             for (i, &a) in eligible.iter().enumerate() {
                 for &b in &eligible[i + 1..] {
-                    if a != b
-                        && !e.corpus().documents().any(|d| d.contains(a) && d.contains(b))
-                    {
+                    if a != b && !e.corpus().documents().any(|d| d.contains(a) && d.contains(b)) {
                         break 'outer vec![a, b];
                     }
                 }
@@ -397,15 +448,9 @@ mod tests {
         e.remove_document(victim).unwrap();
         assert!(!e.is_live(victim));
         // Double delete errors.
-        assert!(matches!(
-            e.remove_document(victim),
-            Err(EngineError::UnknownDocument(_))
-        ));
+        assert!(matches!(e.remove_document(victim), Err(EngineError::UnknownDocument(_))));
         let after = e.rds(&q, 3).unwrap();
-        assert!(
-            after.results.iter().all(|r| r.doc != victim),
-            "deleted document must not rank"
-        );
+        assert!(after.results.iter().all(|r| r.doc != victim), "deleted document must not rank");
         // And the full scan agrees.
         let scan = e.rds_full_scan(&q, 3).unwrap();
         for (a, b) in after.results.iter().zip(scan.results.iter()) {
@@ -420,10 +465,7 @@ mod tests {
             e.rds_by_labels(&["not a real label"], 1),
             Err(EngineError::UnknownLabel(_))
         ));
-        assert!(matches!(
-            e.sds_by_doc(DocId(9_999), 1),
-            Err(EngineError::UnknownDocument(_))
-        ));
+        assert!(matches!(e.sds_by_doc(DocId(9_999), 1), Err(EngineError::UnknownDocument(_))));
         assert_eq!(e.rds(&[], 1).unwrap_err(), EngineError::EmptyQuery);
     }
 

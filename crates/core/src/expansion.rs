@@ -120,21 +120,12 @@ impl Engine {
             let r = self.rds(v, k)?;
             for hit in &r.results {
                 let normalized = hit.distance / v.len() as f64;
-                best.entry(hit.doc)
-                    .and_modify(|d| *d = d.min(normalized))
-                    .or_insert(normalized);
+                best.entry(hit.doc).and_modify(|d| *d = d.min(normalized)).or_insert(normalized);
             }
         }
-        let mut merged: Vec<RankedDoc> = best
-            .into_iter()
-            .map(|(doc, distance)| RankedDoc { doc, distance })
-            .collect();
-        merged.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
+        let mut merged: Vec<RankedDoc> =
+            best.into_iter().map(|(doc, distance)| RankedDoc { doc, distance }).collect();
+        merged.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.doc.cmp(&b.doc)));
         merged.truncate(k);
         Ok((merged, variant_queries.len()))
     }
@@ -182,12 +173,8 @@ mod tests {
     fn variants_swap_one_position() {
         let fig = fixture::figure3();
         let cfg = ExpansionConfig::default();
-        let subs = substitutes(
-            &fig.ontology,
-            &[fig.concept("I"), fig.concept("L")],
-            &cfg,
-            |_| true,
-        );
+        let subs =
+            substitutes(&fig.ontology, &[fig.concept("I"), fig.concept("L")], &cfg, |_| true);
         let vs = variants(&subs, &cfg);
         assert_eq!(vs[0], vec![fig.concept("I"), fig.concept("L")]);
         assert!(vs.len() > 1);

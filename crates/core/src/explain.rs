@@ -36,13 +36,8 @@ impl Engine {
     /// Explains the RDS distance between `doc` and `query`: each eligible
     /// query concept paired with the document concept realizing its
     /// minimum distance.
-    pub fn explain_rds(
-        &self,
-        doc: DocId,
-        query: &[ConceptId],
-    ) -> Result<Explanation, EngineError> {
-        let q: Vec<ConceptId> =
-            query.iter().copied().filter(|&c| self.eligible(c)).collect();
+    pub fn explain_rds(&self, doc: DocId, query: &[ConceptId]) -> Result<Explanation, EngineError> {
+        let q: Vec<ConceptId> = query.iter().copied().filter(|&c| self.eligible(c)).collect();
         if q.is_empty() {
             return Err(EngineError::EmptyQuery);
         }
@@ -117,10 +112,7 @@ mod tests {
         let corpus = Corpus::from_concept_sets(vec![(vec![], 0)]);
         let q = fig.example_query();
         let engine = EngineBuilder::new().build(fig.ontology, corpus);
-        assert!(matches!(
-            engine.explain_rds(DocId(0), &q),
-            Err(EngineError::EmptyDocument(_))
-        ));
+        assert!(matches!(engine.explain_rds(DocId(0), &q), Err(EngineError::EmptyDocument(_))));
         assert!(matches!(engine.explain_rds(DocId(0), &[]), Err(EngineError::EmptyQuery)));
     }
 }

@@ -54,6 +54,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod expansion;
 pub mod explain;
+#[cfg(feature = "serde")]
 pub mod persist;
 pub mod rerank;
 pub mod service;
@@ -70,7 +71,7 @@ pub use service::SharedEngine;
 pub mod prelude {
     pub use crate::{Engine, EngineBuilder};
     pub use cbr_corpus::{Corpus, CorpusGenerator, CorpusProfile, DocId, Document};
-    pub use cbr_knds::{KndsConfig, QueryResult, RankedDoc};
+    pub use cbr_knds::{KndsConfig, KndsWorkspace, QueryResult, RankedDoc};
     pub use cbr_ontology::{ConceptId, GeneratorConfig, Ontology, OntologyGenerator};
 }
 

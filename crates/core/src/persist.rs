@@ -48,11 +48,8 @@ impl Engine {
             let concepts = self
                 .document_concepts(doc)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            let tokens = if i < self.corpus().len() {
-                self.corpus().get(doc).token_count()
-            } else {
-                0
-            };
+            let tokens =
+                if i < self.corpus().len() { self.corpus().get(doc).token_count() } else { 0 };
             sets.push((concepts, tokens));
         }
         store.save("corpus", &Corpus::from_concept_sets(sets))?;

@@ -73,12 +73,7 @@ impl Engine {
                 score: best_match_average(&sim, measure, &concepts, &q),
             });
         }
-        scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
         Ok(scored)
     }
 }
@@ -103,10 +98,7 @@ pub fn best_match_average(
     };
     let mut total = 0.0;
     for &qi in query {
-        let best = doc
-            .iter()
-            .map(|&c| pair(c, qi))
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = doc.iter().map(|&c| pair(c, qi)).fold(f64::NEG_INFINITY, f64::max);
         total += best;
     }
     total / query.len() as f64

@@ -7,11 +7,21 @@
 //! `parking_lot::RwLock`: queries run concurrently under read locks,
 //! appends take a brief write lock (the dynamic overlay makes them
 //! `O(|concepts|)`), and clones of the handle share one engine.
+//!
+//! Query scratch never sits under the lock: the handle keeps a lock-free
+//! pool of [`KndsWorkspace`]s (a `crossbeam` [`SegQueue`]) beside the
+//! `RwLock`. Each query pops a workspace (or makes one on a cold start),
+//! runs through [`Engine::rds_with`]/[`Engine::sds_with`], and pushes it
+//! back — so concurrent readers each get their own warm buffers with no
+//! contention, and steady-state queries allocate nothing. A workspace held
+//! during a panic simply never returns to the pool; those that do return
+//! are always clean.
 
 use crate::engine::{Engine, EngineError};
 use cbr_corpus::DocId;
-use cbr_knds::QueryResult;
+use cbr_knds::{KndsWorkspace, QueryResult};
 use cbr_ontology::ConceptId;
+use crossbeam::queue::SegQueue;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -19,27 +29,44 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct SharedEngine {
     inner: Arc<RwLock<Engine>>,
+    /// Lock-free pool of per-query workspaces, shared by all clones.
+    pool: Arc<SegQueue<KndsWorkspace>>,
 }
 
 impl SharedEngine {
     /// Wraps an engine.
     pub fn new(engine: Engine) -> SharedEngine {
-        SharedEngine { inner: Arc::new(RwLock::new(engine)) }
+        SharedEngine { inner: Arc::new(RwLock::new(engine)), pool: Arc::new(SegQueue::new()) }
     }
 
-    /// Concurrent RDS query (read lock).
+    /// Runs `f` with a pooled workspace; the workspace returns to the pool
+    /// afterwards (unless `f` panics, in which case it is dropped).
+    fn with_workspace<R>(&self, f: impl FnOnce(&mut KndsWorkspace) -> R) -> R {
+        let mut ws = self.pool.pop().unwrap_or_default();
+        let r = f(&mut ws);
+        self.pool.push(ws);
+        r
+    }
+
+    /// Number of idle workspaces currently pooled.
+    pub fn pooled_workspaces(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Concurrent RDS query (read lock; pooled workspace).
     pub fn rds(&self, query: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
-        self.inner.read().rds(query, k)
+        self.with_workspace(|ws| self.inner.read().rds_with(ws, query, k))
     }
 
-    /// Concurrent SDS query (read lock).
+    /// Concurrent SDS query (read lock; pooled workspace).
     pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
-        self.inner.read().sds(query_doc, k)
+        self.with_workspace(|ws| self.inner.read().sds_with(ws, query_doc, k))
     }
 
-    /// Concurrent SDS query with a collection document (read lock).
+    /// Concurrent SDS query with a collection document (read lock; pooled
+    /// workspace).
     pub fn sds_by_doc(&self, doc: DocId, k: usize) -> Result<QueryResult, EngineError> {
-        self.inner.read().sds_by_doc(doc, k)
+        self.with_workspace(|ws| self.inner.read().sds_by_doc_with(ws, doc, k))
     }
 
     /// Appends a document (write lock); immediately visible to queries.
@@ -111,6 +138,20 @@ mod tests {
         // The appended exact matches dominate the ranking now.
         let r = shared.rds(&q, 1).unwrap();
         assert_eq!(r.results[0].distance, 0.0);
+    }
+
+    #[test]
+    fn workspace_pool_recycles_across_queries() {
+        let (shared, q) = shared();
+        assert_eq!(shared.pooled_workspaces(), 0);
+        let cold = shared.rds(&q, 3).unwrap();
+        assert_eq!(cold.metrics.workspace_reused, 0, "pool starts empty");
+        assert_eq!(shared.pooled_workspaces(), 1, "workspace returned to pool");
+        // Sequential queries — including via a clone — reuse the single
+        // pooled workspace instead of growing the pool.
+        let warm = shared.clone().sds(&q, 3).unwrap();
+        assert_eq!(warm.metrics.workspace_reused, 1, "pooled workspace is warm");
+        assert_eq!(shared.pooled_workspaces(), 1);
     }
 
     #[test]

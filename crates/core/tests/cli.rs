@@ -30,17 +30,21 @@ fn run_ok(cmd: &mut Command) -> String {
 /// Builds a demo index, returning (dir, a query of two labels from doc 0).
 fn demo_index(tag: &str) -> (PathBuf, String) {
     let dir = workdir(tag);
-    run_ok(crank()
-        .arg("demo")
-        .args(["--out", dir.to_str().unwrap()])
-        .args(["--concepts", "400"])
-        .args(["--docs", "60"]));
+    run_ok(
+        crank()
+            .arg("demo")
+            .args(["--out", dir.to_str().unwrap()])
+            .args(["--concepts", "400"])
+            .args(["--docs", "60"]),
+    );
     let index = dir.join("index");
-    run_ok(crank()
-        .arg("build")
-        .args(["--ontology", dir.join("ontology.tsv").to_str().unwrap()])
-        .args(["--docs", dir.join("documents.tsv").to_str().unwrap()])
-        .args(["--out", index.to_str().unwrap()]));
+    run_ok(
+        crank()
+            .arg("build")
+            .args(["--ontology", dir.join("ontology.tsv").to_str().unwrap()])
+            .args(["--docs", dir.join("documents.tsv").to_str().unwrap()])
+            .args(["--out", index.to_str().unwrap()]),
+    );
     // Pull two labels from the first non-empty document line.
     let docs = std::fs::read_to_string(dir.join("documents.tsv")).unwrap();
     let line = docs.lines().find(|l| !l.starts_with('#') && l.contains('\t')).unwrap();
@@ -58,19 +62,15 @@ fn full_cli_pipeline() {
     assert!(stats.contains("concepts:"), "{stats}");
     assert!(stats.contains("total documents:"), "{stats}");
 
-    let rds = run_ok(crank()
-        .arg("rds")
-        .args(["--index", index])
-        .args(["--query", &query])
-        .args(["-k", "5"]));
+    let rds = run_ok(
+        crank().arg("rds").args(["--index", index]).args(["--query", &query]).args(["-k", "5"]),
+    );
     assert!(rds.contains("note-0000"), "doc 0 contains the query: {rds}");
     assert!(rds.lines().count() >= 6, "header + 5 results: {rds}");
 
-    let sds = run_ok(crank()
-        .arg("sds")
-        .args(["--index", index])
-        .args(["--doc", "note-0000"])
-        .args(["-k", "3"]));
+    let sds = run_ok(
+        crank().arg("sds").args(["--index", index]).args(["--doc", "note-0000"]).args(["-k", "3"]),
+    );
     assert!(sds.contains("(query document)"), "{sds}");
 
     std::fs::remove_dir_all(dir).unwrap();
@@ -82,23 +82,27 @@ fn expansion_tune_and_dot() {
     let index = dir.join("index");
     let index = index.to_str().unwrap();
 
-    let expanded = run_ok(crank()
-        .arg("rds")
-        .args(["--index", index])
-        .args(["--query", &query])
-        .args(["--expand", "2"]));
+    let expanded = run_ok(
+        crank()
+            .arg("rds")
+            .args(["--index", index])
+            .args(["--query", &query])
+            .args(["--expand", "2"]),
+    );
     assert!(expanded.contains("query variants"), "{expanded}");
 
     let tuned = run_ok(crank().arg("tune").args(["--index", index, "-k", "5"]));
     assert!(tuned.contains("--eps"), "{tuned}");
 
     let dot_file = dir.join("graph.dot");
-    run_ok(crank()
-        .arg("dot")
-        .args(["--index", index])
-        .args(["--query", &query])
-        .args(["--radius", "1"])
-        .args(["--out", dot_file.to_str().unwrap()]));
+    run_ok(
+        crank()
+            .arg("dot")
+            .args(["--index", index])
+            .args(["--query", &query])
+            .args(["--radius", "1"])
+            .args(["--out", dot_file.to_str().unwrap()]),
+    );
     let dot = std::fs::read_to_string(&dot_file).unwrap();
     assert!(dot.starts_with("digraph"), "{dot}");
     assert!(dot.contains("triangle"), "query nodes are triangles: {dot}");
@@ -125,18 +129,22 @@ fn builds_from_raw_text_notes() {
     let notes_path = dir.join("notes.tsv");
     std::fs::write(&notes_path, notes).unwrap();
     let text_index = dir.join("text-index");
-    run_ok(crank()
-        .arg("build")
-        .args(["--ontology", dir.join("ontology.tsv").to_str().unwrap()])
-        .args(["--text-docs", notes_path.to_str().unwrap()])
-        .args(["--out", text_index.to_str().unwrap()]));
+    run_ok(
+        crank()
+            .arg("build")
+            .args(["--ontology", dir.join("ontology.tsv").to_str().unwrap()])
+            .args(["--text-docs", notes_path.to_str().unwrap()])
+            .args(["--out", text_index.to_str().unwrap()]),
+    );
     // note-x asserts the concept; note-y negates it — RDS must rank note-x
     // strictly first.
-    let out = run_ok(crank()
-        .arg("rds")
-        .args(["--index", text_index.to_str().unwrap()])
-        .args(["--query", &label])
-        .args(["-k", "2"]));
+    let out = run_ok(
+        crank()
+            .arg("rds")
+            .args(["--index", text_index.to_str().unwrap()])
+            .args(["--query", &label])
+            .args(["-k", "2"]),
+    );
     let first_result = out.lines().nth(1).unwrap();
     assert!(first_result.contains("note-x"), "{out}");
     assert!(first_result.trim().ends_with("0.000"), "{out}");
@@ -151,11 +159,7 @@ fn errors_exit_nonzero_with_message() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
     // Missing index.
-    let out = crank()
-        .arg("stats")
-        .args(["--index", "/nonexistent/cbr-index"])
-        .output()
-        .unwrap();
+    let out = crank().arg("stats").args(["--index", "/nonexistent/cbr-index"]).output().unwrap();
     assert!(!out.status.success());
 
     // Unknown label.

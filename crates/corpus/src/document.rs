@@ -1,11 +1,13 @@
 //! Documents as concept sets.
 
 use cbr_ontology::ConceptId;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense identifier of a document within one [`Corpus`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct DocId(pub u32);
 
 impl DocId {
@@ -41,7 +43,8 @@ impl fmt::Display for DocId {
 ///
 /// Concepts are stored sorted and deduplicated; the paper's distance
 /// definitions (Equations 1–3) treat documents as sets.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Document {
     id: DocId,
     concepts: Box<[ConceptId]>,
@@ -97,7 +100,8 @@ impl Document {
 }
 
 /// An immutable collection of documents with dense ids.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Corpus {
     documents: Vec<Document>,
 }
@@ -165,9 +169,7 @@ impl Corpus {
     /// accepted by `keep`. Documents that become empty are retained (they
     /// simply never match anything), preserving id stability.
     pub fn retained(&self, mut keep: impl FnMut(ConceptId) -> bool) -> Corpus {
-        Corpus {
-            documents: self.documents.iter().map(|d| d.retained(&mut keep)).collect(),
-        }
+        Corpus { documents: self.documents.iter().map(|d| d.retained(&mut keep)).collect() }
     }
 }
 
@@ -200,10 +202,7 @@ mod tests {
 
     #[test]
     fn corpus_dense_ids() {
-        let corpus = Corpus::from_concept_sets(vec![
-            (vec![c(1)], 3),
-            (vec![c(2), c(1)], 4),
-        ]);
+        let corpus = Corpus::from_concept_sets(vec![(vec![c(1)], 3), (vec![c(2), c(1)], 4)]);
         assert_eq!(corpus.len(), 2);
         assert_eq!(corpus.get(DocId(1)).concepts(), &[c(1), c(2)]);
         assert_eq!(corpus.doc_ids().collect::<Vec<_>>(), vec![DocId(0), DocId(1)]);
@@ -235,6 +234,7 @@ mod tests {
         assert_eq!(filtered.get(DocId(1)).num_concepts(), 1);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let corpus = Corpus::from_concept_sets(vec![(vec![c(1), c(3)], 7)]);

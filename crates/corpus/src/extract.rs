@@ -98,12 +98,7 @@ impl ConceptExtractor {
             max_phrase_len = max_phrase_len.max(words.len());
             lexicon.entry(words.join(" ")).or_insert(c);
         }
-        ConceptExtractor {
-            lexicon,
-            max_phrase_len,
-            abbreviations: FxHashMap::default(),
-            config,
-        }
+        ConceptExtractor { lexicon, max_phrase_len, abbreviations: FxHashMap::default(), config }
     }
 
     /// Registers a synonym phrase for a concept (e.g. "heart attack" for
@@ -120,8 +115,7 @@ impl ConceptExtractor {
     /// Registers an abbreviation (e.g. `"ccf"` → `"chronic cardiac
     /// finding"`), applied before matching when enabled.
     pub fn add_abbreviation(&mut self, short: &str, expansion: &str) {
-        self.abbreviations
-            .insert(short.to_ascii_lowercase(), tokenize(expansion));
+        self.abbreviations.insert(short.to_ascii_lowercase(), tokenize(expansion));
     }
 
     /// Number of lexicon phrases.
@@ -228,9 +222,10 @@ fn tokenize_with_boundaries(text: &str) -> Vec<String> {
                 out.push(std::mem::take(&mut word));
             }
             if matches!(ch, '.' | ';' | '!' | '?' | '\n')
-                && out.last().map(|t| t != BOUNDARY).unwrap_or(false) {
-                    out.push(BOUNDARY.to_string());
-                }
+                && out.last().map(|t| t != BOUNDARY).unwrap_or(false)
+            {
+                out.push(BOUNDARY.to_string());
+            }
         }
     }
     if !word.is_empty() {
@@ -328,23 +323,47 @@ mod tests {
     #[test]
     fn roundtrip_with_note_generator() {
         // concepts -> note text -> extraction must recover exactly the
-        // positive concepts (given registered abbreviations).
+        // positive concepts (given registered abbreviations). Initials
+        // collide across generated labels ("secondary skeletal
+        // inflammation" / "subacute sinus insufficiency" are both "SSI"),
+        // and `add_abbreviation` is last-writer-wins, so concepts with an
+        // ambiguous abbreviation are genuinely unrecoverable whenever the
+        // generator chooses the short form — exempt them instead of
+        // relying on the render stream never abbreviating one.
         let ont = OntologyGenerator::new(GeneratorConfig::small(300)).generate();
         let mut ex = ConceptExtractor::new(&ont, ExtractorConfig::default());
+        let mut abbr_owners: std::collections::HashMap<String, u32> =
+            std::collections::HashMap::new();
+        for c in ont.concepts() {
+            let abbr = crate::textgen::NoteGenerator::abbreviation(ont.label(c));
+            *abbr_owners.entry(abbr).or_insert(0) += 1;
+        }
         for c in ont.concepts() {
             let label = ont.label(c).to_string();
-            ex.add_abbreviation(&crate::textgen::NoteGenerator::abbreviation(&label), &label);
+            let abbr = crate::textgen::NoteGenerator::abbreviation(&label);
+            if abbr_owners[&abbr] == 1 {
+                ex.add_abbreviation(&abbr, &label);
+            }
         }
+        let unambiguous = |c: ConceptId| {
+            abbr_owners[&crate::textgen::NoteGenerator::abbreviation(ont.label(c))] == 1
+        };
         let gen = crate::textgen::NoteGenerator::new(&ont, 11);
         let concepts: Vec<ConceptId> = ont.concepts().skip(40).step_by(7).take(10).collect();
         let distractors: Vec<ConceptId> = ont.concepts().skip(3).step_by(11).take(10).collect();
+        assert!(
+            concepts.iter().filter(|&&c| unambiguous(c)).count() >= 3,
+            "fixture lost its power: too few unambiguous concepts"
+        );
         let note = gen.render(&concepts, &distractors);
         let doc = ex.extract_document(DocId(0), &note);
         for &c in &concepts {
-            assert!(doc.contains(c), "lost concept {:?} in note: {note}", ont.label(c));
+            if unambiguous(c) {
+                assert!(doc.contains(c), "lost concept {:?} in note: {note}", ont.label(c));
+            }
         }
         for &d in &distractors {
-            if !concepts.contains(&d) {
+            if !concepts.contains(&d) && unambiguous(d) {
                 assert!(!doc.contains(d), "negated distractor {:?} leaked", ont.label(d));
             }
         }

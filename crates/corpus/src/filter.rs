@@ -149,10 +149,8 @@ mod tests {
         let deep: Vec<ConceptId> = ont.concepts().filter(|&c| ont.depth(c) >= 4).collect();
         assert!(deep.len() > 10, "fixture needs deep concepts");
         let common = deep[0];
-        let sets: Vec<(Vec<ConceptId>, u32)> = deep[1..21]
-            .iter()
-            .map(|&c| (vec![common, c], 0))
-            .collect();
+        let sets: Vec<(Vec<ConceptId>, u32)> =
+            deep[1..21].iter().map(|&c| (vec![common, c], 0)).collect();
         let corpus = Corpus::from_concept_sets(sets);
         let f = ConceptFilter::build(&ont, &corpus, FilterConfig::default());
         assert!(!f.allows(common), "ubiquitous concept must be filtered");

@@ -148,10 +148,8 @@ impl<'a> CorpusGenerator<'a> {
     /// Creates a generator. Panics if the ontology has no concept at
     /// `profile.min_depth` or deeper.
     pub fn new(ontology: &'a Ontology, profile: CorpusProfile) -> Self {
-        let mut eligible: Vec<ConceptId> = ontology
-            .concepts()
-            .filter(|&c| ontology.depth(c) >= profile.min_depth)
-            .collect();
+        let mut eligible: Vec<ConceptId> =
+            ontology.concepts().filter(|&c| ontology.depth(c) >= profile.min_depth).collect();
         assert!(
             !eligible.is_empty(),
             "no concepts at depth >= {} to sample from",
@@ -171,8 +169,8 @@ impl<'a> CorpusGenerator<'a> {
         // embarrassingly parallel.
         let mut cohort_centers = Vec::new();
         if profile.docs_per_cohort > 0.0 {
-            let n_cohorts = ((profile.num_docs as f64 / profile.docs_per_cohort).ceil() as usize)
-                .max(1);
+            let n_cohorts =
+                ((profile.num_docs as f64 / profile.docs_per_cohort).ceil() as usize).max(1);
             let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x00C0_4027);
             for _ in 0..n_cohorts {
                 let centers: Vec<ConceptId> = (0..profile.clusters_per_doc.max(1))
@@ -239,7 +237,8 @@ impl<'a> CorpusGenerator<'a> {
     /// returning it with its cohort id.
     fn generate_doc(&self, index: usize) -> (Document, u32) {
         let p = &self.profile;
-        let mut rng = StdRng::seed_from_u64(p.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(p.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
         let lo = (p.concepts_per_doc_mean * (1.0 - p.size_spread)).max(1.0);
         let hi = (p.concepts_per_doc_mean * (1.0 + p.size_spread)).max(lo + 1.0);
@@ -282,10 +281,8 @@ impl<'a> CorpusGenerator<'a> {
             }
         }
 
-        let tokens = (concepts.len() as f64
-            * p.tokens_per_concept
-            * rng.random_range(0.8..1.2))
-        .round() as u32;
+        let tokens = (concepts.len() as f64 * p.tokens_per_concept * rng.random_range(0.8..1.2))
+            .round() as u32;
         (Document::new(DocId::from_index(index), concepts, tokens), cohort)
     }
 
@@ -305,11 +302,8 @@ impl<'a> CorpusGenerator<'a> {
                 break;
             }
             let pick = rng.random_range(0..total);
-            let next = if pick < parents.len() {
-                parents[pick]
-            } else {
-                children[pick - parents.len()]
-            };
+            let next =
+                if pick < parents.len() { parents[pick] } else { children[pick - parents.len()] };
             if self.ontology.depth(next) < self.profile.min_depth {
                 break;
             }
@@ -377,10 +371,7 @@ mod tests {
             clusters_per_doc: 2,
             ..CorpusProfile::patient_like().with_num_docs(30).with_mean_concepts(40.0)
         };
-        let dispersed = CorpusProfile {
-            clustering: 0.0,
-            ..clustered.clone()
-        };
+        let dispersed = CorpusProfile { clustering: 0.0, ..clustered.clone() };
         let avg_pair_dist = |corpus: &Corpus| {
             let pt = ont.path_table();
             let mut sum = 0u64;
@@ -404,9 +395,7 @@ mod tests {
     #[test]
     fn cohorts_create_similar_document_groups() {
         let ont = test_ontology(3_000);
-        let with_cohorts = CorpusProfile::patient_like()
-            .with_num_docs(60)
-            .with_mean_concepts(30.0);
+        let with_cohorts = CorpusProfile::patient_like().with_num_docs(60).with_mean_concepts(30.0);
         let without = CorpusProfile { docs_per_cohort: 0.0, ..with_cohorts.clone() };
         // With cohorts, some document pairs share many concepts; without,
         // overlaps are rare. Measure the best pairwise Jaccard overlap.

@@ -56,9 +56,7 @@ pub fn parse_ontology(text: &str) -> Result<Ontology, ParseError> {
     let mut builder = OntologyBuilder::new();
     let mut by_label = cbr_ontology::FxHashMap::default();
     let mut intern = |builder: &mut OntologyBuilder, label: &str| {
-        *by_label
-            .entry(label.to_string())
-            .or_insert_with(|| builder.add_concept(label))
+        *by_label.entry(label.to_string()).or_insert_with(|| builder.add_concept(label))
     };
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -80,13 +78,9 @@ pub fn parse_ontology(text: &str) -> Result<Ontology, ParseError> {
         }
         let p = intern(&mut builder, parent);
         let c = intern(&mut builder, child);
-        builder
-            .add_edge(p, c)
-            .map_err(|e| ParseError::InvalidOntology(e.to_string()))?;
+        builder.add_edge(p, c).map_err(|e| ParseError::InvalidOntology(e.to_string()))?;
     }
-    builder
-        .build()
-        .map_err(|e| ParseError::InvalidOntology(e.to_string()))
+    builder.build().map_err(|e| ParseError::InvalidOntology(e.to_string()))
 }
 
 /// Serializes an ontology back to the edge-list format (parents in id
@@ -107,10 +101,7 @@ pub fn render_ontology(ont: &Ontology) -> String {
 
 /// Parses a document list against an ontology. Returns the corpus and the
 /// document names in id order.
-pub fn parse_documents(
-    text: &str,
-    ont: &Ontology,
-) -> Result<(Corpus, Vec<String>), ParseError> {
+pub fn parse_documents(text: &str, ont: &Ontology) -> Result<(Corpus, Vec<String>), ParseError> {
     let mut docs = Vec::new();
     let mut names = Vec::new();
     for (i, raw) in text.lines().enumerate() {
@@ -177,10 +168,7 @@ pub fn render_documents(corpus: &Corpus, ont: &Ontology, names: &[String]) -> St
     let mut out = String::new();
     out.push_str("# concept-rank document list: name<TAB>label|label|...\n");
     for d in corpus.documents() {
-        let name = names
-            .get(d.id().index())
-            .cloned()
-            .unwrap_or_else(|| d.id().to_string());
+        let name = names.get(d.id().index()).cloned().unwrap_or_else(|| d.id().to_string());
         out.push_str(&name);
         out.push('\t');
         let labels: Vec<&str> = d.concepts().iter().map(|&c| ont.label(c)).collect();
@@ -224,29 +212,18 @@ finding\tstenosis
         for c in ont.concepts() {
             let label = ont.label(c);
             let b = back.concept_by_label(label).unwrap();
-            let children_a: Vec<&str> =
-                ont.children(c).iter().map(|&x| ont.label(x)).collect();
-            let children_b: Vec<&str> =
-                back.children(b).iter().map(|&x| back.label(x)).collect();
+            let children_a: Vec<&str> = ont.children(c).iter().map(|&x| ont.label(x)).collect();
+            let children_b: Vec<&str> = back.children(b).iter().map(|&x| back.label(x)).collect();
             assert_eq!(children_a, children_b, "children of {label}");
         }
     }
 
     #[test]
     fn rejects_malformed_edges() {
-        assert!(matches!(
-            parse_ontology("no-tab-here"),
-            Err(ParseError::BadLine { line: 1, .. })
-        ));
-        assert!(matches!(
-            parse_ontology("a\t"),
-            Err(ParseError::BadLine { .. })
-        ));
+        assert!(matches!(parse_ontology("no-tab-here"), Err(ParseError::BadLine { line: 1, .. })));
+        assert!(matches!(parse_ontology("a\t"), Err(ParseError::BadLine { .. })));
         // Two roots.
-        assert!(matches!(
-            parse_ontology("a\tb\nc\td"),
-            Err(ParseError::InvalidOntology(_))
-        ));
+        assert!(matches!(parse_ontology("a\tb\nc\td"), Err(ParseError::InvalidOntology(_))));
     }
 
     #[test]
@@ -267,8 +244,7 @@ finding\tstenosis
     #[test]
     fn documents_roundtrip_through_render() {
         let ont = parse_ontology(ONT).unwrap();
-        let (corpus, names) =
-            parse_documents("a\tstenosis\nb\tdisease|finding\n", &ont).unwrap();
+        let (corpus, names) = parse_documents("a\tstenosis\nb\tdisease|finding\n", &ont).unwrap();
         let rendered = render_documents(&corpus, &ont, &names);
         let (back, back_names) = parse_documents(&rendered, &ont).unwrap();
         assert_eq!(back_names, names);
@@ -304,8 +280,7 @@ finding\tstenosis
     #[test]
     fn comments_and_blank_lines_are_skipped() {
         let ont = parse_ontology(ONT).unwrap();
-        let (corpus, _) =
-            parse_documents("# header\n\np\tstenosis\n  \n", &ont).unwrap();
+        let (corpus, _) = parse_documents("# header\n\np\tstenosis\n  \n", &ont).unwrap();
         assert_eq!(corpus.len(), 1);
     }
 }

@@ -82,7 +82,8 @@ impl<'a> NoteGenerator<'a> {
 
             if rng.random::<f64>() < self.negation_rate {
                 if let Some(&d) = distractor_iter.next() {
-                    let template = NEGATION_TEMPLATES[rng.random_range(0..NEGATION_TEMPLATES.len())];
+                    let template =
+                        NEGATION_TEMPLATES[rng.random_range(0..NEGATION_TEMPLATES.len())];
                     out.push_str(template);
                     out.push(' ');
                     out.push_str(self.ontology.label(d));

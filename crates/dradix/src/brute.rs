@@ -12,10 +12,7 @@ use cbr_ontology::{concept_distance, ConceptId, Ontology, PathTable};
 
 /// `Ddc(d, c)` by brute force (Equation 1).
 pub fn document_concept_distance(paths: &PathTable, doc: &[ConceptId], c: ConceptId) -> u32 {
-    doc.iter()
-        .map(|&dc| concept_distance(paths, dc, c))
-        .min()
-        .unwrap_or(u32::MAX)
+    doc.iter().map(|&dc| concept_distance(paths, dc, c)).min().unwrap_or(u32::MAX)
 }
 
 /// `Ddq(d, q)` by brute force (Equation 2). Mirrors
@@ -26,10 +23,7 @@ pub fn document_query_distance(ont: &Ontology, doc: &[ConceptId], query: &[Conce
         return crate::INFINITE;
     }
     let paths = ont.path_table();
-    query
-        .iter()
-        .map(|&qi| document_concept_distance(paths, doc, qi) as u64)
-        .sum()
+    query.iter().map(|&qi| document_concept_distance(paths, doc, qi) as u64).sum()
 }
 
 /// `Ddd(d1, d2)` by brute force (Equation 3).
@@ -38,14 +32,8 @@ pub fn document_document_distance(ont: &Ontology, d1: &[ConceptId], d2: &[Concep
         return f64::INFINITY;
     }
     let paths = ont.path_table();
-    let sum1: u64 = d1
-        .iter()
-        .map(|&c| document_concept_distance(paths, d2, c) as u64)
-        .sum();
-    let sum2: u64 = d2
-        .iter()
-        .map(|&c| document_concept_distance(paths, d1, c) as u64)
-        .sum();
+    let sum1: u64 = d1.iter().map(|&c| document_concept_distance(paths, d2, c) as u64).sum();
+    let sum2: u64 = d2.iter().map(|&c| document_concept_distance(paths, d1, c) as u64).sum();
     sum1 as f64 / d1.len() as f64 + sum2 as f64 / d2.len() as f64
 }
 
@@ -68,7 +56,7 @@ mod tests {
     #[test]
     fn drc_equals_brute_force_on_figure3_pairs() {
         let fig = fixture::figure3();
-        let drc = Drc::new(&fig.ontology);
+        let mut drc = Drc::new(&fig.ontology);
         let sets: Vec<Vec<ConceptId>> = vec![
             fig.example_document(),
             fig.example_query(),
@@ -96,11 +84,9 @@ mod tests {
         // The load-bearing equivalence test: random DAGs, random concept
         // sets, exact agreement required.
         for seed in 0..5u64 {
-            let ont = OntologyGenerator::new(
-                GeneratorConfig::small(150).with_seed(1000 + seed),
-            )
-            .generate();
-            let drc = Drc::new(&ont);
+            let ont = OntologyGenerator::new(GeneratorConfig::small(150).with_seed(1000 + seed))
+                .generate();
+            let mut drc = Drc::new(&ont);
             let mut rng = StdRng::seed_from_u64(seed);
             let all: Vec<ConceptId> = ont.concepts().collect();
             for _ in 0..10 {

@@ -20,8 +20,22 @@
 //! materialized as a node. Splits recurse so that re-reaching an existing
 //! sub-DAG through a second route (Example 2, steps 6–8 of the paper)
 //! merges cleanly instead of duplicating edges.
+//!
+//! # Reuse
+//!
+//! DRC runs at query time for every probed document, so the DAG is built
+//! and torn down once per probe. To keep that loop allocation-free, one
+//! `DRadixDag` value is reusable: [`build_into`](DRadixDag::build_into)
+//! [`reset`](DRadixDag::reset)s the logical content but keeps every
+//! backing allocation — the node arena (a high-water mark tracks the live
+//! prefix, and each recycled slot keeps its edge `Vec`), the label arena
+//! (edge labels are ranges into one flat `Vec<u32>` instead of per-edge
+//! boxes), the `by_concept` map, and the tuning scratch (topological-order
+//! buffers). After a few probes the structure reaches steady state and
+//! subsequent builds allocate nothing.
 
-use cbr_ontology::{ConceptId, FxHashMap, Ontology};
+use cbr_ontology::{ConceptId, FxHashMap, FxHashSet, Ontology};
+use std::collections::VecDeque;
 
 /// Distance placeholder before tuning (`∞` in the paper).
 pub const UNSET: u32 = u32::MAX;
@@ -35,18 +49,25 @@ struct Node {
     /// Distance from the nearest query concept (`Ddc(q, ci)`).
     query_dist: u32,
     /// Outgoing edges; at most one child edge per leading Dewey component.
+    /// The `Vec` survives node recycling, so steady-state builds push into
+    /// retained capacity.
     edges: Vec<Edge>,
     /// Number of incoming edges (for the topological pass).
     indegree: u32,
 }
 
-/// A compressed edge: the Dewey components between two materialized nodes.
-#[derive(Debug, Clone)]
+/// A compressed edge: the Dewey components between two materialized nodes,
+/// stored as a range into the DAG's label arena.
+#[derive(Debug, Clone, Copy)]
 struct Edge {
     target: u32,
-    label: Box<[u32]>,
+    /// Start of the label in [`DRadixDag::labels`].
+    start: u32,
+    /// Number of label components.
+    len: u32,
     /// Total cost of the compressed ontology edges: the component count in
-    /// the unit-weight case, or the weight sum under [`EdgeWeights`].
+    /// the unit-weight case, or the weight sum under
+    /// [`EdgeWeights`](cbr_ontology::EdgeWeights).
     weight: u32,
 }
 
@@ -62,20 +83,47 @@ pub struct DagStats {
 }
 
 /// The D-Radix DAG over one `(document, query)` pair.
-#[derive(Debug)]
+///
+/// A value is reusable across pairs: [`build_into`](Self::build_into)
+/// replaces the content while retaining every backing allocation.
+#[derive(Debug, Default, Clone)]
 pub struct DRadixDag {
+    /// Node arena; only the first `live` entries belong to the current
+    /// build. Slots past the watermark are recycled (edge `Vec`s intact)
+    /// by later builds.
     nodes: Vec<Node>,
+    live: usize,
     by_concept: FxHashMap<ConceptId, u32>,
+    /// Label arena: every inserted address is appended once, and edge
+    /// labels are subranges of it. Splits re-slice; nothing is copied.
+    labels: Vec<u32>,
     addresses_inserted: usize,
+    // --- per-build scratch, cleared (not freed) by `reset` ---------------
+    in_doc: FxHashSet<ConceptId>,
+    in_query: FxHashSet<ConceptId>,
+    /// `(start, len, concept)` ranges of the addresses to insert, sorted
+    /// lexicographically by label content before insertion.
+    addr_buf: Vec<(u32, u32, ConceptId)>,
+    topo_indegree: Vec<u32>,
+    topo_queue: VecDeque<u32>,
+    topo_order: Vec<u32>,
 }
 
 impl DRadixDag {
+    /// Creates an empty, reusable DAG. Feed it with
+    /// [`build_into`](Self::build_into).
+    pub fn new() -> DRadixDag {
+        DRadixDag::default()
+    }
+
     /// Builds the DAG for `doc` and `query` over `ont`, inserting the
     /// lexicographically sorted Dewey address lists `Pd` and `Pq`
     /// (Algorithm 1, construction phase) and initializing member distances
     /// to zero. Unit edge weights (the paper's metric).
     pub fn build(ont: &Ontology, doc: &[ConceptId], query: &[ConceptId]) -> DRadixDag {
-        Self::build_impl(ont, doc, query, None)
+        let mut dag = DRadixDag::new();
+        dag.build_into(ont, doc, query);
+        dag
     }
 
     /// Like [`DRadixDag::build`] but pricing every compressed edge with the
@@ -87,48 +135,82 @@ impl DRadixDag {
         query: &[ConceptId],
         weights: &cbr_ontology::EdgeWeights,
     ) -> DRadixDag {
-        Self::build_impl(ont, doc, query, Some(weights))
+        let mut dag = DRadixDag::new();
+        dag.build_weighted_into(ont, doc, query, weights);
+        dag
+    }
+
+    /// Rebuilds `self` for a new `(doc, query)` pair, reusing every
+    /// backing allocation of the previous build. Equivalent to
+    /// [`DRadixDag::build`] but allocation-free once the value has warmed
+    /// up.
+    pub fn build_into(&mut self, ont: &Ontology, doc: &[ConceptId], query: &[ConceptId]) {
+        self.build_impl(ont, doc, query, None);
+    }
+
+    /// Weighted counterpart of [`build_into`](Self::build_into).
+    pub fn build_weighted_into(
+        &mut self,
+        ont: &Ontology,
+        doc: &[ConceptId],
+        query: &[ConceptId],
+        weights: &cbr_ontology::EdgeWeights,
+    ) {
+        self.build_impl(ont, doc, query, Some(weights));
+    }
+
+    /// Clears the logical content while keeping all capacity: the node
+    /// watermark drops to zero (recycled slots keep their edge `Vec`s),
+    /// and the maps, arenas, and tuning scratch are emptied in place.
+    pub fn reset(&mut self) {
+        self.live = 0;
+        self.by_concept.clear();
+        self.labels.clear();
+        self.addresses_inserted = 0;
+        self.in_doc.clear();
+        self.in_query.clear();
+        self.addr_buf.clear();
+        // The topo buffers are cleared at use; nothing to do here.
     }
 
     fn build_impl(
+        &mut self,
         ont: &Ontology,
         doc: &[ConceptId],
         query: &[ConceptId],
         weights: Option<&cbr_ontology::EdgeWeights>,
-    ) -> DRadixDag {
+    ) {
         let paths = ont.path_table();
-        let in_doc: cbr_ontology::FxHashSet<ConceptId> = doc.iter().copied().collect();
-        let in_query: cbr_ontology::FxHashSet<ConceptId> = query.iter().copied().collect();
+        self.reset();
+        self.in_doc.extend(doc.iter().copied());
+        self.in_query.extend(query.iter().copied());
 
-        let mut dag = DRadixDag {
-            nodes: Vec::with_capacity(doc.len() + query.len() + 8),
-            by_concept: FxHashMap::default(),
-            addresses_inserted: 0,
-        };
         // Initialize with the root (Algorithm 1 line 4).
-        let root = ont.root();
-        dag.slot_for(root, &in_doc, &in_query);
+        self.slot_for(ont.root());
 
-        // Merge-consume Pd and Pq in lexicographic order (lines 6–14).
-        let pd = paths.sorted_address_list(doc);
-        let pq = paths.sorted_address_list(query);
-        let (mut i, mut j) = (0, 0);
-        while i < pd.len() || j < pq.len() {
-            let take_doc = match (pd.get(i), pq.get(j)) {
-                (Some(a), Some(b)) => a.0 <= b.0,
-                (Some(_), None) => true,
-                (None, _) => false,
-            };
-            let (addr, concept) = if take_doc {
-                i += 1;
-                pd[i - 1]
-            } else {
-                j += 1;
-                pq[j - 1]
-            };
-            dag.insert_address(ont, weights, concept, addr, &in_doc, &in_query);
+        // Stage every address of d ∪ q into the label arena, then insert
+        // in lexicographic address order (lines 6–14). The paper merges
+        // the two pre-sorted lists Pd and Pq; sorting the staged ranges by
+        // content is order-equivalent (ties are the same address, whose
+        // second insertion is a no-op) and needs no per-build Vec of
+        // borrowed slices.
+        for &c in doc.iter().chain(query) {
+            for addr in paths.addresses(c) {
+                let start = self.labels.len() as u32;
+                self.labels.extend_from_slice(addr);
+                self.addr_buf.push((start, addr.len() as u32, c));
+            }
         }
-        dag
+        let mut addr_buf = std::mem::take(&mut self.addr_buf);
+        addr_buf.sort_unstable_by(|&(sa, la, ca), &(sb, lb, cb)| {
+            let a = &self.labels[sa as usize..(sa + la) as usize];
+            let b = &self.labels[sb as usize..(sb + lb) as usize];
+            a.cmp(b).then(ca.cmp(&cb))
+        });
+        for &(start, len, concept) in &addr_buf {
+            self.insert_address(ont, weights, concept, start, len);
+        }
+        self.addr_buf = addr_buf;
     }
 
     /// Runs the tuning phase (Algorithm 1 lines 19–27): a bottom-up pass in
@@ -136,7 +218,8 @@ impl DRadixDag {
     /// with Equation 4. After this every node holds its exact valid-path
     /// distance from the nearest document and query concepts.
     pub fn tune(&mut self) {
-        let order = self.topological_order();
+        self.compute_topological_order();
+        let order = std::mem::take(&mut self.topo_order);
         // Bottom-up: pull distances from children.
         for &n in order.iter().rev() {
             let node = &self.nodes[n as usize];
@@ -151,22 +234,21 @@ impl DRadixDag {
             node.doc_dist = doc;
             node.query_dist = query;
         }
-        // Top-down: push distances to children.
+        // Top-down: push distances to children. Indexed iteration because
+        // the children being relaxed live in the same arena as the edges
+        // being read (the DAG is acyclic, so a node never relaxes itself).
         for &n in &order {
             let node = &self.nodes[n as usize];
             let doc = node.doc_dist;
             let query = node.query_dist;
-            let edges: Vec<(u32, u32)> = node
-                .edges
-                .iter()
-                .map(|e| (e.target, e.weight))
-                .collect();
-            for (target, w) in edges {
+            for i in 0..self.nodes[n as usize].edges.len() {
+                let Edge { target, weight, .. } = self.nodes[n as usize].edges[i];
                 let child = &mut self.nodes[target as usize];
-                child.doc_dist = child.doc_dist.min(doc.saturating_add(w));
-                child.query_dist = child.query_dist.min(query.saturating_add(w));
+                child.doc_dist = child.doc_dist.min(doc.saturating_add(weight));
+                child.query_dist = child.query_dist.min(query.saturating_add(weight));
             }
         }
+        self.topo_order = order;
     }
 
     /// Distance of radix node `c` from the nearest *document* concept
@@ -182,13 +264,40 @@ impl DRadixDag {
         self.by_concept.get(&c).map(|&n| self.nodes[n as usize].query_dist)
     }
 
+    /// The live node slots of the current build.
+    #[inline]
+    fn active(&self) -> &[Node] {
+        &self.nodes[..self.live]
+    }
+
+    /// The label components of `e`.
+    #[inline]
+    fn label(&self, e: &Edge) -> &[u32] {
+        &self.labels[e.start as usize..(e.start + e.len) as usize]
+    }
+
     /// Shape statistics.
     pub fn stats(&self) -> DagStats {
         DagStats {
-            nodes: self.nodes.len(),
-            edges: self.nodes.iter().map(|n| n.edges.len()).sum(),
+            nodes: self.live,
+            edges: self.active().iter().map(|n| n.edges.len()).sum(),
             addresses: self.addresses_inserted,
         }
+    }
+
+    /// Approximate heap footprint of the retained allocations, in bytes.
+    /// Used by the workspace-reuse metrics to assert that steady-state
+    /// queries stop growing their scratch.
+    pub fn footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.capacity() * size_of::<Node>()
+            + self.nodes.iter().map(|n| n.edges.capacity() * size_of::<Edge>()).sum::<usize>()
+            + self.labels.capacity() * size_of::<u32>()
+            + self.addr_buf.capacity() * size_of::<(u32, u32, ConceptId)>()
+            + self.by_concept.capacity() * size_of::<(ConceptId, u32)>()
+            + (self.in_doc.capacity() + self.in_query.capacity()) * size_of::<ConceptId>()
+            + (self.topo_indegree.capacity() + self.topo_order.capacity()) * size_of::<u32>()
+            + self.topo_queue.capacity() * size_of::<u32>()
     }
 
     /// Whether concept `c` is materialized as a node.
@@ -199,15 +308,15 @@ impl DRadixDag {
     /// Iterates the materialized nodes as
     /// `(concept, doc distance, query distance)`.
     pub fn nodes(&self) -> impl Iterator<Item = (ConceptId, u32, u32)> + '_ {
-        self.nodes.iter().map(|n| (n.concept, n.doc_dist, n.query_dist))
+        self.active().iter().map(|n| (n.concept, n.doc_dist, n.query_dist))
     }
 
     /// Iterates the compressed edges as
     /// `(parent concept, child concept, label components, weight)`.
     pub fn edges(&self) -> impl Iterator<Item = (ConceptId, ConceptId, &[u32], u32)> + '_ {
-        self.nodes.iter().flat_map(move |n| {
+        self.active().iter().flat_map(move |n| {
             n.edges.iter().map(move |e| {
-                (n.concept, self.nodes[e.target as usize].concept, e.label.as_ref(), e.weight)
+                (n.concept, self.nodes[e.target as usize].concept, self.label(e), e.weight)
             })
         })
     }
@@ -226,7 +335,7 @@ impl DRadixDag {
         };
         let mut out =
             String::from("digraph dradix {\n  rankdir=TB;\n  node [fontsize=10, shape=ellipse];\n");
-        let mut nodes: Vec<&Node> = self.nodes.iter().collect();
+        let mut nodes: Vec<&Node> = self.active().iter().collect();
         nodes.sort_by_key(|n| n.concept);
         for n in &nodes {
             let _ = writeln!(
@@ -240,8 +349,7 @@ impl DRadixDag {
         }
         for n in &nodes {
             for e in &n.edges {
-                let label: Vec<String> =
-                    e.label.iter().map(|c| c.to_string()).collect();
+                let label: Vec<String> = self.label(e).iter().map(|c| c.to_string()).collect();
                 let _ = writeln!(
                     out,
                     "  c{} -> c{} [label=\"{}\"];",
@@ -257,23 +365,25 @@ impl DRadixDag {
 
     // --- construction internals -------------------------------------------
 
-    fn slot_for(
-        &mut self,
-        concept: ConceptId,
-        in_doc: &cbr_ontology::FxHashSet<ConceptId>,
-        in_query: &cbr_ontology::FxHashSet<ConceptId>,
-    ) -> u32 {
+    /// Returns the node slot of `concept`, materializing it at the
+    /// watermark if new. Recycled slots keep their edge `Vec` allocation.
+    fn slot_for(&mut self, concept: ConceptId) -> u32 {
         if let Some(&n) = self.by_concept.get(&concept) {
             return n;
         }
-        let n = self.nodes.len() as u32;
-        self.nodes.push(Node {
-            concept,
-            doc_dist: if in_doc.contains(&concept) { 0 } else { UNSET },
-            query_dist: if in_query.contains(&concept) { 0 } else { UNSET },
-            edges: Vec::new(),
-            indegree: 0,
-        });
+        let n = self.live as u32;
+        let doc_dist = if self.in_doc.contains(&concept) { 0 } else { UNSET };
+        let query_dist = if self.in_query.contains(&concept) { 0 } else { UNSET };
+        if let Some(slot) = self.nodes.get_mut(self.live) {
+            slot.concept = concept;
+            slot.doc_dist = doc_dist;
+            slot.query_dist = query_dist;
+            slot.edges.clear();
+            slot.indegree = 0;
+        } else {
+            self.nodes.push(Node { concept, doc_dist, query_dist, edges: Vec::new(), indegree: 0 });
+        }
+        self.live += 1;
         self.by_concept.insert(concept, n);
         n
     }
@@ -283,117 +393,125 @@ impl DRadixDag {
         ont: &Ontology,
         weights: Option<&cbr_ontology::EdgeWeights>,
         concept: ConceptId,
-        addr: &[u32],
-        in_doc: &cbr_ontology::FxHashSet<ConceptId>,
-        in_query: &cbr_ontology::FxHashSet<ConceptId>,
+        start: u32,
+        len: u32,
     ) {
         self.addresses_inserted += 1;
         let root = self.by_concept[&ont.root()];
-        self.insert_suffix(ont, weights, root, concept, addr, in_doc, in_query);
+        self.insert_suffix(ont, weights, root, concept, start, len);
     }
 
     /// Function InsertPath: attaches `target`, reachable from the concept of
-    /// node `from` by walking the ontology along `label`, into the radix
-    /// structure below `from`.
-    #[allow(clippy::too_many_arguments)]
+    /// node `from` by walking the ontology along the label range
+    /// `[vs, vs + vl)` of the arena, into the radix structure below `from`.
     fn insert_suffix(
         &mut self,
         ont: &Ontology,
         weights: Option<&cbr_ontology::EdgeWeights>,
         from: u32,
         target: ConceptId,
-        label: &[u32],
-        in_doc: &cbr_ontology::FxHashSet<ConceptId>,
-        in_query: &cbr_ontology::FxHashSet<ConceptId>,
+        mut vs: u32,
+        mut vl: u32,
     ) {
         let mut cn = from;
-        let mut v = label;
         loop {
-            if v.is_empty() {
+            if vl == 0 {
                 // Fully matched: the walk ended on an existing node, which
                 // must be the target (equal Dewey position ⇒ equal concept).
                 debug_assert_eq!(self.nodes[cn as usize].concept, target);
                 return;
             }
             // At most one edge shares the leading component with v.
+            let lead = self.labels[vs as usize];
             let edge_idx = self.nodes[cn as usize]
                 .edges
                 .iter()
-                .position(|e| e.label[0] == v[0]);
+                .position(|e| self.labels[e.start as usize] == lead);
             let Some(idx) = edge_idx else {
                 // No shared prefix: target becomes a direct child (lines 11–13).
-                let t = self.slot_for(target, in_doc, in_query);
-                let w = self.price(ont, weights, cn, v);
-                self.add_edge(cn, t, v, w);
+                let t = self.slot_for(target);
+                let w = self.price(ont, weights, cn, vs, vl);
+                self.add_edge(cn, t, vs, vl, w);
                 return;
             };
 
-            let (m_target, m_label) = {
+            let (m_target, ms, ml) = {
                 let e = &self.nodes[cn as usize].edges[idx];
-                (e.target, e.label.clone())
+                (e.target, e.start, e.len)
             };
-            let lcp = cbr_ontology::dewey::longest_common_prefix(v, &m_label);
-            if lcp == m_label.len() {
+            let lcp = cbr_ontology::dewey::longest_common_prefix(
+                &self.labels[vs as usize..(vs + vl) as usize],
+                &self.labels[ms as usize..(ms + ml) as usize],
+            ) as u32;
+            if lcp == ml {
                 // v contains the full edge label: descend (lines 14–17).
                 cn = m_target;
-                v = &v[lcp..];
+                vs += lcp;
+                vl -= lcp;
                 continue;
             }
 
             // Partial overlap: split the edge at the LCP (lines 18–27). The
             // LCP endpoint is a real ontology node, resolved by walking from
             // cn's concept (the paper's FindNodeByDewey).
-            let mid_concept = resolve_relative(ont, self.nodes[cn as usize].concept, &v[..lcp]);
+            let mid_concept = resolve_relative(
+                ont,
+                self.nodes[cn as usize].concept,
+                &self.labels[vs as usize..(vs + lcp) as usize],
+            );
             self.remove_edge(cn, idx);
-            let mid = self.slot_for(mid_concept, in_doc, in_query);
-            let w = self.price(ont, weights, cn, &v[..lcp]);
-            self.add_edge(cn, mid, &v[..lcp], w);
+            let mid = self.slot_for(mid_concept);
+            let w = self.price(ont, weights, cn, vs, lcp);
+            self.add_edge(cn, mid, vs, lcp, w);
             // Re-attach the displaced edge below the split point; recursion
             // handles the case where `mid` already owns a sub-DAG reached
-            // through another root path.
+            // through another root path. Both re-attached labels are
+            // subranges of arena labels that already exist — no copying.
             let old_target_concept = self.nodes[m_target as usize].concept;
-            self.insert_suffix(ont, weights, mid, old_target_concept, &m_label[lcp..], in_doc, in_query);
+            self.insert_suffix(ont, weights, mid, old_target_concept, ms + lcp, ml - lcp);
             if mid_concept != target {
-                self.insert_suffix(ont, weights, mid, target, &v[lcp..], in_doc, in_query);
+                self.insert_suffix(ont, weights, mid, target, vs + lcp, vl - lcp);
             }
             return;
         }
     }
 
-    /// Cost of walking `comps` down from node `from` under the active
-    /// weighting (component count when unweighted).
+    /// Cost of walking the label range down from node `from` under the
+    /// active weighting (component count when unweighted).
     fn price(
         &self,
         ont: &Ontology,
         weights: Option<&cbr_ontology::EdgeWeights>,
         from: u32,
-        comps: &[u32],
+        start: u32,
+        len: u32,
     ) -> u32 {
         match weights {
-            None => comps.len() as u32,
-            Some(w) => w.path_weight(ont, self.nodes[from as usize].concept, comps),
+            None => len,
+            Some(w) => w.path_weight(
+                ont,
+                self.nodes[from as usize].concept,
+                &self.labels[start as usize..(start + len) as usize],
+            ),
         }
     }
 
-    fn add_edge(&mut self, from: u32, to: u32, label: &[u32], weight: u32) {
-        debug_assert!(!label.is_empty(), "radix edges carry at least one component");
+    fn add_edge(&mut self, from: u32, to: u32, start: u32, len: u32, weight: u32) {
+        debug_assert!(len > 0, "radix edges carry at least one component");
         // Idempotence: re-reaching an existing sub-DAG may re-derive an
-        // identical edge (paper Example 2, step 8) — skip it.
+        // identical edge (paper Example 2, step 8) — skip it. Labels are
+        // compared by content; equal addresses may be staged at different
+        // arena offsets.
+        let label = &self.labels[start as usize..(start + len) as usize];
         let node = &self.nodes[from as usize];
-        if node
-            .edges
-            .iter()
-            .any(|e| e.target == to && e.label.as_ref() == label)
-        {
+        if node.edges.iter().any(|e| e.target == to && self.label(e) == label) {
             return;
         }
         debug_assert!(
-            node.edges.iter().all(|e| e.label[0] != label[0]),
+            node.edges.iter().all(|e| self.labels[e.start as usize] != label[0]),
             "radix invariant: one edge per leading component"
         );
-        self.nodes[from as usize]
-            .edges
-            .push(Edge { target: to, label: label.into(), weight });
+        self.nodes[from as usize].edges.push(Edge { target: to, start, len, weight });
         self.nodes[to as usize].indegree += 1;
     }
 
@@ -402,24 +520,28 @@ impl DRadixDag {
         self.nodes[edge.target as usize].indegree -= 1;
     }
 
-    /// Kahn topological order from the root over radix edges.
-    fn topological_order(&self) -> Vec<u32> {
-        let mut indegree: Vec<u32> = self.nodes.iter().map(|n| n.indegree).collect();
-        let mut queue: std::collections::VecDeque<u32> = (0..self.nodes.len() as u32)
-            .filter(|&n| indegree[n as usize] == 0)
-            .collect();
-        let mut order = Vec::with_capacity(self.nodes.len());
-        while let Some(n) = queue.pop_front() {
-            order.push(n);
+    /// Kahn topological order from the root over radix edges, written into
+    /// `self.topo_order` using the retained scratch buffers.
+    fn compute_topological_order(&mut self) {
+        self.topo_indegree.clear();
+        self.topo_indegree.extend(self.nodes[..self.live].iter().map(|n| n.indegree));
+        self.topo_queue.clear();
+        self.topo_order.clear();
+        for n in 0..self.live as u32 {
+            if self.topo_indegree[n as usize] == 0 {
+                self.topo_queue.push_back(n);
+            }
+        }
+        while let Some(n) = self.topo_queue.pop_front() {
+            self.topo_order.push(n);
             for e in &self.nodes[n as usize].edges {
-                indegree[e.target as usize] -= 1;
-                if indegree[e.target as usize] == 0 {
-                    queue.push_back(e.target);
+                self.topo_indegree[e.target as usize] -= 1;
+                if self.topo_indegree[e.target as usize] == 0 {
+                    self.topo_queue.push_back(e.target);
                 }
             }
         }
-        debug_assert_eq!(order.len(), self.nodes.len(), "radix DAG must be acyclic");
-        order
+        debug_assert_eq!(self.topo_order.len(), self.live, "radix DAG must be acyclic");
     }
 }
 
@@ -427,9 +549,7 @@ impl DRadixDag {
 fn resolve_relative(ont: &Ontology, from: ConceptId, comps: &[u32]) -> ConceptId {
     let mut cur = from;
     for &comp in comps {
-        cur = ont
-            .child_at(cur, comp)
-            .expect("edge labels are valid ontology paths");
+        cur = ont.child_at(cur, comp).expect("edge labels are valid ontology paths");
     }
     cur
 }
@@ -552,10 +672,12 @@ mod tests {
         // Debug assertions inside add_edge/insert_suffix check the radix
         // invariants (one edge per leading component, acyclicity, concept
         // identity at full matches) on every operation; build many DAGs over
-        // a large multi-parent ontology to shake them.
+        // a large multi-parent ontology to shake them. The same value is
+        // rebuilt each trial, stressing the recycling path as well.
         use cbr_ontology::{GeneratorConfig, OntologyGenerator};
         let ont = OntologyGenerator::new(GeneratorConfig::snomed_like(3_000)).generate();
         let all: Vec<ConceptId> = ont.concepts().collect();
+        let mut dag = DRadixDag::new();
         for trial in 0..20u64 {
             let pick = |mul: u64, n: usize| -> Vec<ConceptId> {
                 let mut v: Vec<ConceptId> = (0..n)
@@ -573,7 +695,7 @@ mod tests {
             };
             let doc = pick(31, 40);
             let query = pick(77, 15);
-            let mut dag = DRadixDag::build(&ont, &doc, &query);
+            dag.build_into(&ont, &doc, &query);
             dag.tune();
             // Every member concept is materialized with distance 0 on its
             // own side.
@@ -598,5 +720,62 @@ mod tests {
         // parents through the F route. Assert the DAG is a DAG with more
         // edges than a tree would have.
         assert!(s.edges > s.nodes - 1, "DAG must contain multi-parent nodes");
+    }
+
+    #[test]
+    fn rebuilt_dag_matches_fresh_build() {
+        // Reuse must be invisible: build A, rebuild for B, and compare
+        // against a fresh build of B — structure and distances identical.
+        let fig = fixture::figure3();
+        let doc_a = fig.example_document();
+        let query_a = fig.example_query();
+        let doc_b = vec![fig.concept("M"), fig.concept("T")];
+        let query_b = vec![fig.concept("C"), fig.concept("V")];
+
+        let mut reused = DRadixDag::build(&fig.ontology, &doc_a, &query_a);
+        reused.tune();
+        reused.build_into(&fig.ontology, &doc_b, &query_b);
+        reused.tune();
+
+        let mut fresh = DRadixDag::build(&fig.ontology, &doc_b, &query_b);
+        fresh.tune();
+
+        assert_eq!(reused.stats(), fresh.stats());
+        let mut a: Vec<_> = reused.nodes().collect();
+        let mut b: Vec<_> = fresh.nodes().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "node distances diverge after reuse");
+        let mut ea: Vec<_> = reused.edges().map(|(f, t, l, w)| (f, t, l.to_vec(), w)).collect();
+        let mut eb: Vec<_> = fresh.edges().map(|(f, t, l, w)| (f, t, l.to_vec(), w)).collect();
+        ea.sort();
+        eb.sort();
+        assert_eq!(ea, eb, "edges diverge after reuse");
+    }
+
+    #[test]
+    fn steady_state_rebuilds_stop_allocating() {
+        // After one warm-up build per (doc, query) shape, the footprint
+        // must stabilize: rebuilding the same pairs in rotation performs
+        // no further backing growth.
+        let fig = fixture::figure3();
+        let pairs = [
+            (fig.example_document(), fig.example_query()),
+            (vec![fig.concept("M"), fig.concept("V")], vec![fig.concept("I")]),
+            (vec![fig.concept("C")], vec![fig.concept("T"), fig.concept("U")]),
+        ];
+        let mut dag = DRadixDag::new();
+        for (d, q) in &pairs {
+            dag.build_into(&fig.ontology, d, q);
+            dag.tune();
+        }
+        let warm = dag.footprint_bytes();
+        for _ in 0..3 {
+            for (d, q) in &pairs {
+                dag.build_into(&fig.ontology, d, q);
+                dag.tune();
+            }
+        }
+        assert_eq!(dag.footprint_bytes(), warm, "steady-state rebuilds must not grow");
     }
 }

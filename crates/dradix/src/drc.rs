@@ -3,32 +3,75 @@
 use crate::dag::DRadixDag;
 use cbr_ontology::{ConceptId, Ontology};
 
+/// The reusable build state of one [`Drc`]: the D-Radix node arena, the
+/// `by_concept` map, the label arena, and the tuning scratch. Cleared —
+/// never reallocated — between document probes, so the per-document DAG
+/// build at the heart of every kNDS EXAMINE becomes allocation-free once
+/// warm.
+///
+/// A scratch can be detached with [`Drc::into_scratch`] and re-attached
+/// with [`Drc::with_scratch`], which is how query workspaces carry DAG
+/// capacity across queries (and across engine borrows) without tying a
+/// workspace to one ontology lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct DagScratch {
+    dag: DRadixDag,
+}
+
+impl DagScratch {
+    /// An empty scratch; capacity accrues on first use.
+    pub fn new() -> DagScratch {
+        DagScratch::default()
+    }
+
+    /// Approximate heap footprint of the retained allocations, in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.dag.footprint_bytes()
+    }
+}
+
 /// Computes document-query (Equation 2) and document-document
 /// (Equation 3) distances in `O((|Pd| + |Pq|) log(|Pd| + |Pq|))` via the
 /// D-Radix DAG.
 ///
 /// One `Drc` is cheap to create and borrows the ontology; each distance
-/// call builds and tunes a fresh DAG (the paper's Algorithm 1 runs per
+/// call builds and tunes a DAG (the paper's Algorithm 1 runs per
 /// document-query pair at query time — no precomputation is required,
 /// which is what lets new EMRs join the collection instantly, Section 1).
-#[derive(Debug, Clone, Copy)]
+/// The value owns a [`DagScratch`] that the distance methods rebuild in
+/// place, so probing many documents against one query allocates only on
+/// the first few probes; hence those methods take `&mut self`.
+#[derive(Debug, Clone)]
 pub struct Drc<'a> {
     ontology: &'a Ontology,
     weights: Option<&'a cbr_ontology::EdgeWeights>,
+    scratch: DagScratch,
 }
 
 impl<'a> Drc<'a> {
     /// Creates the algorithm over `ontology` (materializes the path table
     /// on first use). Unit edge weights — the paper's metric.
     pub fn new(ontology: &'a Ontology) -> Self {
-        Drc { ontology, weights: None }
+        Drc { ontology, weights: None, scratch: DagScratch::new() }
     }
 
     /// Creates a weighted-edge variant (the Section 7 future-work
     /// prototype): every distance below prices ontology edges by
     /// `weights` instead of 1.
     pub fn with_weights(ontology: &'a Ontology, weights: &'a cbr_ontology::EdgeWeights) -> Self {
-        Drc { ontology, weights: Some(weights) }
+        Drc { ontology, weights: Some(weights), scratch: DagScratch::new() }
+    }
+
+    /// Replaces the owned scratch, adopting capacity warmed elsewhere
+    /// (e.g. by a pooled query workspace).
+    pub fn with_scratch(mut self, scratch: DagScratch) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Releases the owned scratch so its capacity can outlive this `Drc`.
+    pub fn into_scratch(self) -> DagScratch {
+        self.scratch
     }
 
     /// The ontology in use.
@@ -36,8 +79,28 @@ impl<'a> Drc<'a> {
         self.ontology
     }
 
-    /// Builds and tunes the D-Radix DAG for `(doc, query)`. Exposed for
-    /// inspection and tests; the distance methods below wrap it.
+    /// Approximate heap footprint of the retained scratch, in bytes.
+    pub fn scratch_footprint_bytes(&self) -> usize {
+        self.scratch.footprint_bytes()
+    }
+
+    /// Builds and tunes the D-Radix DAG for `(doc, query)` into the owned
+    /// scratch and returns it for reading. This is the per-document probe
+    /// at the core of kNDS's EXAMINE step: allocation-free once the
+    /// scratch has warmed up.
+    pub fn probe(&mut self, doc: &[ConceptId], query: &[ConceptId]) -> &DRadixDag {
+        let dag = &mut self.scratch.dag;
+        match self.weights {
+            None => dag.build_into(self.ontology, doc, query),
+            Some(w) => dag.build_weighted_into(self.ontology, doc, query, w),
+        }
+        dag.tune();
+        dag
+    }
+
+    /// Builds and tunes a *fresh* D-Radix DAG for `(doc, query)`, leaving
+    /// the owned scratch untouched. Exposed for inspection, tracing, and
+    /// tests; the distance methods use [`probe`](Self::probe).
     pub fn build_dag(&self, doc: &[ConceptId], query: &[ConceptId]) -> DRadixDag {
         let mut dag = match self.weights {
             None => DRadixDag::build(self.ontology, doc, query),
@@ -53,17 +116,15 @@ impl<'a> Drc<'a> {
     ///
     /// Panics if `query` is empty; an empty *document* yields
     /// [`crate::INFINITE`] (no concept can cover any query node).
-    pub fn document_query_distance(&self, doc: &[ConceptId], query: &[ConceptId]) -> u64 {
+    pub fn document_query_distance(&mut self, doc: &[ConceptId], query: &[ConceptId]) -> u64 {
         assert!(!query.is_empty(), "RDS distance requires a non-empty query");
         if doc.is_empty() {
             return crate::INFINITE;
         }
-        let dag = self.build_dag(doc, query);
+        let dag = self.probe(doc, query);
         let mut sum = 0u64;
         for &qi in query {
-            let d = dag
-                .doc_distance(qi)
-                .expect("query concepts are materialized in the DAG");
+            let d = dag.doc_distance(qi).expect("query concepts are materialized in the DAG");
             debug_assert_ne!(d, u32::MAX, "single-rooted ontology has finite distances");
             sum += d as u64;
         }
@@ -73,7 +134,7 @@ impl<'a> Drc<'a> {
     /// `Ddq(d, q) / |q|` — the query-size-normalized form the paper uses
     /// when merging scores across expanded queries (footnote 3).
     pub fn document_query_distance_normalized(
-        &self,
+        &mut self,
         doc: &[ConceptId],
         query: &[ConceptId],
     ) -> f64 {
@@ -93,7 +154,7 @@ impl<'a> Drc<'a> {
     /// ```
     ///
     /// Returns `f64::INFINITY` if either document is empty.
-    pub fn document_document_distance(&self, d1: &[ConceptId], d2: &[ConceptId]) -> f64 {
+    pub fn document_document_distance(&mut self, d1: &[ConceptId], d2: &[ConceptId]) -> f64 {
         self.document_document_distance_weighted(d1, d2, None)
     }
 
@@ -102,7 +163,7 @@ impl<'a> Drc<'a> {
     /// `weights[c.index()]` scales concept `c`'s contribution on both
     /// sides; normalizers become weight sums.
     pub fn document_document_distance_weighted(
-        &self,
+        &mut self,
         d1: &[ConceptId],
         d2: &[ConceptId],
         weights: Option<&[f64]>,
@@ -112,7 +173,7 @@ impl<'a> Drc<'a> {
         }
         // Build one DAG treating d1 as the "document" and d2 as the
         // "query"; both directions read off the same tuned structure.
-        let dag = self.build_dag(d1, d2);
+        let dag = self.probe(d1, d2);
         let w = |c: ConceptId| weights.map_or(1.0, |ws| ws[c.index()]);
 
         let mut sum_d2 = 0.0; // Σ_{c ∈ d2} Ddc(d1, c) — distances from d1 side
@@ -142,7 +203,7 @@ mod tests {
     fn example1_rds_distance_is_seven() {
         // Ddq(d, q) = Ddc(d,I) + Ddc(d,L) + Ddc(d,U) = 4 + 2 + 1 = 7.
         let fig = fixture::figure3();
-        let drc = Drc::new(&fig.ontology);
+        let mut drc = Drc::new(&fig.ontology);
         let d = fig.example_document();
         let q = fig.example_query();
         assert_eq!(drc.document_query_distance(&d, &q), 7);
@@ -155,7 +216,7 @@ mod tests {
         // are the query distances of F, R, T, V (2, 1, 4, 5) and the
         // q-side distances are 4, 2, 1.
         let fig = fixture::figure3();
-        let drc = Drc::new(&fig.ontology);
+        let mut drc = Drc::new(&fig.ontology);
         let d = fig.example_document();
         let q = fig.example_query();
         let expected = (2.0 + 1.0 + 4.0 + 5.0) / 4.0 + (4.0 + 2.0 + 1.0) / 3.0;
@@ -165,7 +226,7 @@ mod tests {
     #[test]
     fn sds_distance_is_symmetric() {
         let fig = fixture::figure3();
-        let drc = Drc::new(&fig.ontology);
+        let mut drc = Drc::new(&fig.ontology);
         let d = fig.example_document();
         let q = fig.example_query();
         let ab = drc.document_document_distance(&d, &q);
@@ -176,7 +237,7 @@ mod tests {
     #[test]
     fn identical_documents_have_zero_distance() {
         let fig = fixture::figure3();
-        let drc = Drc::new(&fig.ontology);
+        let mut drc = Drc::new(&fig.ontology);
         let d = fig.example_document();
         assert_eq!(drc.document_document_distance(&d, &d), 0.0);
         assert_eq!(drc.document_query_distance(&d, &d), 0);
@@ -185,7 +246,7 @@ mod tests {
     #[test]
     fn empty_document_is_infinitely_far() {
         let fig = fixture::figure3();
-        let drc = Drc::new(&fig.ontology);
+        let mut drc = Drc::new(&fig.ontology);
         let q = fig.example_query();
         assert_eq!(drc.document_query_distance(&[], &q), crate::INFINITE);
         assert_eq!(drc.document_document_distance(&[], &q), f64::INFINITY);
@@ -202,7 +263,7 @@ mod tests {
     #[test]
     fn weighted_distance_reduces_to_unweighted_with_unit_weights() {
         let fig = fixture::figure3();
-        let drc = Drc::new(&fig.ontology);
+        let mut drc = Drc::new(&fig.ontology);
         let d = fig.example_document();
         let q = fig.example_query();
         let unit = vec![1.0; fig.ontology.len()];
@@ -228,7 +289,7 @@ mod tests {
                 1
             }
         });
-        let drc = Drc::with_weights(ont, &w);
+        let mut drc = Drc::with_weights(ont, &w);
         let d = fig.example_document();
         let q = fig.example_query();
         assert_eq!(
@@ -247,15 +308,13 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         for seed in 0..3u64 {
-            let ont = OntologyGenerator::new(
-                GeneratorConfig::small(120).with_seed(3_000 + seed),
-            )
-            .generate();
+            let ont = OntologyGenerator::new(GeneratorConfig::small(120).with_seed(3_000 + seed))
+                .generate();
             // Pseudo-random weights in 1..=4 keyed on the parent id.
             let w = cbr_ontology::EdgeWeights::from_fn(&ont, |p, c| {
                 1 + ((p.0.wrapping_mul(31).wrapping_add(c.0)) % 4)
             });
-            let drc = Drc::with_weights(&ont, &w);
+            let mut drc = Drc::with_weights(&ont, &w);
             let mut rng = StdRng::seed_from_u64(seed);
             let all: Vec<ConceptId> = ont.concepts().collect();
             for _ in 0..8 {
@@ -280,7 +339,7 @@ mod tests {
     #[test]
     fn weighted_distance_emphasizes_heavy_concepts() {
         let fig = fixture::figure3();
-        let drc = Drc::new(&fig.ontology);
+        let mut drc = Drc::new(&fig.ontology);
         let d = fig.example_document();
         let q = fig.example_query();
         // Up-weighting I (the farthest query concept, Ddc = 4) must
@@ -290,5 +349,38 @@ mod tests {
         let heavy = drc.document_document_distance_weighted(&d, &q, Some(&w));
         let plain = drc.document_document_distance(&d, &q);
         assert!(heavy > plain, "{heavy} should exceed {plain}");
+    }
+
+    #[test]
+    fn scratch_roundtrips_through_detach_and_reattach() {
+        let fig = fixture::figure3();
+        let d = fig.example_document();
+        let q = fig.example_query();
+        let mut drc = Drc::new(&fig.ontology);
+        assert_eq!(drc.document_query_distance(&d, &q), 7);
+        let warm = drc.scratch_footprint_bytes();
+        assert!(warm > 0, "probing must warm the scratch");
+        let scratch = drc.into_scratch();
+        let mut again = Drc::new(&fig.ontology).with_scratch(scratch);
+        assert_eq!(again.scratch_footprint_bytes(), warm);
+        assert_eq!(again.document_query_distance(&d, &q), 7);
+    }
+
+    #[test]
+    fn repeated_probes_reuse_the_scratch() {
+        let fig = fixture::figure3();
+        let d = fig.example_document();
+        let q = fig.example_query();
+        let d2 = vec![fig.concept("M"), fig.concept("T")];
+        let mut drc = Drc::new(&fig.ontology);
+        // Warm up on both shapes, then assert the footprint is stable.
+        drc.document_query_distance(&d, &q);
+        drc.document_document_distance(&d, &d2);
+        let warm = drc.scratch_footprint_bytes();
+        for _ in 0..4 {
+            assert_eq!(drc.document_query_distance(&d, &q), 7);
+            drc.document_document_distance(&d, &d2);
+        }
+        assert_eq!(drc.scratch_footprint_bytes(), warm, "steady-state probes must not grow");
     }
 }

@@ -25,7 +25,8 @@
 //! use cbr_dradix::Drc;
 //!
 //! let fig3 = fixture::figure3();
-//! let drc = Drc::new(&fig3.ontology);
+//! // `Drc` owns a reusable DAG scratch, so distance calls take `&mut`.
+//! let mut drc = Drc::new(&fig3.ontology);
 //! // Example 1 of the paper: Ddq(d, q) = 4 + 2 + 1 = 7.
 //! let d = fig3.example_document();
 //! let q = fig3.example_query();
@@ -40,7 +41,7 @@ pub mod dag;
 pub mod drc;
 
 pub use dag::{DRadixDag, DagStats};
-pub use drc::Drc;
+pub use drc::{DagScratch, Drc};
 
 /// Sentinel for "distance not defined" (empty document or query in a
 /// normalized document-document distance).

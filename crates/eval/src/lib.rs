@@ -87,11 +87,7 @@ pub fn ndcg_at_k(ranking: &[DocId], relevant: &HashSet<DocId>, k: usize) -> f64 
 /// Reciprocal rank of the first relevant document (`1/rank`), 0 when no
 /// relevant document appears. Averaged over queries this is MRR.
 pub fn reciprocal_rank(ranking: &[DocId], relevant: &HashSet<DocId>) -> f64 {
-    ranking
-        .iter()
-        .position(|d| relevant.contains(d))
-        .map(|i| 1.0 / (i + 1) as f64)
-        .unwrap_or(0.0)
+    ranking.iter().position(|d| relevant.contains(d)).map(|i| 1.0 / (i + 1) as f64).unwrap_or(0.0)
 }
 
 /// Whether any relevant document appears in the top-k (success@k).
@@ -142,10 +138,7 @@ pub struct Effectiveness {
 }
 
 /// Averages the four metrics over a workload at cutoff `k`.
-pub fn evaluate(
-    runs: &[(Vec<DocId>, HashSet<DocId>)],
-    k: usize,
-) -> Effectiveness {
+pub fn evaluate(runs: &[(Vec<DocId>, HashSet<DocId>)], k: usize) -> Effectiveness {
     if runs.is_empty() {
         return Effectiveness::default();
     }
@@ -249,10 +242,7 @@ mod tests {
 
     #[test]
     fn evaluate_averages() {
-        let runs = vec![
-            (vec![d(1), d(2)], rel(&[1])),
-            (vec![d(3), d(4)], rel(&[4])),
-        ];
+        let runs = vec![(vec![d(1), d(2)], rel(&[1])), (vec![d(3), d(4)], rel(&[4]))];
         let e = evaluate(&runs, 1);
         assert_eq!(e.precision, 0.5);
         assert_eq!(e.recall, 0.5);

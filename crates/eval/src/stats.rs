@@ -47,8 +47,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
         return None;
     }
     let t = (ma - mb) / (sa + sb).sqrt();
-    let df = (sa + sb).powi(2)
-        / (sa.powi(2) / (na as f64 - 1.0) + sb.powi(2) / (nb as f64 - 1.0));
+    let df = (sa + sb).powi(2) / (sa.powi(2) / (na as f64 - 1.0) + sb.powi(2) / (nb as f64 - 1.0));
     let p = two_tailed_p(t, df);
     Some(TTest { t, df, p })
 }
@@ -72,8 +71,7 @@ fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a

@@ -91,10 +91,7 @@ impl FileSource {
         let read_u32s = |file: &mut File, n: usize| -> io::Result<Vec<u32>> {
             let mut raw = vec![0u8; n * 4];
             file.read_exact(&mut raw)?;
-            Ok(raw
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                .collect())
+            Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
         };
         let inv_offsets = read_u32s(&mut file, num_concepts + 1)?;
         let fwd_offsets = read_u32s(&mut file, num_docs + 1)?;
@@ -115,9 +112,7 @@ impl FileSource {
             return;
         }
         let mut raw = vec![0u8; count * 4];
-        self.file
-            .read_exact_at(&mut raw, pos)
-            .expect("index image truncated while in use");
+        self.file.read_exact_at(&mut raw, pos).expect("index image truncated while in use");
         out.extend(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())));
     }
 }

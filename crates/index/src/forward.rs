@@ -2,6 +2,7 @@
 
 use cbr_corpus::{Corpus, DocId};
 use cbr_ontology::ConceptId;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// CSR-layout forward index over a corpus.
@@ -9,7 +10,8 @@ use serde::{Deserialize, Serialize};
 /// kNDS consults this when a document needs its full concept set: DRC
 /// probes (Algorithm 2 line 19) and the `|C|` normalizers of the SDS
 /// distance (Equation 3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ForwardIndex {
     offsets: Vec<u32>,
     concepts: Vec<ConceptId>,
@@ -83,6 +85,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let corpus = Corpus::from_concept_sets(vec![(vec![ConceptId(1)], 0)]);

@@ -2,6 +2,7 @@
 
 use cbr_corpus::{Corpus, DocId};
 use cbr_ontology::ConceptId;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// CSR-layout inverted index over a corpus.
@@ -11,7 +12,8 @@ use serde::{Deserialize, Serialize};
 /// document id; the *distance-sorted* postings of the TA comparator are
 /// materialized per query by `cbr-knds`, because document-to-concept
 /// distances depend on the query-time ontology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct InvertedIndex {
     offsets: Vec<u32>,
     docs: Vec<DocId>,
@@ -126,6 +128,7 @@ mod tests {
         assert_eq!(idx.total_postings(), 6);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let idx = InvertedIndex::build(&corpus(), 5);

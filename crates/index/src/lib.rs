@@ -14,7 +14,8 @@
 //!   [`FileSource`] (per-access `pread` against an on-disk image, the
 //!   MySQL stand-in whose access time the harness reports as I/O time);
 //! * [`SnapshotStore`] — typed binary snapshots of any serde value using
-//!   the workspace codec ([`cbr_ontology::ser`]).
+//!   the workspace codec (`cbr_ontology::ser`); requires the `serde`
+//!   cargo feature.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +24,7 @@ pub mod compress;
 pub mod file;
 pub mod forward;
 pub mod inverted;
+#[cfg(feature = "serde")]
 pub mod snapshot;
 pub mod source;
 
@@ -30,5 +32,6 @@ pub use compress::{CompressedPostings, CompressedSource};
 pub use file::FileSource;
 pub use forward::ForwardIndex;
 pub use inverted::InvertedIndex;
+#[cfg(feature = "serde")]
 pub use snapshot::SnapshotStore;
 pub use source::{IndexSource, MemorySource};

@@ -77,11 +77,7 @@ impl SnapshotStore {
         let mut names = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
-            if let Some(name) = entry
-                .file_name()
-                .to_str()
-                .and_then(|n| n.strip_suffix(".snap"))
-            {
+            if let Some(name) = entry.file_name().to_str().and_then(|n| n.strip_suffix(".snap")) {
                 names.push(name.to_string());
             }
         }

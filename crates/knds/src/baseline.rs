@@ -7,10 +7,15 @@
 //! kNDS and the baseline method." The baseline therefore computes the DRC
 //! distance of **every** document and keeps the k smallest — its cost is
 //! independent of `k` (the flat lines of Figure 9).
+//!
+//! Like the kNDS engines, the scan can run over a borrowed
+//! [`KndsWorkspace`] (`*_with` variants) so that the forward-index fetch
+//! buffer and the DRC DAG scratch are reused across queries.
 
 use crate::engine::{QueryResult, RankedDoc};
 use crate::metrics::QueryMetrics;
 use crate::util::TopK;
+use crate::workspace::KndsWorkspace;
 use cbr_corpus::DocId;
 use cbr_dradix::Drc;
 use cbr_index::IndexSource;
@@ -24,8 +29,20 @@ pub fn rds<S: IndexSource>(
     query: &[ConceptId],
     k: usize,
 ) -> QueryResult {
-    scan(ontology, source, k, |drc, doc_concepts| {
-        let d = drc.document_query_distance(doc_concepts, query);
+    let mut ws = KndsWorkspace::new();
+    rds_with(ontology, source, &mut ws, query, k)
+}
+
+/// [`rds`] over a caller-owned workspace (reusable buffers + DAG scratch).
+pub fn rds_with<S: IndexSource>(
+    ontology: &Ontology,
+    source: &S,
+    ws: &mut KndsWorkspace,
+    query: &[ConceptId],
+    k: usize,
+) -> QueryResult {
+    scan(ontology, source, ws, query, k, |drc, doc_concepts, q| {
+        let d = drc.document_query_distance(doc_concepts, q);
         if d == cbr_dradix::INFINITE {
             f64::INFINITY
         } else {
@@ -41,22 +58,40 @@ pub fn sds<S: IndexSource>(
     query_doc: &[ConceptId],
     k: usize,
 ) -> QueryResult {
-    scan(ontology, source, k, |drc, doc_concepts| {
-        drc.document_document_distance(doc_concepts, query_doc)
+    let mut ws = KndsWorkspace::new();
+    sds_with(ontology, source, &mut ws, query_doc, k)
+}
+
+/// [`sds`] over a caller-owned workspace (reusable buffers + DAG scratch).
+pub fn sds_with<S: IndexSource>(
+    ontology: &Ontology,
+    source: &S,
+    ws: &mut KndsWorkspace,
+    query_doc: &[ConceptId],
+    k: usize,
+) -> QueryResult {
+    scan(ontology, source, ws, query_doc, k, |drc, doc_concepts, q| {
+        drc.document_document_distance(doc_concepts, q)
     })
 }
 
 fn scan<S: IndexSource>(
     ontology: &Ontology,
     source: &S,
+    ws: &mut KndsWorkspace,
+    query: &[ConceptId],
     k: usize,
-    mut distance: impl FnMut(&Drc<'_>, &[ConceptId]) -> f64,
+    mut distance: impl FnMut(&mut Drc<'_>, &[ConceptId], &[ConceptId]) -> f64,
 ) -> QueryResult {
     assert!(k > 0, "k must be positive");
-    let drc = Drc::new(ontology);
+    let reused = ws.begin();
+    let mut q = std::mem::take(&mut ws.query);
+    crate::util::normalize_query_into(query, &mut q);
+    assert!(!q.is_empty(), "query must contain at least one concept");
+    let mut drc = Drc::new(ontology).with_scratch(ws.take_dag());
     let mut heap = TopK::new(k);
     let mut metrics = QueryMetrics::default();
-    let mut buf: Vec<ConceptId> = Vec::new();
+    let mut buf = std::mem::take(&mut ws.concepts_buf);
 
     for i in 0..source.num_docs() {
         let doc = DocId::from_index(i);
@@ -69,7 +104,7 @@ fn scan<S: IndexSource>(
         metrics.io += t.elapsed();
 
         let t = Instant::now();
-        let d = distance(&drc, &buf);
+        let d = distance(&mut drc, &buf, &q);
         metrics.distance_calc += t.elapsed();
         metrics.drc_calls += 1;
         metrics.docs_examined += 1;
@@ -77,11 +112,17 @@ fn scan<S: IndexSource>(
     }
     metrics.candidates_seen = source.num_docs();
 
-    let results = heap
-        .into_sorted()
-        .into_iter()
-        .map(|(doc, distance)| RankedDoc { doc, distance })
-        .collect();
+    buf.clear();
+    ws.concepts_buf = buf;
+    q.clear();
+    ws.query = q;
+    ws.restore_dag(drc.into_scratch());
+    ws.finish();
+    metrics.workspace_reused = reused as usize;
+    metrics.workspace_bytes = ws.footprint_bytes();
+
+    let results =
+        heap.into_sorted().into_iter().map(|(doc, distance)| RankedDoc { doc, distance }).collect();
     QueryResult { results, metrics }
 }
 
@@ -134,5 +175,20 @@ mod tests {
         let a = rds(&fig.ontology, &source, &q, 1);
         let b = rds(&fig.ontology, &source, &q, 3);
         assert_eq!(a.metrics.drc_calls, b.metrics.drc_calls);
+    }
+
+    #[test]
+    fn workspace_scan_matches_fresh_scan() {
+        let (fig, source) = setup();
+        let q = fig.example_query();
+        let mut ws = KndsWorkspace::new();
+        for _ in 0..3 {
+            let a = rds_with(&fig.ontology, &source, &mut ws, &q, 3);
+            let b = rds(&fig.ontology, &source, &q, 3);
+            assert_eq!(a.results, b.results);
+            let a = sds_with(&fig.ontology, &source, &mut ws, &q, 2);
+            let b = sds(&fig.ontology, &source, &q, 2);
+            assert_eq!(a.results, b.results);
+        }
     }
 }

@@ -23,14 +23,19 @@
 //!
 //! Exactness does not depend on `εθ` or the queue watermark: both only
 //! steer when exact distances are computed.
+//!
+//! All entry points funnel into one sink-parameterized runner over a
+//! borrowed [`KndsWorkspace`]; the `*_with` variants reuse a caller-owned
+//! workspace so steady-state queries allocate nothing.
 
 use crate::config::KndsConfig;
 use crate::metrics::QueryMetrics;
 use crate::util::TopK;
+use crate::workspace::KndsWorkspace;
 use cbr_corpus::DocId;
 use cbr_dradix::Drc;
 use cbr_index::IndexSource;
-use cbr_ontology::{ConceptId, FxHashMap, FxHashSet, Ontology};
+use cbr_ontology::{ConceptId, Ontology};
 use std::time::Instant;
 
 /// One ranked result.
@@ -145,7 +150,36 @@ impl<'a, S: IndexSource> Knds<'a, S> {
     ///
     /// Panics if `query` is empty or `k` is zero.
     pub fn rds(&self, query: &[ConceptId], k: usize) -> QueryResult {
-        self.run(Kind::Rds, query, k)
+        let mut ws = KndsWorkspace::new();
+        self.rds_with(&mut ws, query, k)
+    }
+
+    /// [`Knds::rds`] over a caller-owned workspace: identical results,
+    /// but all per-query state reuses `ws`'s capacity, so a warm
+    /// workspace makes the hot loop allocation-free.
+    ///
+    /// ```
+    /// use cbr_corpus::Corpus;
+    /// use cbr_index::MemorySource;
+    /// use cbr_knds::{Knds, KndsConfig, KndsWorkspace};
+    /// use cbr_ontology::fixture;
+    ///
+    /// let fig = fixture::figure3();
+    /// let corpus = Corpus::from_concept_sets(vec![
+    ///     (fig.example_document(), 0),
+    ///     (fig.example_query(), 0),
+    /// ]);
+    /// let source = MemorySource::build(&corpus, fig.ontology.len());
+    /// let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+    ///
+    /// let mut ws = KndsWorkspace::new();
+    /// let cold = knds.rds_with(&mut ws, &fig.example_query(), 2);
+    /// let warm = knds.rds_with(&mut ws, &fig.example_query(), 2);
+    /// assert_eq!(cold.results, warm.results);
+    /// assert_eq!(warm.metrics.workspace_reused, 1);
+    /// ```
+    pub fn rds_with(&self, ws: &mut KndsWorkspace, query: &[ConceptId], k: usize) -> QueryResult {
+        self.run_hooked(ws, Kind::Rds, query, k, None, None)
     }
 
     /// Evaluates an SDS query (Definition 2): the `k` documents minimizing
@@ -156,7 +190,19 @@ impl<'a, S: IndexSource> Knds<'a, S> {
     ///
     /// Panics if `query_doc` is empty or `k` is zero.
     pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> QueryResult {
-        self.run(Kind::Sds, query_doc, k)
+        let mut ws = KndsWorkspace::new();
+        self.sds_with(&mut ws, query_doc, k)
+    }
+
+    /// [`Knds::sds`] over a caller-owned workspace; see
+    /// [`Knds::rds_with`].
+    pub fn sds_with(
+        &self,
+        ws: &mut KndsWorkspace,
+        query_doc: &[ConceptId],
+        k: usize,
+    ) -> QueryResult {
+        self.run_hooked(ws, Kind::Sds, query_doc, k, None, None)
     }
 
     /// RDS with progressive emission (Section 5.3, optimization 4):
@@ -171,7 +217,8 @@ impl<'a, S: IndexSource> Knds<'a, S> {
         k: usize,
         on_final: impl FnMut(RankedDoc),
     ) -> QueryResult {
-        self.run_hooked(Kind::Rds, query, k, Some(Box::new(on_final)), None)
+        let mut ws = KndsWorkspace::new();
+        self.run_hooked(&mut ws, Kind::Rds, query, k, Some(Box::new(on_final)), None)
     }
 
     /// SDS with progressive emission; see [`Knds::rds_streaming`].
@@ -181,7 +228,8 @@ impl<'a, S: IndexSource> Knds<'a, S> {
         k: usize,
         on_final: impl FnMut(RankedDoc),
     ) -> QueryResult {
-        self.run_hooked(Kind::Sds, query_doc, k, Some(Box::new(on_final)), None)
+        let mut ws = KndsWorkspace::new();
+        self.run_hooked(&mut ws, Kind::Sds, query_doc, k, Some(Box::new(on_final)), None)
     }
 
     /// RDS with a [`TraceEvent`](crate::trace::TraceEvent) stream — the
@@ -193,7 +241,8 @@ impl<'a, S: IndexSource> Knds<'a, S> {
         k: usize,
         on_trace: impl FnMut(crate::trace::TraceEvent),
     ) -> QueryResult {
-        self.run_hooked(Kind::Rds, query, k, None, Some(Box::new(on_trace)))
+        let mut ws = KndsWorkspace::new();
+        self.run_hooked(&mut ws, Kind::Rds, query, k, None, Some(Box::new(on_trace)))
     }
 
     /// SDS with a trace stream; see [`Knds::rds_traced`].
@@ -203,15 +252,17 @@ impl<'a, S: IndexSource> Knds<'a, S> {
         k: usize,
         on_trace: impl FnMut(crate::trace::TraceEvent),
     ) -> QueryResult {
-        self.run_hooked(Kind::Sds, query_doc, k, None, Some(Box::new(on_trace)))
+        let mut ws = KndsWorkspace::new();
+        self.run_hooked(&mut ws, Kind::Sds, query_doc, k, None, Some(Box::new(on_trace)))
     }
 
-    fn run(&self, kind: Kind, query: &[ConceptId], k: usize) -> QueryResult {
-        self.run_hooked(kind, query, k, None, None)
-    }
-
+    /// The single runner behind every entry point: normalizes the query
+    /// into the workspace, runs the search over borrowed scratch, and
+    /// returns the workspace clean (even the DRC DAG arena is round-
+    /// tripped through it).
     fn run_hooked(
         &self,
+        ws: &mut KndsWorkspace,
         kind: Kind,
         query: &[ConceptId],
         k: usize,
@@ -219,32 +270,36 @@ impl<'a, S: IndexSource> Knds<'a, S> {
         on_trace: Option<crate::trace::TraceSink<'_>>,
     ) -> QueryResult {
         assert!(k > 0, "k must be positive");
-        let mut q: Vec<ConceptId> = query.to_vec();
-        q.sort_unstable();
-        q.dedup();
+        let reused = ws.begin();
+        let mut q = std::mem::take(&mut ws.query);
+        crate::util::normalize_query_into(query, &mut q);
         assert!(!q.is_empty(), "query must contain at least one concept");
 
-        Search {
+        let drc = Drc::new(self.ontology).with_scratch(ws.take_dag());
+        let mut search = Search {
             ont: self.ontology,
             source: self.source,
-            drc: Drc::new(self.ontology),
+            drc,
             config: &self.config,
             kind,
             nq: q.len(),
             query: q,
-            candidates: FxHashMap::default(),
-            first_touch: FxHashMap::default(),
-            covered_pairs: FxHashSet::default(),
-            seen_states: FxHashSet::default(),
+            ws,
             heap: TopK::new(k),
             metrics: QueryMetrics::default(),
-            postings_buf: Vec::new(),
-            concepts_buf: Vec::new(),
-            emitted: FxHashSet::default(),
             on_final,
             on_trace,
-        }
-        .run()
+        };
+        let mut result = search.run();
+
+        let Search { drc, mut query, ws, .. } = search;
+        query.clear();
+        ws.query = query;
+        ws.restore_dag(drc.into_scratch());
+        ws.finish();
+        result.metrics.workspace_reused = reused as usize;
+        result.metrics.workspace_bytes = ws.footprint_bytes();
+        result
     }
 }
 
@@ -253,7 +308,7 @@ impl<'a, S: IndexSource> Knds<'a, S> {
 /// descends to a child the flag flips and only further descents are valid.
 pub(crate) type State = (u32, ConceptId, bool);
 
-struct Search<'a, S: IndexSource> {
+struct Search<'a, 'w, S: IndexSource> {
     ont: &'a Ontology,
     source: &'a S,
     drc: Drc<'a>,
@@ -261,48 +316,37 @@ struct Search<'a, S: IndexSource> {
     kind: Kind,
     query: Vec<ConceptId>,
     nq: usize,
-    candidates: FxHashMap<DocId, Candidate>,
-    /// node → level of its global first touch (drives `M'd`).
-    first_touch: FxHashMap<ConceptId, u32>,
-    /// `(origin, node)` pairs whose postings were already applied (`Md`).
-    covered_pairs: FxHashSet<u64>,
-    /// `(origin, node, direction)` states already enqueued (dedup mode).
-    seen_states: FxHashSet<u64>,
+    /// All per-query maps and buffers live here, borrowed for this query.
+    ws: &'w mut KndsWorkspace,
     heap: TopK,
     metrics: QueryMetrics,
-    postings_buf: Vec<DocId>,
-    concepts_buf: Vec<ConceptId>,
-    /// Documents already reported through `on_final`.
-    emitted: FxHashSet<DocId>,
     /// Progressive-result sink (Section 5.3, optimization 4).
     on_final: Option<Box<dyn FnMut(RankedDoc) + 'a>>,
     /// Trace sink (the Table 2 walkthrough).
     on_trace: Option<crate::trace::TraceSink<'a>>,
 }
 
-impl<S: IndexSource> Search<'_, S> {
-    fn run(mut self) -> QueryResult {
-        let mut frontier: Vec<State> = self
-            .query
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (i as u32, c, false))
-            .collect();
+impl<S: IndexSource> Search<'_, '_, S> {
+    fn run(&mut self) -> QueryResult {
+        // Double-buffered frontier: `frontier` is the current level, `next`
+        // the one being built; the buffers swap-and-clear between levels
+        // instead of allocating a fresh Vec per level.
+        let mut frontier = std::mem::take(&mut self.ws.frontier);
+        let mut next = std::mem::take(&mut self.ws.next_frontier);
+        frontier.clear();
+        frontier.extend(self.query.iter().enumerate().map(|(i, &c)| (i as u32, c, false)));
         if self.config.dedup_visits {
             for &s in &frontier {
-                self.seen_states.insert(pack_state(s));
+                self.ws.seen_states.insert(pack_state(s));
             }
         }
 
         let mut level: u32 = 0;
         loop {
-            self.trace(|| crate::trace::TraceEvent::LevelStart {
-                level,
-                frontier: frontier.len(),
-            });
+            self.trace(|| crate::trace::TraceEvent::LevelStart { level, frontier: frontier.len() });
             // --- coverage + expansion (traversal bucket) --------------------
             let t0 = Instant::now();
-            let mut next: Vec<State> = Vec::new();
+            next.clear();
             let mut forced = false;
             for &(origin, node, descending) in &frontier {
                 self.metrics.nodes_visited += 1;
@@ -323,28 +367,25 @@ impl<S: IndexSource> Search<'_, S> {
             let d_minus = min_unexamined.min(self.unseen_bound(level));
             if self.config.progressive {
                 let final_now = self.heap.iter().filter(|&(_, d)| d <= d_minus).count();
-                self.metrics.progressive_results =
-                    self.metrics.progressive_results.max(final_now);
+                self.metrics.progressive_results = self.metrics.progressive_results.max(final_now);
                 self.emit_final(d_minus);
             }
             if self.heap.is_full() && d_minus >= self.heap.threshold() {
                 let threshold = self.heap.threshold();
-                self.trace(|| crate::trace::TraceEvent::Terminated {
-                    level,
-                    d_minus,
-                    threshold,
-                });
+                self.trace(|| crate::trace::TraceEvent::Terminated { level, d_minus, threshold });
                 break;
             }
             if next.is_empty() {
                 self.finalize_exhausted();
                 break;
             }
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
             level += 1;
         }
+        self.ws.frontier = frontier;
+        self.ws.next_frontier = next;
 
-        self.metrics.candidates_seen = self.candidates.len();
+        self.metrics.candidates_seen = self.ws.candidates.len();
         let results: Vec<RankedDoc> = std::mem::replace(&mut self.heap, TopK::new(1))
             .into_sorted()
             .into_iter()
@@ -353,65 +394,65 @@ impl<S: IndexSource> Search<'_, S> {
         // Flush the remaining results (already sorted) to the sink.
         if let Some(sink) = self.on_final.as_mut() {
             for &r in &results {
-                if self.emitted.insert(r.doc) {
+                if self.ws.emitted.insert(r.doc) {
                     sink(r);
                 }
             }
         }
-        QueryResult { results, metrics: self.metrics }
+        QueryResult { results, metrics: std::mem::take(&mut self.metrics) }
     }
 
     /// Emits every held result whose distance is strictly below `d_minus`:
     /// no unexamined or unseen document can beat it, so it is final. Any
     /// later emission has distance ≥ `d_minus`, keeping the stream sorted.
     fn emit_final(&mut self, d_minus: f64) {
-        let Some(sink) = self.on_final.as_mut() else { return };
-        let mut ready: Vec<RankedDoc> = self
-            .heap
-            .iter()
-            .filter(|&(doc, d)| d < d_minus && !self.emitted.contains(&doc))
-            .map(|(doc, distance)| RankedDoc { doc, distance })
-            .collect();
-        ready.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
-        for r in ready {
-            self.emitted.insert(r.doc);
-            sink(r);
+        if self.on_final.is_none() {
+            return;
         }
+        let mut ready = std::mem::take(&mut self.ws.order);
+        ready.clear();
+        ready.extend(
+            self.heap
+                .iter()
+                .filter(|&(doc, d)| d < d_minus && !self.ws.emitted.contains(&doc))
+                .map(|(doc, d)| (d, doc)),
+        );
+        ready.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        if let Some(sink) = self.on_final.as_mut() {
+            for &(distance, doc) in &ready {
+                self.ws.emitted.insert(doc);
+                sink(RankedDoc { doc, distance });
+            }
+        }
+        ready.clear();
+        self.ws.order = ready;
     }
 
     /// Applies the posting list of `node` to the candidate bookkeeping:
     /// forward coverage once per `(origin, node)`, reverse coverage (SDS)
     /// once per `node`.
     fn apply_coverage(&mut self, origin: u32, node: ConceptId, level: u32) {
-        let fwd_new = self.covered_pairs.insert(pack_pair(origin, node));
-        let rev_new = self.kind == Kind::Sds && !self.first_touch.contains_key(&node);
+        let fwd_new = self.ws.covered_pairs.insert(pack_pair(origin, node));
+        let rev_new = self.kind == Kind::Sds && !self.ws.first_touch.contains_key(&node);
         if !fwd_new && !rev_new {
             return;
         }
         if rev_new {
-            self.first_touch.insert(node, level);
+            self.ws.first_touch.insert(node, level);
         }
 
         let t = Instant::now();
-        self.postings_buf.clear();
-        self.source.postings(node, &mut self.postings_buf);
+        self.ws.postings_buf.clear();
+        self.source.postings(node, &mut self.ws.postings_buf);
         self.metrics.io += t.elapsed();
 
-        for i in 0..self.postings_buf.len() {
-            let d = self.postings_buf[i];
-            let cand = match self.candidates.entry(d) {
+        for i in 0..self.ws.postings_buf.len() {
+            let d = self.ws.postings_buf[i];
+            let cand = match self.ws.candidates.entry(d) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    let len = if self.kind == Kind::Sds {
-                        self.source.doc_len(d) as u32
-                    } else {
-                        0
-                    };
+                    let len =
+                        if self.kind == Kind::Sds { self.source.doc_len(d) as u32 } else { 0 };
                     e.insert(Candidate::new(self.nq, len))
                 }
             };
@@ -444,7 +485,7 @@ impl<S: IndexSource> Search<'_, S> {
 
     #[inline]
     fn push_state(&mut self, state: State, next: &mut Vec<State>) {
-        if self.config.dedup_visits && !self.seen_states.insert(pack_state(state)) {
+        if self.config.dedup_visits && !self.ws.seen_states.insert(pack_state(state)) {
             return;
         }
         next.push(state);
@@ -455,20 +496,21 @@ impl<S: IndexSource> Search<'_, S> {
     /// Returns the smallest lower bound left unexamined.
     fn examine(&mut self, level: u32, forced: bool) -> f64 {
         let t0 = Instant::now();
-        let mut order: Vec<(f64, DocId)> = self
-            .candidates
-            .iter()
-            .filter(|(_, c)| !c.examined)
-            .map(|(&d, c)| (self.lower_bound(c, level), d))
-            .collect();
-        order.sort_unstable_by(|a, b| {
-            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
-        });
+        let mut order = std::mem::take(&mut self.ws.order);
+        order.clear();
+        order.extend(
+            self.ws
+                .candidates
+                .iter()
+                .filter(|(_, c)| !c.examined)
+                .map(|(&d, c)| (self.lower_bound(c, level), d)),
+        );
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         self.metrics.traversal += t0.elapsed();
 
         if self.on_trace.is_some() {
             for &(_, doc) in &order {
-                let c = &self.candidates[&doc];
+                let c = &self.ws.candidates[&doc];
                 let (covered, partial) = (c.covered, c.partial);
                 self.trace(|| crate::trace::TraceEvent::Candidate { doc, covered, partial });
             }
@@ -488,7 +530,7 @@ impl<S: IndexSource> Search<'_, S> {
                 break;
             }
             let (exact, via_drc) = self.exact_distance(doc);
-            let cand = self.candidates.get_mut(&doc).expect("candidate exists");
+            let cand = self.ws.candidates.get_mut(&doc).expect("candidate exists");
             cand.examined = true;
             self.metrics.docs_examined += 1;
             self.heap.offer(doc, exact);
@@ -500,11 +542,10 @@ impl<S: IndexSource> Search<'_, S> {
                 via_drc,
             });
         }
+        order.clear();
+        self.ws.order = order;
         let threshold = self.heap.threshold();
-        self.trace(|| crate::trace::TraceEvent::ExamineBreak {
-            min_unexamined,
-            threshold,
-        });
+        self.trace(|| crate::trace::TraceEvent::ExamineBreak { min_unexamined, threshold });
         min_unexamined
     }
 
@@ -536,15 +577,14 @@ impl<S: IndexSource> Search<'_, S> {
         match self.kind {
             Kind::Rds => c.partial as f64,
             Kind::Sds => {
-                c.partial as f64 / self.nq as f64
-                    + c.rev_sum as f64 / c.doc_len.max(1) as f64
+                c.partial as f64 / self.nq as f64 + c.rev_sum as f64 / c.doc_len.max(1) as f64
             }
         }
     }
 
     /// Equation 9: `εd = 1 − Dpartial / D⁻`.
     fn error_estimate(&self, doc: DocId, lb: f64) -> f64 {
-        let c = &self.candidates[&doc];
+        let c = &self.ws.candidates[&doc];
         if lb <= 0.0 {
             return 0.0;
         }
@@ -563,9 +603,9 @@ impl<S: IndexSource> Search<'_, S> {
 
     /// Exact distance of `doc` and whether DRC was needed: complete partial
     /// information short-circuits (Section 5.3, optimization 3), otherwise
-    /// a DRC probe runs.
+    /// a DRC probe runs (rebuilding the workspace's DAG arena in place).
     fn exact_distance(&mut self, doc: DocId) -> (f64, bool) {
-        let c = &self.candidates[&doc];
+        let c = &self.ws.candidates[&doc];
         let complete = match self.kind {
             Kind::Rds => c.covered as usize == self.nq,
             Kind::Sds => c.covered as usize == self.nq && c.rev_covered == c.doc_len,
@@ -576,21 +616,21 @@ impl<S: IndexSource> Search<'_, S> {
         }
 
         let t = Instant::now();
-        self.concepts_buf.clear();
-        self.source.doc_concepts(doc, &mut self.concepts_buf);
+        self.ws.concepts_buf.clear();
+        self.source.doc_concepts(doc, &mut self.ws.concepts_buf);
         self.metrics.io += t.elapsed();
 
         let t = Instant::now();
         let exact = match self.kind {
             Kind::Rds => {
-                let d = self.drc.document_query_distance(&self.concepts_buf, &self.query);
+                let d = self.drc.document_query_distance(&self.ws.concepts_buf, &self.query);
                 if d == cbr_dradix::INFINITE {
                     f64::INFINITY
                 } else {
                     d as f64
                 }
             }
-            Kind::Sds => self.drc.document_document_distance(&self.concepts_buf, &self.query),
+            Kind::Sds => self.drc.document_document_distance(&self.ws.concepts_buf, &self.query),
         };
         self.metrics.distance_calc += t.elapsed();
         self.metrics.drc_calls += 1;
@@ -603,27 +643,26 @@ impl<S: IndexSource> Search<'_, S> {
     /// all) and sit at infinite distance.
     fn finalize_exhausted(&mut self) {
         let t0 = Instant::now();
-        let docs: Vec<DocId> = self
-            .candidates
-            .iter()
-            .filter(|(_, c)| !c.examined)
-            .map(|(&d, _)| d)
-            .collect();
+        let mut docs = std::mem::take(&mut self.ws.docs_buf);
+        docs.clear();
+        docs.extend(self.ws.candidates.iter().filter(|(_, c)| !c.examined).map(|(&d, _)| d));
         let finalized = docs.len();
         self.trace(|| crate::trace::TraceEvent::Exhausted { finalized });
-        for doc in docs {
-            let c = &self.candidates[&doc];
+        for &doc in &docs {
+            let c = &self.ws.candidates[&doc];
             debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
             let exact = self.partial_distance(c);
             self.metrics.exact_from_partial += 1;
             self.metrics.docs_examined += 1;
-            self.candidates.get_mut(&doc).expect("exists").examined = true;
+            self.ws.candidates.get_mut(&doc).expect("exists").examined = true;
             self.heap.offer(doc, exact);
         }
+        docs.clear();
+        self.ws.docs_buf = docs;
         if !self.heap.is_full() {
             for i in 0..self.source.num_docs() {
                 let d = DocId::from_index(i);
-                if !self.candidates.contains_key(&d) && self.source.is_live(d) {
+                if !self.ws.candidates.contains_key(&d) && self.source.is_live(d) {
                     self.heap.offer(d, f64::INFINITY);
                 }
             }
@@ -681,7 +720,7 @@ mod tests {
     fn rds_distances_match_drc() {
         let (fig, corpus, source) = setup();
         let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
-        let drc = Drc::new(&fig.ontology);
+        let mut drc = Drc::new(&fig.ontology);
         let q = fig.example_query();
         let r = knds.rds(&q, 6);
         assert_eq!(r.results.len(), 6);
@@ -759,5 +798,49 @@ mod tests {
         assert!(r.metrics.levels > 0);
         assert!(r.metrics.docs_examined >= 2);
         assert!(r.metrics.candidates_seen >= r.metrics.docs_examined);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let (fig, _corpus, source) = setup();
+        let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let q1 = fig.example_query();
+        let q2 = vec![fig.concept("M"), fig.concept("V")];
+        let mut ws = KndsWorkspace::new();
+        // Interleave RDS and SDS on one workspace; each must equal a
+        // fresh-workspace run exactly.
+        for (i, q) in [&q1, &q2, &q1].iter().enumerate() {
+            let a = knds.rds_with(&mut ws, q, 4);
+            let b = knds.rds(q, 4);
+            assert_eq!(a.results, b.results, "RDS round {i} diverged under reuse");
+            let a = knds.sds_with(&mut ws, q, 4);
+            let b = knds.sds(q, 4);
+            assert_eq!(a.results, b.results, "SDS round {i} diverged under reuse");
+        }
+        assert!(ws.footprint_bytes() > 0, "workspace warmed up");
+    }
+
+    #[test]
+    fn steady_state_queries_stop_growing_the_workspace() {
+        let (fig, _corpus, source) = setup();
+        let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let q1 = fig.example_query();
+        let q2 = vec![fig.concept("M"), fig.concept("V")];
+        let mut ws = KndsWorkspace::new();
+        // Warm-up pass over every query shape.
+        let cold = knds.rds_with(&mut ws, &q1, 4);
+        assert_eq!(cold.metrics.workspace_reused, 0, "first query is cold");
+        knds.sds_with(&mut ws, &q1, 4);
+        knds.rds_with(&mut ws, &q2, 4);
+        knds.sds_with(&mut ws, &q2, 4);
+        let warm = ws.footprint_bytes();
+        // Steady state: repeated queries must not grow any buffer.
+        for _ in 0..3 {
+            let r = knds.rds_with(&mut ws, &q1, 4);
+            assert_eq!(r.metrics.workspace_reused, 1);
+            assert_eq!(r.metrics.workspace_bytes, warm, "RDS grew the workspace");
+            let r = knds.sds_with(&mut ws, &q2, 4);
+            assert_eq!(r.metrics.workspace_bytes, warm, "SDS grew the workspace");
+        }
     }
 }

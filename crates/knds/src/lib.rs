@@ -51,6 +51,7 @@ pub mod trace;
 pub mod tuner;
 pub mod util;
 pub mod weighted;
+pub mod workspace;
 
 pub use config::KndsConfig;
 pub use engine::{Knds, QueryResult, RankedDoc};
@@ -59,3 +60,4 @@ pub use sharded::{rds_sharded, sds_sharded, ShardView};
 pub use trace::TraceEvent;
 pub use tuner::{tune_error_threshold, TuneFor};
 pub use weighted::WeightedKnds;
+pub use workspace::KndsWorkspace;

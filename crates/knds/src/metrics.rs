@@ -38,6 +38,15 @@ pub struct QueryMetrics {
     /// Results that were provably final before termination
     /// (Section 5.3, optimization 4).
     pub progressive_results: usize,
+    /// 1 if this query ran on a previously warmed (reused) workspace,
+    /// 0 on a cold one. Sums to a reuse count under [`accumulate`]
+    /// (Self::accumulate).
+    pub workspace_reused: usize,
+    /// Retained workspace footprint (bytes of buffer capacity) after the
+    /// query returned it clean. Steady-state tests assert this stops
+    /// growing once the workspace is warm. [`accumulate`](Self::accumulate)
+    /// keeps the maximum.
+    pub workspace_bytes: usize,
 }
 
 impl QueryMetrics {
@@ -69,6 +78,8 @@ impl QueryMetrics {
         self.levels += other.levels;
         self.forced_rounds += other.forced_rounds;
         self.progressive_results += other.progressive_results;
+        self.workspace_reused += other.workspace_reused;
+        self.workspace_bytes = self.workspace_bytes.max(other.workspace_bytes);
     }
 
     /// Divides all durations by `n` (workload averaging).

@@ -20,6 +20,7 @@ use crate::config::KndsConfig;
 use crate::engine::{Knds, QueryResult, RankedDoc};
 use crate::metrics::QueryMetrics;
 use crate::util::TopK;
+use crate::workspace::KndsWorkspace;
 use cbr_corpus::DocId;
 use cbr_index::IndexSource;
 use cbr_ontology::{ConceptId, Ontology};
@@ -123,10 +124,15 @@ fn run_sharded<S: IndexSource + Sync>(
                 scope.spawn(move || {
                     let view = ShardView::new(source, i, shards);
                     let engine = Knds::new(ontology, &view, config.clone());
+                    // One workspace per worker thread: a shard that serves
+                    // several queries in its lifetime reuses it (here one
+                    // query per spawn, but the pattern matches `cbr-core`'s
+                    // batch workers).
+                    let mut ws = KndsWorkspace::new();
                     if rds {
-                        engine.rds(query, k)
+                        engine.rds_with(&mut ws, query, k)
                     } else {
-                        engine.sds(query, k)
+                        engine.sds_with(&mut ws, query, k)
                     }
                 })
             })
@@ -143,11 +149,8 @@ fn run_sharded<S: IndexSource + Sync>(
             heap.offer(r.doc, r.distance);
         }
     }
-    let results = heap
-        .into_sorted()
-        .into_iter()
-        .map(|(doc, distance)| RankedDoc { doc, distance })
-        .collect();
+    let results =
+        heap.into_sorted().into_iter().map(|(doc, distance)| RankedDoc { doc, distance }).collect();
     QueryResult { results, metrics }
 }
 

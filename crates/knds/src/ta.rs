@@ -13,6 +13,7 @@
 use crate::engine::{QueryResult, RankedDoc};
 use crate::metrics::QueryMetrics;
 use crate::util::TopK;
+use crate::workspace::KndsWorkspace;
 use cbr_corpus::DocId;
 use cbr_index::IndexSource;
 use cbr_ontology::{distance::multi_source_distances, ConceptId, Ontology};
@@ -76,10 +77,24 @@ pub fn rds<S: IndexSource>(
     query: &[ConceptId],
     k: usize,
 ) -> QueryResult {
+    let mut ws = KndsWorkspace::new();
+    rds_with(ontology, source, &mut ws, query, k)
+}
+
+/// [`rds`] over a caller-owned workspace. TA's posting lists are
+/// inherently per-query (one per query concept), but the normalized-query
+/// and seen-document buffers are reused.
+pub fn rds_with<S: IndexSource>(
+    ontology: &Ontology,
+    source: &S,
+    ws: &mut KndsWorkspace,
+    query: &[ConceptId],
+    k: usize,
+) -> QueryResult {
     assert!(k > 0, "k must be positive");
-    let mut q: Vec<ConceptId> = query.to_vec();
-    q.sort_unstable();
-    q.dedup();
+    let reused = ws.begin();
+    let mut q = std::mem::take(&mut ws.query);
+    crate::util::normalize_query_into(query, &mut q);
     assert!(!q.is_empty(), "query must contain at least one concept");
 
     let mut metrics = QueryMetrics::default();
@@ -87,10 +102,8 @@ pub fn rds<S: IndexSource>(
     // "Offline" phase: one distance-sorted list per query concept, plus a
     // per-document random-access table.
     let t = Instant::now();
-    let lists: Vec<DistancePostings> = q
-        .iter()
-        .map(|&c| DistancePostings::materialize(ontology, source, c))
-        .collect();
+    let lists: Vec<DistancePostings> =
+        q.iter().map(|&c| DistancePostings::materialize(ontology, source, c)).collect();
     let num_docs = source.num_docs();
     // Random access: doc -> per-list distance.
     let mut random: Vec<Vec<u32>> = vec![vec![0; num_docs]; q.len()];
@@ -104,7 +117,9 @@ pub fn rds<S: IndexSource>(
     // TA round-robin over sorted accesses.
     let t = Instant::now();
     let mut heap = TopK::new(k);
-    let mut seen = vec![false; num_docs];
+    let mut seen = std::mem::take(&mut ws.seen_docs);
+    seen.clear();
+    seen.resize(num_docs, false);
     let mut pos = 0usize;
     while pos < num_docs {
         // Threshold: sum of the distances at the current sorted positions.
@@ -131,11 +146,16 @@ pub fn rds<S: IndexSource>(
     metrics.traversal += t.elapsed();
     metrics.candidates_seen = metrics.docs_examined;
 
-    let results = heap
-        .into_sorted()
-        .into_iter()
-        .map(|(doc, distance)| RankedDoc { doc, distance })
-        .collect();
+    seen.clear();
+    ws.seen_docs = seen;
+    q.clear();
+    ws.query = q;
+    ws.finish();
+    metrics.workspace_reused = reused as usize;
+    metrics.workspace_bytes = ws.footprint_bytes();
+
+    let results =
+        heap.into_sorted().into_iter().map(|(doc, distance)| RankedDoc { doc, distance }).collect();
     QueryResult { results, metrics }
 }
 

@@ -53,14 +53,17 @@ pub fn tune_error_threshold<S: IndexSource>(
     assert!(!sample.is_empty(), "at least one sample query required");
     let mut sweep = Vec::with_capacity(candidates.len());
     let mut best = (f64::INFINITY, candidates[0]);
+    // One workspace across the whole sweep: the tuner measures steady-state
+    // query cost, so every candidate after the first runs warm.
+    let mut ws = crate::workspace::KndsWorkspace::new();
     for &eps in candidates {
         let cfg = base.clone().with_error_threshold(eps);
         let engine = Knds::new(ontology, source, cfg);
         let t0 = Instant::now();
         for q in sample {
             let r = match kind {
-                TuneFor::Rds => engine.rds(q, k),
-                TuneFor::Sds => engine.sds(q, k),
+                TuneFor::Rds => engine.rds_with(&mut ws, q, k),
+                TuneFor::Sds => engine.sds_with(&mut ws, q, k),
             };
             std::hint::black_box(r.results.len());
         }

@@ -1,10 +1,23 @@
 //! Small ordering helpers shared by the engines.
 
 use cbr_corpus::DocId;
+use cbr_ontology::ConceptId;
 use std::cmp::Ordering;
 
-/// A totally ordered `f64` wrapper for heap keys. Distances are never NaN;
-/// if one sneaks in it orders last (treated as +∞).
+/// Normalizes a query into `out`: copies, sorts, and deduplicates the
+/// concepts (queries are sets — Definition 1). Shared by every engine
+/// entry point so the set semantics cannot drift between them; writes
+/// into a caller-owned buffer so warm workspaces reuse its capacity.
+pub(crate) fn normalize_query_into(query: &[ConceptId], out: &mut Vec<ConceptId>) {
+    out.clear();
+    out.extend_from_slice(query);
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// A totally ordered `f64` wrapper for heap keys, ordered by
+/// [`f64::total_cmp`]. Distances are never NaN; if a (positive) one sneaks
+/// in it orders after +∞.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OrdF64(pub f64);
 
@@ -18,10 +31,7 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.0.partial_cmp(&other.0) {
-            Some(o) => o,
-            None => self.0.is_nan().cmp(&other.0.is_nan()),
-        }
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -18,15 +18,21 @@
 //! Push-time state deduplication (safe with unit steps) is replaced by the
 //! classic lazy-deletion rule: a state re-pushed with a smaller tentative
 //! distance supersedes the old entry, and stale pops are skipped.
+//!
+//! Like the unit-weight engine, all per-query state (candidate table,
+//! Dijkstra buckets, coverage maps, DRC scratch) lives in a borrowed
+//! [`KndsWorkspace`]; use the `*_with` entry points to reuse one across
+//! queries.
 
 use crate::config::KndsConfig;
 use crate::engine::{pack_pair, pack_state, Candidate, Kind, QueryResult, RankedDoc, State};
 use crate::metrics::QueryMetrics;
 use crate::util::TopK;
+use crate::workspace::KndsWorkspace;
 use cbr_corpus::DocId;
 use cbr_dradix::Drc;
 use cbr_index::IndexSource;
-use cbr_ontology::{ConceptId, EdgeWeights, FxHashMap, FxHashSet, Ontology};
+use cbr_ontology::{ConceptId, EdgeWeights, Ontology};
 use std::time::Instant;
 
 /// Top-k search under weighted valid-path distances.
@@ -51,45 +57,75 @@ impl<'a, S: IndexSource> WeightedKnds<'a, S> {
 
     /// Weighted RDS: top-k under `Ddq` with weighted concept distances.
     pub fn rds(&self, query: &[ConceptId], k: usize) -> QueryResult {
-        self.run(Kind::Rds, query, k)
+        let mut ws = KndsWorkspace::new();
+        self.rds_with(&mut ws, query, k)
+    }
+
+    /// [`WeightedKnds::rds`] over a caller-owned workspace; see
+    /// [`Knds::rds_with`](crate::Knds::rds_with).
+    pub fn rds_with(&self, ws: &mut KndsWorkspace, query: &[ConceptId], k: usize) -> QueryResult {
+        self.run(ws, Kind::Rds, query, k)
     }
 
     /// Weighted SDS: top-k under the symmetric `Ddd` with weighted
     /// concept distances.
     pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> QueryResult {
-        self.run(Kind::Sds, query_doc, k)
+        let mut ws = KndsWorkspace::new();
+        self.sds_with(&mut ws, query_doc, k)
     }
 
-    fn run(&self, kind: Kind, query: &[ConceptId], k: usize) -> QueryResult {
+    /// [`WeightedKnds::sds`] over a caller-owned workspace; see
+    /// [`Knds::rds_with`](crate::Knds::rds_with).
+    pub fn sds_with(
+        &self,
+        ws: &mut KndsWorkspace,
+        query_doc: &[ConceptId],
+        k: usize,
+    ) -> QueryResult {
+        self.run(ws, Kind::Sds, query_doc, k)
+    }
+
+    fn run(
+        &self,
+        ws: &mut KndsWorkspace,
+        kind: Kind,
+        query: &[ConceptId],
+        k: usize,
+    ) -> QueryResult {
         assert!(k > 0, "k must be positive");
-        let mut q: Vec<ConceptId> = query.to_vec();
-        q.sort_unstable();
-        q.dedup();
+        let reused = ws.begin();
+        let mut q = std::mem::take(&mut ws.query);
+        crate::util::normalize_query_into(query, &mut q);
         assert!(!q.is_empty(), "query must contain at least one concept");
 
-        WeightedSearch {
+        let drc = Drc::with_weights(self.ontology, self.weights).with_scratch(ws.take_dag());
+        let mut search = WeightedSearch {
             ont: self.ontology,
             weights: self.weights,
             source: self.source,
-            drc: Drc::with_weights(self.ontology, self.weights),
+            drc,
             config: &self.config,
             kind,
             nq: q.len(),
             query: q,
-            candidates: FxHashMap::default(),
-            first_touch: FxHashSet::default(),
-            covered_pairs: FxHashSet::default(),
-            best_dist: FxHashMap::default(),
+            ws,
             heap: TopK::new(k),
             metrics: QueryMetrics::default(),
-            postings_buf: Vec::new(),
-            concepts_buf: Vec::new(),
-        }
-        .run()
+        };
+        let mut result = search.run();
+
+        let WeightedSearch { drc, mut query, ws, .. } = search;
+        query.clear();
+        ws.query = query;
+        ws.restore_dag(drc.into_scratch());
+        ws.finish();
+        result.metrics.workspace_reused = reused as usize;
+        result.metrics.workspace_bytes = ws.footprint_bytes();
+        result
     }
 }
 
-struct WeightedSearch<'a, S: IndexSource> {
+struct WeightedSearch<'a, 'w, S: IndexSource> {
     ont: &'a Ontology,
     weights: &'a EdgeWeights,
     source: &'a S,
@@ -98,27 +134,27 @@ struct WeightedSearch<'a, S: IndexSource> {
     kind: Kind,
     query: Vec<ConceptId>,
     nq: usize,
-    candidates: FxHashMap<DocId, Candidate>,
-    /// Nodes already coverage-applied for the reverse direction.
-    first_touch: FxHashSet<ConceptId>,
-    /// `(origin, node)` pairs already coverage-applied (forward).
-    covered_pairs: FxHashSet<u64>,
-    /// Best tentative distance per state (Dijkstra lazy deletion).
-    best_dist: FxHashMap<u64, u32>,
+    /// Per-query maps and buffers, borrowed for this query (the weighted
+    /// engine uses `first_touch_set`, `best_dist`, and `buckets` where the
+    /// unit-weight engine uses `first_touch`, `seen_states`, and the
+    /// frontier pair).
+    ws: &'w mut KndsWorkspace,
     heap: TopK,
     metrics: QueryMetrics,
-    postings_buf: Vec<DocId>,
-    concepts_buf: Vec<ConceptId>,
 }
 
-impl<S: IndexSource> WeightedSearch<'_, S> {
-    fn run(mut self) -> QueryResult {
-        // Distance-indexed buckets of states. Buckets grow on demand; the
-        // maximum useful distance is bounded by termination.
-        let mut buckets: Vec<Vec<State>> = vec![Vec::new()];
-        for (i, &c) in self.query.clone().iter().enumerate() {
+impl<S: IndexSource> WeightedSearch<'_, '_, S> {
+    fn run(&mut self) -> QueryResult {
+        // Distance-indexed buckets of states. Buckets grow on demand; both
+        // the outer Vec and every inner Vec are retained by the workspace
+        // across queries.
+        let mut buckets = std::mem::take(&mut self.ws.buckets);
+        if buckets.is_empty() {
+            buckets.push(Vec::new());
+        }
+        for (i, &c) in self.query.iter().enumerate() {
             let s: State = (i as u32, c, false);
-            self.best_dist.insert(pack_state(s), 0);
+            self.ws.best_dist.insert(pack_state(s), 0);
             buckets[0].push(s);
         }
 
@@ -127,21 +163,21 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
             // --- process bucket `d` (traversal bucket) ----------------------
             let t0 = Instant::now();
             let mut forced = false;
-            let current = std::mem::take(&mut buckets[d as usize]);
+            let mut current = std::mem::take(&mut buckets[d as usize]);
             for &state in &current {
                 let (origin, node, descending) = state;
                 // Lazy deletion: skip stale entries.
-                if self
-                    .best_dist
-                    .get(&pack_state(state))
-                    .is_some_and(|&best| best < d)
-                {
+                if self.ws.best_dist.get(&pack_state(state)).is_some_and(|&best| best < d) {
                     continue;
                 }
                 self.metrics.nodes_visited += 1;
                 self.apply_coverage(origin, node, d);
                 self.expand(state, d, descending, &mut buckets);
             }
+            // Hand the drained bucket's capacity back (expansion only ever
+            // pushes past `d`, so the slot is final for this query).
+            current.clear();
+            buckets[d as usize] = current;
             let frontier_size: usize = buckets.iter().map(|b| b.len()).sum();
             if frontier_size > self.config.queue_cap {
                 forced = true;
@@ -157,8 +193,7 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
             let d_minus = min_unexamined.min(self.unseen_bound(d));
             if self.config.progressive {
                 let final_now = self.heap.iter().filter(|&(_, dd)| dd <= d_minus).count();
-                self.metrics.progressive_results =
-                    self.metrics.progressive_results.max(final_now);
+                self.metrics.progressive_results = self.metrics.progressive_results.max(final_now);
             }
             if self.heap.is_full() && d_minus >= self.heap.threshold() {
                 break;
@@ -173,37 +208,35 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
                 }
             }
         }
+        self.ws.buckets = buckets;
 
-        self.metrics.candidates_seen = self.candidates.len();
+        self.metrics.candidates_seen = self.ws.candidates.len();
         let results = std::mem::replace(&mut self.heap, TopK::new(1))
             .into_sorted()
             .into_iter()
             .map(|(doc, distance)| RankedDoc { doc, distance })
             .collect();
-        QueryResult { results, metrics: self.metrics }
+        QueryResult { results, metrics: std::mem::take(&mut self.metrics) }
     }
 
     fn apply_coverage(&mut self, origin: u32, node: ConceptId, dist: u32) {
-        let fwd_new = self.covered_pairs.insert(pack_pair(origin, node));
-        let rev_new = self.kind == Kind::Sds && self.first_touch.insert(node);
+        let fwd_new = self.ws.covered_pairs.insert(pack_pair(origin, node));
+        let rev_new = self.kind == Kind::Sds && self.ws.first_touch_set.insert(node);
         if !fwd_new && !rev_new {
             return;
         }
         let t = Instant::now();
-        self.postings_buf.clear();
-        self.source.postings(node, &mut self.postings_buf);
+        self.ws.postings_buf.clear();
+        self.source.postings(node, &mut self.ws.postings_buf);
         self.metrics.io += t.elapsed();
 
-        for i in 0..self.postings_buf.len() {
-            let doc = self.postings_buf[i];
-            let cand = match self.candidates.entry(doc) {
+        for i in 0..self.ws.postings_buf.len() {
+            let doc = self.ws.postings_buf[i];
+            let cand = match self.ws.candidates.entry(doc) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    let len = if self.kind == Kind::Sds {
-                        self.source.doc_len(doc) as u32
-                    } else {
-                        0
-                    };
+                    let len =
+                        if self.kind == Kind::Sds { self.source.doc_len(doc) as u32 } else { 0 };
                     e.insert(Candidate::new(self.nq, len))
                 }
             };
@@ -224,10 +257,8 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
         let (origin, node, _) = state;
         if !descending {
             for &p in self.ont.parents(node) {
-                let w = self
-                    .weights
-                    .weight(self.ont, p, node)
-                    .expect("parent adjacency is symmetric");
+                let w =
+                    self.weights.weight(self.ont, p, node).expect("parent adjacency is symmetric");
                 self.push(buckets, (origin, p, false), d + w);
             }
         }
@@ -240,7 +271,7 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
     fn push(&mut self, buckets: &mut Vec<Vec<State>>, state: State, dist: u32) {
         if self.config.dedup_visits {
             // Dijkstra relaxation: only keep strictly improving pushes.
-            match self.best_dist.entry(pack_state(state)) {
+            match self.ws.best_dist.entry(pack_state(state)) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     if *e.get() <= dist {
                         return;
@@ -260,15 +291,16 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
 
     fn examine(&mut self, d: u32, forced: bool) -> f64 {
         let t0 = Instant::now();
-        let mut order: Vec<(f64, DocId)> = self
-            .candidates
-            .iter()
-            .filter(|(_, c)| !c.examined)
-            .map(|(&doc, c)| (self.lower_bound(c, d), doc))
-            .collect();
-        order.sort_unstable_by(|a, b| {
-            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
-        });
+        let mut order = std::mem::take(&mut self.ws.order);
+        order.clear();
+        order.extend(
+            self.ws
+                .candidates
+                .iter()
+                .filter(|(_, c)| !c.examined)
+                .map(|(&doc, c)| (self.lower_bound(c, d), doc)),
+        );
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         self.metrics.traversal += t0.elapsed();
 
         let mut min_unexamined = f64::INFINITY;
@@ -283,11 +315,13 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
                 break;
             }
             let exact = self.exact_distance(doc);
-            let cand = self.candidates.get_mut(&doc).expect("candidate exists");
+            let cand = self.ws.candidates.get_mut(&doc).expect("candidate exists");
             cand.examined = true;
             self.metrics.docs_examined += 1;
             self.heap.offer(doc, exact);
         }
+        order.clear();
+        self.ws.order = order;
         min_unexamined
     }
 
@@ -313,7 +347,7 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
     }
 
     fn error_estimate(&self, doc: DocId, lb: f64) -> f64 {
-        let c = &self.candidates[&doc];
+        let c = &self.ws.candidates[&doc];
         if lb <= 0.0 {
             return 0.0;
         }
@@ -329,7 +363,7 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
     }
 
     fn exact_distance(&mut self, doc: DocId) -> f64 {
-        let c = &self.candidates[&doc];
+        let c = &self.ws.candidates[&doc];
         let complete = match self.kind {
             Kind::Rds => c.covered as usize == self.nq,
             Kind::Sds => c.covered as usize == self.nq && c.rev_covered == c.doc_len,
@@ -339,21 +373,21 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
             return self.partial_distance(c);
         }
         let t = Instant::now();
-        self.concepts_buf.clear();
-        self.source.doc_concepts(doc, &mut self.concepts_buf);
+        self.ws.concepts_buf.clear();
+        self.source.doc_concepts(doc, &mut self.ws.concepts_buf);
         self.metrics.io += t.elapsed();
 
         let t = Instant::now();
         let exact = match self.kind {
             Kind::Rds => {
-                let dd = self.drc.document_query_distance(&self.concepts_buf, &self.query);
+                let dd = self.drc.document_query_distance(&self.ws.concepts_buf, &self.query);
                 if dd == cbr_dradix::INFINITE {
                     f64::INFINITY
                 } else {
                     dd as f64
                 }
             }
-            Kind::Sds => self.drc.document_document_distance(&self.concepts_buf, &self.query),
+            Kind::Sds => self.drc.document_document_distance(&self.ws.concepts_buf, &self.query),
         };
         self.metrics.distance_calc += t.elapsed();
         self.metrics.drc_calls += 1;
@@ -362,25 +396,24 @@ impl<S: IndexSource> WeightedSearch<'_, S> {
 
     fn finalize_exhausted(&mut self) {
         let t0 = Instant::now();
-        let docs: Vec<DocId> = self
-            .candidates
-            .iter()
-            .filter(|(_, c)| !c.examined)
-            .map(|(&doc, _)| doc)
-            .collect();
-        for doc in docs {
-            let c = &self.candidates[&doc];
+        let mut docs = std::mem::take(&mut self.ws.docs_buf);
+        docs.clear();
+        docs.extend(self.ws.candidates.iter().filter(|(_, c)| !c.examined).map(|(&doc, _)| doc));
+        for &doc in &docs {
+            let c = &self.ws.candidates[&doc];
             debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
             let exact = self.partial_distance(c);
             self.metrics.exact_from_partial += 1;
             self.metrics.docs_examined += 1;
-            self.candidates.get_mut(&doc).expect("exists").examined = true;
+            self.ws.candidates.get_mut(&doc).expect("exists").examined = true;
             self.heap.offer(doc, exact);
         }
+        docs.clear();
+        self.ws.docs_buf = docs;
         if !self.heap.is_full() {
             for i in 0..self.source.num_docs() {
                 let doc = DocId::from_index(i);
-                if !self.candidates.contains_key(&doc) && self.source.is_live(doc) {
+                if !self.ws.candidates.contains_key(&doc) && self.source.is_live(doc) {
                     self.heap.offer(doc, f64::INFINITY);
                 }
             }
@@ -416,7 +449,7 @@ mod tests {
                 }
             })
             .collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_by(f64::total_cmp);
         dists.truncate(k);
         dists
     }
@@ -435,7 +468,7 @@ mod tests {
                 weighted::document_document_distance(ont, w, &buf, q)
             })
             .collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_by(f64::total_cmp);
         dists.truncate(k);
         dists
     }
@@ -451,8 +484,7 @@ mod tests {
         ]);
         let source = MemorySource::build(&corpus, fig.ontology.len());
         let w = EdgeWeights::uniform(&fig.ontology);
-        let weighted_engine =
-            WeightedKnds::new(&fig.ontology, &w, &source, KndsConfig::default());
+        let weighted_engine = WeightedKnds::new(&fig.ontology, &w, &source, KndsConfig::default());
         let plain = crate::Knds::new(&fig.ontology, &source, KndsConfig::default());
         let q = fig.example_query();
         let a = weighted_engine.rds(&q, 3);
@@ -473,7 +505,6 @@ mod tests {
         .generate();
         let source = MemorySource::build(&corpus, ont.len());
         let w = EdgeWeights::from_fn(&ont, |p, c| 1 + (p.0.wrapping_add(c.0) % 3));
-        let engine = WeightedKnds::new(&ont, &w, &source, KndsConfig::default());
         let queries: Vec<Vec<ConceptId>> = corpus
             .documents()
             .filter(|d| d.num_concepts() >= 2)
@@ -494,7 +525,6 @@ mod tests {
                     );
                 }
             }
-            let _ = engine;
         }
     }
 
@@ -508,12 +538,7 @@ mod tests {
         .generate();
         let source = MemorySource::build(&corpus, ont.len());
         let w = EdgeWeights::from_fn(&ont, |p, _| 1 + (p.0 % 2));
-        let q = corpus
-            .documents()
-            .find(|d| d.num_concepts() >= 3)
-            .unwrap()
-            .concepts()
-            .to_vec();
+        let q = corpus.documents().find(|d| d.num_concepts() >= 3).unwrap().concepts().to_vec();
         let engine = WeightedKnds::new(&ont, &w, &source, KndsConfig::default());
         let got: Vec<f64> = engine.sds(&q, 5).results.iter().map(|r| r.distance).collect();
         let expect = weighted_scan_sds(&ont, &w, &source, &q, 5);
@@ -536,23 +561,55 @@ mod tests {
         let q = vec![c("I")];
 
         let unit = EdgeWeights::uniform(&fig.ontology);
-        let a = WeightedKnds::new(&fig.ontology, &unit, &source, KndsConfig::default())
-            .rds(&q, 2);
+        let a = WeightedKnds::new(&fig.ontology, &unit, &source, KndsConfig::default()).rds(&q, 2);
         assert_eq!(a.results[0].doc, DocId(0));
 
         // Penalize I's own edges heavily: both documents get farther, and
         // the distances reflect the weights.
         let i = c("I");
         let g = c("G");
-        let heavy = EdgeWeights::from_fn(&fig.ontology, |p, ch| {
-            if p == i || (p == g && ch == i) {
-                50
-            } else {
-                1
-            }
-        });
-        let b = WeightedKnds::new(&fig.ontology, &heavy, &source, KndsConfig::default())
-            .rds(&q, 2);
+        let heavy =
+            EdgeWeights::from_fn(
+                &fig.ontology,
+                |p, ch| {
+                    if p == i || (p == g && ch == i) {
+                        50
+                    } else {
+                        1
+                    }
+                },
+            );
+        let b = WeightedKnds::new(&fig.ontology, &heavy, &source, KndsConfig::default()).rds(&q, 2);
         assert!(b.results[0].distance > a.results[0].distance);
+    }
+
+    #[test]
+    fn weighted_workspace_reuse_matches_fresh_runs() {
+        let fig = fixture::figure3();
+        let c = |n: &str| fig.concept(n);
+        let corpus = Corpus::from_concept_sets(vec![
+            (vec![c("F"), c("R"), c("T"), c("V")], 0),
+            (vec![c("I"), c("L"), c("U")], 0),
+            (vec![c("M"), c("N")], 0),
+        ]);
+        let source = MemorySource::build(&corpus, fig.ontology.len());
+        let w = EdgeWeights::from_fn(&fig.ontology, |p, _| 1 + (p.0 % 2));
+        let engine = WeightedKnds::new(&fig.ontology, &w, &source, KndsConfig::default());
+        let q1 = fig.example_query();
+        let q2 = vec![c("M"), c("V")];
+        let mut ws = KndsWorkspace::new();
+        for q in [&q1, &q2, &q1] {
+            let a = engine.rds_with(&mut ws, q, 3);
+            let b = engine.rds(q, 3);
+            assert_eq!(a.results, b.results, "weighted RDS diverged under reuse");
+            let a = engine.sds_with(&mut ws, q, 3);
+            let b = engine.sds(q, 3);
+            assert_eq!(a.results, b.results, "weighted SDS diverged under reuse");
+        }
+        // A unit-weight query on the same (shared) workspace still matches.
+        let plain = crate::Knds::new(&fig.ontology, &source, KndsConfig::default());
+        let a = plain.rds_with(&mut ws, &q1, 3);
+        let b = plain.rds(&q1, 3);
+        assert_eq!(a.results, b.results, "engine interleave diverged");
     }
 }

@@ -1,0 +1,200 @@
+//! Reusable per-query scratch for the kNDS engines.
+//!
+//! Every kNDS query needs a family of maps and buffers — the candidate
+//! table, the coverage sets, the BFS frontier, posting/concept fetch
+//! buffers, and the DRC DAG scratch. Allocating them per query dominates
+//! short-query latency and defeats the paper's "no precomputation, instant
+//! admission" story at service scale. A [`KndsWorkspace`] owns all of that
+//! state once: engines borrow it for the duration of one query via the
+//! `*_with` entry points ([`Knds::rds_with`](crate::Knds::rds_with) and
+//! friends), clear it — never free it — on return, and the hot loop stops
+//! allocating after the first few queries warm the capacities up.
+//!
+//! # Poisoning
+//!
+//! A query that panics mid-flight leaves the workspace dirty. The next
+//! borrow detects this and resets the logical content before use, so a
+//! pooled workspace can never leak one query's candidates into another's
+//! results.
+
+use crate::engine::{Candidate, State};
+use cbr_corpus::DocId;
+use cbr_dradix::DagScratch;
+use cbr_ontology::{ConceptId, FxHashMap, FxHashSet};
+
+/// Owned, reusable query state for [`Knds`](crate::Knds),
+/// [`WeightedKnds`](crate::WeightedKnds), and the scan baselines.
+///
+/// One workspace serves one query at a time but any number of queries in
+/// sequence — RDS, SDS, weighted, and baseline runs may interleave freely
+/// on the same workspace and are bit-identical to fresh-state runs (see
+/// the reuse-equivalence property tests in `tests/properties.rs`).
+#[derive(Debug, Default)]
+pub struct KndsWorkspace {
+    /// Normalized (sorted, deduplicated) query buffer.
+    pub(crate) query: Vec<ConceptId>,
+    /// Candidate table: document → partial distance bookkeeping (`Md`).
+    pub(crate) candidates: FxHashMap<DocId, Candidate>,
+    /// SDS: node → level of its global first touch (drives `M'd`).
+    pub(crate) first_touch: FxHashMap<ConceptId, u32>,
+    /// Weighted SDS: nodes already coverage-applied in reverse.
+    pub(crate) first_touch_set: FxHashSet<ConceptId>,
+    /// `(origin, node)` pairs whose postings were already applied.
+    pub(crate) covered_pairs: FxHashSet<u64>,
+    /// `(origin, node, direction)` states already enqueued (dedup mode).
+    pub(crate) seen_states: FxHashSet<u64>,
+    /// Weighted: best tentative distance per state (lazy deletion).
+    pub(crate) best_dist: FxHashMap<u64, u32>,
+    /// Posting-list fetch buffer.
+    pub(crate) postings_buf: Vec<DocId>,
+    /// Forward-index fetch buffer.
+    pub(crate) concepts_buf: Vec<ConceptId>,
+    /// Documents already reported through a progressive sink.
+    pub(crate) emitted: FxHashSet<DocId>,
+    /// Current BFS level (double-buffered with `next_frontier`).
+    pub(crate) frontier: Vec<State>,
+    /// Next BFS level (swap-and-clear, never reallocated per level).
+    pub(crate) next_frontier: Vec<State>,
+    /// Weighted: distance-indexed Dijkstra buckets.
+    pub(crate) buckets: Vec<Vec<State>>,
+    /// Examination order buffer: `(lower bound, doc)` per round.
+    pub(crate) order: Vec<(f64, DocId)>,
+    /// Scratch document list (exhaustion finalize, progressive emission).
+    pub(crate) docs_buf: Vec<DocId>,
+    /// Per-document scan marks (TA round-robin).
+    pub(crate) seen_docs: Vec<bool>,
+    /// The DRC D-Radix build scratch (node/label arenas et al.).
+    pub(crate) dag: DagScratch,
+    /// True while a query is in flight (or after a panic left one
+    /// unfinished); `begin` resets a dirty workspace before reuse.
+    dirty: bool,
+    /// Queries served so far (drives the `workspace_reused` metric).
+    uses: usize,
+}
+
+impl KndsWorkspace {
+    /// An empty workspace; capacity accrues over the first queries.
+    pub fn new() -> KndsWorkspace {
+        KndsWorkspace::default()
+    }
+
+    /// Marks the start of a query. Returns whether the workspace has
+    /// served a query before (i.e. its capacities are warm). If the
+    /// previous query panicked mid-flight the logical content is still
+    /// present; it is cleared here before reuse.
+    pub(crate) fn begin(&mut self) -> bool {
+        if self.dirty {
+            self.clear();
+        }
+        self.dirty = true;
+        let warm = self.uses > 0;
+        self.uses = self.uses.saturating_add(1);
+        warm
+    }
+
+    /// Marks the end of a query: clears all logical content (keeping
+    /// capacity) so the workspace is returned clean.
+    pub(crate) fn finish(&mut self) {
+        self.clear();
+        self.dirty = false;
+    }
+
+    /// Detaches the DRC scratch for the duration of a query (it rides
+    /// inside a [`Drc`](cbr_dradix::Drc) value); pair with
+    /// [`restore_dag`](Self::restore_dag).
+    pub(crate) fn take_dag(&mut self) -> DagScratch {
+        std::mem::take(&mut self.dag)
+    }
+
+    /// Re-attaches the DRC scratch after a query.
+    pub(crate) fn restore_dag(&mut self, dag: DagScratch) {
+        self.dag = dag;
+    }
+
+    fn clear(&mut self) {
+        self.query.clear();
+        self.candidates.clear();
+        self.first_touch.clear();
+        self.first_touch_set.clear();
+        self.covered_pairs.clear();
+        self.seen_states.clear();
+        self.best_dist.clear();
+        self.postings_buf.clear();
+        self.concepts_buf.clear();
+        self.emitted.clear();
+        self.frontier.clear();
+        self.next_frontier.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.order.clear();
+        self.docs_buf.clear();
+        self.seen_docs.clear();
+        // The DAG scratch clears itself on the next build.
+    }
+
+    /// Approximate heap footprint of the retained capacities, in bytes.
+    /// This is the quantity reported as
+    /// [`QueryMetrics::workspace_bytes`](crate::QueryMetrics) and asserted
+    /// stable by the steady-state allocation tests: once warm, repeated
+    /// queries must not grow any backing buffer.
+    pub fn footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.query.capacity() * size_of::<ConceptId>()
+            + self.candidates.capacity() * (size_of::<DocId>() + size_of::<Candidate>())
+            + self.first_touch.capacity() * (size_of::<ConceptId>() + size_of::<u32>())
+            + self.first_touch_set.capacity() * size_of::<ConceptId>()
+            + self.covered_pairs.capacity() * size_of::<u64>()
+            + self.seen_states.capacity() * size_of::<u64>()
+            + self.best_dist.capacity() * (size_of::<u64>() + size_of::<u32>())
+            + self.postings_buf.capacity() * size_of::<DocId>()
+            + self.concepts_buf.capacity() * size_of::<ConceptId>()
+            + self.emitted.capacity() * size_of::<DocId>()
+            + (self.frontier.capacity() + self.next_frontier.capacity()) * size_of::<State>()
+            + self.buckets.capacity() * size_of::<Vec<State>>()
+            + self.buckets.iter().map(|b| b.capacity() * size_of::<State>()).sum::<usize>()
+            + self.order.capacity() * size_of::<(f64, DocId)>()
+            + self.docs_buf.capacity() * size_of::<DocId>()
+            + self.seen_docs.capacity()
+            + self.dag.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_reports_warmth_and_finish_returns_clean() {
+        let mut ws = KndsWorkspace::new();
+        assert!(!ws.begin(), "first borrow is cold");
+        ws.postings_buf.push(DocId(1));
+        ws.finish();
+        assert!(!ws.dirty);
+        assert!(ws.postings_buf.is_empty(), "finish clears content");
+        assert!(ws.begin(), "second borrow is warm");
+    }
+
+    #[test]
+    fn dirty_workspace_is_cleared_on_next_begin() {
+        let mut ws = KndsWorkspace::new();
+        ws.begin();
+        ws.query.push(ConceptId(3));
+        ws.candidates.insert(DocId(0), Candidate::new(1, 0));
+        // No finish(): simulates a panic mid-query.
+        ws.begin();
+        assert!(ws.query.is_empty(), "stale query leaked");
+        assert!(ws.candidates.is_empty(), "stale candidates leaked");
+    }
+
+    #[test]
+    fn clearing_keeps_capacity() {
+        let mut ws = KndsWorkspace::new();
+        ws.begin();
+        ws.postings_buf.extend((0..100).map(DocId));
+        ws.buckets.push(vec![(0, ConceptId(0), false); 16]);
+        let footprint = ws.footprint_bytes();
+        ws.finish();
+        assert_eq!(ws.footprint_bytes(), footprint, "finish must keep capacity");
+    }
+}

@@ -130,9 +130,8 @@ impl PathTable {
             if c != ont.root() {
                 let mut addrs = Vec::new();
                 for &p in ont.parents(c) {
-                    let ordinal = ont
-                        .child_ordinal(p, c)
-                        .expect("parent/child adjacency is symmetric");
+                    let ordinal =
+                        ont.child_ordinal(p, c).expect("parent/child adjacency is symmetric");
                     for base in &per_concept[p.index()] {
                         let mut addr = Vec::with_capacity(base.len() + 1);
                         addr.extend_from_slice(base);

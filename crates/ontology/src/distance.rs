@@ -98,11 +98,7 @@ pub fn document_concept_distance(
     doc_concepts: &[ConceptId],
     c: ConceptId,
 ) -> u32 {
-    doc_concepts
-        .iter()
-        .map(|&dc| concept_distance(paths, dc, c))
-        .min()
-        .unwrap_or(D_INF)
+    doc_concepts.iter().map(|&dc| concept_distance(paths, dc, c)).min().unwrap_or(D_INF)
 }
 
 /// All valid-path distances from a *set* of source concepts to every concept
@@ -253,11 +249,7 @@ mod tests {
         let sources = vec![fig3.concept("I"), fig3.concept("L"), fig3.concept("U")];
         let dist = multi_source_distances(ont, &sources);
         for c in ont.concepts() {
-            let expected = sources
-                .iter()
-                .map(|&s| concept_distance(pt, s, c))
-                .min()
-                .unwrap();
+            let expected = sources.iter().map(|&s| concept_distance(pt, s, c)).min().unwrap();
             assert_eq!(dist[c.index()], expected, "concept {}", ont.label(c));
         }
     }

@@ -55,12 +55,7 @@ pub fn neighborhood_dot(
         } else {
             "ellipse"
         };
-        let _ = writeln!(
-            out,
-            "  c{} [label=\"{}\", shape={shape}];",
-            c.0,
-            escape(ont.label(c))
-        );
+        let _ = writeln!(out, "  c{} [label=\"{}\", shape={shape}];", c.0, escape(ont.label(c)));
     }
     for &c in &sorted {
         for &child in ont.children(c) {

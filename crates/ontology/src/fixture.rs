@@ -57,8 +57,8 @@ impl Figure3 {
 pub fn figure3() -> Figure3 {
     let mut b = OntologyBuilder::new();
     let labels = [
-        "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q",
-        "R", "S", "T", "U", "V",
+        "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q", "R",
+        "S", "T", "U", "V",
     ];
     let mut names = FxHashMap::default();
     let mut id = FxHashMap::default();
@@ -107,9 +107,7 @@ mod tests {
     fn addresses_of(fig: &Figure3, name: &str) -> Vec<String> {
         let pt = fig.ontology.path_table();
         pt.addresses(fig.concept(name))
-            .map(|a| {
-                a.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(".")
-            })
+            .map(|a| a.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("."))
             .collect()
     }
 

@@ -216,19 +216,60 @@ struct Labeler {
 }
 
 const MODIFIERS: &[&str] = &[
-    "acute", "chronic", "congenital", "recurrent", "severe", "mild", "primary", "secondary",
-    "benign", "malignant", "focal", "diffuse", "bilateral", "proximal", "distal", "partial",
+    "acute",
+    "chronic",
+    "congenital",
+    "recurrent",
+    "severe",
+    "mild",
+    "primary",
+    "secondary",
+    "benign",
+    "malignant",
+    "focal",
+    "diffuse",
+    "bilateral",
+    "proximal",
+    "distal",
+    "partial",
 ];
 
 const SITES: &[&str] = &[
-    "cardiac", "renal", "hepatic", "pulmonary", "gastric", "neural", "vascular", "skeletal",
-    "dermal", "ocular", "aortic", "valvular", "arterial", "venous", "cranial", "thoracic",
+    "cardiac",
+    "renal",
+    "hepatic",
+    "pulmonary",
+    "gastric",
+    "neural",
+    "vascular",
+    "skeletal",
+    "dermal",
+    "ocular",
+    "aortic",
+    "valvular",
+    "arterial",
+    "venous",
+    "cranial",
+    "thoracic",
 ];
 
 const KINDS: &[&str] = &[
-    "finding", "disorder", "syndrome", "lesion", "stenosis", "insufficiency", "hypertrophy",
-    "infection", "inflammation", "obstruction", "malformation", "degeneration", "embolism",
-    "thrombosis", "fibrosis", "neoplasm",
+    "finding",
+    "disorder",
+    "syndrome",
+    "lesion",
+    "stenosis",
+    "insufficiency",
+    "hypertrophy",
+    "infection",
+    "inflammation",
+    "obstruction",
+    "malformation",
+    "degeneration",
+    "embolism",
+    "thrombosis",
+    "fibrosis",
+    "neoplasm",
 ];
 
 impl Labeler {
@@ -294,10 +335,9 @@ mod tests {
     #[test]
     fn different_seed_differs() {
         let a = OntologyGenerator::new(GeneratorConfig::small(300)).generate();
-        let b =
-            OntologyGenerator::new(GeneratorConfig::small(300).with_seed(99)).generate();
-        let same_edges = a.num_edges() == b.num_edges()
-            && a.concepts().all(|c| a.children(c) == b.children(c));
+        let b = OntologyGenerator::new(GeneratorConfig::small(300).with_seed(99)).generate();
+        let same_edges =
+            a.num_edges() == b.num_edges() && a.concepts().all(|c| a.children(c) == b.children(c));
         assert!(!same_edges, "different seeds should give different DAGs");
     }
 

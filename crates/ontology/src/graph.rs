@@ -10,6 +10,7 @@ use crate::dewey::PathTable;
 use crate::error::{OntologyError, Result};
 use crate::hash::FxHashMap;
 use crate::id::ConceptId;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
@@ -18,7 +19,8 @@ use std::sync::OnceLock;
 /// Construction goes through [`OntologyBuilder`], which validates that the
 /// graph is a single-rooted, connected DAG. The structure is immutable after
 /// construction; per-concept data is indexed by [`ConceptId`].
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Ontology {
     labels: Vec<String>,
     child_offsets: Vec<u32>,
@@ -30,9 +32,9 @@ pub struct Ontology {
     /// Concepts ordered so that every parent precedes all of its children.
     topo_order: Vec<ConceptId>,
     root: ConceptId,
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     label_index: OnceLock<FxHashMap<String, ConceptId>>,
-    #[serde(skip)]
+    #[cfg_attr(feature = "serde", serde(skip))]
     path_table: OnceLock<PathTable>,
 }
 
@@ -90,10 +92,7 @@ impl Ontology {
     /// The 1-based Dewey component of `child` under `parent`, or `None` if
     /// there is no such edge.
     pub fn child_ordinal(&self, parent: ConceptId, child: ConceptId) -> Option<u32> {
-        self.children(parent)
-            .iter()
-            .position(|&c| c == child)
-            .map(|p| p as u32 + 1)
+        self.children(parent).iter().position(|&c| c == child).map(|p| p as u32 + 1)
     }
 
     /// Resolves the 1-based Dewey component `ordinal` under `parent`.
@@ -156,11 +155,7 @@ impl Ontology {
         for &comp in components {
             cur = self.child_at(cur, comp).ok_or_else(|| {
                 OntologyError::BadDeweyAddress(
-                    components
-                        .iter()
-                        .map(|c| c.to_string())
-                        .collect::<Vec<_>>()
-                        .join("."),
+                    components.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("."),
                 )
             })?;
         }
@@ -285,10 +280,8 @@ impl OntologyBuilder {
         }
 
         // Root detection.
-        let roots: Vec<ConceptId> = (0..n)
-            .filter(|&i| parent_counts[i] == 0)
-            .map(ConceptId::from_index)
-            .collect();
+        let roots: Vec<ConceptId> =
+            (0..n).filter(|&i| parent_counts[i] == 0).map(ConceptId::from_index).collect();
         let root = match roots.as_slice() {
             [] => return Err(OntologyError::CycleDetected),
             [r] => *r,
@@ -490,12 +483,7 @@ mod tests {
     fn topological_order_respects_edges() {
         let ont = diamond();
         let pos: Vec<usize> = (0..4)
-            .map(|i| {
-                ont.topological_order()
-                    .iter()
-                    .position(|c| c.index() == i)
-                    .unwrap()
-            })
+            .map(|i| ont.topological_order().iter().position(|c| c.index() == i).unwrap())
             .collect();
         assert!(pos[0] < pos[1]);
         assert!(pos[0] < pos[2]);
@@ -503,6 +491,7 @@ mod tests {
         assert!(pos[2] < pos[3]);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip_preserves_structure() {
         let ont = diamond();
@@ -514,6 +503,7 @@ mod tests {
         assert_eq!(json.concept_by_label("leaf"), Some(ConceptId(3)));
     }
 
+    #[cfg(feature = "serde")]
     fn serde_json_roundtrip(ont: &Ontology) -> Ontology {
         // Round-trip through the crate's own binary codec (`crate::ser`),
         // the same codec used by the snapshot files in `cbr-index`.

@@ -130,8 +130,7 @@ impl<'a> SemanticSimilarity<'a> {
             .max_by(|&x, &y| {
                 self.ic
                     .ic(x)
-                    .partial_cmp(&self.ic.ic(y))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&self.ic.ic(y))
                     .then(self.ont.depth(x).cmp(&self.ont.depth(y)))
                     .then(y.cmp(&x))
             })

@@ -1,5 +1,6 @@
 //! Compact concept identifiers.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -8,7 +9,8 @@ use std::fmt;
 /// Identifiers are assigned contiguously from `0` in insertion order, so they
 /// can index directly into per-concept arrays (`Vec<T>` keyed by concept).
 /// They are meaningless across different ontologies.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ConceptId(pub u32);
 
 impl ConceptId {

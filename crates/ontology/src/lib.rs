@@ -47,6 +47,7 @@ pub mod graph;
 pub mod hash;
 pub mod ic;
 pub mod id;
+#[cfg(feature = "serde")]
 pub mod ser;
 pub mod stats;
 pub mod subset;

@@ -66,11 +66,7 @@ impl OntologyStats {
                 ont.num_edges() as f64 / internal as f64
             },
             avg_children_all: ont.num_edges() as f64 / n as f64,
-            avg_parents: if n <= 1 {
-                0.0
-            } else {
-                ont.num_edges() as f64 / (n - 1) as f64
-            },
+            avg_parents: if n <= 1 { 0.0 } else { ont.num_edges() as f64 / (n - 1) as f64 },
             max_depth,
             avg_depth: depth_sum as f64 / n as f64,
             avg_paths_per_concept: pt.avg_paths_per_concept(),

@@ -56,10 +56,7 @@ pub fn subtree(ont: &Ontology, root: ConceptId) -> Subset {
     // Keep the designated root first so it gets id 0 and stays parentless
     // even if its source id is larger than a descendant's.
     let mut members: Vec<ConceptId> = vec![root];
-    members.extend(
-        ont.concepts()
-            .filter(|&c| c != root && in_subset[c.index()]),
-    );
+    members.extend(ont.concepts().filter(|&c| c != root && in_subset[c.index()]));
 
     let mut builder = OntologyBuilder::new();
     let mut from_source: FxHashMap<ConceptId, ConceptId> = FxHashMap::default();
@@ -72,9 +69,7 @@ pub fn subtree(ont: &Ontology, root: ConceptId) -> Subset {
         for &child in ont.children(c) {
             // Children of retained nodes are retained by construction.
             let new_child = from_source[&child];
-            builder
-                .add_edge(new_parent, new_child)
-                .expect("subset ids are valid");
+            builder.add_edge(new_parent, new_child).expect("subset ids are valid");
         }
     }
     let ontology = builder.build().expect("a subtree is a valid single-rooted DAG");

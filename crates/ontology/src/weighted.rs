@@ -79,10 +79,7 @@ impl EdgeWeights {
 
     /// The weight of the edge `parent → child`, or `None` if absent.
     pub fn weight(&self, ont: &Ontology, parent: ConceptId, child: ConceptId) -> Option<u32> {
-        ont.children(parent)
-            .iter()
-            .position(|&c| c == child)
-            .map(|pos| self.weight_at(parent, pos))
+        ont.children(parent).iter().position(|&c| c == child).map(|pos| self.weight_at(parent, pos))
     }
 
     /// Total weight of walking `comps` Dewey components down from `from`.
@@ -122,9 +119,7 @@ pub fn multi_source_distances(
         }
         // `c`'s ascent can improve each parent via the parent→c edge.
         for &p in ont.parents(c) {
-            let w = weights
-                .weight(ont, p, c)
-                .expect("parent adjacency is symmetric");
+            let w = weights.weight(ont, p, c).expect("parent adjacency is symmetric");
             let cand = base + w;
             if cand < up[p.index()] {
                 up[p.index()] = cand;
@@ -149,12 +144,7 @@ pub fn multi_source_distances(
 }
 
 /// Weighted concept-concept valid-path distance.
-pub fn concept_distance(
-    ont: &Ontology,
-    weights: &EdgeWeights,
-    a: ConceptId,
-    b: ConceptId,
-) -> u32 {
+pub fn concept_distance(ont: &Ontology, weights: &EdgeWeights, a: ConceptId, b: ConceptId) -> u32 {
     if a == b {
         return 0;
     }

@@ -49,10 +49,7 @@ fn main() {
     // 1. IC-based re-ranking.
     let hits = engine.rds(&query, 8).expect("query non-empty");
     println!("\nshortest-path ranking, then re-scored per measure:");
-    println!(
-        "{:<8} {:>8} {:>9} {:>7} {:>7} {:>9}",
-        "doc", "Ddq", "Resnik", "Lin", "WuP", "JC-sim"
-    );
+    println!("{:<8} {:>8} {:>9} {:>7} {:>7} {:>9}", "doc", "Ddq", "Resnik", "Lin", "WuP", "JC-sim");
     let sim = engine.semantic_similarity();
     for hit in &hits.results {
         let score = |m: Measure| {
@@ -70,15 +67,11 @@ fn main() {
         );
     }
     let lin_order = engine.rerank(&hits.results, &query, Measure::Lin).unwrap();
-    println!(
-        "top document under Lin: {} (score {:.3})",
-        lin_order[0].doc, lin_order[0].score
-    );
+    println!("top document under Lin: {} (score {:.3})", lin_order[0].doc, lin_order[0].score);
 
     // 2. Weighted edges: penalize edges leaving shallow, generic concepts.
     let unit = EdgeWeights::uniform(&ont2);
-    let generic_penalty =
-        EdgeWeights::from_fn(&ont2, |p, _| if ont2.depth(p) < 3 { 4 } else { 1 });
+    let generic_penalty = EdgeWeights::from_fn(&ont2, |p, _| if ont2.depth(p) < 3 { 4 } else { 1 });
     let cfg = KndsConfig::default().with_error_threshold(0.9);
     let plain = WeightedKnds::new(&ont2, &unit, &source, cfg.clone()).rds(&query, 5);
     let weighted = WeightedKnds::new(&ont2, &generic_penalty, &source, cfg).rds(&query, 5);

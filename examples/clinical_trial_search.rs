@@ -25,14 +25,10 @@ fn main() {
     let ontology = OntologyGenerator::new(GeneratorConfig::snomed_like(8_000)).generate();
     let corpus = CorpusGenerator::new(
         &ontology,
-        CorpusProfile::patient_like()
-            .with_num_docs(150)
-            .with_mean_concepts(80.0),
+        CorpusProfile::patient_like().with_num_docs(150).with_mean_concepts(80.0),
     )
     .generate();
-    let mut engine = EngineBuilder::new()
-        .filter(FilterConfig::default())
-        .build(ontology, corpus);
+    let mut engine = EngineBuilder::new().filter(FilterConfig::default()).build(ontology, corpus);
     println!(
         "screening {} patient records over {} concepts\n",
         engine.num_docs(),

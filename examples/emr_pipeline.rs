@@ -10,9 +10,7 @@
 //! cargo run --release --example emr_pipeline
 //! ```
 
-use cbr_corpus::{
-    ConceptExtractor, Corpus, DocId, ExtractorConfig, NoteGenerator, Polarity,
-};
+use cbr_corpus::{ConceptExtractor, Corpus, DocId, ExtractorConfig, NoteGenerator, Polarity};
 use concept_rank::prelude::*;
 use concept_rank::EngineBuilder;
 use rand::rngs::StdRng;
@@ -58,19 +56,12 @@ fn main() {
     let mut documents = Vec::new();
     let mut negated = 0usize;
     for (i, note) in notes.iter().enumerate() {
-        negated += extractor
-            .extract(note)
-            .iter()
-            .filter(|m| m.polarity == Polarity::Negative)
-            .count();
+        negated +=
+            extractor.extract(note).iter().filter(|m| m.polarity == Polarity::Negative).count();
         let doc = extractor.extract_document(DocId::from_index(i), note);
         documents.push(doc);
     }
-    println!(
-        "extracted {} notes; {} negated mentions dropped",
-        documents.len(),
-        negated
-    );
+    println!("extracted {} notes; {} negated mentions dropped", documents.len(), negated);
 
     // Extraction quality against the known ground truth.
     let mut recovered = 0usize;

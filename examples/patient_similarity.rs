@@ -21,25 +21,17 @@ fn main() {
     let ontology = OntologyGenerator::new(GeneratorConfig::snomed_like(8_000)).generate();
     let corpus = CorpusGenerator::new(
         &ontology,
-        CorpusProfile::patient_like()
-            .with_num_docs(200)
-            .with_mean_concepts(60.0),
+        CorpusProfile::patient_like().with_num_docs(200).with_mean_concepts(60.0),
     )
     .generate();
-    let mut engine = EngineBuilder::new()
-        .filter(FilterConfig::default())
-        .build(ontology, corpus);
+    let mut engine = EngineBuilder::new().filter(FilterConfig::default()).build(ontology, corpus);
 
     let patient = DocId(42);
     let profile = engine.document_concepts(patient).expect("exists");
     println!(
         "index patient {patient}: {} concepts, e.g. {:?}\n",
         profile.len(),
-        profile
-            .iter()
-            .take(3)
-            .map(|&c| engine.ontology().label(c))
-            .collect::<Vec<_>>()
+        profile.iter().take(3).map(|&c| engine.ontology().label(c)).collect::<Vec<_>>()
     );
 
     // Cohort: the 5 most similar patients under the symmetric distance.
@@ -73,7 +65,7 @@ fn main() {
     // concept of the index patient and watch the neighbor distances shift.
     let mut weights = vec![1.0; engine.ontology().len()];
     weights[profile[0].index()] = 5.0;
-    let drc = Drc::new(engine.ontology());
+    let mut drc = Drc::new(engine.ontology());
     let neighbor = cohort.results[1].doc;
     let nc = engine.document_concepts(neighbor).expect("exists");
     let plain = drc.document_document_distance(&nc, &profile);

@@ -13,11 +13,7 @@ fn main() {
     //    corpus (300 documents, ~25 concepts each). Both deterministic.
     println!("building ontology + corpus + engine …");
     let engine = demo::engine(5_000, 300, 25.0);
-    println!(
-        "  {} concepts, {} documents\n",
-        engine.ontology().len(),
-        engine.num_docs()
-    );
+    println!("  {} concepts, {} documents\n", engine.ontology().len(), engine.num_docs());
 
     // 2. RDS: find documents relevant to a set of query concepts —
     //    the paper's "clinical researcher screening trial candidates".

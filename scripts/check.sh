@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Canonical verification for the workspace: formatting, lints, tests.
+# Run from the repository root. All three must pass before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q

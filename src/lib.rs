@@ -21,9 +21,7 @@ pub mod demo {
     pub fn small_corpus(ont: &Ontology, docs: usize, mean_concepts: f64) -> Corpus {
         CorpusGenerator::new(
             ont,
-            CorpusProfile::radio_like()
-                .with_num_docs(docs)
-                .with_mean_concepts(mean_concepts),
+            CorpusProfile::radio_like().with_num_docs(docs).with_mean_concepts(mean_concepts),
         )
         .generate()
     }
@@ -33,8 +31,6 @@ pub mod demo {
     pub fn engine(concepts: usize, docs: usize, mean_concepts: f64) -> Engine {
         let ont = small_ontology(concepts);
         let corpus = small_corpus(&ont, docs, mean_concepts);
-        EngineBuilder::new()
-            .filter(cbr_corpus::FilterConfig::default())
-            .build(ont, corpus)
+        EngineBuilder::new().filter(cbr_corpus::FilterConfig::default()).build(ont, corpus)
     }
 }

@@ -2,9 +2,9 @@
 //! persistence to querying, including the file-backed access path.
 
 use cbr_corpus::{CorpusGenerator, CorpusProfile, FilterConfig};
-use cbr_index::{FileSource, ForwardIndex, IndexSource, InvertedIndex, MemorySource, SnapshotStore};
+use cbr_index::{FileSource, ForwardIndex, IndexSource, InvertedIndex, MemorySource};
 use cbr_knds::{Knds, KndsConfig};
-use cbr_ontology::{GeneratorConfig, Ontology, OntologyGenerator};
+use cbr_ontology::{GeneratorConfig, OntologyGenerator};
 use concept_rank::EngineBuilder;
 use concept_rank_repro::demo;
 
@@ -25,8 +25,12 @@ fn generated_pipeline_produces_consistent_engine() {
     }
 }
 
+#[cfg(feature = "serde")]
 #[test]
 fn snapshot_roundtrip_preserves_query_results() {
+    use cbr_index::SnapshotStore;
+    use cbr_ontology::Ontology;
+
     let dir = std::env::temp_dir().join(format!("cbr-e2e-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let store = SnapshotStore::open(&dir).unwrap();
@@ -125,10 +129,7 @@ fn filtering_changes_are_consistent_between_engine_and_manual_path() {
     let filtered = filter.apply(&corpus);
     let engine = EngineBuilder::new()
         .filter(FilterConfig::default())
-        .build(
-            OntologyGenerator::new(GeneratorConfig::small(2_000)).generate(),
-            corpus.clone(),
-        );
+        .build(OntologyGenerator::new(GeneratorConfig::small(2_000)).generate(), corpus.clone());
     // Same generator seed -> same ontology -> engine's corpus equals the
     // manually filtered one.
     for (a, b) in engine.corpus().documents().zip(filtered.documents()) {

@@ -23,7 +23,7 @@ fn section_3_2_valid_path_distance() {
 #[test]
 fn example_1_distances() {
     let fig = fixture::figure3();
-    let drc = Drc::new(&fig.ontology);
+    let mut drc = Drc::new(&fig.ontology);
     let d = fig.example_document();
     let q = fig.example_query();
     assert_eq!(drc.document_query_distance(&d, &q), 7);

@@ -7,7 +7,7 @@
 use cbr_corpus::Corpus;
 use cbr_dradix::{brute, Drc};
 use cbr_index::MemorySource;
-use cbr_knds::{baseline, Knds, KndsConfig};
+use cbr_knds::{baseline, Knds, KndsConfig, KndsWorkspace};
 use cbr_ontology::{
     concept_distance, concept_distance_graph, distance::multi_source_distances, ConceptId,
     GeneratorConfig, Ontology, OntologyGenerator,
@@ -19,10 +19,7 @@ fn ontology(seed: u64, n: usize) -> Ontology {
 }
 
 fn pick_concepts(ont: &Ontology, picks: &[u32]) -> Vec<ConceptId> {
-    let mut v: Vec<ConceptId> = picks
-        .iter()
-        .map(|&p| ConceptId(p % ont.len() as u32))
-        .collect();
+    let mut v: Vec<ConceptId> = picks.iter().map(|&p| ConceptId(p % ont.len() as u32)).collect();
     v.sort_unstable();
     v.dedup();
     v
@@ -79,7 +76,7 @@ proptest! {
         let ont = ontology(seed, 120);
         let d = pick_concepts(&ont, &doc_picks);
         let q = pick_concepts(&ont, &query_picks);
-        let drc = Drc::new(&ont);
+        let mut drc = Drc::new(&ont);
         prop_assert_eq!(
             drc.document_query_distance(&d, &q),
             brute::document_query_distance(&ont, &d, &q)
@@ -101,7 +98,7 @@ proptest! {
         let ont = ontology(seed, 100);
         let a = pick_concepts(&ont, &a_picks);
         let b = pick_concepts(&ont, &b_picks);
-        let drc = Drc::new(&ont);
+        let mut drc = Drc::new(&ont);
         let ab = drc.document_document_distance(&a, &b);
         let ba = drc.document_document_distance(&b, &a);
         prop_assert!((ab - ba).abs() < 1e-9);
@@ -181,6 +178,7 @@ proptest! {
 
     /// The binary codec never panics on malformed input — it returns an
     /// error for garbage and only accepts byte strings that decode fully.
+    #[cfg(feature = "serde")]
     #[test]
     fn codec_rejects_garbage_without_panicking(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = cbr_ontology::ser::from_tokens::<u64>(&bytes);
@@ -191,6 +189,7 @@ proptest! {
     }
 
     /// The binary codec round-trips arbitrary nested values.
+    #[cfg(feature = "serde")]
     #[test]
     fn codec_roundtrips(
         nums in prop::collection::vec(any::<u32>(), 0..20),
@@ -280,6 +279,57 @@ proptest! {
         }
     }
 
+    /// One `KndsWorkspace` reused across interleaved RDS and SDS queries
+    /// (random `εθ`, `k`, and corpus) produces bit-identical results and
+    /// metrics counters to fresh-workspace runs — the zero-allocation query
+    /// path never changes observable behavior.
+    #[test]
+    fn workspace_reuse_is_equivalent_to_fresh_state(
+        seed in 0u64..60,
+        eps_idx in 0usize..5,
+        k in 1usize..6,
+        query_picks in prop::collection::vec(0u32..10_000, 1..5),
+        doc_seeds in prop::collection::vec(0u64..10_000, 4..14),
+    ) {
+        let eps = [0.0, 0.25, 0.5, 0.75, 1.0][eps_idx];
+        let ont = ontology(seed, 120);
+        let sets: Vec<(Vec<ConceptId>, u32)> = doc_seeds
+            .iter()
+            .map(|&s| {
+                let picks: Vec<u32> = (0..(s % 5 + 1))
+                    .map(|i| (s.wrapping_mul(41).wrapping_add(i * 769)) as u32)
+                    .collect();
+                (pick_concepts(&ont, &picks), 0)
+            })
+            .collect();
+        let corpus = Corpus::from_concept_sets(sets);
+        let source = MemorySource::build(&corpus, ont.len());
+        let q1 = pick_concepts(&ont, &query_picks);
+        let q2 = corpus
+            .documents()
+            .find(|d| d.num_concepts() > 0)
+            .map(|d| d.concepts().to_vec())
+            .unwrap_or_else(|| q1.clone());
+
+        let cfg = KndsConfig::default().with_error_threshold(eps);
+        let engine = Knds::new(&ont, &source, cfg);
+        let mut ws = KndsWorkspace::new();
+        // Interleave RDS and SDS on the same workspace; compare each run
+        // against a fresh-state evaluation of the identical query.
+        for (round, q) in [&q1, &q2, &q1, &q2].iter().enumerate() {
+            let shared = engine.rds_with(&mut ws, q, k);
+            let fresh = engine.rds(q, k);
+            prop_assert_eq!(&shared.results, &fresh.results, "RDS round {}", round);
+            prop_assert_eq!(shared.metrics.drc_calls, fresh.metrics.drc_calls);
+            prop_assert_eq!(shared.metrics.nodes_visited, fresh.metrics.nodes_visited);
+
+            let shared = engine.sds_with(&mut ws, q, k);
+            let fresh = engine.sds(q, k);
+            prop_assert_eq!(&shared.results, &fresh.results, "SDS round {}", round);
+            prop_assert_eq!(shared.metrics.docs_examined, fresh.metrics.docs_examined);
+        }
+    }
+
     /// Uniform edge weights reproduce the unit-weight metric exactly.
     #[test]
     fn uniform_weights_equal_unit_metric(
@@ -297,4 +347,36 @@ proptest! {
             concept_distance(ont.path_table(), ca, cb)
         );
     }
+}
+
+/// A query that panics mid-flight leaves the workspace dirty; the next
+/// borrow must reset it and produce results identical to a fresh run.
+#[test]
+fn poisoned_workspace_is_reset_on_next_borrow() {
+    let ont = ontology(7, 120);
+    let sets: Vec<(Vec<ConceptId>, u32)> = (0u32..8)
+        .map(|s| (pick_concepts(&ont, &[s * 131, s * 977 + 5, s * 613 + 11]), 0))
+        .collect();
+    let corpus = Corpus::from_concept_sets(sets);
+    let source = MemorySource::build(&corpus, ont.len());
+    let engine = Knds::new(&ont, &source, KndsConfig::default());
+    let q = pick_concepts(&ont, &[42, 4242, 424242]);
+
+    let mut ws = KndsWorkspace::new();
+    // Warm the workspace, then poison it: an empty query panics after the
+    // workspace has been borrowed for the query, leaving it dirty.
+    engine.rds_with(&mut ws, &q, 3);
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.rds_with(&mut ws, &[], 3);
+    }));
+    assert!(panicked.is_err(), "empty query must panic");
+
+    // The poisoned workspace is safely reset on the next borrow and the
+    // results match a fresh-state run exactly.
+    let reused = engine.rds_with(&mut ws, &q, 3);
+    let fresh = engine.rds(&q, 3);
+    assert_eq!(reused.results, fresh.results);
+    let reused = engine.sds_with(&mut ws, &q, 3);
+    let fresh = engine.sds(&q, 3);
+    assert_eq!(reused.results, fresh.results);
 }

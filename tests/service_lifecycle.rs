@@ -42,10 +42,7 @@ fn full_service_lifecycle() {
         }
         let s = shared.clone();
         let payload = qs[0].clone();
-        scope
-            .spawn(move || s.add_document(payload))
-            .join()
-            .unwrap()
+        scope.spawn(move || s.add_document(payload)).join().unwrap()
     });
     assert!(shared.with_engine(|e| e.is_live(admitted)));
 
@@ -64,26 +61,31 @@ fn full_service_lifecycle() {
     }
 
     // 4. Checkpoint and restart: same answers, appended doc folded in.
-    let dir = std::env::temp_dir().join(format!("cbr-lifecycle-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    shared.with_engine(|e| e.save(&dir)).unwrap();
-    let mut restarted = Engine::load(&dir, None).unwrap();
-    assert_eq!(restarted.num_docs(), shared.num_docs());
-    for q in &qs {
-        let a = shared.rds(q, 4).unwrap();
-        let b = restarted.rds(q, 4).unwrap();
-        for (x, y) in a.results.iter().zip(b.results.iter()) {
-            assert_eq!(x.distance, y.distance, "restart changed a ranking");
+    // (Persistence rides on the serde-backed codec, so these steps only
+    // run when the `serde` feature is on.)
+    #[cfg(feature = "serde")]
+    {
+        let dir = std::env::temp_dir().join(format!("cbr-lifecycle-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        shared.with_engine(|e| e.save(&dir)).unwrap();
+        let mut restarted = Engine::load(&dir, None).unwrap();
+        assert_eq!(restarted.num_docs(), shared.num_docs());
+        for q in &qs {
+            let a = shared.rds(q, 4).unwrap();
+            let b = restarted.rds(q, 4).unwrap();
+            for (x, y) in a.results.iter().zip(b.results.iter()) {
+                assert_eq!(x.distance, y.distance, "restart changed a ranking");
+            }
         }
+
+        // 5. Deletion after restart: the admitted record leaves the results.
+        let hit = restarted.rds(&qs[0], 1).unwrap().results[0].doc;
+        restarted.remove_document(hit).unwrap();
+        let after = restarted.rds(&qs[0], 3).unwrap();
+        assert!(after.results.iter().all(|r| r.doc != hit));
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
-
-    // 5. Deletion after restart: the admitted record leaves the results.
-    let hit = restarted.rds(&qs[0], 1).unwrap().results[0].doc;
-    restarted.remove_document(hit).unwrap();
-    let after = restarted.rds(&qs[0], 3).unwrap();
-    assert!(after.results.iter().all(|r| r.doc != hit));
-
-    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
@@ -110,14 +112,7 @@ fn sharded_matches_engine_results() {
     let source = cbr_index::MemorySource::build(engine.corpus(), engine.ontology().len());
     for q in &qs {
         let expect = engine.rds(q, 5).unwrap();
-        let got = cbr_knds::rds_sharded(
-            engine.ontology(),
-            &source,
-            q,
-            5,
-            engine.config(),
-            4,
-        );
+        let got = cbr_knds::rds_sharded(engine.ontology(), &source, q, 5, engine.config(), 4);
         for (a, b) in got.results.iter().zip(expect.results.iter()) {
             assert_eq!(a.distance, b.distance);
         }

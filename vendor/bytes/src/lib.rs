@@ -1,0 +1,115 @@
+//! Offline subset of the `bytes` crate.
+//!
+//! Implements just the `BytesMut` / `BufMut` surface the workspace uses
+//! (little-endian appends over a growable buffer). The sandbox has no
+//! registry access; drop the `[patch.crates-io]` entry to use the real
+//! crate instead.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer, API-compatible with the subset of
+/// `bytes::BytesMut` this workspace uses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+/// Append-oriented writer trait (subset of `bytes::BufMut`).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_appends() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(b"hi");
+        b.put_u32_le(0x0102_0304);
+        b.put_u64_le(1);
+        assert_eq!(&b[..2], b"hi");
+        assert_eq!(&b[2..6], &[4, 3, 2, 1]);
+        assert_eq!(b.len(), 14);
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline subset of the `rand` crate (0.9 API surface).
+//!
+//! The sandbox has no registry access, so this crate implements the small
+//! slice of `rand` the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::{seed_from_u64, from_seed}`, and the `Rng` extension
+//! methods `random::<T>()` / `random_range(..)`. The generator core is
+//! xoshiro256** seeded via SplitMix64 — deterministic across runs and
+//! platforms, which is all the synthetic-data generators require (they
+//! promise "same seed → same output", not any particular stream).
+//! Numeric streams therefore differ from the real `rand` crate's ChaCha12
+//! `StdRng`. Drop the `[patch.crates-io]` entry to use the real crate.
+
+/// Low-level generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion, as rand_core does for seed material.
+        let mut sm = state;
+        let mut seed = Self::Seed::default();
+        for b in seed.as_mut().chunks_mut(8) {
+            let v = splitmix64(&mut sm).to_le_bytes();
+            b.copy_from_slice(&v[..b.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types producible by [`Rng::random`].
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+// No `Range<f32>` impl: a second float impl would make unannotated float
+// literals (`rng.random_range(0.8..1.2)`) ambiguous, and the workspace
+// only samples f64 ranges.
+
+/// User-facing extension methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand`'s
+    /// ChaCha12-based `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // xoshiro requires a non-zero state.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias: the workspace only needs determinism, not a distinct small
+    /// generator.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w = r.random_range(0..=4u32);
+            assert!(w <= 4);
+            let f = r.random_range(0.8..1.2);
+            assert!((0.8..1.2).contains(&f));
+            let u: f64 = r.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_hits_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline placeholder for the `serde` crate.
+//!
+//! This workspace builds in a sandbox without registry access, so the real
+//! `serde` cannot be downloaded. Every module that genuinely needs serde
+//! (the `cbr_ontology::ser` codec, index snapshots, engine persistence) is
+//! gated behind a `serde` cargo feature that is off by default; this empty
+//! crate only exists so dependency resolution succeeds. Swap the
+//! `[patch.crates-io]` entry out to build against the real crate.
