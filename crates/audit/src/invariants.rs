@@ -1,0 +1,226 @@
+//! The structural-invariant half of the audit: run every `validate()`
+//! over deterministic generated corpora, prove the validators catch
+//! injected corruption, and stress the shared workspace pool.
+//!
+//! Everything here is seeded — two runs of `cbr-audit invariants` do the
+//! same work and reach the same verdict.
+
+use crate::report::{Finding, Report};
+use cbr_corpus::{Corpus, CorpusGenerator, CorpusProfile};
+use cbr_dradix::DRadixDag;
+use cbr_index::MemorySource;
+use cbr_ontology::{ConceptId, GeneratorConfig, Ontology, OntologyGenerator};
+use concept_rank::{EngineBuilder, SharedEngine};
+
+const SEEDS: [u64; 3] = [7, 42, 20_140_324];
+
+fn generated(seed: u64) -> (Ontology, Corpus) {
+    let ont = OntologyGenerator::new(GeneratorConfig::small(600).with_seed(seed)).generate();
+    let corpus = CorpusGenerator::new(
+        &ont,
+        CorpusProfile::radio_like().with_num_docs(40).with_mean_concepts(6.0),
+    )
+    .generate();
+    (ont, corpus)
+}
+
+fn check(report: &mut Report, name: &str, result: Result<(), String>) {
+    match result {
+        Ok(()) => report.passed.push(format!("invariant {name}")),
+        Err(msg) => report.findings.push(Finding::new("INV", name, 0, msg)),
+    }
+}
+
+/// Runs the full invariant suite and returns its report.
+pub fn run() -> Report {
+    let mut report = Report::default();
+    check(&mut report, "ontology-validate", ontology_validate());
+    check(&mut report, "index-pair-validate", index_pair_validate());
+    check(&mut report, "dradix-validate", dradix_validate());
+    check(&mut report, "dradix-catches-corruption", dradix_catches_corruption());
+    check(&mut report, "snapshot-frame-roundtrip", snapshot_frame_roundtrip());
+    check(&mut report, "workspace-pool-stress", workspace_pool_stress());
+    report
+}
+
+/// Generated ontologies satisfy the graph and Dewey-path validators.
+fn ontology_validate() -> Result<(), String> {
+    for seed in SEEDS {
+        let (ont, _) = generated(seed);
+        ont.validate().map_err(|v| format!("seed {seed}: graph violations {v:?}"))?;
+        ont.validate_paths().map_err(|v| format!("seed {seed}: path violations {v:?}"))?;
+    }
+    Ok(())
+}
+
+/// Forward/inverted pairs built from generated corpora cross-validate.
+fn index_pair_validate() -> Result<(), String> {
+    for seed in SEEDS {
+        let (ont, corpus) = generated(seed);
+        let source = MemorySource::build(&corpus, ont.len());
+        cbr_index::validate_pair(source.forward(), source.inverted())
+            .map_err(|v| format!("seed {seed}: index violations {v:?}"))?;
+    }
+    Ok(())
+}
+
+/// Document/query pairs sampled per seed.
+fn doc_query_pairs(corpus: &Corpus) -> Vec<(Vec<ConceptId>, Vec<ConceptId>)> {
+    let docs: Vec<Vec<ConceptId>> =
+        corpus.documents().map(|d| d.concepts().to_vec()).filter(|c| !c.is_empty()).collect();
+    docs.windows(2)
+        .take(6)
+        .map(|w| {
+            let query: Vec<ConceptId> = w[1].iter().copied().take(4).collect();
+            (w[0].clone(), query)
+        })
+        .collect()
+}
+
+/// Tuned D-Radix DAGs pass the full validator (structure, downward
+/// fixpoint, re-derived tuning, and brute-force distance spot checks).
+fn dradix_validate() -> Result<(), String> {
+    for seed in SEEDS {
+        let (ont, corpus) = generated(seed);
+        for (doc, query) in doc_query_pairs(&corpus) {
+            let mut dag = DRadixDag::build(&ont, &doc, &query);
+            dag.tune();
+            dag.validate(&ont, &doc, &query)
+                .map_err(|v| format!("seed {seed}: dag violations {v:?}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// The validator is not vacuous: injected corruption must be reported.
+fn dradix_catches_corruption() -> Result<(), String> {
+    let (ont, corpus) = generated(SEEDS[0]);
+    let mut inflated = 0usize;
+    let mut broken = 0usize;
+    for (doc, query) in doc_query_pairs(&corpus) {
+        let mut dag = DRadixDag::build(&ont, &doc, &query);
+        dag.tune();
+        if dag.corrupt_inflate_distance() {
+            inflated += 1;
+            if dag.validate(&ont, &doc, &query).is_ok() {
+                return Err("inflated distance slipped past validate()".into());
+            }
+        }
+        let mut dag = DRadixDag::build(&ont, &doc, &query);
+        dag.tune();
+        if dag.corrupt_break_compression(&ont) {
+            broken += 1;
+            if dag.validate_structure().is_ok() {
+                return Err("broken path compression slipped past validate_structure()".into());
+            }
+        }
+    }
+    if inflated == 0 || broken == 0 {
+        return Err(format!(
+            "corruption injectors found no target (inflated {inflated}, broken {broken}) — \
+             corpus too small to prove detection"
+        ));
+    }
+    Ok(())
+}
+
+/// Snapshot frames round-trip and detect single-bit corruption at every
+/// byte position of a real encoded body.
+fn snapshot_frame_roundtrip() -> Result<(), String> {
+    use cbr_index::snapshot::{decode_frame, encode_frame};
+    let (_, corpus) = generated(SEEDS[1]);
+    let body: Vec<u8> = corpus
+        .documents()
+        .flat_map(|d| d.concepts().iter().map(|c| (c.index() % 251) as u8).collect::<Vec<u8>>())
+        .take(512)
+        .collect();
+    let framed = encode_frame(&body);
+    let back = decode_frame(&framed).map_err(|e| format!("roundtrip failed: {e}"))?;
+    if back != body.as_slice() {
+        return Err("roundtrip returned different bytes".into());
+    }
+    for at in 0..framed.len() {
+        let mut bad = framed.clone();
+        bad[at] ^= 0x40;
+        if let Ok(b) = decode_frame(&bad) {
+            // Flipping a bit inside the stored length can still yield a
+            // shorter frame with a matching checksum only if the checksum
+            // also collides — treat any silent acceptance as a failure.
+            if b == body.as_slice() {
+                return Err(format!("bit flip at byte {at} was silently accepted"));
+            }
+            return Err(format!("bit flip at byte {at} decoded to different bytes"));
+        }
+    }
+    Ok(())
+}
+
+/// The shared workspace pool never exceeds peak concurrency, and a
+/// panicked query drops (never re-pools) its workspace.
+fn workspace_pool_stress() -> Result<(), String> {
+    let (ont, corpus) = generated(SEEDS[2]);
+    let query: Vec<ConceptId> = corpus
+        .documents()
+        .find_map(|d| (d.num_concepts() >= 2).then(|| d.concepts()[..2].to_vec()))
+        .ok_or("generated corpus has no 2-concept document")?;
+    let engine = EngineBuilder::new().build(ont, corpus);
+    let shared = SharedEngine::new(engine);
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 8;
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let s = shared.clone();
+            let q = query.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                    let _ = s.rds(&q, 3);
+                }
+            });
+        }
+    });
+    let pooled = shared.pooled_workspaces();
+    if pooled > THREADS {
+        return Err(format!("pool leaked: {pooled} workspaces for {THREADS} threads"));
+    }
+    if pooled == 0 {
+        return Err("no workspace returned to the pool".into());
+    }
+
+    // Poison: k = 0 panics inside the engine while a workspace is checked
+    // out; the workspace must be dropped, not returned.
+    let before = shared.pooled_workspaces();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = shared.rds(&query, 0);
+    }))
+    .is_err();
+    std::panic::set_hook(prev_hook);
+    if !panicked {
+        return Err("k = 0 should panic (poison probe)".into());
+    }
+    if shared.pooled_workspaces() != before - 1 {
+        return Err("poisoned workspace was returned to the pool".into());
+    }
+    let r = shared.rds(&query, 3).map_err(|e| format!("query after poison failed: {e}"))?;
+    if r.results.is_empty() {
+        return Err("query after poison returned no results".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_invariant_suite_passes() {
+        let report = run();
+        assert!(report.ok(), "invariant failures: {:?}", report.findings);
+        assert_eq!(report.passed.len(), 6);
+    }
+}

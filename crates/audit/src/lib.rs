@@ -1,0 +1,160 @@
+//! `cbr-audit`: self-hosted static analysis and structural-invariant
+//! audit for the concept-rank workspace.
+//!
+//! Two halves, one binary:
+//!
+//! * **Lint** ([`run_lint`]) — token-level rules `A01`–`A06` over every
+//!   workspace source and manifest, filtered through the checked-in
+//!   `audit.allow` ratchet. No external parser: the build environment is
+//!   offline, so the scanner is ~300 lines of hand-rolled lexing that
+//!   understands exactly what the rules need (comments, literals,
+//!   `#[cfg(test)]` and `#[cfg(feature = "serde")]` regions).
+//! * **Invariants** ([`invariants::run`]) — every `validate()` in the
+//!   workspace (ontology graph + Dewey paths, forward/inverted index
+//!   pair, tuned D-Radix DAGs with brute-force spot checks), corruption
+//!   injection to prove the validators catch what they claim to, snapshot
+//!   frame round-trip hashing, and a deterministic stress of the
+//!   `SharedEngine` workspace pool.
+//!
+//! ```sh
+//! cargo run -p cbr-audit -- all          # lint + invariants
+//! cargo run -p cbr-audit -- lint --json  # machine-readable report
+//! ```
+//!
+//! The binary exits non-zero when any finding survives the allowlist, so
+//! `scripts/check.sh` can gate merges on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod invariants;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+
+use report::Report;
+use scanner::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/audit sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Source directories the lint walks, relative to the workspace root.
+/// `vendor/` is excluded: third-party placeholder code is not ours to
+/// lint (its manifests still go through A06).
+const SOURCE_ROOTS: [&str; 4] = ["src", "crates", "tests", "examples"];
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                walk_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Loads and scans every workspace source file.
+pub fn collect_sources(root: &Path) -> Vec<SourceFile> {
+    let mut paths = Vec::new();
+    for sub in SOURCE_ROOTS {
+        walk_rs(&root.join(sub), &mut paths);
+    }
+    paths
+        .into_iter()
+        .filter_map(|p| {
+            let rel = p.strip_prefix(root).ok()?.to_str()?.to_string();
+            let text = std::fs::read_to_string(&p).ok()?;
+            Some(SourceFile::parse(&rel, &text))
+        })
+        .collect()
+}
+
+/// Workspace manifests: root, member crates, and the vendored stubs
+/// (which must also never grow registry dependencies).
+pub fn collect_manifests(root: &Path) -> Vec<(String, String)> {
+    let mut rels = vec!["Cargo.toml".to_string()];
+    for sub in ["crates", "vendor"] {
+        if let Ok(entries) = std::fs::read_dir(root.join(sub)) {
+            let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+            dirs.sort();
+            for d in dirs {
+                let m = d.join("Cargo.toml");
+                if m.is_file() {
+                    if let Ok(rel) = m.strip_prefix(root) {
+                        rels.push(rel.to_string_lossy().into_owned());
+                    }
+                }
+            }
+        }
+    }
+    rels.into_iter()
+        .filter_map(|rel| {
+            let text = std::fs::read_to_string(root.join(&rel)).ok()?;
+            Some((rel, text))
+        })
+        .collect()
+}
+
+/// Runs the lint half: all rules over all sources and manifests, with
+/// `audit.allow` applied.
+pub fn run_lint(root: &Path) -> Report {
+    let files = collect_sources(root);
+    let mut findings = rules::run_source_rules(&files);
+    for (rel, text) in collect_manifests(root) {
+        findings.extend(rules::a06_no_registry_deps(&rel, &text));
+    }
+
+    let allow_content = std::fs::read_to_string(root.join("audit.allow")).unwrap_or_default();
+    let (entries, mut parse_errors) = allowlist::parse(&allow_content);
+    let mut findings = allowlist::apply(findings, &entries);
+    findings.append(&mut parse_errors);
+
+    let mut report = Report { findings, passed: Vec::new() };
+    if report.ok() {
+        for rule in ["A01", "A02", "A03", "A04", "A05", "A06"] {
+            report.passed.push(format!("lint {rule} ({} files)", files.len()));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The audit must be silent on its own tree: every rule passes on the
+    /// current sources modulo the checked-in allowlist.
+    #[test]
+    fn current_tree_is_clean() {
+        let report = run_lint(&workspace_root());
+        assert!(report.ok(), "lint findings on the current tree:\n{}", report.render_text());
+    }
+
+    #[test]
+    fn collectors_find_the_workspace() {
+        let root = workspace_root();
+        let files = collect_sources(&root);
+        assert!(files.iter().any(|f| f.rel == "crates/knds/src/engine.rs"));
+        assert!(files.iter().any(|f| f.rel == "src/lib.rs"));
+        assert!(!files.iter().any(|f| f.rel.starts_with("vendor/")));
+        let manifests = collect_manifests(&root);
+        assert!(manifests.iter().any(|(rel, _)| rel == "Cargo.toml"));
+        assert!(manifests.iter().any(|(rel, _)| rel == "vendor/serde/Cargo.toml"));
+    }
+}

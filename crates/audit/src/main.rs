@@ -1,0 +1,42 @@
+//! `cbr-audit` — run the workspace's self-audit from the command line.
+//!
+//! ```text
+//! cbr-audit lint        [--json]   static analysis rules A01–A06
+//! cbr-audit invariants  [--json]   structural validate() suite
+//! cbr-audit all         [--json]   both halves
+//! ```
+//!
+//! Exits 0 when clean, 1 when any finding survives the allowlist, 2 on
+//! usage errors.
+
+#![forbid(unsafe_code)]
+
+use cbr_audit::report::Report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let command = args.iter().find(|a| !a.starts_with("--")).map(String::as_str);
+
+    let root = cbr_audit::workspace_root();
+    let mut report = Report::default();
+    match command {
+        Some("lint") => report.merge(cbr_audit::run_lint(&root)),
+        Some("invariants") => report.merge(cbr_audit::invariants::run()),
+        Some("all") => {
+            report.merge(cbr_audit::run_lint(&root));
+            report.merge(cbr_audit::invariants::run());
+        }
+        _ => {
+            eprintln!("usage: cbr-audit <lint|invariants|all> [--json]");
+            std::process::exit(2);
+        }
+    }
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    std::process::exit(if report.ok() { 0 } else { 1 });
+}

@@ -1,0 +1,139 @@
+//! Finding types and the machine-readable report.
+
+use std::fmt::Write as _;
+
+/// One lint finding or invariant failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (`A01`..`A06`, `ALLOW`, or `INV-*`).
+    pub rule: String,
+    /// Workspace-relative file (or check name for invariants).
+    pub file: String,
+    /// 1-based line, or 0 when a finding has no line anchor.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Convenience constructor.
+    pub fn new(rule: &str, file: &str, line: usize, message: impl Into<String>) -> Finding {
+        Finding { rule: rule.to_string(), file: file.to_string(), line, message: message.into() }
+    }
+}
+
+/// The aggregate result of an audit run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived the allowlist; non-empty means failure.
+    pub findings: Vec<Finding>,
+    /// Names of checks/rules that ran clean (for the human summary).
+    pub passed: Vec<String>,
+}
+
+impl Report {
+    /// Whether the audit passed.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.passed.extend(other.passed);
+    }
+
+    /// Renders the human-readable summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for p in &self.passed {
+            let _ = writeln!(out, "ok   {p}");
+        }
+        for f in &self.findings {
+            if f.line > 0 {
+                let _ = writeln!(out, "FAIL [{}] {}:{}: {}", f.rule, f.file, f.line, f.message);
+            } else {
+                let _ = writeln!(out, "FAIL [{}] {}: {}", f.rule, f.file, f.message);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "audit: {} check(s) passed, {} finding(s)",
+            self.passed.len(),
+            self.findings.len()
+        );
+        out
+    }
+
+    /// Renders the report as a JSON object (hand-rolled: the default build
+    /// has no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"ok\": ");
+        out.push_str(if self.ok() { "true" } else { "false" });
+        out.push_str(",\n  \"passed\": [");
+        for (i, p) in self.passed.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_json_str(&mut out, p);
+        }
+        out.push_str("],\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str("{\"rule\": ");
+            push_json_str(&mut out, &f.rule);
+            out.push_str(", \"file\": ");
+            push_json_str(&mut out, &f.file);
+            let _ = write!(out, ", \"line\": {}", f.line);
+            out.push_str(", \"message\": ");
+            push_json_str(&mut out, &f.message);
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let mut r = Report::default();
+        r.passed.push("A01".to_string());
+        r.findings.push(Finding::new("A02", "a/b.rs", 3, "no \"unwrap\"\nhere"));
+        let json = r.render_json();
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\\\"unwrap\\\"\\nhere"));
+        assert!(json.contains("\"line\": 3"));
+    }
+
+    #[test]
+    fn empty_report_is_ok() {
+        let r = Report::default();
+        assert!(r.ok());
+        assert!(r.render_json().contains("\"ok\": true"));
+    }
+}

@@ -1,0 +1,495 @@
+//! The lint rules, A01–A06.
+//!
+//! Every rule has a stable identifier, runs over [`SourceFile`]s (or
+//! `Cargo.toml` manifests for A06), and reports findings that are then
+//! filtered through the checked-in allowlist (`audit.allow`). The rules
+//! are deliberately token-level — no syn, no rustc — so the audit builds
+//! offline and runs in milliseconds; see `DESIGN.md` § "Auditing &
+//! invariants" for what each rule protects and why a scanner suffices.
+
+use crate::report::Finding;
+use crate::scanner::SourceFile;
+use std::collections::BTreeSet;
+
+/// Hot-path modules where A02 (no panics, no slice indexing) applies:
+/// every query traverses these, so a panic is a service outage and a
+/// slice index is an unvalidated trust boundary.
+pub const HOT_PATHS: [&str; 4] = [
+    "crates/knds/src/engine.rs",
+    "crates/knds/src/ta.rs",
+    "crates/dradix/src/dag.rs",
+    "crates/dradix/src/drc.rs",
+];
+
+/// Directories whose `pub fn` entry points A03 inspects.
+const A03_SCOPES: [&str; 2] = ["crates/knds/src/", "crates/core/src/"];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `rel` is library/binary source (rules skip test trees).
+fn is_lib_source(rel: &str) -> bool {
+    (rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/")))
+        && rel.ends_with(".rs")
+}
+
+/// Whether `rel` is a crate root (`lib.rs`, `main.rs`, or a `bin/` file).
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || rel == "src/main.rs"
+        || rel.contains("/src/bin/")
+        || rel.starts_with("src/bin/")
+}
+
+/// A01: raw `partial_cmp` calls on floats order `NaN` as incomparable and
+/// silently drop candidates; distance comparisons must go through
+/// `total_cmp` (or the `OrdF64` wrapper that delegates to it).
+pub fn a01_no_partial_cmp(file: &SourceFile) -> Vec<Finding> {
+    if !is_lib_source(&file.rel) {
+        return Vec::new();
+    }
+    file.code_matches(".partial_cmp(")
+        .into_iter()
+        .filter(|&o| !file.is_test(o))
+        .map(|o| {
+            Finding::new(
+                "A01",
+                &file.rel,
+                file.line_of(o),
+                "`.partial_cmp(` on a distance: use `f64::total_cmp` (NaN-total order) instead",
+            )
+        })
+        .collect()
+}
+
+/// A02: hot-path modules must not contain `unwrap`/`expect`/`panic!` or
+/// slice indexing in non-test code — degraded results beat a poisoned
+/// workspace pool.
+pub fn a02_no_hot_path_panics(file: &SourceFile) -> Vec<Finding> {
+    if !HOT_PATHS.contains(&file.rel.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (needle, what) in
+        [(".unwrap(", "`.unwrap()`"), (".expect(", "`.expect()`"), ("panic!", "`panic!`")]
+    {
+        for o in file.code_matches(needle) {
+            if !file.is_test(o) {
+                out.push(Finding::new(
+                    "A02",
+                    &file.rel,
+                    file.line_of(o),
+                    format!("{what} in hot-path module: return a degraded result (get/let-else + debug_assert) instead"),
+                ));
+            }
+        }
+    }
+    for o in slice_index_sites(file) {
+        if !file.is_test(o) {
+            out.push(Finding::new(
+                "A02",
+                &file.rel,
+                file.line_of(o),
+                "slice indexing in hot-path module: use `.get()`/`.get_mut()` with a fallback",
+            ));
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+/// Byte offsets of `[` that index into a value (preceded by an
+/// identifier, `)`, or `]`) rather than opening a literal, type, pattern,
+/// attribute, or macro invocation.
+fn slice_index_sites(file: &SourceFile) -> Vec<usize> {
+    const KEYWORDS: [&str; 14] = [
+        "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move",
+        "while", "for", "loop",
+    ];
+    let bytes = file.code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let mut p = i - 1;
+        while p > 0 && (bytes[p] == b' ' || bytes[p] == b'\n') {
+            p -= 1;
+        }
+        let prev = bytes[p];
+        if prev == b')' || prev == b']' {
+            out.push(i);
+        } else if is_ident_byte(prev) {
+            let mut s = p;
+            while s > 0 && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            let word = &file.code[s..=p];
+            if !KEYWORDS.contains(&word) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+/// A03: a `pub fn` query entry point that allocates its own
+/// `KndsWorkspace` must have a `_with` sibling taking a caller-owned
+/// workspace, so services can pool scratch instead of re-allocating.
+pub fn a03_workspace_variants(file: &SourceFile) -> Vec<Finding> {
+    if !A03_SCOPES.iter().any(|s| file.rel.starts_with(s)) || file.rel.contains("/bin/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for o in file.code_matches("pub fn ") {
+        if file.is_test(o) {
+            continue;
+        }
+        let Some((name, body)) = fn_name_and_body(&file.code, o) else {
+            continue;
+        };
+        if name.ends_with("_with") || !body.contains("KndsWorkspace::new") {
+            continue;
+        }
+        let sibling = format!("fn {name}_with");
+        if !file.code.contains(&sibling) {
+            out.push(Finding::new(
+                "A03",
+                &file.rel,
+                file.line_of(o),
+                format!(
+                    "`pub fn {name}` allocates a KndsWorkspace but has no `{name}_with` \
+                     workspace-reusing variant"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the identifier after `pub fn ` at `at` and extracts the body
+/// between the fn's braces.
+fn fn_name_and_body(code: &str, at: usize) -> Option<(String, &str)> {
+    let bytes = code.as_bytes();
+    let mut i = at + "pub fn ".len();
+    let start = i;
+    while i < bytes.len() && is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    if i == start {
+        return None;
+    }
+    let name = code[start..i].to_string();
+    // Find the body `{` at zero paren/bracket nesting (skips the arg list
+    // and any array types in the signature).
+    let mut nest = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' => nest += 1,
+            b')' | b']' => nest = nest.saturating_sub(1),
+            b';' if nest == 0 => return None, // trait method without body
+            b'{' if nest == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((name, &code[open..=i]));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// A04: every crate root forbids `unsafe` — the whole workspace is safe
+/// Rust and must stay that way by construction, not convention.
+pub fn a04_forbid_unsafe(file: &SourceFile) -> Vec<Finding> {
+    if !is_crate_root(&file.rel) {
+        return Vec::new();
+    }
+    if file.code.contains("#![forbid(unsafe_code)]") {
+        Vec::new()
+    } else {
+        vec![Finding::new("A04", &file.rel, 1, "crate root is missing `#![forbid(unsafe_code)]`")]
+    }
+}
+
+/// A05: `use serde` must sit behind the `serde` cargo feature — the
+/// offline build resolves serde to an empty stub, so an ungated import is
+/// a build break waiting for the default feature set.
+///
+/// `gated_files` holds files whose *module declaration* is feature-gated
+/// in the parent (e.g. `ontology/src/ser.rs`); everything in them is
+/// implicitly gated.
+pub fn a05_serde_gated(file: &SourceFile, gated_files: &BTreeSet<String>) -> Vec<Finding> {
+    if !is_lib_source(&file.rel) || gated_files.contains(&file.rel) {
+        return Vec::new();
+    }
+    file.code_matches("use serde")
+        .into_iter()
+        .filter(|&o| !file.is_test(o) && !file.is_serde_gated(o))
+        .map(|o| {
+            Finding::new(
+                "A05",
+                &file.rel,
+                file.line_of(o),
+                "`use serde` outside a `#[cfg(feature = \"serde\")]` gate breaks the offline build",
+            )
+        })
+        .collect()
+}
+
+/// Collects files whose `mod x;` declaration is serde-gated in a parent
+/// module file, making the whole child file implicitly gated for A05.
+pub fn serde_gated_files(files: &[SourceFile]) -> BTreeSet<String> {
+    let mut gated = BTreeSet::new();
+    for f in files {
+        for o in f.code_matches("mod ") {
+            if !f.is_serde_gated(o) {
+                continue;
+            }
+            // `pub mod name;` — a declaration, not an inline `mod { }`.
+            let bytes = f.code.as_bytes();
+            let mut i = o + "mod ".len();
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            let mut j = i;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if i > start && bytes.get(j) == Some(&b';') {
+                let name = &f.code[start..i];
+                if let Some(dir) = f.rel.rsplit_once('/').map(|(d, _)| d) {
+                    gated.insert(format!("{dir}/{name}.rs"));
+                    gated.insert(format!("{dir}/{name}/mod.rs"));
+                }
+            }
+        }
+    }
+    gated
+}
+
+/// A06: every dependency in every manifest must resolve by `path` or
+/// `workspace = true` — the build environment has no registry access, so
+/// a version-only dependency can never build.
+pub fn a06_no_registry_deps(rel: &str, content: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut table_dep: Option<(usize, String, bool)> = None; // line, name, satisfied
+    let flush = |out: &mut Vec<Finding>, t: &mut Option<(usize, String, bool)>| {
+        if let Some((line, name, ok)) = t.take() {
+            if !ok {
+                out.push(Finding::new(
+                    "A06",
+                    rel,
+                    line,
+                    format!("dependency `{name}` has neither `path` nor `workspace = true`"),
+                ));
+            }
+        }
+    };
+    for (idx, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            flush(&mut out, &mut table_dep);
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            // `[dependencies.foo]`-style: the section IS one dependency.
+            if let Some((head, name)) = section.rsplit_once('.') {
+                if head.ends_with("dependencies") {
+                    table_dep = Some((idx + 1, name.to_string(), false));
+                }
+            }
+            continue;
+        }
+        if let Some(dep) = &mut table_dep {
+            if line.starts_with("path") || line.replace(' ', "").starts_with("workspace=true") {
+                dep.2 = true;
+            }
+            continue;
+        }
+        let in_dep_section = section == "dependencies"
+            || section.ends_with("-dependencies")
+            || section.ends_with(".dependencies");
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once('=') {
+            let (name, value) = (name.trim(), value.trim());
+            if !value.contains("path") && !value.replace(' ', "").contains("workspace=true") {
+                out.push(Finding::new(
+                    "A06",
+                    rel,
+                    idx + 1,
+                    format!("dependency `{name}` has neither `path` nor `workspace = true`"),
+                ));
+            }
+        }
+    }
+    flush(&mut out, &mut table_dep);
+    out
+}
+
+/// Runs every source-level rule over `files` (A06 runs separately on
+/// manifests via [`a06_no_registry_deps`]).
+pub fn run_source_rules(files: &[SourceFile]) -> Vec<Finding> {
+    let gated = serde_gated_files(files);
+    let mut out = Vec::new();
+    for f in files {
+        out.extend(a01_no_partial_cmp(f));
+        out.extend(a02_no_hot_path_panics(f));
+        out.extend(a03_workspace_variants(f));
+        out.extend(a04_forbid_unsafe(f));
+        out.extend(a05_serde_gated(f, &gated));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(rel: &str, text: &str) -> SourceFile {
+        SourceFile::parse(rel, text)
+    }
+
+    #[test]
+    fn a01_fires_on_partial_cmp_call() {
+        let f = src("crates/knds/src/util.rs", "fn f(a: f64, b: f64) { a.partial_cmp(&b); }");
+        assert_eq!(a01_no_partial_cmp(&f).len(), 1);
+    }
+
+    #[test]
+    fn a01_silent_on_total_cmp_and_definitions() {
+        let f = src(
+            "crates/knds/src/util.rs",
+            "fn partial_cmp(a: f64, b: f64) -> std::cmp::Ordering { a.total_cmp(&b) }",
+        );
+        assert!(a01_no_partial_cmp(&f).is_empty());
+    }
+
+    #[test]
+    fn a01_skips_tests_and_non_lib_paths() {
+        let body = "fn f(a: f64, b: f64) { a.partial_cmp(&b); }";
+        assert!(a01_no_partial_cmp(&src("crates/knds/tests/x.rs", body)).is_empty());
+        let gated = format!("#[cfg(test)]\nmod tests {{ {body} }}");
+        assert!(a01_no_partial_cmp(&src("crates/knds/src/x.rs", &gated)).is_empty());
+    }
+
+    #[test]
+    fn a02_fires_on_each_forbidden_token() {
+        let f = src(
+            "crates/knds/src/ta.rs",
+            "fn f(v: &[u32], i: usize) -> u32 { let x = v.first().unwrap(); \
+             let y = v.first().expect(\"y\"); if i > 0 { panic!(\"no\") } v[i] + x + y }",
+        );
+        let hits = a02_no_hot_path_panics(&f);
+        assert_eq!(hits.len(), 4, "{hits:?}");
+    }
+
+    #[test]
+    fn a02_allows_macros_attributes_and_literals() {
+        let f = src(
+            "crates/knds/src/ta.rs",
+            "#[derive(Debug)]\nstruct S;\nfn f() -> Vec<u32> { let a: [u8; 2] = [0, 1]; \
+             debug_assert!(a.len() == 2); vec![a[0] as u32] }",
+        );
+        let hits = a02_no_hot_path_panics(&f);
+        // Only `a[0]` is real indexing; the literals/attributes are not.
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("slice indexing"));
+    }
+
+    #[test]
+    fn a02_ignores_non_hot_files_and_test_mods() {
+        let body = "fn f(v: &[u32]) -> u32 { v[0] }";
+        assert!(a02_no_hot_path_panics(&src("crates/knds/src/util.rs", body)).is_empty());
+        let gated = format!("#[cfg(test)]\nmod tests {{ {body} }}");
+        assert!(a02_no_hot_path_panics(&src("crates/knds/src/ta.rs", &gated)).is_empty());
+    }
+
+    #[test]
+    fn a03_fires_without_with_variant() {
+        let f = src(
+            "crates/knds/src/fancy.rs",
+            "pub fn rds(q: &[u32]) { let mut ws = KndsWorkspace::new(); run(&mut ws, q) }",
+        );
+        let hits = a03_workspace_variants(&f);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("rds_with"));
+    }
+
+    #[test]
+    fn a03_silent_with_sibling_variant() {
+        let f = src(
+            "crates/knds/src/fancy.rs",
+            "pub fn rds(q: &[u32]) { let mut ws = KndsWorkspace::new(); rds_with(&mut ws, q) }\n\
+             pub fn rds_with(ws: &mut KndsWorkspace, q: &[u32]) {}",
+        );
+        assert!(a03_workspace_variants(&f).is_empty());
+    }
+
+    #[test]
+    fn a04_fires_on_missing_forbid() {
+        let f = src("crates/knds/src/lib.rs", "pub mod engine;\n");
+        assert_eq!(a04_forbid_unsafe(&f).len(), 1);
+        let ok = src("crates/knds/src/lib.rs", "#![forbid(unsafe_code)]\npub mod engine;\n");
+        assert!(a04_forbid_unsafe(&ok).is_empty());
+        let non_root = src("crates/knds/src/engine.rs", "pub fn f() {}\n");
+        assert!(a04_forbid_unsafe(&non_root).is_empty());
+    }
+
+    #[test]
+    fn a05_fires_on_ungated_import() {
+        let f = src("crates/corpus/src/document.rs", "use serde::Serialize;\n");
+        assert_eq!(a05_serde_gated(&f, &BTreeSet::new()).len(), 1);
+    }
+
+    #[test]
+    fn a05_silent_when_gated_or_module_gated() {
+        let gated_use = src(
+            "crates/corpus/src/document.rs",
+            "#[cfg(feature = \"serde\")]\nuse serde::Serialize;\n",
+        );
+        assert!(a05_serde_gated(&gated_use, &BTreeSet::new()).is_empty());
+
+        let lib = src(
+            "crates/ontology/src/lib.rs",
+            "#[cfg(feature = \"serde\")]\npub mod ser;\npub mod graph;\n",
+        );
+        let child = src("crates/ontology/src/ser.rs", "use serde::Serialize;\n");
+        let gated = serde_gated_files(&[lib]);
+        assert!(gated.contains("crates/ontology/src/ser.rs"), "{gated:?}");
+        assert!(a05_serde_gated(&child, &gated).is_empty());
+    }
+
+    #[test]
+    fn a06_fires_on_registry_dep() {
+        let toml = "[package]\nname = \"x\"\n[dependencies]\nserde = \"1\"\nfoo = { path = \"../foo\" }\nbar = { workspace = true }\n";
+        let hits = a06_no_registry_deps("crates/x/Cargo.toml", toml);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("`serde`"));
+    }
+
+    #[test]
+    fn a06_handles_dotted_dep_tables_and_skips_features() {
+        let toml = "[dependencies.good]\npath = \"../good\"\n[dependencies.bad]\nversion = \"2\"\n[features]\nserde = [\"dep:serde\"]\n";
+        let hits = a06_no_registry_deps("crates/x/Cargo.toml", toml);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("`bad`"));
+    }
+}

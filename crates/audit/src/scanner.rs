@@ -1,0 +1,390 @@
+//! A lightweight lexical scanner for Rust sources.
+//!
+//! The lint rules need three things the raw text cannot give them:
+//! a view of the source with comments and string literals blanked out
+//! (so `"panic!"` inside a message never trips A02), byte-accurate
+//! `#[cfg(test)]` region tracking (test code may unwrap freely), and
+//! `#[cfg(feature = "serde")]` item tracking (gated serde imports are
+//! legal). It is a character-level scanner, not a parser: it understands
+//! exactly the token classes the rules query — line and nested block
+//! comments, string/char/raw-string literals versus lifetimes, attribute
+//! spans, and brace-matched item extents — and nothing more.
+
+/// A scanned source file: original text plus derived masks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (`crates/knds/src/engine.rs`).
+    pub rel: String,
+    /// The original text.
+    pub text: String,
+    /// `text` with every comment and literal byte replaced by a space
+    /// (newlines kept), so byte offsets and line numbers still line up.
+    pub code: String,
+    /// Per-byte: inside a `#[cfg(test)]` item (or a file under `tests/`).
+    in_test: Vec<bool>,
+    /// Per-byte: inside a `#[cfg(feature = "serde")]`-gated item.
+    in_serde_gate: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Scans `text` as the contents of `rel`.
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let code = blank_noncode(text);
+        let whole_file_test = rel.contains("/tests/") || rel.starts_with("tests/");
+        let mut file = SourceFile {
+            rel: rel.to_string(),
+            text: text.to_string(),
+            code,
+            in_test: vec![whole_file_test; text.len()],
+            in_serde_gate: vec![false; text.len()],
+        };
+        file.mark_attr_regions();
+        file
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        1 + self.text.as_bytes()[..offset.min(self.text.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+
+    /// Whether the byte at `offset` is inside test-only code.
+    pub fn is_test(&self, offset: usize) -> bool {
+        self.in_test.get(offset).copied().unwrap_or(false)
+    }
+
+    /// Whether the byte at `offset` is inside a serde-gated item.
+    pub fn is_serde_gated(&self, offset: usize) -> bool {
+        self.in_serde_gate.get(offset).copied().unwrap_or(false)
+    }
+
+    /// Byte offsets of every occurrence of `needle` in non-comment,
+    /// non-literal code.
+    pub fn code_matches(&self, needle: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut from = 0;
+        while let Some(at) = self.code[from..].find(needle) {
+            out.push(from + at);
+            from += at + needle.len().max(1);
+        }
+        out
+    }
+
+    /// Finds `#[cfg(...)]`-style attributes and marks the item each one
+    /// governs in the test / serde-gate masks.
+    fn mark_attr_regions(&mut self) {
+        let bytes = self.code.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b'#' && bytes[i + 1] == b'[' {
+                let Some(close) = match_bracket(bytes, i + 1, b'[', b']') else {
+                    break;
+                };
+                // Attribute arguments carry string literals ("serde"),
+                // which the code mask blanks — classify on the original.
+                let attr = &self.text[i..=close];
+                let is_test_cfg = attr.contains("cfg(test)");
+                let is_serde_cfg = (attr.contains("cfg(feature") || attr.contains("cfg_attr"))
+                    && attr.contains("\"serde\"");
+                if is_test_cfg || is_serde_cfg {
+                    if let Some((start, end)) = self.item_after(close + 1) {
+                        for o in start..=end.min(self.in_test.len() - 1) {
+                            if is_test_cfg {
+                                self.in_test[o] = true;
+                            }
+                            if is_serde_cfg {
+                                self.in_serde_gate[o] = true;
+                            }
+                        }
+                    }
+                }
+                i = close + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The extent of the item starting at (or after) `from`: skips
+    /// whitespace and further attributes, then runs to the first `;` seen
+    /// before any brace, or to the matching close of the first `{`.
+    fn item_after(&self, from: usize) -> Option<(usize, usize)> {
+        let bytes = self.code.as_bytes();
+        let mut i = from;
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i + 1 < bytes.len() && bytes[i] == b'#' && bytes[i + 1] == b'[' {
+                i = match_bracket(bytes, i + 1, b'[', b']')? + 1;
+            } else {
+                break;
+            }
+        }
+        let start = i;
+        let mut nest = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' | b'[' => {
+                    nest += 1;
+                    i += 1;
+                }
+                b')' | b']' => {
+                    nest = nest.saturating_sub(1);
+                    i += 1;
+                }
+                b';' if nest == 0 => return Some((start, i)),
+                b'{' if nest == 0 => return Some((start, match_bracket(bytes, i, b'{', b'}')?)),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+}
+
+/// Finds the offset of the bracket closing the one at `open`.
+fn match_bracket(bytes: &[u8], open: usize, ob: u8, cb: u8) -> Option<usize> {
+    debug_assert_eq!(bytes.get(open), Some(&ob));
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == ob {
+            depth += 1;
+        } else if b == cb {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Replaces every comment and literal byte with a space, keeping
+/// newlines, so the result is offset-compatible with the input.
+fn blank_noncode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, lo: usize, hi: usize| {
+        for o in lo..hi.min(out.len()) {
+            if out[o] != b'\n' {
+                out[o] = b' ';
+            }
+        }
+    };
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = text[i..].find('\n').map_or(bytes.len(), |n| i + n);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let end = skip_raw_string(bytes, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    // A lifetime: leave the tick, it cannot confuse rules.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|_| text.to_string())
+}
+
+/// Whether `r"`, `r#"`, `br"`, or `b"`-style literal starts here (and the
+/// `r`/`b` is not the tail of an identifier).
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // `b"..."` without `r` is an escaped byte string; defer to skip_string
+    // by claiming it here only when a quote directly follows.
+    bytes[i] == b'b' && bytes.get(j) == Some(&b'"')
+}
+
+/// End offset (exclusive) of the escaped string starting at `start`
+/// (which may point at `b` of a byte string).
+fn skip_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// End offset (exclusive) of the raw string starting at `start`.
+fn skip_raw_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'r') {
+        i += 1;
+    } else {
+        return skip_string(bytes, start);
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// If a char literal starts at `i`, its end offset (exclusive); `None`
+/// when the tick is a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char: scan to the closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return Some(j + 1),
+                    _ => j += 1,
+                }
+            }
+            Some(bytes.len())
+        }
+        Some(_) if bytes.get(i + 2) == Some(&b'\'') => Some(i + 3),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = \"unwrap()\"; // unwrap()\n/* unwrap() /* nested */ */ let b = 1;",
+        );
+        assert!(f.code_matches("unwrap").is_empty());
+        assert_eq!(f.code_matches("let b").len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_kept() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = r#\"panic!\"#; let c = '\\''; fn f<'a>(x: &'a str) -> &'a str { x }",
+        );
+        assert!(f.code_matches("panic!").is_empty());
+        assert_eq!(f.code_matches("&'a str").len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_are_stable_through_masking() {
+        let f = SourceFile::parse("x.rs", "// one\n// two\nlet x = y.unwrap();\n");
+        let hits = f.code_matches(".unwrap(");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(f.line_of(hits[0]), 3);
+    }
+
+    #[test]
+    fn cfg_test_mod_region_is_marked() {
+        let src =
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let hits = f.code_matches(".unwrap(");
+        assert_eq!(hits.len(), 2);
+        assert!(!f.is_test(hits[0]), "live code is not test");
+        assert!(f.is_test(hits[1]), "mod tests body is test");
+    }
+
+    #[test]
+    fn serde_gate_covers_use_and_mod_items() {
+        let src = "#[cfg(feature = \"serde\")]\nuse serde::Serialize;\n#[cfg(feature = \"serde\")]\nmod gated {\n    use serde::de;\n}\nuse std::fmt;\n";
+        let f = SourceFile::parse("x.rs", src);
+        let hits = f.code_matches("use serde");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|&h| f.is_serde_gated(h)));
+        let std_use = f.code_matches("use std::fmt")[0];
+        assert!(!f.is_serde_gated(std_use));
+    }
+
+    #[test]
+    fn files_under_tests_are_wholly_test() {
+        let f = SourceFile::parse("crates/knds/tests/streaming.rs", "fn x() { y.unwrap(); }");
+        assert!(f.is_test(f.code_matches(".unwrap(")[0]));
+    }
+
+    #[test]
+    fn cfg_attr_serde_derive_gates_nothing_but_itself() {
+        // cfg_attr on a struct marks the struct item as gated — the rule
+        // only consults the mask for `use serde` sites, so this is inert
+        // but must not panic or mis-blank.
+        let src =
+            "#[cfg_attr(feature = \"serde\", derive(Serialize))]\npub struct S;\nuse std::io;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.code_matches("pub struct S").len(), 1);
+        assert!(!f.is_serde_gated(f.code_matches("use std::io")[0]));
+    }
+}

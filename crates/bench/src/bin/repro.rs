@@ -16,6 +16,8 @@
 //! where optima sit — are the reproduction target and are annotated on
 //! each report. EXPERIMENTS.md records a full run.
 
+#![forbid(unsafe_code)]
+
 use cbr_bench::{fmt_duration, Scale, Table, Timing, Workbench};
 use cbr_corpus::CorpusStats;
 use cbr_dradix::{brute, Drc};
@@ -285,7 +287,7 @@ fn fig7(wb: &Workbench) {
             let mut best = (f64::INFINITY, 0.0);
             for &eps in &eps_sweep {
                 let timing = run_knds_rds(wb, coll, &queries, k, eps);
-                if timing.ms() < best.0 {
+                if timing.ms().total_cmp(&best.0).is_lt() {
                     best = (timing.ms(), eps);
                 }
                 cells.push(format!("{:.2} ms", timing.ms()));

@@ -11,6 +11,8 @@
 //! Data files use the tab-separated formats of `cbr_corpus::io`; built
 //! indexes are binary snapshot directories (`cbr_index::SnapshotStore`).
 
+#![forbid(unsafe_code)]
+
 use cbr_corpus::{io as cio, Corpus, CorpusStats, DocId, FilterConfig};
 use cbr_index::SnapshotStore;
 use cbr_knds::KndsConfig;

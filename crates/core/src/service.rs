@@ -155,6 +155,53 @@ mod tests {
     }
 
     #[test]
+    fn pool_never_exceeds_peak_concurrency() {
+        let (shared, q) = shared();
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 5;
+        let barrier = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let s = shared.clone();
+                let q = q.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        // All threads hold a workspace simultaneously, so
+                        // the pool is drained at the barrier and refilled
+                        // after — it can never grow past THREADS.
+                        barrier.wait();
+                        let r = s.rds(&q, 3).unwrap();
+                        assert!(!r.results.is_empty());
+                    }
+                });
+            }
+        });
+        let pooled = shared.pooled_workspaces();
+        assert!(pooled <= THREADS, "pool leaked: {pooled} workspaces for {THREADS} threads");
+        assert!(pooled >= 1, "at least one workspace must have been returned");
+    }
+
+    #[test]
+    fn panicking_query_drops_its_workspace() {
+        let (shared, q) = shared();
+        shared.rds(&q, 3).unwrap();
+        assert_eq!(shared.pooled_workspaces(), 1);
+        // k = 0 trips the kNDS precondition assert while the pooled
+        // workspace is checked out; it must be dropped, not returned dirty.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = shared.rds(&q, 0);
+        }));
+        assert!(panicked.is_err(), "k = 0 must panic");
+        assert_eq!(shared.pooled_workspaces(), 0, "poisoned workspace returned to pool");
+        // Service still healthy: the next query cold-starts a fresh one.
+        let r = shared.rds(&q, 3).unwrap();
+        assert_eq!(r.metrics.workspace_reused, 0, "fresh workspace after poison");
+        assert!(!r.results.is_empty());
+        assert_eq!(shared.pooled_workspaces(), 1);
+    }
+
+    #[test]
     fn with_engine_exposes_reads() {
         let (shared, _q) = shared();
         let n = shared.with_engine(|e| e.ontology().len());

@@ -211,6 +211,14 @@ impl DRadixDag {
             self.insert_address(ont, weights, concept, start, len);
         }
         self.addr_buf = addr_buf;
+        #[cfg(debug_assertions)]
+        {
+            let structure = self.validate_structure();
+            debug_assert!(
+                structure.is_ok(),
+                "D-Radix structural invariant violated: {structure:?}"
+            );
+        }
     }
 
     /// Runs the tuning phase (Algorithm 1 lines 19–27): a bottom-up pass in
@@ -453,12 +461,17 @@ impl DRadixDag {
 
             // Partial overlap: split the edge at the LCP (lines 18–27). The
             // LCP endpoint is a real ontology node, resolved by walking from
-            // cn's concept (the paper's FindNodeByDewey).
-            let mid_concept = resolve_relative(
+            // cn's concept (the paper's FindNodeByDewey). A failed walk means
+            // the label arena is corrupt; skip the insertion rather than
+            // panic (debug builds flag it via the structural validator).
+            let Some(mid_concept) = resolve_relative(
                 ont,
                 self.nodes[cn as usize].concept,
                 &self.labels[vs as usize..(vs + lcp) as usize],
-            );
+            ) else {
+                debug_assert!(false, "edge labels must be valid ontology paths");
+                return;
+            };
             self.remove_edge(cn, idx);
             let mid = self.slot_for(mid_concept);
             let w = self.price(ont, weights, cn, vs, lcp);
@@ -545,13 +558,450 @@ impl DRadixDag {
     }
 }
 
-/// Walks `comps` child ordinals down from `from`, returning the endpoint.
-fn resolve_relative(ont: &Ontology, from: ConceptId, comps: &[u32]) -> ConceptId {
+/// Walks `comps` child ordinals down from `from`, returning the endpoint,
+/// or `None` if some component does not name a child (corrupt label).
+fn resolve_relative(ont: &Ontology, from: ConceptId, comps: &[u32]) -> Option<ConceptId> {
     let mut cur = from;
     for &comp in comps {
-        cur = ont.child_at(cur, comp).expect("edge labels are valid ontology paths");
+        cur = ont.child_at(cur, comp)?;
     }
-    cur
+    Some(cur)
+}
+
+/// A violated D-Radix invariant, reported by
+/// [`DRadixDag::validate_structure`], [`DRadixDag::validate_tuned`], and
+/// [`DRadixDag::spot_check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagViolation {
+    /// `by_concept` and the live node arena disagree about `concept`.
+    ConceptMapMismatch {
+        /// The concept whose map entry and arena slot diverge.
+        concept: ConceptId,
+    },
+    /// An edge of `from` points outside the live arena or its label range
+    /// escapes the label arena.
+    EdgeOutOfBounds {
+        /// The edge's source concept.
+        from: ConceptId,
+    },
+    /// A node's stored indegree differs from its actual incoming edges.
+    IndegreeMismatch {
+        /// The affected concept.
+        concept: ConceptId,
+        /// The cached count on the node.
+        stored: u32,
+        /// The count recomputed from the edges.
+        actual: u32,
+    },
+    /// Two edges of one node share the same leading Dewey component.
+    DuplicateLeadingComponent {
+        /// The branching concept.
+        concept: ConceptId,
+        /// The shared leading component.
+        component: u32,
+    },
+    /// The radix edges contain a cycle.
+    Cycle,
+    /// A non-member, non-root node with one parent and one child: path
+    /// compression (Definition 3) should have elided it.
+    UncompressedChain {
+        /// The chain concept that should not be materialized.
+        concept: ConceptId,
+    },
+    /// A non-root node with no incoming edge (unreachable from the root).
+    Unreachable {
+        /// The orphaned concept.
+        concept: ConceptId,
+    },
+    /// A `d ∪ q` member concept whose distance on its own side is not zero.
+    MemberDistanceNotZero {
+        /// The member concept.
+        concept: ConceptId,
+        /// `true` for the document side, `false` for the query side.
+        doc_side: bool,
+        /// The observed distance.
+        dist: u32,
+    },
+    /// A `d ∪ q` member concept with no materialized node.
+    MemberMissing {
+        /// The missing concept.
+        concept: ConceptId,
+    },
+    /// An edge violating the downward Equation 4 fixpoint: a child's
+    /// nearest-distance may exceed its parent's by at most the edge weight
+    /// (any valid ∧-shaped path extends by a descent).
+    MonotonicityViolation {
+        /// The edge's source concept.
+        parent: ConceptId,
+        /// The edge's target concept.
+        child: ConceptId,
+        /// `true` for the document side, `false` for the query side.
+        doc_side: bool,
+    },
+    /// A stored tuned distance differing from an independent re-run of the
+    /// bottom-up + top-down relaxation passes over the same structure.
+    TuneMismatch {
+        /// The affected concept.
+        concept: ConceptId,
+        /// `true` for the document side, `false` for the query side.
+        doc_side: bool,
+        /// The distance stored on the node.
+        stored: u32,
+        /// The re-derived distance.
+        expected: u32,
+    },
+    /// A tuned distance disagreeing with the brute-force Rada oracle.
+    DistanceMismatch {
+        /// The probed concept.
+        concept: ConceptId,
+        /// `true` for the document side, `false` for the query side.
+        doc_side: bool,
+        /// The distance read off the tuned DAG.
+        tuned: u32,
+        /// The distance recomputed by [`crate::brute`].
+        brute: u32,
+    },
+}
+
+fn violations(v: Vec<DagViolation>) -> Result<(), Vec<DagViolation>> {
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v)
+    }
+}
+
+impl DRadixDag {
+    /// Checks every structural invariant of the current build: the
+    /// concept-map/arena bijection, edge and label bounds, cached
+    /// indegrees, the one-edge-per-leading-component radix rule,
+    /// acyclicity, reachability, path compression (no materialized
+    /// non-member chain nodes), and member-distance zeroing. Valid both
+    /// before and after [`tune`](Self::tune).
+    pub fn validate_structure(&self) -> Result<(), Vec<DagViolation>> {
+        let mut v = Vec::new();
+        // Bijection between by_concept and the live arena prefix.
+        if self.by_concept.len() != self.live {
+            v.push(DagViolation::ConceptMapMismatch { concept: ConceptId(u32::MAX) });
+        }
+        for (i, n) in self.active().iter().enumerate() {
+            if self.by_concept.get(&n.concept).copied() != Some(i as u32) {
+                v.push(DagViolation::ConceptMapMismatch { concept: n.concept });
+            }
+        }
+        // Edge targets and label ranges in bounds; recomputed indegrees.
+        let mut incoming = vec![0u32; self.live];
+        for n in self.active() {
+            for e in &n.edges {
+                let label_end = (e.start as usize).saturating_add(e.len as usize);
+                if (e.target as usize) >= self.live || label_end > self.labels.len() || e.len == 0 {
+                    v.push(DagViolation::EdgeOutOfBounds { from: n.concept });
+                    continue;
+                }
+                if let Some(slot) = incoming.get_mut(e.target as usize) {
+                    *slot += 1;
+                }
+            }
+            // One edge per leading Dewey component.
+            for (i, a) in n.edges.iter().enumerate() {
+                let lead = self.labels.get(a.start as usize);
+                for b in n.edges.iter().skip(i + 1) {
+                    if lead.is_some() && lead == self.labels.get(b.start as usize) {
+                        v.push(DagViolation::DuplicateLeadingComponent {
+                            concept: n.concept,
+                            component: lead.copied().unwrap_or(0),
+                        });
+                    }
+                }
+            }
+        }
+        for (i, (n, &actual)) in self.active().iter().zip(incoming.iter()).enumerate() {
+            if n.indegree != actual {
+                v.push(DagViolation::IndegreeMismatch {
+                    concept: n.concept,
+                    stored: n.indegree,
+                    actual,
+                });
+            }
+            if i != 0 && actual == 0 {
+                v.push(DagViolation::Unreachable { concept: n.concept });
+            }
+            // Path compression: a non-member interior node exists only as a
+            // branch or merge point, so it has ≥ 2 children or ≥ 2 parents.
+            let member = self.in_doc.contains(&n.concept) || self.in_query.contains(&n.concept);
+            if i != 0 && !member && actual <= 1 && n.edges.len() <= 1 {
+                v.push(DagViolation::UncompressedChain { concept: n.concept });
+            }
+        }
+        // Acyclicity via a local Kahn pass over the recomputed indegrees.
+        let mut queue: VecDeque<u32> =
+            incoming.iter().enumerate().filter(|&(_, &d)| d == 0).map(|(i, _)| i as u32).collect();
+        let mut seen = 0usize;
+        while let Some(n) = queue.pop_front() {
+            seen += 1;
+            if let Some(node) = self.nodes.get(n as usize) {
+                for e in &node.edges {
+                    if let Some(slot) = incoming.get_mut(e.target as usize) {
+                        *slot -= 1;
+                        if *slot == 0 {
+                            queue.push_back(e.target);
+                        }
+                    }
+                }
+            }
+        }
+        if seen != self.live {
+            v.push(DagViolation::Cycle);
+        }
+        // Members materialize with distance 0 on their own side (tuning
+        // only relaxes downward, so this holds before and after tune).
+        self.check_members(&mut v);
+        violations(v)
+    }
+
+    /// Pushes a violation for every member concept that is missing or whose
+    /// own-side distance is nonzero.
+    fn check_members(&self, v: &mut Vec<DagViolation>) {
+        for (set, doc_side) in [(&self.in_doc, true), (&self.in_query, false)] {
+            for &c in set.iter() {
+                let dist = if doc_side { self.doc_distance(c) } else { self.query_distance(c) };
+                match dist {
+                    None => v.push(DagViolation::MemberMissing { concept: c }),
+                    Some(0) => {}
+                    Some(dist) => {
+                        v.push(DagViolation::MemberDistanceNotZero { concept: c, doc_side, dist })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks the invariants a tuned DAG must satisfy: the downward
+    /// Equation 4 fixpoint (`dist(child) ≤ dist(parent) + w` on both
+    /// sides — descending never breaks a valid ∧-shaped path; the upward
+    /// direction does *not* hold, ascending after a descent is invalid),
+    /// member distances pinned at zero, and agreement with an independent
+    /// re-run of the bottom-up + top-down relaxation passes. Only
+    /// meaningful after [`tune`](Self::tune).
+    pub fn validate_tuned(&self) -> Result<(), Vec<DagViolation>> {
+        let mut v = Vec::new();
+        for n in self.active() {
+            for e in &n.edges {
+                let Some(child) = self.nodes.get(e.target as usize) else {
+                    v.push(DagViolation::EdgeOutOfBounds { from: n.concept });
+                    continue;
+                };
+                for (doc_side, u, c) in
+                    [(true, n.doc_dist, child.doc_dist), (false, n.query_dist, child.query_dist)]
+                {
+                    if c > u.saturating_add(e.weight) {
+                        v.push(DagViolation::MonotonicityViolation {
+                            parent: n.concept,
+                            child: child.concept,
+                            doc_side,
+                        });
+                    }
+                }
+            }
+        }
+        self.check_members(&mut v);
+        self.check_retuned(&mut v);
+        violations(v)
+    }
+
+    /// Re-runs both relaxation passes into local buffers and compares the
+    /// results against the stored distances.
+    fn check_retuned(&self, v: &mut Vec<DagViolation>) {
+        let live = self.live;
+        // Re-derive the topological order locally (no scratch mutation).
+        let mut indegree = vec![0u32; live];
+        for n in self.active() {
+            for e in &n.edges {
+                if let Some(slot) = indegree.get_mut(e.target as usize) {
+                    *slot += 1;
+                }
+            }
+        }
+        let mut queue: VecDeque<u32> =
+            indegree.iter().enumerate().filter(|&(_, &d)| d == 0).map(|(i, _)| i as u32).collect();
+        let mut order: Vec<u32> = Vec::with_capacity(live);
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            if let Some(node) = self.nodes.get(n as usize) {
+                for e in &node.edges {
+                    if let Some(slot) = indegree.get_mut(e.target as usize) {
+                        *slot -= 1;
+                        if *slot == 0 {
+                            queue.push_back(e.target);
+                        }
+                    }
+                }
+            }
+        }
+        if order.len() != live {
+            return; // cyclic: validate_structure reports it
+        }
+        let mut dd: Vec<u32> = Vec::with_capacity(live);
+        let mut qd: Vec<u32> = Vec::with_capacity(live);
+        for n in self.active() {
+            dd.push(if self.in_doc.contains(&n.concept) { 0 } else { UNSET });
+            qd.push(if self.in_query.contains(&n.concept) { 0 } else { UNSET });
+        }
+        for &n in order.iter().rev() {
+            let (mut d, mut q) = (dd[n as usize], qd[n as usize]);
+            for e in &self.nodes[n as usize].edges {
+                d = d.min(dd[e.target as usize].saturating_add(e.weight));
+                q = q.min(qd[e.target as usize].saturating_add(e.weight));
+            }
+            dd[n as usize] = d;
+            qd[n as usize] = q;
+        }
+        for &n in &order {
+            let (d, q) = (dd[n as usize], qd[n as usize]);
+            for e in &self.nodes[n as usize].edges {
+                let t = e.target as usize;
+                dd[t] = dd[t].min(d.saturating_add(e.weight));
+                qd[t] = qd[t].min(q.saturating_add(e.weight));
+            }
+        }
+        for (i, n) in self.active().iter().enumerate() {
+            for (doc_side, stored, expected) in
+                [(true, n.doc_dist, dd[i]), (false, n.query_dist, qd[i])]
+            {
+                if stored != expected {
+                    v.push(DagViolation::TuneMismatch {
+                        concept: n.concept,
+                        doc_side,
+                        stored,
+                        expected,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Compares up to `cap` tuned nearest-distances per side against the
+    /// brute-force Rada oracle ([`crate::brute`]). Only valid for
+    /// unit-weight builds after [`tune`](Self::tune).
+    pub fn spot_check(
+        &self,
+        ont: &Ontology,
+        doc: &[ConceptId],
+        query: &[ConceptId],
+        cap: usize,
+    ) -> Result<(), Vec<DagViolation>> {
+        let paths = ont.path_table();
+        let mut v = Vec::new();
+        for &qc in query.iter().take(cap) {
+            let brute = crate::brute::document_concept_distance(paths, doc, qc);
+            match self.doc_distance(qc) {
+                None => v.push(DagViolation::MemberMissing { concept: qc }),
+                Some(tuned) if tuned != brute => v.push(DagViolation::DistanceMismatch {
+                    concept: qc,
+                    doc_side: true,
+                    tuned,
+                    brute,
+                }),
+                _ => {}
+            }
+        }
+        for &dc in doc.iter().take(cap) {
+            let brute = crate::brute::document_concept_distance(paths, query, dc);
+            match self.query_distance(dc) {
+                None => v.push(DagViolation::MemberMissing { concept: dc }),
+                Some(tuned) if tuned != brute => v.push(DagViolation::DistanceMismatch {
+                    concept: dc,
+                    doc_side: false,
+                    tuned,
+                    brute,
+                }),
+                _ => {}
+            }
+        }
+        violations(v)
+    }
+
+    /// The full invariant suite for a tuned unit-weight build: structure,
+    /// tuning fixpoint, and a full brute-force distance cross-check over
+    /// every member concept.
+    pub fn validate(
+        &self,
+        ont: &Ontology,
+        doc: &[ConceptId],
+        query: &[ConceptId],
+    ) -> Result<(), Vec<DagViolation>> {
+        let mut v = Vec::new();
+        if let Err(e) = self.validate_structure() {
+            v.extend(e);
+        }
+        if let Err(e) = self.validate_tuned() {
+            v.extend(e);
+        }
+        if let Err(e) = self.spot_check(ont, doc, query, usize::MAX) {
+            v.extend(e);
+        }
+        violations(v)
+    }
+
+    /// Test-only corruption: bumps one finite, edge-adjacent distance by
+    /// one, breaking member zeroing or the Equation 4 fixpoint. Returns
+    /// whether a corruptible node was found.
+    #[doc(hidden)]
+    pub fn corrupt_inflate_distance(&mut self) -> bool {
+        for n in 0..self.live {
+            let Some(node) = self.nodes.get_mut(n) else {
+                return false;
+            };
+            if (node.indegree > 0 || !node.edges.is_empty()) && node.doc_dist != UNSET {
+                node.doc_dist = node.doc_dist.saturating_add(1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Test-only corruption: re-materializes the first elidable chain node
+    /// (a non-member interior concept under a multi-component edge),
+    /// breaking path compression. Returns whether such an edge existed.
+    #[doc(hidden)]
+    pub fn corrupt_break_compression(&mut self, ont: &Ontology) -> bool {
+        for n in 0..self.live as u32 {
+            let Some(node) = self.nodes.get(n as usize) else {
+                return false;
+            };
+            let from_concept = node.concept;
+            for idx in 0..node.edges.len() {
+                let Some(&e) = self.nodes.get(n as usize).and_then(|nd| nd.edges.get(idx)) else {
+                    continue;
+                };
+                if e.len < 2 {
+                    continue;
+                }
+                let lead = &self.labels[e.start as usize..e.start as usize + 1];
+                let Some(mid) = resolve_relative(ont, from_concept, lead) else {
+                    continue;
+                };
+                if self.by_concept.contains_key(&mid)
+                    || self.in_doc.contains(&mid)
+                    || self.in_query.contains(&mid)
+                {
+                    continue;
+                }
+                self.remove_edge(n, idx);
+                let m = self.slot_for(mid);
+                self.add_edge(n, m, e.start, 1, 1);
+                self.add_edge(
+                    m,
+                    e.target,
+                    e.start + 1,
+                    e.len - 1,
+                    e.weight.saturating_sub(1).max(1),
+                );
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,17 @@ impl<'a> Drc<'a> {
             Some(w) => dag.build_weighted_into(self.ontology, doc, query, w),
         }
         dag.tune();
+        #[cfg(debug_assertions)]
+        {
+            let tuned = dag.validate_tuned();
+            debug_assert!(tuned.is_ok(), "D-Radix tuning invariant violated: {tuned:?}");
+            if self.weights.is_none() {
+                // Unit-weight probes admit a cheap oracle: compare a few
+                // tuned distances against the brute-force Rada walk.
+                let spot = dag.spot_check(self.ontology, doc, query, 2);
+                debug_assert!(spot.is_ok(), "D-Radix distance spot-check failed: {spot:?}");
+            }
+        }
         dag
     }
 
@@ -124,7 +135,13 @@ impl<'a> Drc<'a> {
         let dag = self.probe(doc, query);
         let mut sum = 0u64;
         for &qi in query {
-            let d = dag.doc_distance(qi).expect("query concepts are materialized in the DAG");
+            // Every query concept is materialized by construction; a miss
+            // means a corrupt DAG (caught by the debug validators), so the
+            // release path degrades to "infinitely far" instead of panicking.
+            let Some(d) = dag.doc_distance(qi) else {
+                debug_assert!(false, "query concept {qi:?} missing from the DAG");
+                return crate::INFINITE;
+            };
             debug_assert_ne!(d, u32::MAX, "single-rooted ontology has finite distances");
             sum += d as u64;
         }
@@ -174,19 +191,28 @@ impl<'a> Drc<'a> {
         // Build one DAG treating d1 as the "document" and d2 as the
         // "query"; both directions read off the same tuned structure.
         let dag = self.probe(d1, d2);
-        let w = |c: ConceptId| weights.map_or(1.0, |ws| ws[c.index()]);
+        let w = |c: ConceptId| weights.map_or(1.0, |ws| ws.get(c.index()).copied().unwrap_or(1.0));
 
+        // Member concepts are materialized by construction; a miss means a
+        // corrupt DAG (caught by the debug validators), so the release path
+        // degrades to "infinitely far" instead of panicking.
         let mut sum_d2 = 0.0; // Σ_{c ∈ d2} Ddc(d1, c) — distances from d1 side
         let mut norm_d2 = 0.0;
         for &c in d2 {
-            let d = dag.doc_distance(c).expect("d2 concepts are in the DAG");
+            let Some(d) = dag.doc_distance(c) else {
+                debug_assert!(false, "d2 concept {c:?} missing from the DAG");
+                return f64::INFINITY;
+            };
             sum_d2 += w(c) * d as f64;
             norm_d2 += w(c);
         }
         let mut sum_d1 = 0.0; // Σ_{c ∈ d1} Ddc(d2, c) — distances from d2 side
         let mut norm_d1 = 0.0;
         for &c in d1 {
-            let d = dag.query_distance(c).expect("d1 concepts are in the DAG");
+            let Some(d) = dag.query_distance(c) else {
+                debug_assert!(false, "d1 concept {c:?} missing from the DAG");
+                return f64::INFINITY;
+            };
             sum_d1 += w(c) * d as f64;
             norm_d1 += w(c);
         }

@@ -40,7 +40,7 @@ pub mod brute;
 pub mod dag;
 pub mod drc;
 
-pub use dag::{DRadixDag, DagStats};
+pub use dag::{DRadixDag, DagStats, DagViolation};
 pub use drc::{DagScratch, Drc};
 
 /// Sentinel for "distance not defined" (empty document or query in a

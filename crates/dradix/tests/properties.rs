@@ -1,0 +1,80 @@
+//! Property-based tests for the D-Radix DAG invariant suite.
+//!
+//! Random ontologies come from proptest-chosen seeds through the
+//! deterministic generator; document and query concept sets are sampled
+//! from them. The properties pin down two claims the audit layer makes:
+//! `validate()` accepts every honestly built+tuned DAG, and the
+//! corruption injectors it uses to prove non-vacuity are in fact caught.
+
+use cbr_dradix::DRadixDag;
+use cbr_ontology::{ConceptId, GeneratorConfig, Ontology, OntologyGenerator};
+use proptest::prelude::*;
+
+fn ontology(seed: u64, n: usize) -> Ontology {
+    OntologyGenerator::new(GeneratorConfig::small(n).with_seed(seed)).generate()
+}
+
+fn pick_concepts(ont: &Ontology, picks: &[u32]) -> Vec<ConceptId> {
+    let mut v: Vec<ConceptId> = picks.iter().map(|&p| ConceptId(p % ont.len() as u32)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any honestly built and tuned DAG passes the full validator:
+    /// structure (path compression, arena links), the downward tuning
+    /// fixpoint, and a brute-force distance cross-check of every member.
+    #[test]
+    fn tuned_dag_validates(
+        seed in 0u64..500,
+        doc_picks in prop::collection::vec(0u32..10_000, 1..8),
+        query_picks in prop::collection::vec(0u32..10_000, 1..5),
+    ) {
+        let ont = ontology(seed, 80);
+        let doc = pick_concepts(&ont, &doc_picks);
+        let query = pick_concepts(&ont, &query_picks);
+        let mut dag = DRadixDag::build(&ont, &doc, &query);
+        dag.tune();
+        let verdict = dag.validate(&ont, &doc, &query);
+        prop_assert!(verdict.is_ok(), "violations: {:?}", verdict);
+    }
+
+    /// An inflated member distance never slips past `validate()`: whenever
+    /// the injector finds a corruptible node, the validator must object.
+    #[test]
+    fn inflated_distance_is_caught(
+        seed in 0u64..500,
+        doc_picks in prop::collection::vec(0u32..10_000, 1..8),
+        query_picks in prop::collection::vec(0u32..10_000, 1..5),
+    ) {
+        let ont = ontology(seed, 80);
+        let doc = pick_concepts(&ont, &doc_picks);
+        let query = pick_concepts(&ont, &query_picks);
+        let mut dag = DRadixDag::build(&ont, &doc, &query);
+        dag.tune();
+        if dag.corrupt_inflate_distance() {
+            prop_assert!(dag.validate(&ont, &doc, &query).is_err());
+        }
+    }
+
+    /// A re-materialized chain node (broken path compression) never slips
+    /// past `validate_structure()`.
+    #[test]
+    fn broken_compression_is_caught(
+        seed in 0u64..500,
+        doc_picks in prop::collection::vec(0u32..10_000, 1..8),
+        query_picks in prop::collection::vec(0u32..10_000, 1..5),
+    ) {
+        let ont = ontology(seed, 80);
+        let doc = pick_concepts(&ont, &doc_picks);
+        let query = pick_concepts(&ont, &query_picks);
+        let mut dag = DRadixDag::build(&ont, &doc, &query);
+        dag.tune();
+        if dag.corrupt_break_compression(&ont) {
+            prop_assert!(dag.validate_structure().is_err());
+        }
+    }
+}

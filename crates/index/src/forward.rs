@@ -52,6 +52,13 @@ impl ForwardIndex {
     pub(crate) fn parts(&self) -> (&[u32], &[ConceptId]) {
         (&self.offsets, &self.concepts)
     }
+
+    /// Swaps the first two stored concepts so validator tests can prove
+    /// that an unsorted concept set is detected.
+    #[cfg(test)]
+    pub(crate) fn corrupt_order_for_tests(&mut self) {
+        self.concepts.swap(0, 1);
+    }
 }
 
 #[cfg(test)]

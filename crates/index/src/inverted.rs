@@ -85,6 +85,15 @@ impl InvertedIndex {
     pub(crate) fn parts(&self) -> (&[u32], &[DocId]) {
         (&self.offsets, &self.docs)
     }
+
+    /// Rewrites the first posting to a document outside the forward index
+    /// so validator tests can prove cross-consistency detection.
+    #[cfg(test)]
+    pub(crate) fn corrupt_posting_for_tests(&mut self, doc: DocId) {
+        if let Some(slot) = self.docs.first_mut() {
+            *slot = doc;
+        }
+    }
 }
 
 #[cfg(test)]

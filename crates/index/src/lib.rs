@@ -24,9 +24,9 @@ pub mod compress;
 pub mod file;
 pub mod forward;
 pub mod inverted;
-#[cfg(feature = "serde")]
 pub mod snapshot;
 pub mod source;
+pub mod validate;
 
 pub use compress::{CompressedPostings, CompressedSource};
 pub use file::FileSource;
@@ -35,3 +35,4 @@ pub use inverted::InvertedIndex;
 #[cfg(feature = "serde")]
 pub use snapshot::SnapshotStore;
 pub use source::{IndexSource, MemorySource};
+pub use validate::{validate_pair, IndexViolation};

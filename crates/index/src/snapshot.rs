@@ -5,92 +5,177 @@
 //! harness persist and reload them between runs, playing the role of the
 //! paper's MySQL-loaded index tables. Values are encoded with the
 //! workspace's binary codec ([`cbr_ontology::ser`]) and framed with a magic
-//! header so a wrong-type load fails loudly instead of misdecoding.
+//! header — magic, body length, and an `FxHash` checksum of the body — so
+//! a wrong-type load or a flipped bit fails loudly instead of misdecoding.
+//!
+//! The frame layer ([`encode_frame`] / [`decode_frame`]) is independent of
+//! the codec and compiles without the `serde` feature, so the `cbr-audit`
+//! invariant runner can exercise round-trip hashing in default builds;
+//! [`SnapshotStore`] itself needs `serde`.
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
-use std::fs;
-use std::io::{self, Write};
-use std::path::{Path, PathBuf};
+use std::hash::Hasher;
+use std::io;
 
-const MAGIC: &[u8; 8] = b"CBRSNAP1";
+const MAGIC: &[u8; 8] = b"CBRSNAP2";
+/// Header layout: magic (8) + body length (8) + body checksum (8).
+const HEADER_LEN: usize = 24;
 
-/// A directory of named binary snapshots.
-#[derive(Debug, Clone)]
-pub struct SnapshotStore {
-    dir: PathBuf,
+fn checksum(body: &[u8]) -> u64 {
+    let mut h = cbr_ontology::hash::FxHasher::default();
+    h.write(body);
+    h.finish()
 }
 
-impl SnapshotStore {
-    /// Opens (creating if needed) a snapshot directory.
-    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
-        let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(SnapshotStore { dir })
+/// Frames `body` with the snapshot header: magic, length, and checksum.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Validates a snapshot frame and returns the body it carries. Fails with
+/// `InvalidData` on a bad magic, a truncated payload, or a checksum
+/// mismatch — every corruption class a round-trip can detect.
+pub fn decode_frame(raw: &[u8]) -> io::Result<&[u8]> {
+    if raw.len() < HEADER_LEN || raw.get(..8) != Some(MAGIC.as_slice()) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot header"));
+    }
+    let word = |at: usize| {
+        raw.get(at..at + 8)
+            .and_then(|b| b.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad snapshot header"))
+    };
+    let len = word(8)? as usize;
+    let expected = word(16)?;
+    let body = raw
+        .get(HEADER_LEN..HEADER_LEN.saturating_add(len))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "snapshot truncated"))?;
+    if checksum(body) != expected {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "snapshot checksum mismatch"));
+    }
+    Ok(body)
+}
+
+#[cfg(feature = "serde")]
+mod store {
+    use super::{decode_frame, encode_frame};
+    use serde::de::DeserializeOwned;
+    use serde::Serialize;
+    use std::fs;
+    use std::io::{self, Write};
+    use std::path::{Path, PathBuf};
+
+    /// A directory of named binary snapshots.
+    #[derive(Debug, Clone)]
+    pub struct SnapshotStore {
+        dir: PathBuf,
     }
 
-    /// The directory backing this store.
-    pub fn dir(&self) -> &Path {
-        &self.dir
-    }
-
-    fn path(&self, name: &str) -> PathBuf {
-        self.dir.join(format!("{name}.snap"))
-    }
-
-    /// Whether a snapshot named `name` exists.
-    pub fn contains(&self, name: &str) -> bool {
-        self.path(name).is_file()
-    }
-
-    /// Serializes `value` under `name`, replacing any previous snapshot.
-    pub fn save<T: Serialize>(&self, name: &str, value: &T) -> io::Result<()> {
-        let body = cbr_ontology::ser::to_tokens(value)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let tmp = self.path(&format!("{name}.tmp"));
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(MAGIC)?;
-            f.write_all(&(body.len() as u64).to_le_bytes())?;
-            f.write_all(&body)?;
-            f.sync_all()?;
+    impl SnapshotStore {
+        /// Opens (creating if needed) a snapshot directory.
+        pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
+            let dir = dir.into();
+            fs::create_dir_all(&dir)?;
+            Ok(SnapshotStore { dir })
         }
-        fs::rename(&tmp, self.path(name))
-    }
 
-    /// Loads and decodes the snapshot `name` as a `T`.
-    pub fn load<T: DeserializeOwned>(&self, name: &str) -> io::Result<T> {
-        let raw = fs::read(self.path(name))?;
-        if raw.len() < 16 || &raw[..8] != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot header"));
+        /// The directory backing this store.
+        pub fn dir(&self) -> &Path {
+            &self.dir
         }
-        let len = u64::from_le_bytes(raw[8..16].try_into().unwrap()) as usize;
-        let body = raw
-            .get(16..16 + len)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "snapshot truncated"))?;
-        cbr_ontology::ser::from_tokens(body)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
-    }
 
-    /// Names of all snapshots in the store.
-    pub fn list(&self) -> io::Result<Vec<String>> {
-        let mut names = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            if let Some(name) = entry.file_name().to_str().and_then(|n| n.strip_suffix(".snap")) {
-                names.push(name.to_string());
+        fn path(&self, name: &str) -> PathBuf {
+            self.dir.join(format!("{name}.snap"))
+        }
+
+        /// Whether a snapshot named `name` exists.
+        pub fn contains(&self, name: &str) -> bool {
+            self.path(name).is_file()
+        }
+
+        /// Serializes `value` under `name`, replacing any previous snapshot.
+        pub fn save<T: Serialize>(&self, name: &str, value: &T) -> io::Result<()> {
+            let body = cbr_ontology::ser::to_tokens(value)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let tmp = self.path(&format!("{name}.tmp"));
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(&encode_frame(&body))?;
+                f.sync_all()?;
             }
+            fs::rename(&tmp, self.path(name))
         }
-        names.sort();
-        Ok(names)
+
+        /// Loads and decodes the snapshot `name` as a `T`.
+        pub fn load<T: DeserializeOwned>(&self, name: &str) -> io::Result<T> {
+            let raw = fs::read(self.path(name))?;
+            let body = decode_frame(&raw)?;
+            cbr_ontology::ser::from_tokens(body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        }
+
+        /// Names of all snapshots in the store.
+        pub fn list(&self) -> io::Result<Vec<String>> {
+            let mut names = Vec::new();
+            for entry in fs::read_dir(&self.dir)? {
+                let entry = entry?;
+                if let Some(name) = entry.file_name().to_str().and_then(|n| n.strip_suffix(".snap"))
+                {
+                    names.push(name.to_string());
+                }
+            }
+            names.sort();
+            Ok(names)
+        }
     }
 }
+
+#[cfg(feature = "serde")]
+pub use store::SnapshotStore;
 
 #[cfg(test)]
+mod frame_tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let body = b"the quick brown fox";
+        let framed = encode_frame(body);
+        assert_eq!(decode_frame(&framed).unwrap(), body);
+        assert_eq!(decode_frame(&encode_frame(&[])).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn flipped_body_bit_fails_checksum() {
+        let mut framed = encode_frame(b"payload");
+        let last = framed.len() - 1;
+        framed[last] ^= 0x01;
+        let err = decode_frame(&framed).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn garbage_and_truncation_fail_loudly() {
+        assert!(decode_frame(b"garbage").is_err());
+        let framed = encode_frame(b"payload");
+        assert!(decode_frame(&framed[..framed.len() - 1]).is_err());
+        let mut wrong_magic = framed.clone();
+        wrong_magic[7] = b'9';
+        assert!(decode_frame(&wrong_magic).is_err());
+    }
+}
+
+#[cfg(all(test, feature = "serde"))]
 mod tests {
     use super::*;
     use cbr_corpus::Corpus;
     use cbr_ontology::ConceptId;
+    use std::fs;
 
     fn store(tag: &str) -> SnapshotStore {
         let dir = std::env::temp_dir().join(format!("cbr-snap-{}-{tag}", std::process::id()));
@@ -124,7 +209,7 @@ mod tests {
         let s = store("corrupt");
         fs::write(s.dir().join("x.snap"), b"garbage").unwrap();
         let err = s.load::<u32>("x").unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         fs::remove_dir_all(s.dir()).unwrap();
     }
 

@@ -55,6 +55,11 @@ impl MemorySource {
             forward.num_docs(),
             "inverted and forward indexes cover different corpora"
         );
+        #[cfg(debug_assertions)]
+        {
+            let checked = crate::validate::validate_pair(&forward, &inverted);
+            debug_assert!(checked.is_ok(), "index pair cross-consistency violated: {checked:?}");
+        }
         MemorySource { inverted, forward }
     }
 

@@ -103,10 +103,14 @@ impl Candidate {
     #[inline]
     pub(crate) fn cover(&mut self, origin: u32, level: u32) -> bool {
         let (word, bit) = ((origin / 64) as usize, origin % 64);
-        if self.covered_bits[word] & (1 << bit) != 0 {
+        debug_assert!(word < self.covered_bits.len(), "origin out of range");
+        let Some(w) = self.covered_bits.get_mut(word) else {
+            return false;
+        };
+        if *w & (1 << bit) != 0 {
             return false;
         }
-        self.covered_bits[word] |= 1 << bit;
+        *w |= 1 << bit;
         self.covered += 1;
         self.partial += level as u64;
         true
@@ -221,6 +225,18 @@ impl<'a, S: IndexSource> Knds<'a, S> {
         self.run_hooked(&mut ws, Kind::Rds, query, k, Some(Box::new(on_final)), None)
     }
 
+    /// [`Knds::rds_streaming`] over a caller-owned workspace; see
+    /// [`Knds::rds_with`] for the reuse contract.
+    pub fn rds_streaming_with(
+        &self,
+        ws: &mut KndsWorkspace,
+        query: &[ConceptId],
+        k: usize,
+        on_final: impl FnMut(RankedDoc),
+    ) -> QueryResult {
+        self.run_hooked(ws, Kind::Rds, query, k, Some(Box::new(on_final)), None)
+    }
+
     /// SDS with progressive emission; see [`Knds::rds_streaming`].
     pub fn sds_streaming(
         &self,
@@ -230,6 +246,18 @@ impl<'a, S: IndexSource> Knds<'a, S> {
     ) -> QueryResult {
         let mut ws = KndsWorkspace::new();
         self.run_hooked(&mut ws, Kind::Sds, query_doc, k, Some(Box::new(on_final)), None)
+    }
+
+    /// [`Knds::sds_streaming`] over a caller-owned workspace; see
+    /// [`Knds::rds_with`] for the reuse contract.
+    pub fn sds_streaming_with(
+        &self,
+        ws: &mut KndsWorkspace,
+        query_doc: &[ConceptId],
+        k: usize,
+        on_final: impl FnMut(RankedDoc),
+    ) -> QueryResult {
+        self.run_hooked(ws, Kind::Sds, query_doc, k, Some(Box::new(on_final)), None)
     }
 
     /// RDS with a [`TraceEvent`](crate::trace::TraceEvent) stream — the
@@ -245,6 +273,18 @@ impl<'a, S: IndexSource> Knds<'a, S> {
         self.run_hooked(&mut ws, Kind::Rds, query, k, None, Some(Box::new(on_trace)))
     }
 
+    /// [`Knds::rds_traced`] over a caller-owned workspace; see
+    /// [`Knds::rds_with`] for the reuse contract.
+    pub fn rds_traced_with(
+        &self,
+        ws: &mut KndsWorkspace,
+        query: &[ConceptId],
+        k: usize,
+        on_trace: impl FnMut(crate::trace::TraceEvent),
+    ) -> QueryResult {
+        self.run_hooked(ws, Kind::Rds, query, k, None, Some(Box::new(on_trace)))
+    }
+
     /// SDS with a trace stream; see [`Knds::rds_traced`].
     pub fn sds_traced(
         &self,
@@ -254,6 +294,18 @@ impl<'a, S: IndexSource> Knds<'a, S> {
     ) -> QueryResult {
         let mut ws = KndsWorkspace::new();
         self.run_hooked(&mut ws, Kind::Sds, query_doc, k, None, Some(Box::new(on_trace)))
+    }
+
+    /// [`Knds::sds_traced`] over a caller-owned workspace; see
+    /// [`Knds::rds_with`] for the reuse contract.
+    pub fn sds_traced_with(
+        &self,
+        ws: &mut KndsWorkspace,
+        query_doc: &[ConceptId],
+        k: usize,
+        on_trace: impl FnMut(crate::trace::TraceEvent),
+    ) -> QueryResult {
+        self.run_hooked(ws, Kind::Sds, query_doc, k, None, Some(Box::new(on_trace)))
     }
 
     /// The single runner behind every entry point: normalizes the query
@@ -441,13 +493,15 @@ impl<S: IndexSource> Search<'_, '_, S> {
             self.ws.first_touch.insert(node, level);
         }
 
+        // Detach the postings buffer so the loop below can mutate the
+        // candidate map without aliasing the workspace borrow.
+        let mut postings = std::mem::take(&mut self.ws.postings_buf);
         let t = Instant::now();
-        self.ws.postings_buf.clear();
-        self.source.postings(node, &mut self.ws.postings_buf);
+        postings.clear();
+        self.source.postings(node, &mut postings);
         self.metrics.io += t.elapsed();
 
-        for i in 0..self.ws.postings_buf.len() {
-            let d = self.ws.postings_buf[i];
+        for &d in &postings {
             let cand = match self.ws.candidates.entry(d) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -467,6 +521,7 @@ impl<S: IndexSource> Search<'_, '_, S> {
                 cand.rev_sum += level as u64;
             }
         }
+        self.ws.postings_buf = postings;
     }
 
     /// Pushes the valid-path neighbors of a state: once a traversal has
@@ -510,9 +565,10 @@ impl<S: IndexSource> Search<'_, '_, S> {
 
         if self.on_trace.is_some() {
             for &(_, doc) in &order {
-                let c = &self.ws.candidates[&doc];
-                let (covered, partial) = (c.covered, c.partial);
-                self.trace(|| crate::trace::TraceEvent::Candidate { doc, covered, partial });
+                if let Some(c) = self.ws.candidates.get(&doc) {
+                    let (covered, partial) = (c.covered, c.partial);
+                    self.trace(|| crate::trace::TraceEvent::Candidate { doc, covered, partial });
+                }
             }
         }
 
@@ -524,14 +580,23 @@ impl<S: IndexSource> Search<'_, '_, S> {
                 min_unexamined = lb;
                 break;
             }
-            let eps = self.error_estimate(doc, lb);
+            // `order` was built from the candidate map, so the lookup cannot
+            // miss; degrade to skipping the entry rather than panicking.
+            let Some(c) = self.ws.candidates.get(&doc) else {
+                debug_assert!(false, "ordered candidate {doc:?} missing from map");
+                continue;
+            };
+            let eps = self.error_estimate(c, lb);
             if !forced && eps > self.config.error_threshold {
                 min_unexamined = lb;
                 break;
             }
-            let (exact, via_drc) = self.exact_distance(doc);
-            let cand = self.ws.candidates.get_mut(&doc).expect("candidate exists");
-            cand.examined = true;
+            let complete = self.is_complete(c);
+            let partial = self.partial_distance(c);
+            let (exact, via_drc) = self.exact_distance(doc, complete, partial);
+            if let Some(cand) = self.ws.candidates.get_mut(&doc) {
+                cand.examined = true;
+            }
             self.metrics.docs_examined += 1;
             self.heap.offer(doc, exact);
             self.trace(|| crate::trace::TraceEvent::Examined {
@@ -583,12 +648,20 @@ impl<S: IndexSource> Search<'_, '_, S> {
     }
 
     /// Equation 9: `εd = 1 − Dpartial / D⁻`.
-    fn error_estimate(&self, doc: DocId, lb: f64) -> f64 {
-        let c = &self.ws.candidates[&doc];
+    fn error_estimate(&self, c: &Candidate, lb: f64) -> f64 {
         if lb <= 0.0 {
             return 0.0;
         }
         1.0 - self.partial_distance(c) / lb
+    }
+
+    /// Whether the candidate's partial information already determines its
+    /// exact distance (Section 5.3, optimization 3).
+    fn is_complete(&self, c: &Candidate) -> bool {
+        match self.kind {
+            Kind::Rds => c.covered as usize == self.nq,
+            Kind::Sds => c.covered as usize == self.nq && c.rev_covered == c.doc_len,
+        }
     }
 
     /// Smallest possible distance of a document no expansion has seen yet:
@@ -604,15 +677,12 @@ impl<S: IndexSource> Search<'_, '_, S> {
     /// Exact distance of `doc` and whether DRC was needed: complete partial
     /// information short-circuits (Section 5.3, optimization 3), otherwise
     /// a DRC probe runs (rebuilding the workspace's DAG arena in place).
-    fn exact_distance(&mut self, doc: DocId) -> (f64, bool) {
-        let c = &self.ws.candidates[&doc];
-        let complete = match self.kind {
-            Kind::Rds => c.covered as usize == self.nq,
-            Kind::Sds => c.covered as usize == self.nq && c.rev_covered == c.doc_len,
-        };
+    /// `complete` and `partial` are precomputed by the caller from the
+    /// candidate entry (see [`Search::is_complete`]).
+    fn exact_distance(&mut self, doc: DocId, complete: bool, partial: f64) -> (f64, bool) {
         if complete {
             self.metrics.exact_from_partial += 1;
-            return (self.partial_distance(c), false);
+            return (partial, false);
         }
 
         let t = Instant::now();
@@ -649,12 +719,17 @@ impl<S: IndexSource> Search<'_, '_, S> {
         let finalized = docs.len();
         self.trace(|| crate::trace::TraceEvent::Exhausted { finalized });
         for &doc in &docs {
-            let c = &self.ws.candidates[&doc];
-            debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
-            let exact = self.partial_distance(c);
+            let Some(exact) = self.ws.candidates.get(&doc).map(|c| {
+                debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
+                self.partial_distance(c)
+            }) else {
+                continue;
+            };
             self.metrics.exact_from_partial += 1;
             self.metrics.docs_examined += 1;
-            self.ws.candidates.get_mut(&doc).expect("exists").examined = true;
+            if let Some(c) = self.ws.candidates.get_mut(&doc) {
+                c.examined = true;
+            }
             self.heap.offer(doc, exact);
         }
         docs.clear();

@@ -43,7 +43,11 @@ impl DistancePostings {
             let doc = DocId::from_index(i);
             buf.clear();
             source.doc_concepts(doc, &mut buf);
-            let best = buf.iter().map(|c| dist[c.index()]).min().unwrap_or(u32::MAX);
+            let best = buf
+                .iter()
+                .map(|c| dist.get(c.index()).copied().unwrap_or(u32::MAX))
+                .min()
+                .unwrap_or(u32::MAX);
             entries.push((doc, best));
         }
         entries.sort_unstable_by_key(|&(d, dist)| (dist, d));
@@ -106,11 +110,15 @@ pub fn rds_with<S: IndexSource>(
         q.iter().map(|&c| DistancePostings::materialize(ontology, source, c)).collect();
     let num_docs = source.num_docs();
     // Random access: doc -> per-list distance.
-    let mut random: Vec<Vec<u32>> = vec![vec![0; num_docs]; q.len()];
-    for (li, list) in lists.iter().enumerate() {
+    let mut random: Vec<Vec<u32>> = Vec::with_capacity(q.len());
+    for list in &lists {
+        let mut table = vec![0u32; num_docs];
         for &(d, dist) in &list.entries {
-            random[li][d.index()] = dist;
+            if let Some(slot) = table.get_mut(d.index()) {
+                *slot = dist;
+            }
         }
+        random.push(table);
     }
     metrics.distance_calc += t.elapsed();
 
@@ -123,19 +131,21 @@ pub fn rds_with<S: IndexSource>(
     let mut pos = 0usize;
     while pos < num_docs {
         // Threshold: sum of the distances at the current sorted positions.
+        // Every list holds exactly `num_docs` entries and `pos < num_docs`,
+        // so sorted access cannot miss; a miss just skips the list.
         let mut threshold = 0u64;
         for list in &lists {
-            let (_, dist) = list.sorted_access(pos).expect("pos < num_docs");
-            threshold += dist as u64;
-        }
-        for list in &lists {
-            let (doc, _) = list.sorted_access(pos).expect("pos < num_docs");
-            if seen[doc.index()] {
+            let Some((doc, dist)) = list.sorted_access(pos) else {
                 continue;
+            };
+            threshold += dist as u64;
+            match seen.get_mut(doc.index()) {
+                Some(s) if !*s => *s = true,
+                _ => continue,
             }
-            seen[doc.index()] = true;
             metrics.docs_examined += 1;
-            let total: u64 = random.iter().map(|r| r[doc.index()] as u64).sum();
+            let total: u64 =
+                random.iter().map(|r| r.get(doc.index()).map_or(u32::MAX, |&d| d) as u64).sum();
             heap.offer(doc, total as f64);
         }
         pos += 1;

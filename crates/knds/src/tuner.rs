@@ -70,7 +70,7 @@ pub fn tune_error_threshold<S: IndexSource>(
         let elapsed = t0.elapsed();
         sweep.push(TunePoint { eps, elapsed });
         let secs = elapsed.as_secs_f64();
-        if secs < best.0 {
+        if secs.total_cmp(&best.0).is_lt() {
             best = (secs, eps);
         }
     }

@@ -135,6 +135,22 @@ impl Ontology {
         &self.topo_order
     }
 
+    /// Corrupts one stored depth so validator tests can prove detection.
+    /// Not part of the public API.
+    #[doc(hidden)]
+    pub fn corrupt_depth_for_tests(&mut self, concept: ConceptId) {
+        if let Some(d) = self.depths.get_mut(concept.index()) {
+            *d = d.saturating_add(1);
+        }
+    }
+
+    /// Reverses the topological order so validator tests can prove
+    /// detection. Not part of the public API.
+    #[doc(hidden)]
+    pub fn corrupt_topo_order_for_tests(&mut self) {
+        self.topo_order.reverse();
+    }
+
     /// Total number of parent→child edges.
     pub fn num_edges(&self) -> usize {
         self.child_targets.len()
@@ -331,7 +347,7 @@ impl OntologyBuilder {
             }
         }
 
-        Ok(Ontology {
+        let ontology = Ontology {
             labels: self.labels,
             child_offsets,
             child_targets,
@@ -342,7 +358,13 @@ impl OntologyBuilder {
             root,
             label_index: OnceLock::new(),
             path_table: OnceLock::new(),
-        })
+        };
+        #[cfg(debug_assertions)]
+        {
+            let checked = ontology.validate();
+            debug_assert!(checked.is_ok(), "ontology structural invariant violated: {checked:?}");
+        }
+        Ok(ontology)
     }
 }
 

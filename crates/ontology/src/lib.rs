@@ -51,6 +51,7 @@ pub mod id;
 pub mod ser;
 pub mod stats;
 pub mod subset;
+pub mod validate;
 pub mod weighted;
 
 pub use dewey::{DeweyAddress, PathTable};
@@ -62,4 +63,5 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use ic::{InformationContent, SemanticSimilarity};
 pub use id::ConceptId;
 pub use stats::OntologyStats;
+pub use validate::OntologyViolation;
 pub use weighted::EdgeWeights;

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Canonical verification for the workspace: formatting, lints, tests.
-# Run from the repository root. All three must pass before merging.
+# Canonical verification for the workspace: formatting, lints, the
+# self-hosted audit (static rules A01-A06 + structural invariants), and
+# tests. Run from the repository root. All four must pass before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+cargo run -q -p cbr-audit -- all
 cargo test -q

@@ -4,6 +4,8 @@
 //! runnable examples (`examples/`) and the cross-crate integration tests
 //! (`tests/`), plus a few helpers they share.
 
+#![forbid(unsafe_code)]
+
 pub use concept_rank::*;
 
 /// Shared scaffolding for examples and integration tests.
