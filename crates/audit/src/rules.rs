@@ -1,4 +1,4 @@
-//! The lint rules, A01–A06.
+//! The lint rules, A01–A07.
 //!
 //! Every rule has a stable identifier, runs over [`SourceFile`]s (or
 //! `Cargo.toml` manifests for A06), and reports findings that are then
@@ -23,6 +23,20 @@ pub const HOT_PATHS: [&str; 4] = [
 
 /// Directories whose `pub fn` entry points A03 inspects.
 const A03_SCOPES: [&str; 2] = ["crates/knds/src/", "crates/core/src/"];
+
+/// Crates whose concurrency A07 requires to flow through the
+/// `sched::sync` facade (the facade itself lives in `crates/sched`, so
+/// it is out of scope by construction).
+const A07_SCOPES: [&str; 2] = ["crates/knds/src/", "crates/core/src/"];
+
+/// Raw concurrency tokens A07 rejects, with the facade replacement the
+/// message points at.
+const A07_NEEDLES: [(&str, &str); 4] = [
+    ("std::sync::", "`std::sync`"),
+    ("std::thread::", "`std::thread`"),
+    ("parking_lot", "`parking_lot`"),
+    ("crossbeam", "`crossbeam`"),
+];
 
 fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
@@ -344,6 +358,37 @@ pub fn a06_no_registry_deps(rel: &str, content: &str) -> Vec<Finding> {
     out
 }
 
+/// A07: non-test code in the facade-covered crates must not reach for
+/// raw `std::sync`/`std::thread`, `parking_lot`, or `crossbeam` — every
+/// primitive goes through `sched::sync`, so the `cbr-sched` model
+/// checker sees (and can exhaustively reorder) every synchronization
+/// point. A raw primitive is invisible to the scheduler and silently
+/// shrinks the explored state space.
+pub fn a07_facade_only_sync(file: &SourceFile) -> Vec<Finding> {
+    if !A07_SCOPES.iter().any(|s| file.rel.starts_with(s)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (needle, what) in A07_NEEDLES {
+        for o in file.code_matches(needle) {
+            if file.is_test(o) {
+                continue;
+            }
+            out.push(Finding::new(
+                "A07",
+                &file.rel,
+                file.line_of(o),
+                format!(
+                    "{what} in a model-checked crate: route concurrency through the \
+                     `sched::sync` facade so `cbr-sched` can explore it"
+                ),
+            ));
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
 /// Runs every source-level rule over `files` (A06 runs separately on
 /// manifests via [`a06_no_registry_deps`]).
 pub fn run_source_rules(files: &[SourceFile]) -> Vec<Finding> {
@@ -355,6 +400,7 @@ pub fn run_source_rules(files: &[SourceFile]) -> Vec<Finding> {
         out.extend(a03_workspace_variants(f));
         out.extend(a04_forbid_unsafe(f));
         out.extend(a05_serde_gated(f, &gated));
+        out.extend(a07_facade_only_sync(f));
     }
     out
 }
@@ -491,5 +537,45 @@ mod tests {
         let hits = a06_no_registry_deps("crates/x/Cargo.toml", toml);
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert!(hits[0].message.contains("`bad`"));
+    }
+
+    #[test]
+    fn a07_fires_on_raw_primitives_in_scoped_lib_code() {
+        let f = src(
+            "crates/core/src/service.rs",
+            "use std::sync::Mutex;\nfn go() { std::thread::spawn(|| {}); }\n",
+        );
+        let hits = a07_facade_only_sync(&f);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits[0].message.contains("`std::sync`"));
+        assert!(hits[1].message.contains("`std::thread`"));
+        let q = src("crates/knds/src/sharded.rs", "use crossbeam::queue::SegQueue;\n");
+        assert_eq!(a07_facade_only_sync(&q).len(), 1);
+        let p = src("crates/core/src/service.rs", "use parking_lot::RwLock;\n");
+        assert_eq!(a07_facade_only_sync(&p).len(), 1);
+    }
+
+    #[test]
+    fn a07_silent_on_facade_tests_and_out_of_scope_files() {
+        let facade = src(
+            "crates/core/src/batch.rs",
+            "use sched::sync::{scope, SegQueue};\nfn go() { scope(|_| {}); }\n",
+        );
+        assert!(a07_facade_only_sync(&facade).is_empty());
+
+        let test_code = src(
+            "crates/core/src/service.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::scope(|_| {}); }\n}\n",
+        );
+        assert!(a07_facade_only_sync(&test_code).is_empty());
+
+        let comment =
+            src("crates/knds/src/sharded.rs", "// replaces std::thread::scope with the facade\n");
+        assert!(a07_facade_only_sync(&comment).is_empty());
+
+        // The facade's own crate (and everything else outside core/knds)
+        // is out of scope — it has to touch the real primitives.
+        let sched = src("crates/sched/src/sync/real.rs", "use std::sync::Mutex;\n");
+        assert!(a07_facade_only_sync(&sched).is_empty());
     }
 }

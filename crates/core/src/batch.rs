@@ -5,12 +5,18 @@
 //! concurrently over the shared immutable indexes. Query latencies vary
 //! wildly (a selective query terminates in two BFS levels, a broad one
 //! probes DRC hundreds of times), so static chunking wastes cores — a
-//! work-stealing queue over `crossbeam` keeps them busy.
+//! shared work queue keeps them busy.
+//!
+//! Workers and queues go through the [`sched::sync`] facade so the
+//! `cbr-sched` model checker can explore the runner's interleavings. A
+//! worker that panics mid-query reports that slot as
+//! [`EngineError::WorkerPanicked`] and carries on with a fresh workspace
+//! instead of tearing the whole batch down.
 
 use crate::engine::{Engine, EngineError};
 use cbr_knds::{KndsWorkspace, QueryResult};
 use cbr_ontology::ConceptId;
-use crossbeam::queue::SegQueue;
+use sched::sync::{available_parallelism, scope, SegQueue};
 
 /// Which query type a batch runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,11 +39,7 @@ impl Engine {
         k: usize,
         threads: usize,
     ) -> Vec<Result<QueryResult, EngineError>> {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-        } else {
-            threads
-        };
+        let threads = if threads == 0 { available_parallelism() } else { threads };
         let threads = threads.min(queries.len().max(1));
 
         if threads <= 1 {
@@ -53,7 +55,7 @@ impl Engine {
             (0..queries.len()).map(|_| None).collect();
         let slot_queue: SegQueue<(usize, Result<QueryResult, EngineError>)> = SegQueue::new();
 
-        std::thread::scope(|scope| {
+        scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
                     // One workspace per worker, reused across every query
@@ -61,7 +63,20 @@ impl Engine {
                     // hot loop stops allocating.
                     let mut ws = KndsWorkspace::new();
                     while let Some(i) = work.pop() {
-                        slot_queue.push((i, self.run_one(kind, &queries[i], k, &mut ws)));
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.run_one(kind, &queries[i], k, &mut ws)
+                        }));
+                        match run {
+                            Ok(r) => slot_queue.push((i, r)),
+                            Err(payload) => {
+                                // The workspace may hold partial state from
+                                // the aborted query; replace it rather than
+                                // reuse it dirty.
+                                ws = KndsWorkspace::new();
+                                let msg = panic_text(payload.as_ref());
+                                slot_queue.push((i, Err(EngineError::WorkerPanicked(msg))));
+                            }
+                        }
                     }
                 });
             }
@@ -69,7 +84,17 @@ impl Engine {
         while let Some((i, r)) = slot_queue.pop() {
             slots[i] = Some(r);
         }
-        slots.into_iter().map(|s| s.expect("every query index was processed")).collect()
+        // Every index was pushed to `slot_queue` exactly once (the worker
+        // converts panics into `Err` slots), so a `None` here means the
+        // drain itself lost a result — report it, don't panic the batch.
+        slots
+            .into_iter()
+            .map(|s| {
+                s.unwrap_or_else(|| {
+                    Err(EngineError::WorkerPanicked("result slot was never filled".into()))
+                })
+            })
+            .collect()
     }
 
     fn run_one(
@@ -83,6 +108,17 @@ impl Engine {
             BatchKind::Rds => self.rds_with(ws, query, k),
             BatchKind::Sds => self.sds_with(ws, query, k),
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -173,5 +209,25 @@ mod tests {
     fn empty_batch_is_empty() {
         let e = engine();
         assert!(e.batch(BatchKind::Rds, &[], 5, 0).is_empty());
+    }
+
+    #[test]
+    fn panicking_worker_reports_slot_instead_of_dropping_it() {
+        let e = engine();
+        let qs = queries(&e, 6);
+        // k = 0 trips the kNDS precondition assert inside every worker;
+        // the batch must still return one slot per query, each reporting
+        // the panic, rather than unwinding or silently dropping slots.
+        let out = e.batch(BatchKind::Rds, &qs, 0, 3);
+        assert_eq!(out.len(), qs.len());
+        for (i, r) in out.iter().enumerate() {
+            assert!(
+                matches!(r, Err(EngineError::WorkerPanicked(_))),
+                "slot {i} should report the worker panic, got {r:?}"
+            );
+        }
+        // The engine stays healthy for the next (valid) batch.
+        let ok = e.batch(BatchKind::Rds, &qs, 3, 2);
+        assert!(ok.iter().all(|r| r.is_ok()));
     }
 }

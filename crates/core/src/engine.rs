@@ -20,6 +20,9 @@ pub enum EngineError {
     EmptyQuery,
     /// The referenced document has no eligible concepts to compare with.
     EmptyDocument(DocId),
+    /// A batch worker panicked while evaluating this query; the payload is
+    /// the panic message when one could be extracted.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +34,7 @@ impl fmt::Display for EngineError {
                 write!(f, "query is empty after concept-eligibility filtering")
             }
             EngineError::EmptyDocument(d) => write!(f, "document {d} has no eligible concepts"),
+            EngineError::WorkerPanicked(m) => write!(f, "batch worker panicked: {m}"),
         }
     }
 }

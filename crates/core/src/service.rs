@@ -4,26 +4,29 @@
 //! querying) with writes (new EMRs arriving) — "when a new patient arrives
 //! at the point-of-care, we can instantly add his or her EMR to our
 //! database" (Section 1). [`SharedEngine`] wraps an [`Engine`] in a
-//! `parking_lot::RwLock`: queries run concurrently under read locks,
+//! [`RwLock`]: queries run concurrently under read locks,
 //! appends take a brief write lock (the dynamic overlay makes them
 //! `O(|concepts|)`), and clones of the handle share one engine.
 //!
 //! Query scratch never sits under the lock: the handle keeps a lock-free
-//! pool of [`KndsWorkspace`]s (a `crossbeam` [`SegQueue`]) beside the
+//! pool of [`KndsWorkspace`]s (a [`SegQueue`]) beside the
 //! `RwLock`. Each query pops a workspace (or makes one on a cold start),
 //! runs through [`Engine::rds_with`]/[`Engine::sds_with`], and pushes it
 //! back — so concurrent readers each get their own warm buffers with no
 //! contention, and steady-state queries allocate nothing. A workspace held
 //! during a panic simply never returns to the pool; those that do return
 //! are always clean.
+//!
+//! All synchronization goes through the [`sched::sync`] facade, so the
+//! `cbr-sched` model checker can exhaustively explore this module's
+//! interleavings; in normal builds the facade compiles straight down to
+//! the real primitives.
 
 use crate::engine::{Engine, EngineError};
 use cbr_corpus::DocId;
 use cbr_knds::{KndsWorkspace, QueryResult};
 use cbr_ontology::ConceptId;
-use crossbeam::queue::SegQueue;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use sched::sync::{Arc, RwLock, SegQueue};
 
 /// A cloneable, thread-safe handle to a shared [`Engine`].
 #[derive(Debug, Clone)]
@@ -36,7 +39,7 @@ pub struct SharedEngine {
 impl SharedEngine {
     /// Wraps an engine.
     pub fn new(engine: Engine) -> SharedEngine {
-        SharedEngine { inner: Arc::new(RwLock::new(engine)), pool: Arc::new(SegQueue::new()) }
+        SharedEngine { inner: Arc::new(RwLock::new(engine)), pool: Arc::new(SegQueue::pooled()) }
     }
 
     /// Runs `f` with a pooled workspace; the workspace returns to the pool

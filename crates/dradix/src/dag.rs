@@ -71,6 +71,47 @@ struct Edge {
     weight: u32,
 }
 
+impl Edge {
+    /// The edge target as a typed arena index.
+    #[inline]
+    fn target_ix(&self) -> NodeIx {
+        NodeIx(self.target)
+    }
+}
+
+/// Typed index of a node slot in the arena. Cold paths (probes,
+/// iterators, export, validators, test corruptors) hop through
+/// [`DRadixDag::node`], which bounds-checks against the live watermark
+/// instead of indexing raw; the `u32`s threaded through the hot
+/// construction and tuning loops stay untyped, covered by the `A02`
+/// allowlist entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NodeIx(u32);
+
+impl NodeIx {
+    /// The arena offset this index names.
+    #[inline]
+    fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Distance scratch read with an `UNSET` fallback (cold validators only).
+#[inline]
+fn dist_at(v: &[u32], n: NodeIx) -> u32 {
+    v.get(n.ix()).copied().unwrap_or(UNSET)
+}
+
+/// Distance scratch write that ignores out-of-range indices (cold
+/// validators only; an index past the scratch means the structure is
+/// already invalid and other checks report it).
+#[inline]
+fn set_dist(v: &mut [u32], n: NodeIx, d: u32) {
+    if let Some(slot) = v.get_mut(n.ix()) {
+        *slot = d;
+    }
+}
+
 /// Shape statistics of a built DAG (used by tests and the ablation bench).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DagStats {
@@ -203,8 +244,8 @@ impl DRadixDag {
         }
         let mut addr_buf = std::mem::take(&mut self.addr_buf);
         addr_buf.sort_unstable_by(|&(sa, la, ca), &(sb, lb, cb)| {
-            let a = &self.labels[sa as usize..(sa + la) as usize];
-            let b = &self.labels[sb as usize..(sb + lb) as usize];
+            let a = self.label_range(sa, la);
+            let b = self.label_range(sb, lb);
             a.cmp(b).then(ca.cmp(&cb))
         });
         for &(start, len, concept) in &addr_buf {
@@ -263,25 +304,40 @@ impl DRadixDag {
     /// (`Ddc(d, c)`), exact after [`tune`](Self::tune). Returns `None` for
     /// concepts not materialized in the DAG.
     pub fn doc_distance(&self, c: ConceptId) -> Option<u32> {
-        self.by_concept.get(&c).map(|&n| self.nodes[n as usize].doc_dist)
+        self.by_concept.get(&c).and_then(|&n| self.node(NodeIx(n))).map(|nd| nd.doc_dist)
     }
 
     /// Distance of radix node `c` from the nearest *query* concept
     /// (`Ddc(q, c)`), exact after [`tune`](Self::tune).
     pub fn query_distance(&self, c: ConceptId) -> Option<u32> {
-        self.by_concept.get(&c).map(|&n| self.nodes[n as usize].query_dist)
+        self.by_concept.get(&c).and_then(|&n| self.node(NodeIx(n))).map(|nd| nd.query_dist)
     }
 
     /// The live node slots of the current build.
     #[inline]
     fn active(&self) -> &[Node] {
-        &self.nodes[..self.live]
+        self.nodes.get(..self.live).unwrap_or(&[])
+    }
+
+    /// Checked arena hop for the cold paths: resolves a typed index
+    /// against the live prefix, `None` past the watermark.
+    #[inline]
+    fn node(&self, n: NodeIx) -> Option<&Node> {
+        self.active().get(n.ix())
     }
 
     /// The label components of `e`.
     #[inline]
     fn label(&self, e: &Edge) -> &[u32] {
-        &self.labels[e.start as usize..(e.start + e.len) as usize]
+        self.label_range(e.start, e.len)
+    }
+
+    /// The label-arena subrange `[start, start + len)`, empty when the
+    /// range escapes the arena (a corrupt edge; the structural validator
+    /// reports it).
+    #[inline]
+    fn label_range(&self, start: u32, len: u32) -> &[u32] {
+        self.labels.get(start as usize..(start as usize + len as usize)).unwrap_or(&[])
     }
 
     /// Shape statistics.
@@ -323,8 +379,9 @@ impl DRadixDag {
     /// `(parent concept, child concept, label components, weight)`.
     pub fn edges(&self) -> impl Iterator<Item = (ConceptId, ConceptId, &[u32], u32)> + '_ {
         self.active().iter().flat_map(move |n| {
-            n.edges.iter().map(move |e| {
-                (n.concept, self.nodes[e.target as usize].concept, self.label(e), e.weight)
+            n.edges.iter().filter_map(move |e| {
+                let target = self.node(e.target_ix())?;
+                Some((n.concept, target.concept, self.label(e), e.weight))
             })
         })
     }
@@ -357,12 +414,15 @@ impl DRadixDag {
         }
         for n in &nodes {
             for e in &n.edges {
+                let Some(target) = self.node(e.target_ix()) else {
+                    continue;
+                };
                 let label: Vec<String> = self.label(e).iter().map(|c| c.to_string()).collect();
                 let _ = writeln!(
                     out,
                     "  c{} -> c{} [label=\"{}\"];",
                     n.concept.0,
-                    self.nodes[e.target as usize].concept.0,
+                    target.concept.0,
                     label.join(".")
                 );
             }
@@ -848,25 +908,37 @@ impl DRadixDag {
             qd.push(if self.in_query.contains(&n.concept) { 0 } else { UNSET });
         }
         for &n in order.iter().rev() {
-            let (mut d, mut q) = (dd[n as usize], qd[n as usize]);
-            for e in &self.nodes[n as usize].edges {
-                d = d.min(dd[e.target as usize].saturating_add(e.weight));
-                q = q.min(qd[e.target as usize].saturating_add(e.weight));
+            let n = NodeIx(n);
+            let (mut d, mut q) = (dist_at(&dd, n), dist_at(&qd, n));
+            let Some(node) = self.node(n) else {
+                continue;
+            };
+            for e in &node.edges {
+                let t = e.target_ix();
+                d = d.min(dist_at(&dd, t).saturating_add(e.weight));
+                q = q.min(dist_at(&qd, t).saturating_add(e.weight));
             }
-            dd[n as usize] = d;
-            qd[n as usize] = q;
+            set_dist(&mut dd, n, d);
+            set_dist(&mut qd, n, q);
         }
         for &n in &order {
-            let (d, q) = (dd[n as usize], qd[n as usize]);
-            for e in &self.nodes[n as usize].edges {
-                let t = e.target as usize;
-                dd[t] = dd[t].min(d.saturating_add(e.weight));
-                qd[t] = qd[t].min(q.saturating_add(e.weight));
+            let n = NodeIx(n);
+            let (d, q) = (dist_at(&dd, n), dist_at(&qd, n));
+            let Some(node) = self.node(n) else {
+                continue;
+            };
+            for e in &node.edges {
+                let t = e.target_ix();
+                let relaxed_d = dist_at(&dd, t).min(d.saturating_add(e.weight));
+                let relaxed_q = dist_at(&qd, t).min(q.saturating_add(e.weight));
+                set_dist(&mut dd, t, relaxed_d);
+                set_dist(&mut qd, t, relaxed_q);
             }
         }
         for (i, n) in self.active().iter().enumerate() {
+            let ix = NodeIx(i as u32);
             for (doc_side, stored, expected) in
-                [(true, n.doc_dist, dd[i]), (false, n.query_dist, qd[i])]
+                [(true, n.doc_dist, dist_at(&dd, ix)), (false, n.query_dist, dist_at(&qd, ix))]
             {
                 if stored != expected {
                     v.push(DagViolation::TuneMismatch {
@@ -977,7 +1049,7 @@ impl DRadixDag {
                 if e.len < 2 {
                     continue;
                 }
-                let lead = &self.labels[e.start as usize..e.start as usize + 1];
+                let lead = self.label_range(e.start, 1);
                 let Some(mid) = resolve_relative(ont, from_concept, lead) else {
                     continue;
                 };

@@ -24,6 +24,7 @@ use crate::workspace::KndsWorkspace;
 use cbr_corpus::DocId;
 use cbr_index::IndexSource;
 use cbr_ontology::{ConceptId, Ontology};
+use sched::sync::scope;
 
 /// A modulo-partitioned view of a source: shard `i` of `n` sees exactly
 /// the documents with `id % n == i`.
@@ -118,7 +119,7 @@ fn run_sharded<S: IndexSource + Sync>(
     rds: bool,
 ) -> QueryResult {
     assert!(shards > 0, "at least one shard required");
-    let partials: Vec<QueryResult> = std::thread::scope(|scope| {
+    let partials: Vec<QueryResult> = scope(|scope| {
         let handles: Vec<_> = (0..shards)
             .map(|i| {
                 scope.spawn(move || {

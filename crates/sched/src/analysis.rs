@@ -1,0 +1,180 @@
+//! Cross-schedule analyses: the independence relation that powers the
+//! sleep-set reduction, and the lock-order graph with cycle detection.
+
+use crate::rt::{Op, Rid, Tid};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether two pending operations from *different* threads commute: if
+/// executing them in either order reaches the same state, exploring both
+/// orders is redundant and the sleep-set reduction may prune one.
+///
+/// Deliberately conservative — when unsure, report dependent (which only
+/// costs extra schedules, never soundness).
+pub fn independent(a: (Tid, &Op), b: (Tid, &Op)) -> bool {
+    let ((ta, oa), (tb, ob)) = (a, b);
+    if ta == tb {
+        return false;
+    }
+    // A finish is dependent only with a join that waits for it.
+    match (oa, ob) {
+        (Op::Finish { .. }, Op::Join(ts)) => return !ts.contains(&ta),
+        (Op::Join(ts), Op::Finish { .. }) => return !ts.contains(&tb),
+        _ => {}
+    }
+    // Thread-local operations commute with everything.
+    if matches!(oa, Op::Yield | Op::Spawn(_) | Op::Join(_) | Op::Finish { .. })
+        || matches!(ob, Op::Yield | Op::Spawn(_) | Op::Join(_) | Op::Finish { .. })
+    {
+        return true;
+    }
+    // Operations on disjoint resources commute. A notify is dependent
+    // with anything touching the same condvar; a condvar wait also
+    // touches its mutex, which `rids()` reports.
+    let (a1, a2) = oa.rids();
+    let (b1, b2) = ob.rids();
+    let shared = |x: Option<Rid>, y: Option<Rid>| x.is_some() && x == y;
+    if !(shared(a1, b1) || shared(a1, b2) || shared(a2, b1) || shared(a2, b2)) {
+        return true;
+    }
+    // Same resource: only two pure reads commute.
+    oa.is_pure_read() && ob.is_pure_read()
+}
+
+/// A directed graph over lock [`Rid`]s: an edge `a -> b` means some
+/// thread acquired `b` while holding `a`. Unions edges across every
+/// explored schedule, so an inversion is caught even when no single
+/// explored schedule deadlocks.
+#[derive(Debug, Default)]
+pub struct LockOrderGraph {
+    edges: BTreeSet<(Rid, Rid)>,
+}
+
+impl LockOrderGraph {
+    /// Merges one execution's observed edges.
+    pub fn extend(&mut self, edges: impl IntoIterator<Item = (Rid, Rid)>) {
+        self.edges.extend(edges);
+    }
+
+    /// Number of distinct edges observed.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges were observed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finds a cycle, returned as the lock sequence `r0 -> r1 -> ... -> r0`,
+    /// or `None` if the acquisition order is consistent.
+    pub fn find_cycle(&self) -> Option<Vec<Rid>> {
+        let mut adj: BTreeMap<Rid, Vec<Rid>> = BTreeMap::new();
+        let mut nodes: BTreeSet<Rid> = BTreeSet::new();
+        for &(a, b) in &self.edges {
+            if a == b {
+                // Self-edge: re-acquisition, reported separately as S02.
+                continue;
+            }
+            adj.entry(a).or_default().push(b);
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        // Iterative DFS with colors; reconstruct the cycle from the stack.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<Rid, Color> = nodes.iter().map(|&n| (n, Color::White)).collect();
+        for &start in &nodes {
+            if color[&start] != Color::White {
+                continue;
+            }
+            // Stack of (node, next-child-index) frames.
+            let mut stack: Vec<(Rid, usize)> = vec![(start, 0)];
+            color.insert(start, Color::Gray);
+            while let Some(&(node, next)) = stack.last() {
+                let children = adj.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+                if next < children.len() {
+                    let child = children[next];
+                    stack.last_mut().expect("non-empty stack").1 += 1;
+                    match color[&child] {
+                        Color::White => {
+                            color.insert(child, Color::Gray);
+                            stack.push((child, 0));
+                        }
+                        Color::Gray => {
+                            // Found a back edge: slice the stack from the
+                            // first occurrence of `child`.
+                            let pos = stack
+                                .iter()
+                                .position(|&(n, _)| n == child)
+                                .expect("gray node is on the stack");
+                            let mut cycle: Vec<Rid> =
+                                stack[pos..].iter().map(|&(n, _)| n).collect();
+                            cycle.push(child);
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(node, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_resources_commute() {
+        assert!(independent((0, &Op::Lock(1)), (1, &Op::Lock(2))));
+        assert!(!independent((0, &Op::Lock(1)), (1, &Op::Lock(1))));
+    }
+
+    #[test]
+    fn pure_reads_commute_on_the_same_resource() {
+        assert!(independent((0, &Op::AtomicLoad(3)), (1, &Op::AtomicLoad(3))));
+        assert!(!independent((0, &Op::AtomicLoad(3)), (1, &Op::AtomicRmw(3))));
+        assert!(!independent((0, &Op::QPop(4)), (1, &Op::QPush(4))));
+    }
+
+    #[test]
+    fn finish_depends_only_on_its_join() {
+        let join = Op::Join(vec![2]);
+        assert!(!independent((2, &Op::Finish { panicked: false }), (0, &join)));
+        assert!(independent((1, &Op::Finish { panicked: false }), (0, &join)));
+    }
+
+    #[test]
+    fn condwait_touches_its_mutex() {
+        let wait = Op::CondWait { cv: 7, lock: 3 };
+        assert!(!independent((0, &wait), (1, &Op::Lock(3))));
+        assert!(!independent((0, &wait), (1, &Op::NotifyAll(7))));
+        assert!(independent((0, &wait), (1, &Op::Lock(9))));
+    }
+
+    #[test]
+    fn cycle_detection_finds_an_inversion() {
+        let mut g = LockOrderGraph::default();
+        g.extend([(1, 2), (2, 3)]);
+        assert!(g.find_cycle().is_none());
+        g.extend([(3, 1)]);
+        let cycle = g.find_cycle().expect("cycle");
+        assert!(cycle.len() >= 3);
+        assert_eq!(cycle.first(), cycle.last());
+    }
+
+    #[test]
+    fn self_edges_do_not_count_as_cycles() {
+        let mut g = LockOrderGraph::default();
+        g.extend([(5, 5)]);
+        assert!(g.find_cycle().is_none());
+    }
+}

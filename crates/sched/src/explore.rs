@@ -1,0 +1,361 @@
+//! The exploration driver: runs a harness closure under every schedule a
+//! strategy produces, collects findings, and unions the lock-order graph
+//! across schedules.
+
+use crate::analysis::LockOrderGraph;
+use crate::replay as sid;
+use crate::rt::{self, Chooser, Exec, ExecRecord, FindingKind, Op, SchedAbort, StepOutcome, Tid};
+use std::collections::BTreeSet;
+use std::panic::AssertUnwindSafe;
+use std::sync::Once;
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Maximum number of executions (complete or pruned) to run.
+    pub budget: usize,
+    /// Per-execution sync-point budget (runaway guard).
+    pub max_steps: usize,
+    /// Seed for the random-walk fallback.
+    pub seed: u64,
+    /// Fraction of the budget (numerator over 4) spent on exhaustive DFS
+    /// before falling back to random walks; the walk only runs when the
+    /// DFS did not finish the tree.
+    pub dfs_quarters: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options { budget: 2_000, max_steps: 20_000, seed: 0x5EED, dfs_quarters: 3 }
+    }
+}
+
+/// A finding with the schedule that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which analysis fired.
+    pub kind: FindingKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Replayable schedule ID (`-` for cross-schedule findings such as
+    /// lock-order cycles, which have no single witness schedule).
+    pub schedule: String,
+}
+
+/// The result of exploring one harness.
+#[derive(Debug, Default)]
+pub struct Exploration {
+    /// Distinct complete schedules executed.
+    pub schedules: usize,
+    /// Total executions, including sleep-set-pruned partial runs.
+    pub runs: usize,
+    /// Whether the DFS exhausted the whole schedule tree.
+    pub complete: bool,
+    /// Deduplicated findings, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Distinct lock-order edges observed across all schedules.
+    pub lock_edges: usize,
+}
+
+impl Exploration {
+    /// Whether the exploration finished with no findings.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// The result of replaying a single schedule ID.
+#[derive(Debug)]
+pub struct ReplayRun {
+    /// The schedule actually executed (re-encoded from the run).
+    pub schedule: String,
+    /// Findings observed on this schedule.
+    pub findings: Vec<Finding>,
+    /// The granted sync-point trace, in order.
+    pub trace: Vec<(Tid, Op)>,
+}
+
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Modeled threads panic on purpose (abort teardown) or under
+            // test (the runtime records it as a finding): stay silent.
+            if rt::session().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
+    if payload.is::<SchedAbort>() {
+        return None;
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return Some((*s).to_string());
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return Some(s.clone());
+    }
+    Some("panic with non-string payload".to_string())
+}
+
+/// Runs `harness` once under `chooser`, returning the execution record.
+fn run_one<F>(max_steps: usize, harness: &F, chooser: Chooser<'_>) -> ExecRecord
+where
+    F: Fn() -> Result<(), String> + Sync,
+{
+    install_panic_hook();
+    let exec = Exec::new(max_steps);
+    let t0 = exec.register_thread();
+    std::thread::scope(|s| {
+        let body_exec = exec.clone();
+        s.spawn(move || {
+            rt::set_session(Some((body_exec.clone(), t0)));
+            let r = std::panic::catch_unwind(AssertUnwindSafe(harness));
+            let (panic_msg, invariant) = match r {
+                Ok(Ok(())) => (None, None),
+                Ok(Err(msg)) => (None, Some(msg)),
+                Err(p) => (panic_message(p), None),
+            };
+            body_exec.post_finish(t0, panic_msg, invariant);
+            rt::set_session(None);
+        });
+        loop {
+            match exec.step(chooser) {
+                StepOutcome::Continue => {}
+                StepOutcome::Done => break,
+                StepOutcome::Aborted => {
+                    exec.drain_after_abort();
+                    break;
+                }
+            }
+        }
+    });
+    exec.take_record()
+}
+
+fn harvest(
+    rec: &ExecRecord,
+    findings: &mut Vec<Finding>,
+    seen_findings: &mut BTreeSet<(&'static str, String)>,
+) {
+    let schedule = sid::encode(&rec.digits);
+    for f in &rec.findings {
+        if seen_findings.insert((f.kind.rule(), f.message.clone())) {
+            findings.push(Finding {
+                kind: f.kind,
+                message: f.message.clone(),
+                schedule: schedule.clone(),
+            });
+        }
+    }
+}
+
+/// Explores `harness` under `opts`: exhaustive sleep-set DFS first, then
+/// (if the tree is larger than the DFS share of the budget) seeded random
+/// walks for the remainder. Returns the merged findings, including a
+/// cross-schedule lock-order cycle check.
+pub fn explore<F>(opts: &Options, harness: F) -> Exploration
+where
+    F: Fn() -> Result<(), String> + Sync,
+{
+    let mut out = Exploration::default();
+    let mut graph = LockOrderGraph::default();
+    let mut seen_findings: BTreeSet<(&'static str, String)> = BTreeSet::new();
+    let mut seen_schedules: BTreeSet<String> = BTreeSet::new();
+
+    let dfs_budget = (opts.budget * opts.dfs_quarters.min(4)).div_ceil(4);
+    let mut dfs = crate::strategy::Dfs::new();
+    loop {
+        if out.runs >= dfs_budget {
+            break;
+        }
+        let rec = run_one(opts.max_steps, &harness, &mut |s, e, o| dfs.choose(s, e, o));
+        out.runs += 1;
+        harvest(&rec, &mut out.findings, &mut seen_findings);
+        graph.extend(rec.order_edges.iter().copied());
+        if !rec.pruned && seen_schedules.insert(sid::encode(&rec.digits)) {
+            out.schedules += 1;
+        }
+        if !dfs.backtrack() {
+            out.complete = true;
+            break;
+        }
+    }
+
+    if !out.complete {
+        let mut walk_seed = opts.seed;
+        while out.runs < opts.budget {
+            let mut walk = crate::strategy::RandomWalk::new(walk_seed);
+            walk_seed = walk_seed.wrapping_add(0x9E37_79B9);
+            let rec = run_one(opts.max_steps, &harness, &mut |s, e, o| walk.choose(s, e, o));
+            out.runs += 1;
+            harvest(&rec, &mut out.findings, &mut seen_findings);
+            graph.extend(rec.order_edges.iter().copied());
+            if !rec.pruned && seen_schedules.insert(sid::encode(&rec.digits)) {
+                out.schedules += 1;
+            }
+        }
+    }
+
+    if let Some(cycle) = graph.find_cycle() {
+        let path: Vec<String> = cycle.iter().map(|r| format!("r{r}")).collect();
+        out.findings.push(Finding {
+            kind: FindingKind::LockOrderCycle,
+            message: format!(
+                "lock acquisition order is cyclic across schedules: {}",
+                path.join(" -> ")
+            ),
+            schedule: "-".to_string(),
+        });
+    }
+    out.lock_edges = graph.len();
+    out
+}
+
+/// Replays one schedule ID against `harness`, returning the findings and
+/// the exact sync-point trace for determinism checks.
+///
+/// Returns `Err` on a malformed ID.
+pub fn replay<F>(opts: &Options, id: &str, harness: F) -> Result<ReplayRun, String>
+where
+    F: Fn() -> Result<(), String> + Sync,
+{
+    let digits = sid::decode(id).map_err(|c| format!("invalid schedule id character {c:?}"))?;
+    let mut rep = crate::strategy::Replay::new(digits);
+    let rec = run_one(opts.max_steps, &harness, &mut |s, e, o| rep.choose(s, e, o));
+    let schedule = sid::encode(&rec.digits);
+    let mut findings = Vec::new();
+    let mut seen = BTreeSet::new();
+    harvest(&rec, &mut findings, &mut seen);
+    Ok(ReplayRun { schedule, findings, trace: rec.trace })
+}
+
+#[cfg(all(test, feature = "model"))]
+mod tests {
+    use super::*;
+    use crate::sync::{self, Arc, AtomicUsize, Mutex, Ordering};
+
+    fn small() -> Options {
+        Options { budget: 300, max_steps: 2_000, seed: 7, dfs_quarters: 3 }
+    }
+
+    /// Unsynchronized read-modify-write: two threads doing
+    /// `load; add; store` must lose an update on some schedule.
+    #[test]
+    fn lost_update_race_is_found_with_replayable_schedule() {
+        let harness = || {
+            let n = Arc::new(AtomicUsize::new(0));
+            sync::scope(|s| {
+                for _ in 0..2 {
+                    let n = n.clone();
+                    s.spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    });
+                }
+            });
+            let v = n.load(Ordering::SeqCst);
+            if v != 2 {
+                return Err(format!("lost update: counter is {v}, expected 2"));
+            }
+            Ok(())
+        };
+        let out = explore(&small(), harness);
+        let bug = out
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::Invariant)
+            .expect("the lost update must be observed");
+        assert_ne!(bug.schedule, "-");
+        // The printed schedule must reproduce the same failure.
+        let rerun = replay(&small(), &bug.schedule, harness).expect("valid id");
+        assert!(
+            rerun.findings.iter().any(|f| f.kind == FindingKind::Invariant),
+            "replay of {} found {:?}",
+            bug.schedule,
+            rerun.findings
+        );
+    }
+
+    /// The same counter protected by a mutex: clean under every schedule,
+    /// and the state space is small enough for the DFS to finish it.
+    #[test]
+    fn mutexed_counter_is_clean_and_exploration_completes() {
+        let out = explore(&small(), || {
+            let n = Arc::new(Mutex::new(0usize));
+            sync::scope(|s| {
+                for _ in 0..2 {
+                    let n = n.clone();
+                    s.spawn(move || {
+                        *n.lock() += 1;
+                    });
+                }
+            });
+            let v = *n.lock();
+            if v != 2 {
+                return Err(format!("counter is {v}"));
+            }
+            Ok(())
+        });
+        assert!(out.ok(), "{:?}", out.findings);
+        assert!(out.complete, "DFS should exhaust this tiny tree");
+        assert!(out.schedules >= 2, "must explore both orders, got {}", out.schedules);
+    }
+
+    /// Opposite lock orders across two schedules: no single execution
+    /// deadlocks under DFS order, but the cross-schedule union graph
+    /// must report the inversion.
+    #[test]
+    fn lock_order_inversion_is_reported_across_schedules() {
+        let out = explore(&small(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            sync::scope(|s| {
+                let (a1, b1) = (a.clone(), b.clone());
+                s.spawn(move || {
+                    let _ga = a1.lock();
+                    let _gb = b1.lock();
+                });
+                let (a2, b2) = (a.clone(), b.clone());
+                s.spawn(move || {
+                    let _gb = b2.lock();
+                    let _ga = a2.lock();
+                });
+            });
+            Ok(())
+        });
+        assert!(
+            out.findings
+                .iter()
+                .any(|f| matches!(f.kind, FindingKind::LockOrderCycle | FindingKind::Deadlock)),
+            "{:?}",
+            out.findings
+        );
+    }
+
+    /// A replayed schedule reproduces the identical sync-point trace.
+    #[test]
+    fn replay_reproduces_identical_traces() {
+        let harness = || {
+            let q = Arc::new(sync::SegQueue::new());
+            sync::scope(|s| {
+                for i in 0..2u32 {
+                    let q = q.clone();
+                    s.spawn(move || q.push(i));
+                }
+            });
+            Ok(())
+        };
+        let out = explore(&small(), harness);
+        assert!(out.ok(), "{:?}", out.findings);
+        let a = replay(&small(), "1", harness).expect("valid id");
+        let b = replay(&small(), "1", harness).expect("valid id");
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

@@ -1,0 +1,40 @@
+//! `cbr-sched`: a dependency-free, loom-style model checker for the
+//! workspace's concurrent paths.
+//!
+//! Three layers, mirroring the shape of `loom`/`shuttle` but small enough
+//! to build offline:
+//!
+//! * [`sync`] — a facade over the concurrency primitives the engine uses
+//!   (`Mutex`, `RwLock`, `Condvar`, atomics, `Arc`, `spawn`/`scope`, and a
+//!   `SegQueue` shim). By default it compiles to thin wrappers over the
+//!   real `std`/`crossbeam` primitives; under the `model` cargo feature it
+//!   compiles to instrumented versions whose every visible operation is a
+//!   *sync point* controlled by the scheduler. Instrumented primitives
+//!   still pass through to the real primitives on threads that are not
+//!   part of an active model execution, so a workspace build with `model`
+//!   unified on (e.g. `cargo test` building the harness crate) behaves
+//!   identically outside [`explore`].
+//! * [`rt`] — the deterministic cooperative runtime: one OS thread runs at
+//!   a time, every other modeled thread is parked at its next pending
+//!   operation, and a coordinator picks which pending operation executes
+//!   next. Blocking semantics (lock contention, joins, condvar waits) are
+//!   modeled in the runtime's resource tables, so the real primitives
+//!   underneath are always uncontended.
+//! * [`explore`] — schedule enumeration: bounded exhaustive DFS with a
+//!   sleep-set (DPOR-lite) reduction, falling back to a seeded random walk
+//!   when the budget is smaller than the schedule tree. Every finding
+//!   (deadlock, lock-order cycle, double lock, pool leak, harness
+//!   invariant failure, panic) carries a schedule ID that [`explore::replay`]
+//!   re-executes step for step.
+//!
+//! See `DESIGN.md` §9 for what is and is not modeled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod explore;
+pub mod replay;
+pub mod rt;
+pub mod strategy;
+pub mod sync;

@@ -1,0 +1,65 @@
+//! Schedule IDs: a compact, replayable encoding of one execution's
+//! scheduling decisions.
+//!
+//! Each coordinator step where more than one operation was enabled
+//! contributes one base-36 digit: the index of the chosen thread within
+//! the sorted enabled set. Steps with a single enabled operation are
+//! forced and contribute nothing, so IDs stay short even for long
+//! executions. The empty schedule (every step forced) prints as `"-"`.
+
+const DIGITS: &[u8; 36] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+
+/// Encodes `(enabled_count, chosen_index)` decision pairs into a
+/// schedule ID.
+pub fn encode(digits: &[(u8, u8)]) -> String {
+    let mut out = String::new();
+    for &(n, idx) in digits {
+        if n > 1 {
+            out.push(DIGITS[idx as usize % 36] as char);
+        }
+    }
+    if out.is_empty() {
+        out.push('-');
+    }
+    out
+}
+
+/// Decodes a schedule ID back into chosen indices, in order.
+///
+/// Returns `Err` with the offending character on malformed input.
+pub fn decode(id: &str) -> Result<Vec<u8>, char> {
+    if id == "-" {
+        return Ok(Vec::new());
+    }
+    id.chars()
+        .map(|c| match c {
+            '0'..='9' => Ok(c as u8 - b'0'),
+            'a'..='z' => Ok(c as u8 - b'a' + 10),
+            _ => Err(c),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_steps_are_skipped() {
+        let id = encode(&[(1, 0), (3, 2), (1, 0), (2, 1), (4, 0)]);
+        assert_eq!(id, "210");
+        assert_eq!(decode(&id).unwrap(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_schedule_round_trips() {
+        let id = encode(&[(1, 0), (1, 0)]);
+        assert_eq!(id, "-");
+        assert_eq!(decode(&id).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn malformed_ids_are_rejected() {
+        assert_eq!(decode("2!"), Err('!'));
+    }
+}

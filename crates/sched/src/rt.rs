@@ -1,0 +1,776 @@
+//! The deterministic cooperative runtime behind the model.
+//!
+//! One OS thread runs at a time. Every modeled thread, at each visible
+//! operation (a *sync point*), posts the operation it is about to perform
+//! and parks; a coordinator (the [`crate::explore`] driver) waits until
+//! every live thread has posted, computes which pending operations are
+//! *enabled* under the modeled resource state (lock ownership, reader
+//! sets, join targets, condvar wait sets), and grants exactly one. The
+//! granted thread applies the operation against the real, always
+//! uncontended primitive underneath and runs to its next sync point.
+//! Because the grant order is the only source of nondeterminism, a
+//! recorded choice sequence replays an execution exactly.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Index of a modeled thread within one execution (0 = the harness body).
+pub type Tid = usize;
+
+/// Identifier of a modeled resource (lock, atomic, queue, condvar) within
+/// one execution, assigned densely in first-use order.
+pub type Rid = u32;
+
+/// A visible operation a modeled thread is about to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Acquire a mutex (or a condvar re-acquire after wake).
+    Lock(Rid),
+    /// Release a mutex.
+    Unlock(Rid),
+    /// Acquire an `RwLock` read guard.
+    Read(Rid),
+    /// Release an `RwLock` read guard.
+    UnlockRead(Rid),
+    /// Acquire an `RwLock` write guard.
+    Write(Rid),
+    /// Release an `RwLock` write guard.
+    UnlockWrite(Rid),
+    /// Atomically release `lock` and sleep on `cv`.
+    CondWait {
+        /// The condvar slept on.
+        cv: Rid,
+        /// The mutex released for the duration of the wait.
+        lock: Rid,
+    },
+    /// Wake the first waiter of a condvar (deterministically lowest tid).
+    NotifyOne(Rid),
+    /// Wake every waiter of a condvar.
+    NotifyAll(Rid),
+    /// A pure atomic read.
+    AtomicLoad(Rid),
+    /// An atomic store or read-modify-write.
+    AtomicRmw(Rid),
+    /// Push onto a modeled queue.
+    QPush(Rid),
+    /// Pop from a modeled queue (never blocks; empty pops return `None`).
+    QPop(Rid),
+    /// Read a modeled queue's length.
+    QLen(Rid),
+    /// A voluntary scheduling point.
+    Yield,
+    /// The spawn of a new modeled thread (already registered).
+    Spawn(Tid),
+    /// Wait for the listed threads to finish.
+    Join(Vec<Tid>),
+    /// The thread's final operation.
+    Finish {
+        /// Whether the thread is finishing by unwinding a panic.
+        panicked: bool,
+    },
+}
+
+impl Op {
+    /// The resources this operation touches (at most two, for `CondWait`).
+    pub fn rids(&self) -> (Option<Rid>, Option<Rid>) {
+        use Op::*;
+        match *self {
+            Lock(r) | Unlock(r) | Read(r) | UnlockRead(r) | Write(r) | UnlockWrite(r)
+            | NotifyOne(r) | NotifyAll(r) | AtomicLoad(r) | AtomicRmw(r) | QPush(r) | QPop(r)
+            | QLen(r) => (Some(r), None),
+            CondWait { cv, lock } => (Some(cv), Some(lock)),
+            Yield | Spawn(_) | Join(_) | Finish { .. } => (None, None),
+        }
+    }
+
+    /// Whether the operation leaves every modeled resource unchanged.
+    pub fn is_pure_read(&self) -> bool {
+        matches!(self, Op::AtomicLoad(_) | Op::QLen(_))
+    }
+}
+
+/// What kind of resource a [`Rid`] names (drives the analyses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResKind {
+    /// A mutex or rwlock.
+    Lock,
+    /// An atomic cell.
+    Atomic,
+    /// A queue.
+    Queue,
+    /// A queue used as a resource pool: the leak analysis checks that no
+    /// non-panicking thread finishes while still holding popped items.
+    PoolQueue,
+    /// A condition variable.
+    Condvar,
+}
+
+/// A problem observed while executing one schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    /// The analysis that fired.
+    pub kind: FindingKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The analyses that can report findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// Every live thread is blocked.
+    Deadlock,
+    /// A thread re-acquired a lock it already holds (self-deadlock).
+    DoubleLock,
+    /// The union of lock acquisition orders contains a cycle.
+    LockOrderCycle,
+    /// A non-panicking thread finished still holding items popped from a
+    /// pool queue.
+    PoolLeak,
+    /// The harness body returned an error on this schedule.
+    Invariant,
+    /// Code under test panicked on this schedule.
+    Panic,
+    /// An execution exceeded the per-schedule step budget.
+    StepBudget,
+    /// A replayed or re-executed prefix diverged: the code under test is
+    /// not deterministic between sync points.
+    Nondeterminism,
+}
+
+impl FindingKind {
+    /// Stable rule identifier, `cbr-audit` style.
+    pub fn rule(&self) -> &'static str {
+        match self {
+            FindingKind::Deadlock => "S01",
+            FindingKind::DoubleLock => "S02",
+            FindingKind::LockOrderCycle => "S03",
+            FindingKind::PoolLeak => "S04",
+            FindingKind::Invariant => "S05",
+            FindingKind::Panic => "S06",
+            FindingKind::StepBudget => "S07",
+            FindingKind::Nondeterminism => "S08",
+        }
+    }
+}
+
+/// Panic payload used to tear down parked threads when an execution
+/// aborts (deadlock, prune, budget). Filtered silent by the panic hook.
+#[derive(Debug)]
+pub struct SchedAbort;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TStat {
+    /// Executing user code (or not yet reached its first sync point).
+    Running,
+    /// Parked at a pending operation.
+    Posted(Op),
+    /// Sleeping on a condvar (woken by a notify into `Posted(Lock)`).
+    CondBlocked {
+        cv: Rid,
+    },
+    Finished {
+        panicked: bool,
+    },
+}
+
+#[derive(Debug, Default, Clone)]
+struct LockState {
+    writer: Option<Tid>,
+    readers: Vec<Tid>,
+}
+
+/// The decision taken by a strategy at one scheduling point.
+#[derive(Debug, Clone)]
+pub enum Choice {
+    /// Run this thread's pending operation next.
+    Pick(Tid),
+    /// Sleep-set pruning: every enabled choice is covered elsewhere.
+    Prune,
+    /// A replayed schedule no longer matches the execution.
+    Diverged(String),
+}
+
+/// A scheduling strategy: maps `(step, enabled threads, pending ops)`
+/// to the next [`Choice`].
+pub type Chooser<'a> = &'a mut dyn FnMut(usize, &[Tid], &[Op]) -> Choice;
+
+#[derive(Debug, Default)]
+struct ExecInner {
+    threads: Vec<TStat>,
+    /// Condvar sleepers remember the mutex to re-acquire on wake.
+    cond_lock: Vec<Option<Rid>>,
+    /// Per-thread grant flags: a grant can only be consumed by its
+    /// target, so a grant to a finishing thread (which never posts
+    /// again) cannot be overwritten by the next scheduling step.
+    granted: Vec<bool>,
+    aborted: bool,
+    pruned: bool,
+    steps: usize,
+    next_rid: Rid,
+    locks: Vec<LockState>,
+    kinds: Vec<ResKind>,
+    queue_len: Vec<i64>,
+    /// Outstanding popped-but-not-returned items per (thread, queue).
+    pop_balance: Vec<Vec<i64>>,
+    /// Locks currently held per thread, in acquisition order.
+    held: Vec<Vec<Rid>>,
+    /// Lock-order edges (held, acquired) observed this execution.
+    order_edges: BTreeSet<(Rid, Rid)>,
+    /// Granted operations in order.
+    trace: Vec<(Tid, Op)>,
+    /// `(enabled_count, chosen_index)` per scheduling decision.
+    digits: Vec<(u8, u8)>,
+    findings: Vec<RawFinding>,
+    reported_self_blocks: BTreeSet<(Tid, Rid)>,
+}
+
+/// Everything an execution produced, for the explorer.
+#[derive(Debug, Default)]
+pub struct ExecRecord {
+    /// Granted operations in order.
+    pub trace: Vec<(Tid, Op)>,
+    /// `(enabled_count, chosen_index)` per scheduling decision.
+    pub digits: Vec<(u8, u8)>,
+    /// Findings observed during the execution.
+    pub findings: Vec<RawFinding>,
+    /// Lock-order edges observed.
+    pub order_edges: BTreeSet<(Rid, Rid)>,
+    /// Whether the execution was cut short by sleep-set pruning.
+    pub pruned: bool,
+}
+
+/// Outcome of one coordinator step.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    Continue,
+    Done,
+    Aborted,
+}
+
+static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One model execution: the shared state every modeled thread and the
+/// coordinator synchronize through.
+#[derive(Debug)]
+pub struct Exec {
+    id: u64,
+    max_steps: usize,
+    inner: Mutex<ExecInner>,
+    cv: Condvar,
+}
+
+fn lk(m: &Mutex<ExecInner>) -> MutexGuard<'_, ExecInner> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Exec {
+    /// Creates a fresh execution with a per-schedule step budget.
+    pub fn new(max_steps: usize) -> Arc<Exec> {
+        Arc::new(Exec {
+            id: NEXT_EXEC_ID.fetch_add(1, Ordering::Relaxed),
+            max_steps,
+            inner: Mutex::new(ExecInner::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Low 32 bits of the globally unique execution id (for rid caches).
+    pub fn id_low(&self) -> u32 {
+        self.id as u32
+    }
+
+    /// Registers a new modeled thread; it starts `Running` and the
+    /// coordinator will wait for its first post.
+    pub fn register_thread(&self) -> Tid {
+        let mut g = lk(&self.inner);
+        g.threads.push(TStat::Running);
+        g.granted.push(false);
+        g.cond_lock.push(None);
+        g.held.push(Vec::new());
+        let queues = g.next_rid as usize;
+        g.pop_balance.push(vec![0; queues]);
+        g.threads.len() - 1
+    }
+
+    /// Registers a resource on first use, mirroring `initial_len` for
+    /// queues created (and possibly filled) before the execution began.
+    pub fn register_resource(&self, kind: ResKind, initial_len: usize) -> Rid {
+        let mut g = lk(&self.inner);
+        let rid = g.next_rid;
+        g.next_rid += 1;
+        g.locks.push(LockState::default());
+        g.kinds.push(kind);
+        g.queue_len.push(initial_len as i64);
+        for b in &mut g.pop_balance {
+            b.push(0);
+        }
+        rid
+    }
+
+    /// Records a finding against the schedule explored so far.
+    pub fn finding(&self, kind: FindingKind, message: impl Into<String>) {
+        let mut g = lk(&self.inner);
+        g.findings.push(RawFinding { kind, message: message.into() });
+    }
+
+    /// Posts `op` as the calling thread's pending operation and parks
+    /// until the coordinator grants it (after applying its effects).
+    pub fn post(&self, tid: Tid, op: Op) {
+        self.post_inner(tid, op, false);
+    }
+
+    /// `quiet_abort`: when the execution aborts while this post is
+    /// pending, mark the thread finished and return normally instead of
+    /// unwinding — used for the final `Finish` post, which must never
+    /// panic out of `post_finish`.
+    fn post_inner(&self, tid: Tid, op: Op, quiet_abort: bool) {
+        let mut g = lk(&self.inner);
+        if g.aborted {
+            // Teardown: whatever this thread was about to do, it is done
+            // as far as the coordinator is concerned. Marking it finished
+            // here (not only in `post_finish`) is what lets
+            // `drain_after_abort` terminate even for threads parked at
+            // their final op.
+            g.threads[tid] = TStat::Finished { panicked: true };
+            self.cv.notify_all();
+            drop(g);
+            if !quiet_abort {
+                abort_thread();
+            }
+            return;
+        }
+        g.threads[tid] = TStat::Posted(op);
+        self.cv.notify_all();
+        loop {
+            if g.aborted {
+                g.threads[tid] = TStat::Finished { panicked: true };
+                self.cv.notify_all();
+                drop(g);
+                if !quiet_abort {
+                    abort_thread();
+                }
+                return;
+            }
+            if g.granted[tid] {
+                g.granted[tid] = false;
+                return;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks the calling thread finished. `panic_msg`/`invariant_err`
+    /// become findings tied to the current schedule. Never unwinds, even
+    /// when the execution aborts mid-call.
+    pub fn post_finish(&self, tid: Tid, panic_msg: Option<String>, invariant_err: Option<String>) {
+        {
+            let mut g = lk(&self.inner);
+            if g.aborted {
+                // Teardown: panics and errors raised while the execution
+                // is being torn down are unwind noise, not findings.
+                g.threads[tid] = TStat::Finished { panicked: true };
+                self.cv.notify_all();
+                return;
+            }
+            if let Some(m) = panic_msg.as_ref() {
+                g.findings
+                    .push(RawFinding { kind: FindingKind::Panic, message: format!("t{tid}: {m}") });
+            }
+            if let Some(m) = invariant_err {
+                g.findings.push(RawFinding { kind: FindingKind::Invariant, message: m });
+            }
+        }
+        self.post_inner(tid, Op::Finish { panicked: panic_msg.is_some() }, true);
+    }
+
+    /// Consumes the execution's results.
+    pub fn take_record(&self) -> ExecRecord {
+        let mut g = lk(&self.inner);
+        ExecRecord {
+            trace: std::mem::take(&mut g.trace),
+            digits: std::mem::take(&mut g.digits),
+            findings: std::mem::take(&mut g.findings),
+            order_edges: std::mem::take(&mut g.order_edges),
+            pruned: g.pruned,
+        }
+    }
+
+    /// Runs one coordinator step: waits for every live thread to park at
+    /// a pending operation, asks `chooser` to pick among the enabled
+    /// ones, applies the chosen operation's effects, and grants it.
+    pub(crate) fn step(&self, chooser: Chooser<'_>) -> StepOutcome {
+        let mut g = lk(&self.inner);
+        while g.threads.iter().any(|t| matches!(t, TStat::Running)) {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.threads.iter().all(|t| matches!(t, TStat::Finished { .. })) {
+            return StepOutcome::Done;
+        }
+        let mut enabled: Vec<Tid> = Vec::new();
+        let mut ops: Vec<Op> = Vec::new();
+        for tid in 0..g.threads.len() {
+            if let TStat::Posted(op) = &g.threads[tid] {
+                let op = op.clone();
+                if self.op_enabled(&mut g, tid, &op) {
+                    enabled.push(tid);
+                    ops.push(op);
+                }
+            }
+        }
+        if enabled.is_empty() {
+            let blocked: Vec<String> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, st)| match st {
+                    TStat::Posted(op) => Some(format!("t{t} blocked on {op:?}")),
+                    TStat::CondBlocked { cv } => Some(format!("t{t} waiting on condvar r{cv}")),
+                    _ => None,
+                })
+                .collect();
+            g.findings.push(RawFinding {
+                kind: FindingKind::Deadlock,
+                message: format!("deadlock: {}", blocked.join(", ")),
+            });
+            return self.abort_locked(g);
+        }
+        let step = g.digits.len();
+        let choice = chooser(step, &enabled, &ops);
+        let tid = match choice {
+            Choice::Pick(t) => t,
+            Choice::Prune => {
+                g.pruned = true;
+                return self.abort_locked(g);
+            }
+            Choice::Diverged(msg) => {
+                g.findings.push(RawFinding { kind: FindingKind::Nondeterminism, message: msg });
+                return self.abort_locked(g);
+            }
+        };
+        let idx = enabled.iter().position(|&t| t == tid).expect("chooser picked an enabled tid");
+        g.steps += 1;
+        if g.steps > self.max_steps {
+            g.findings.push(RawFinding {
+                kind: FindingKind::StepBudget,
+                message: format!("schedule exceeded {} sync points", self.max_steps),
+            });
+            return self.abort_locked(g);
+        }
+        g.digits.push((enabled.len() as u8, idx as u8));
+        let op = ops[idx].clone();
+        let grants = self.apply(&mut g, tid, &op);
+        if grants {
+            // Back to running user code until its next sync point (unless
+            // the op was the thread's finish, which `apply` recorded).
+            if !matches!(op, Op::Finish { .. }) {
+                g.threads[tid] = TStat::Running;
+            }
+            g.granted[tid] = true;
+        }
+        g.trace.push((tid, op));
+        self.cv.notify_all();
+        StepOutcome::Continue
+    }
+
+    fn abort_locked(&self, mut g: MutexGuard<'_, ExecInner>) -> StepOutcome {
+        g.aborted = true;
+        self.cv.notify_all();
+        StepOutcome::Aborted
+    }
+
+    /// Waits until every modeled thread has torn down after an abort.
+    pub(crate) fn drain_after_abort(&self) {
+        let mut g = lk(&self.inner);
+        while !g.threads.iter().all(|t| matches!(t, TStat::Finished { .. })) {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn op_enabled(&self, g: &mut ExecInner, tid: Tid, op: &Op) -> bool {
+        match op {
+            Op::Lock(r) | Op::Write(r) => {
+                let r = *r;
+                let ls = &g.locks[r as usize];
+                let self_block = ls.writer == Some(tid) || ls.readers.contains(&tid);
+                if self_block && g.reported_self_blocks.insert((tid, r)) {
+                    let what = if ls.writer == Some(tid) {
+                        "a lock it already holds"
+                    } else {
+                        "a write lock over its own read guard"
+                    };
+                    g.findings.push(RawFinding {
+                        kind: FindingKind::DoubleLock,
+                        message: format!("t{tid} acquiring {what} (r{r})"),
+                    });
+                }
+                ls.writer.is_none() && (matches!(op, Op::Lock(_)) || ls.readers.is_empty())
+            }
+            Op::Read(r) => {
+                let ls = &g.locks[*r as usize];
+                if ls.writer == Some(tid) && g.reported_self_blocks.insert((tid, *r)) {
+                    g.findings.push(RawFinding {
+                        kind: FindingKind::DoubleLock,
+                        message: format!(
+                            "t{tid} acquiring a read lock over its own write guard (r{r})"
+                        ),
+                    });
+                }
+                ls.writer.is_none()
+            }
+            Op::Join(ts) => ts.iter().all(|&t| matches!(g.threads[t], TStat::Finished { .. })),
+            _ => true,
+        }
+    }
+
+    /// Applies the modeled effect of `op`. Returns whether the posting
+    /// thread should be granted (condvar waits stay parked).
+    fn apply(&self, g: &mut ExecInner, tid: Tid, op: &Op) -> bool {
+        match op {
+            Op::Lock(r) | Op::Write(r) => {
+                for i in 0..g.held[tid].len() {
+                    let h = g.held[tid][i];
+                    g.order_edges.insert((h, *r));
+                }
+                g.held[tid].push(*r);
+                g.locks[*r as usize].writer = Some(tid);
+            }
+            Op::Read(r) => {
+                for i in 0..g.held[tid].len() {
+                    let h = g.held[tid][i];
+                    g.order_edges.insert((h, *r));
+                }
+                g.held[tid].push(*r);
+                g.locks[*r as usize].readers.push(tid);
+            }
+            Op::Unlock(r) | Op::UnlockWrite(r) => {
+                g.locks[*r as usize].writer = None;
+                remove_last(&mut g.held[tid], *r);
+            }
+            Op::UnlockRead(r) => {
+                let readers = &mut g.locks[*r as usize].readers;
+                if let Some(p) = readers.iter().rposition(|&t| t == tid) {
+                    readers.remove(p);
+                }
+                remove_last(&mut g.held[tid], *r);
+            }
+            Op::CondWait { cv, lock } => {
+                g.locks[*lock as usize].writer = None;
+                remove_last(&mut g.held[tid], *lock);
+                g.cond_lock[tid] = Some(*lock);
+                g.threads[tid] = TStat::CondBlocked { cv: *cv };
+                return false;
+            }
+            Op::NotifyOne(cv) | Op::NotifyAll(cv) => {
+                let all = matches!(op, Op::NotifyAll(_));
+                for t in 0..g.threads.len() {
+                    if matches!(g.threads[t], TStat::CondBlocked { cv: c } if c == *cv) {
+                        let lock = g.cond_lock[t].take().expect("condvar sleeper has a lock");
+                        g.threads[t] = TStat::Posted(Op::Lock(lock));
+                        if !all {
+                            break;
+                        }
+                    }
+                }
+            }
+            Op::QPush(r) => {
+                g.queue_len[*r as usize] += 1;
+                g.pop_balance[tid][*r as usize] -= 1;
+            }
+            Op::QPop(r) => {
+                if g.queue_len[*r as usize] > 0 {
+                    g.queue_len[*r as usize] -= 1;
+                    g.pop_balance[tid][*r as usize] += 1;
+                }
+            }
+            Op::Finish { panicked } => {
+                if !panicked {
+                    for r in 0..g.pop_balance[tid].len() {
+                        if g.kinds[r] == ResKind::PoolQueue && g.pop_balance[tid][r] > 0 {
+                            let n = g.pop_balance[tid][r];
+                            g.findings.push(RawFinding {
+                                kind: FindingKind::PoolLeak,
+                                message: format!(
+                                    "t{tid} finished holding {n} item(s) popped from pool r{r}"
+                                ),
+                            });
+                        }
+                    }
+                }
+                g.threads[tid] = TStat::Finished { panicked: *panicked };
+            }
+            Op::AtomicLoad(_)
+            | Op::AtomicRmw(_)
+            | Op::QLen(_)
+            | Op::Yield
+            | Op::Spawn(_)
+            | Op::Join(_) => {}
+        }
+        true
+    }
+}
+
+fn remove_last(v: &mut Vec<Rid>, r: Rid) {
+    if let Some(p) = v.iter().rposition(|&x| x == r) {
+        v.remove(p);
+    }
+}
+
+/// Unwinds the calling thread out of an aborted execution (no-op while
+/// already panicking, so teardown never double-panics).
+fn abort_thread() {
+    if !std::thread::panicking() {
+        std::panic::panic_any(SchedAbort);
+    }
+}
+
+// --- per-thread session -----------------------------------------------------
+
+thread_local! {
+    static SESSION: std::cell::RefCell<Option<(Arc<Exec>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's active model execution, if it is a modeled thread.
+pub fn session() -> Option<(Arc<Exec>, Tid)> {
+    SESSION.with(|s| s.borrow().clone())
+}
+
+/// Marks the calling thread as modeled thread `tid` of `exec` (or clears
+/// the marking with `None`). Used by the facade's spawn wrappers.
+pub fn set_session(v: Option<(Arc<Exec>, Tid)>) {
+    SESSION.with(|s| *s.borrow_mut() = v);
+}
+
+/// Posts `op` for the calling thread if it is modeled; no-op otherwise.
+pub fn sync_point(op: Op) {
+    if let Some((exec, tid)) = session() {
+        exec.post(tid, op);
+    }
+}
+
+/// A cached per-primitive resource id, lazily assigned per execution.
+#[derive(Debug, Default)]
+pub struct RidCell(AtomicU64);
+
+impl RidCell {
+    /// Creates an unassigned cell.
+    pub const fn new() -> RidCell {
+        RidCell(AtomicU64::new(0))
+    }
+
+    /// The primitive's rid under `exec`, assigning one on first use.
+    /// `initial_len` mirrors pre-existing queue contents.
+    pub fn rid(&self, exec: &Exec, kind: ResKind, initial_len: usize) -> Rid {
+        let packed = self.0.load(Ordering::Relaxed);
+        let (eid, rid) = ((packed >> 32) as u32, packed as u32);
+        if eid == exec.id_low() && packed != 0 {
+            return rid;
+        }
+        let rid = exec.register_resource(kind, initial_len);
+        self.0.store(((exec.id_low() as u64) << 32) | rid as u64, Ordering::Relaxed);
+        rid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a two-thread token exchange entirely through the raw
+    /// runtime API, always picking the first enabled op.
+    #[test]
+    fn serialized_two_thread_run_completes() {
+        let exec = Exec::new(1000);
+        let t0 = exec.register_thread();
+        let t1 = exec.register_thread();
+        let e0 = exec.clone();
+        let e1 = exec.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                e0.post(t0, Op::Yield);
+                e0.post_finish(t0, None, None);
+            });
+            s.spawn(move || {
+                e1.post(t1, Op::Yield);
+                e1.post_finish(t1, None, None);
+            });
+            let mut first = |_s: usize, en: &[Tid], _o: &[Op]| Choice::Pick(en[0]);
+            loop {
+                match exec.step(&mut first) {
+                    StepOutcome::Continue => {}
+                    StepOutcome::Done => break,
+                    StepOutcome::Aborted => panic!("unexpected abort"),
+                }
+            }
+        });
+        let rec = exec.take_record();
+        assert_eq!(rec.trace.len(), 4, "{:?}", rec.trace);
+        assert!(rec.findings.is_empty());
+    }
+
+    /// Runs the classic two-lock inversion with a caller-chosen chooser
+    /// and returns the record.
+    fn run_inversion(chooser: Chooser<'_>) -> ExecRecord {
+        let exec = Exec::new(1000);
+        let a = exec.register_resource(ResKind::Lock, 0);
+        let b = exec.register_resource(ResKind::Lock, 0);
+        let t0 = exec.register_thread();
+        let t1 = exec.register_thread();
+        let e0 = exec.clone();
+        let e1 = exec.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    e0.post(t0, Op::Lock(a));
+                    e0.post(t0, Op::Lock(b));
+                    e0.post(t0, Op::Unlock(b));
+                    e0.post(t0, Op::Unlock(a));
+                }));
+                e0.post_finish(t0, r.err().map(|_| "abort".into()), None);
+            });
+            s.spawn(move || {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    e1.post(t1, Op::Lock(b));
+                    e1.post(t1, Op::Lock(a));
+                    e1.post(t1, Op::Unlock(a));
+                    e1.post(t1, Op::Unlock(b));
+                }));
+                e1.post_finish(t1, r.err().map(|_| "abort".into()), None);
+            });
+            loop {
+                match exec.step(chooser) {
+                    StepOutcome::Continue => {}
+                    StepOutcome::Done => break,
+                    StepOutcome::Aborted => {
+                        exec.drain_after_abort();
+                        break;
+                    }
+                }
+            }
+        });
+        exec.take_record()
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_torn_down() {
+        // Alternate grants while both threads are enabled: t0 takes a,
+        // t1 takes b, then both block on the other's lock.
+        let mut alternate =
+            |step: usize, en: &[Tid], _o: &[Op]| Choice::Pick(en[step.min(en.len() - 1)]);
+        let rec = run_inversion(&mut alternate);
+        assert!(rec.findings.iter().any(|f| f.kind == FindingKind::Deadlock), "{:?}", rec.findings);
+    }
+
+    #[test]
+    fn serialized_inversion_records_both_lock_orders() {
+        // Always run the lowest thread: t0 completes, then t1 — no
+        // deadlock on this schedule, but the conflicting acquisition
+        // orders (a->b and b->a) both land in the order-edge union.
+        let mut first = |_s: usize, en: &[Tid], _o: &[Op]| Choice::Pick(en[0]);
+        let rec = run_inversion(&mut first);
+        assert!(rec.findings.is_empty(), "{:?}", rec.findings);
+        assert!(rec.order_edges.contains(&(0, 1)), "{:?}", rec.order_edges);
+        assert!(rec.order_edges.contains(&(1, 0)), "{:?}", rec.order_edges);
+    }
+}

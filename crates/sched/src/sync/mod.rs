@@ -1,0 +1,29 @@
+//! The concurrency facade the workspace's engine code imports instead of
+//! `std::sync` / `parking_lot` / `crossbeam`.
+//!
+//! * Default build: thin zero-cost wrappers over the real primitives
+//!   ([`real`]).
+//! * With the `model` feature: instrumented versions whose every visible
+//!   operation is a scheduler-controlled sync point ([`model`]). On
+//!   threads that are not part of an active model execution the
+//!   instrumented primitives pass straight through to the real ones, so
+//!   feature-unified workspace builds behave identically outside
+//!   [`crate::explore`].
+//!
+//! Both implementations expose the same poison-free API surface:
+//! `Mutex`, `RwLock`, `Condvar`, `AtomicUsize`, `AtomicU64`, `Ordering`,
+//! `Arc`, `SegQueue` (with a [`SegQueue::pooled`] constructor that opts a
+//! queue into the pool-leak analysis), `spawn`, `scope`, `yield_now`, and
+//! `available_parallelism`.
+
+pub use std::sync::Arc;
+
+#[cfg(not(feature = "model"))]
+mod real;
+#[cfg(not(feature = "model"))]
+pub use real::*;
+
+#[cfg(feature = "model")]
+mod model;
+#[cfg(feature = "model")]
+pub use model::*;

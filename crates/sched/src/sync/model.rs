@@ -1,0 +1,541 @@
+//! Instrumented facade implementation (the `model` feature): every
+//! visible operation is a sync point posted to the active execution's
+//! scheduler. On threads with no active execution (no [`rt::session`])
+//! every primitive passes straight through to the real one, so a
+//! feature-unified build behaves normally outside [`crate::explore`].
+//!
+//! The real primitive underneath each wrapper is only ever touched by
+//! the single granted thread, so it is always uncontended; blocking
+//! semantics live in the runtime's modeled resource tables.
+
+use crate::rt::{self, Op, ResKind, RidCell};
+use std::num::NonZeroUsize;
+use std::ops::{Deref, DerefMut};
+use std::panic::AssertUnwindSafe;
+
+pub use std::sync::atomic::Ordering;
+
+fn touch(rid: &RidCell, kind: ResKind, op: impl FnOnce(u32) -> Op) {
+    if let Some((exec, tid)) = rt::session() {
+        let r = rid.rid(&exec, kind, 0);
+        exec.post(tid, op(r));
+    }
+}
+
+// --- Mutex ------------------------------------------------------------------
+
+/// Modeled mutex: acquisition and release are scheduler sync points.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    rid: RidCell,
+}
+
+/// Guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    owner: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(value), rid: RidCell::new() }
+    }
+
+    /// Acquires the lock (modeled contention, poison-free).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        touch(&self.rid, ResKind::Lock, Op::Lock);
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            owner: self,
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not released")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // `Condvar::wait` takes the inner guard out before reposting; a
+        // guard whose inner is gone has already released the modeled lock.
+        if self.inner.take().is_some() {
+            touch(&self.owner.rid, ResKind::Lock, Op::Unlock);
+        }
+    }
+}
+
+// --- RwLock -----------------------------------------------------------------
+
+/// Modeled reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+    rid: RidCell,
+}
+
+/// Guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    rid: &'a RidCell,
+}
+
+/// Guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    rid: &'a RidCell,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock { inner: std::sync::RwLock::new(value), rid: RidCell::new() }
+    }
+
+    /// Acquires a shared read guard (modeled contention).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        touch(&self.rid, ResKind::Lock, Op::Read);
+        RwLockReadGuard {
+            inner: Some(self.inner.read().unwrap_or_else(|e| e.into_inner())),
+            rid: &self.rid,
+        }
+    }
+
+    /// Acquires an exclusive write guard (modeled contention).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        touch(&self.rid, ResKind::Lock, Op::Write);
+        RwLockWriteGuard {
+            inner: Some(self.inner.write().unwrap_or_else(|e| e.into_inner())),
+            rid: &self.rid,
+        }
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not released")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            touch(self.rid, ResKind::Lock, Op::UnlockRead);
+        }
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not released")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not released")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            touch(self.rid, ResKind::Lock, Op::UnlockWrite);
+        }
+    }
+}
+
+// --- Condvar ----------------------------------------------------------------
+
+/// Modeled condition variable (wakes lowest-tid waiter first).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    rid: RidCell,
+}
+
+impl Condvar {
+    /// Creates a condvar.
+    pub const fn new() -> Condvar {
+        Condvar { inner: std::sync::Condvar::new(), rid: RidCell::new() }
+    }
+
+    /// Atomically releases `guard` and sleeps until notified, then
+    /// re-acquires the mutex.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let owner = guard.owner;
+        let real = guard.inner.take().expect("guard not released");
+        if let Some((exec, tid)) = rt::session() {
+            let cv = self.rid.rid(&exec, ResKind::Condvar, 0);
+            let lock = owner.rid.rid(&exec, ResKind::Lock, 0);
+            // Release the real lock; the modeled release + sleep + modeled
+            // re-acquire all happen inside this one post. It returns only
+            // once a notify woke us and the scheduler granted the lock.
+            drop(real);
+            exec.post(tid, Op::CondWait { cv, lock });
+            MutexGuard { inner: Some(owner.inner.lock().unwrap_or_else(|e| e.into_inner())), owner }
+        } else {
+            let real = self.inner.wait(real).unwrap_or_else(|e| e.into_inner());
+            MutexGuard { inner: Some(real), owner }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        touch(&self.rid, ResKind::Condvar, Op::NotifyOne);
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        touch(&self.rid, ResKind::Condvar, Op::NotifyAll);
+        self.inner.notify_all();
+    }
+}
+
+// --- Atomics ----------------------------------------------------------------
+
+macro_rules! modeled_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+            rid: RidCell,
+        }
+
+        impl $name {
+            /// Wraps `value`.
+            pub const fn new(value: $prim) -> $name {
+                $name { inner: <$std>::new(value), rid: RidCell::new() }
+            }
+
+            /// Atomic read (a pure-read sync point).
+            pub fn load(&self, order: Ordering) -> $prim {
+                touch(&self.rid, ResKind::Atomic, Op::AtomicLoad);
+                self.inner.load(order)
+            }
+
+            /// Atomic write.
+            pub fn store(&self, value: $prim, order: Ordering) {
+                touch(&self.rid, ResKind::Atomic, Op::AtomicRmw);
+                self.inner.store(value, order)
+            }
+
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                touch(&self.rid, ResKind::Atomic, Op::AtomicRmw);
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                touch(&self.rid, ResKind::Atomic, Op::AtomicRmw);
+                self.inner.fetch_sub(value, order)
+            }
+
+            /// Atomic max, returning the previous value.
+            pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                touch(&self.rid, ResKind::Atomic, Op::AtomicRmw);
+                self.inner.fetch_max(value, order)
+            }
+
+            /// Atomic compare-and-swap.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                touch(&self.rid, ResKind::Atomic, Op::AtomicRmw);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+modeled_atomic!(
+    /// Modeled [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+modeled_atomic!(
+    /// Modeled [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+
+// --- SegQueue ---------------------------------------------------------------
+
+/// Modeled unbounded MPMC queue.
+#[derive(Debug, Default)]
+pub struct SegQueue<T> {
+    inner: crossbeam::queue::SegQueue<T>,
+    rid: RidCell,
+    pooled: bool,
+}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> SegQueue<T> {
+        SegQueue { inner: crossbeam::queue::SegQueue::new(), rid: RidCell::new(), pooled: false }
+    }
+
+    /// Creates an empty queue used as a resource pool: the model's leak
+    /// analysis verifies every item popped from it is pushed back (or the
+    /// popping thread panicked).
+    pub fn pooled() -> SegQueue<T> {
+        SegQueue { pooled: true, ..SegQueue::new() }
+    }
+
+    fn touch(&self, op: impl FnOnce(u32) -> Op) {
+        if let Some((exec, tid)) = rt::session() {
+            let kind = if self.pooled { ResKind::PoolQueue } else { ResKind::Queue };
+            let r = self.rid.rid(&exec, kind, self.inner.len());
+            exec.post(tid, op(r));
+        }
+    }
+
+    /// Pushes `value` onto the back of the queue.
+    pub fn push(&self, value: T) {
+        self.touch(Op::QPush);
+        self.inner.push(value);
+    }
+
+    /// Pops from the front, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        self.touch(Op::QPop);
+        self.inner.pop()
+    }
+
+    /// Number of elements currently queued (a pure-read sync point).
+    pub fn len(&self) -> usize {
+        self.touch(Op::QLen);
+        self.inner.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// --- threads ----------------------------------------------------------------
+
+fn wrap_modeled<F, T>(exec: std::sync::Arc<rt::Exec>, child: rt::Tid, f: F) -> impl FnOnce() -> T
+where
+    F: FnOnce() -> T,
+{
+    move || {
+        rt::set_session(Some((exec.clone(), child)));
+        let r = std::panic::catch_unwind(AssertUnwindSafe(f));
+        let panic_msg = match &r {
+            Err(p) if !p.is::<rt::SchedAbort>() => Some(
+                p.downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic with non-string payload".to_string()),
+            ),
+            _ => None,
+        };
+        exec.post_finish(child, panic_msg, None);
+        match r {
+            Ok(v) => {
+                rt::set_session(None);
+                v
+            }
+            // Re-raise so `join()` sees the failure; `resume_unwind` does
+            // not run the panic hook, so aborts stay silent.
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+}
+
+/// Handle to a thread started with [`spawn`].
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    child: Option<rt::Tid>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish (a modeled join sync point).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(child) = self.child {
+            rt::sync_point(Op::Join(vec![child]));
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawns a thread; modeled when called from inside an execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::session() {
+        None => JoinHandle { inner: std::thread::spawn(f), child: None },
+        Some((exec, tid)) => {
+            let child = exec.register_thread();
+            let inner = std::thread::spawn(wrap_modeled(exec.clone(), child, f));
+            exec.post(tid, Op::Spawn(child));
+            JoinHandle { inner, child: Some(child) }
+        }
+    }
+}
+
+/// A scope handle mirroring [`std::thread::Scope`], tracking modeled
+/// children so the scope's implicit join is a sync point.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    unjoined: std::sync::Arc<std::sync::Mutex<Vec<rt::Tid>>>,
+}
+
+/// Handle to a thread started with [`Scope::spawn`].
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    child: Option<rt::Tid>,
+    unjoined: std::sync::Arc<std::sync::Mutex<Vec<rt::Tid>>>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish (a modeled join sync point).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(child) = self.child {
+            let mut pending = self.unjoined.lock().unwrap_or_else(|e| e.into_inner());
+            pending.retain(|&t| t != child);
+            drop(pending);
+            rt::sync_point(Op::Join(vec![child]));
+        }
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; modeled when called inside an execution.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match rt::session() {
+            None => ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+                child: None,
+                unjoined: self.unjoined.clone(),
+            },
+            Some((exec, tid)) => {
+                let child = exec.register_thread();
+                self.unjoined.lock().unwrap_or_else(|e| e.into_inner()).push(child);
+                let inner = self.inner.spawn(wrap_modeled(exec.clone(), child, f));
+                exec.post(tid, Op::Spawn(child));
+                ScopedJoinHandle { inner, child: Some(child), unjoined: self.unjoined.clone() }
+            }
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned. The
+/// implicit join of unjoined modeled children is a single sync point
+/// before the real scope joins them.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope { inner: s, unjoined: Default::default() };
+        let out = f(&wrapper);
+        let pending =
+            std::mem::take(&mut *wrapper.unjoined.lock().unwrap_or_else(|e| e.into_inner()));
+        if !pending.is_empty() {
+            rt::sync_point(Op::Join(pending));
+        }
+        out
+    })
+}
+
+/// A modeled scheduling point (no-op outside an execution).
+pub fn yield_now() {
+    if rt::session().is_some() {
+        rt::sync_point(Op::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// The parallelism available to the process. Inside a model execution
+/// this is a fixed small constant so state spaces stay bounded and
+/// explorations are machine-independent.
+pub fn available_parallelism() -> usize {
+    if rt::session().is_some() {
+        2
+    } else {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With no active execution every primitive passes through to the
+    /// real implementation — plain multi-threaded code keeps working.
+    #[test]
+    fn passthrough_without_session_behaves_normally() {
+        let m = Mutex::new(0usize);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+
+        let rw = RwLock::new(5usize);
+        assert_eq!(*rw.read(), 5);
+        *rw.write() = 6;
+        assert_eq!(*rw.read(), 6);
+
+        let q = SegQueue::pooled();
+        q.push(1u8);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+
+        let n = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                    yield_now();
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+
+        let h = spawn(|| "ok");
+        assert_eq!(h.join().unwrap(), "ok");
+        assert!(available_parallelism() >= 1);
+    }
+}

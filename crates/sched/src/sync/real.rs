@@ -1,0 +1,226 @@
+//! Default facade implementation: thin, poison-free wrappers over the
+//! real `std`/`crossbeam` primitives. No scheduling, no instrumentation.
+
+use std::num::NonZeroUsize;
+
+pub use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A poison-free mutex (parking-lot-style API over `std::sync::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, ignoring poison (a panicked holder does not
+    /// make the data unreachable).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A poison-free reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condvar.
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases `guard` and sleeps until notified.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// An unbounded MPMC queue (crossbeam `SegQueue` underneath).
+#[derive(Debug, Default)]
+pub struct SegQueue<T>(crossbeam::queue::SegQueue<T>);
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> SegQueue<T> {
+        SegQueue(crossbeam::queue::SegQueue::new())
+    }
+
+    /// Creates an empty queue used as a resource pool. Under the `model`
+    /// feature this opts the queue into the pool-leak analysis; here it
+    /// is identical to [`SegQueue::new`].
+    pub fn pooled() -> SegQueue<T> {
+        SegQueue::new()
+    }
+
+    /// Pushes `value` onto the back of the queue.
+    pub fn push(&self, value: T) {
+        self.0.push(value);
+    }
+
+    /// Pops from the front, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        self.0.pop()
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Handle to a thread started with [`spawn`].
+#[derive(Debug)]
+pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.0.join()
+    }
+}
+
+/// Spawns a detached-by-default OS thread (see [`std::thread::spawn`]).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    JoinHandle(std::thread::spawn(f))
+}
+
+/// A scope handle mirroring [`std::thread::Scope`].
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a thread started with [`Scope::spawn`].
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.0.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread (see [`std::thread::Scope::spawn`]).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle(self.inner.spawn(f))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; all
+/// unjoined scoped threads are joined before `scope` returns.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Yields the current thread's timeslice.
+pub fn yield_now() {
+    std::thread::yield_now();
+}
+
+/// The parallelism available to the process (at least 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_primitives_behave_like_the_real_ones() {
+        let m = Mutex::new(0usize);
+        *m.lock() += 3;
+        assert_eq!(*m.lock(), 3);
+
+        let rw = RwLock::new(vec![1, 2]);
+        assert_eq!(rw.read().len(), 2);
+        rw.write().push(3);
+        assert_eq!(rw.read().len(), 3);
+
+        let q = SegQueue::pooled();
+        q.push(7u32);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(7));
+        assert!(q.is_empty());
+
+        let h = spawn(|| 41 + 1);
+        assert_eq!(h.join().unwrap(), 42);
+
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    total.fetch_add(1, Ordering::SeqCst);
+                    yield_now();
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4);
+        assert!(available_parallelism() >= 1);
+    }
+}

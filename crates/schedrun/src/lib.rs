@@ -1,0 +1,7 @@
+//! Model-checked harnesses over the engine's concurrent paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;

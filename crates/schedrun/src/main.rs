@@ -1,0 +1,205 @@
+//! `cbr-sched`: deterministic schedule exploration over the engine's
+//! concurrent paths.
+//!
+//! ```sh
+//! cbr-sched                         # explore every harness, text report
+//! cbr-sched --budget 2000 --json    # machine-readable report
+//! cbr-sched --harness pool-stress   # one harness only
+//! cbr-sched --replay pool-stress:1a # re-run one printed schedule ID
+//! cbr-sched --list                  # enumerate harnesses
+//! ```
+//!
+//! Exits non-zero when any finding survives (or, under
+//! `--expect-findings`, when none do — used by the seeded-bug CI pass).
+
+#![forbid(unsafe_code)]
+
+use sched::explore::Options;
+use schedrun::harness::{registry, Harness};
+use schedrun::report::Report;
+
+/// Default per-harness execution budget: sized so a CI run finishes in
+/// seconds while still crossing a thousand distinct schedules across the
+/// honest harnesses.
+const DEFAULT_BUDGET: usize = 1_200;
+
+struct Cli {
+    budget: usize,
+    seed: u64,
+    json: bool,
+    list: bool,
+    expect_findings: bool,
+    min_schedules: Option<usize>,
+    harness: Vec<String>,
+    replay: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cbr-sched [--budget N] [--seed S] [--json] [--list] [--harness NAME]\n\
+         \x20                [--replay NAME:ID] [--min-schedules N] [--expect-findings]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        budget: DEFAULT_BUDGET,
+        seed: 0x5EED,
+        json: false,
+        list: false,
+        expect_findings: false,
+        min_schedules: None,
+        harness: Vec::new(),
+        replay: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--budget" => {
+                cli.budget = value("--budget").parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                cli.seed = value("--seed").parse().unwrap_or_else(|_| usage());
+            }
+            "--min-schedules" => {
+                cli.min_schedules =
+                    Some(value("--min-schedules").parse().unwrap_or_else(|_| usage()));
+            }
+            "--harness" => cli.harness.push(value("--harness")),
+            "--replay" => cli.replay = Some(value("--replay")),
+            "--json" => cli.json = true,
+            "--list" => cli.list = true,
+            "--expect-findings" => cli.expect_findings = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    cli
+}
+
+fn options(cli: &Cli) -> Options {
+    Options { budget: cli.budget, seed: cli.seed, ..Options::default() }
+}
+
+fn find<'a>(harnesses: &'a [Harness], name: &str) -> &'a Harness {
+    harnesses.iter().find(|h| h.name == name).unwrap_or_else(|| {
+        eprintln!("no harness named {name:?}; try --list");
+        std::process::exit(2);
+    })
+}
+
+fn run_replay(cli: &Cli, harnesses: &[Harness], spec: &str) -> i32 {
+    let (name, id) = match (spec.split_once(':'), cli.harness.first()) {
+        (Some((n, i)), _) => (n.to_string(), i.to_string()),
+        (None, Some(n)) => (n.clone(), spec.to_string()),
+        (None, None) => {
+            eprintln!("--replay wants NAME:ID (or --harness NAME --replay ID)");
+            return 2;
+        }
+    };
+    let h = find(harnesses, &name);
+    match h.replay(&options(cli), &id) {
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            2
+        }
+        Ok(run) => {
+            println!("replay {name}:{id} -> schedule {}", run.schedule);
+            for (tid, op) in &run.trace {
+                println!("  t{tid} {op:?}");
+            }
+            for f in &run.findings {
+                println!("FAIL [{}] {} (schedule {})", f.kind.rule(), f.message, run.schedule);
+            }
+            i32::from(!run.findings.is_empty())
+        }
+    }
+}
+
+/// Replays every finding that carries a concrete schedule ID and checks
+/// the same harness fails again — proving the printed IDs actually
+/// reproduce what the exploration saw.
+fn confirm_replayable(cli: &Cli, harnesses: &[Harness], report: &Report) -> bool {
+    let mut all_confirmed = true;
+    for f in &report.findings {
+        if f.schedule == "-" {
+            continue;
+        }
+        let h = find(harnesses, &f.harness);
+        let reproduced = match h.replay(&options(cli), &f.schedule) {
+            Ok(run) => !run.findings.is_empty(),
+            Err(_) => false,
+        };
+        if reproduced {
+            println!("replayed {}:{} -> reproduced", f.harness, f.schedule);
+        } else {
+            println!("replayed {}:{} -> DID NOT reproduce", f.harness, f.schedule);
+            all_confirmed = false;
+        }
+    }
+    all_confirmed
+}
+
+fn main() {
+    let cli = parse_args();
+    let harnesses = registry();
+
+    if cli.list {
+        for h in &harnesses {
+            println!("{:<22} {}", h.name, h.about);
+        }
+        return;
+    }
+    if let Some(spec) = cli.replay.clone() {
+        std::process::exit(run_replay(&cli, &harnesses, &spec));
+    }
+
+    let opts = options(&cli);
+    let mut report = Report::default();
+    for h in &harnesses {
+        if !cli.harness.is_empty() && !cli.harness.iter().any(|n| n == h.name) {
+            continue;
+        }
+        let ex = h.explore(&opts);
+        report.absorb(h.name, h.about, &ex);
+    }
+
+    if cli.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if let Some(min) = cli.min_schedules {
+        if report.schedules < min {
+            eprintln!("explored {} distinct schedules, required {min}", report.schedules);
+            std::process::exit(1);
+        }
+    }
+
+    if cli.expect_findings {
+        // Seeded-bug pass: the checker must find something, and every
+        // printed schedule ID must reproduce it.
+        if report.ok() {
+            eprintln!("expected findings (seeded bugs) but the exploration ran clean");
+            std::process::exit(1);
+        }
+        if !confirm_replayable(&cli, &harnesses, &report) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}

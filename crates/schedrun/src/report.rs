@@ -1,0 +1,174 @@
+//! The aggregate schedule-exploration report, mirroring the shape of the
+//! `cbr-audit` report so both tools slot into the same CI plumbing: a
+//! `findings` array (non-empty means failure) plus a `passed` list, with
+//! the same text and JSON layouts. The sched-specific extras are the
+//! `schedule` field on each finding (a replayable ID for
+//! `cbr-sched --replay`) and the exploration counters.
+
+use sched::explore::Exploration;
+use std::fmt::Write as _;
+
+/// One concurrency finding, flattened for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (`S01`..`S08`).
+    pub rule: String,
+    /// The harness the finding came from (the report's "file" column).
+    pub harness: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Replayable schedule ID, or `-` for cross-schedule findings.
+    pub schedule: String,
+}
+
+/// The aggregate result of exploring every harness.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings across all harnesses; non-empty means failure.
+    pub findings: Vec<Finding>,
+    /// Per-harness "ran clean" lines for the human summary.
+    pub passed: Vec<String>,
+    /// Distinct complete schedules executed across all harnesses.
+    pub schedules: usize,
+    /// Total executions, including pruned partial runs.
+    pub runs: usize,
+}
+
+impl Report {
+    /// Whether every harness ran clean.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Folds one harness's exploration into the report.
+    pub fn absorb(&mut self, harness: &str, about: &str, ex: &Exploration) {
+        self.schedules += ex.schedules;
+        self.runs += ex.runs;
+        for f in &ex.findings {
+            self.findings.push(Finding {
+                rule: f.kind.rule().to_string(),
+                harness: harness.to_string(),
+                message: f.message.clone(),
+                schedule: f.schedule.clone(),
+            });
+        }
+        if ex.findings.is_empty() {
+            let how = if ex.complete { "exhausted" } else { "sampled" };
+            self.passed.push(format!(
+                "sched {harness} ({about}; {} schedules {how}, {} runs)",
+                ex.schedules, ex.runs
+            ));
+        }
+    }
+
+    /// Renders the human-readable summary (same layout as `cbr-audit`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for p in &self.passed {
+            let _ = writeln!(out, "ok   {p}");
+        }
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "FAIL [{}] {}: {} (schedule {})",
+                f.rule, f.harness, f.message, f.schedule
+            );
+        }
+        let _ = writeln!(
+            out,
+            "sched: {} harness(es) passed, {} finding(s), {} distinct schedules in {} runs",
+            self.passed.len(),
+            self.findings.len(),
+            self.schedules,
+            self.runs
+        );
+        out
+    }
+
+    /// Renders the report as a JSON object with the same keys as the
+    /// `cbr-audit` report (`ok`/`passed`/`findings` with
+    /// `rule`/`file`/`line`/`message`), plus `schedule` per finding and
+    /// the exploration counters.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"ok\": ");
+        out.push_str(if self.ok() { "true" } else { "false" });
+        let _ = write!(out, ",\n  \"schedules\": {},\n  \"runs\": {}", self.schedules, self.runs);
+        out.push_str(",\n  \"passed\": [");
+        for (i, p) in self.passed.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_json_str(&mut out, p);
+        }
+        out.push_str("],\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str("{\"rule\": ");
+            push_json_str(&mut out, &f.rule);
+            out.push_str(", \"file\": ");
+            push_json_str(&mut out, &f.harness);
+            out.push_str(", \"line\": 0, \"message\": ");
+            push_json_str(&mut out, &f.message);
+            out.push_str(", \"schedule\": ");
+            push_json_str(&mut out, &f.schedule);
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_mirrors_the_audit_shape() {
+        let mut r = Report::default();
+        r.passed.push("sched pool-stress (clean)".to_string());
+        r.findings.push(Finding {
+            rule: "S05".to_string(),
+            harness: "seeded-unlock-race".to_string(),
+            message: "lost \"update\"".to_string(),
+            schedule: "1a".to_string(),
+        });
+        r.schedules = 42;
+        r.runs = 50;
+        let json = r.render_json();
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\"schedules\": 42"));
+        assert!(json.contains("\"rule\": \"S05\""));
+        assert!(json.contains("\"file\": \"seeded-unlock-race\""));
+        assert!(json.contains("\"line\": 0"));
+        assert!(json.contains("\\\"update\\\""));
+        assert!(json.contains("\"schedule\": \"1a\""));
+    }
+
+    #[test]
+    fn empty_report_is_ok() {
+        let r = Report::default();
+        assert!(r.ok());
+        assert!(r.render_json().contains("\"ok\": true"));
+    }
+}

@@ -1,0 +1,69 @@
+//! The honest harnesses must run clean under a quick exploration, and
+//! the seeded-bug harnesses (when compiled in) must be caught with
+//! schedule IDs that reproduce on replay.
+
+use sched::explore::Options;
+use schedrun::harness::registry;
+
+fn quick() -> Options {
+    Options { budget: 60, max_steps: 5_000, seed: 3, dfs_quarters: 3 }
+}
+
+#[test]
+fn honest_harnesses_run_clean() {
+    for h in registry().iter().filter(|h| !h.name.starts_with("seeded-")) {
+        let ex = h.explore(&quick());
+        assert!(ex.findings.is_empty(), "harness {} reported findings: {:?}", h.name, ex.findings);
+        assert!(ex.schedules >= 1, "harness {} explored nothing", h.name);
+    }
+}
+
+#[cfg(feature = "seeded-races")]
+mod seeded {
+    use super::*;
+    use sched::rt::FindingKind;
+
+    #[test]
+    fn unlock_race_is_caught_and_replays() {
+        let harnesses = registry();
+        let h = harnesses.iter().find(|h| h.name == "seeded-unlock-race").expect("registered");
+        let ex = h.explore(&quick());
+        let bug = ex
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::Invariant)
+            .expect("the seeded lost update must be found");
+        assert_ne!(bug.schedule, "-", "the finding must carry a replayable schedule");
+        let rerun = h.replay(&quick(), &bug.schedule).expect("valid id");
+        assert!(
+            rerun.findings.iter().any(|f| f.kind == FindingKind::Invariant),
+            "replay of {} found {:?}",
+            bug.schedule,
+            rerun.findings
+        );
+    }
+
+    #[test]
+    fn lock_inversion_is_caught_and_replays() {
+        let harnesses = registry();
+        let h = harnesses.iter().find(|h| h.name == "seeded-lock-inversion").expect("registered");
+        let ex = h.explore(&quick());
+        assert!(
+            ex.findings.iter().any(|f| f.kind == FindingKind::LockOrderCycle),
+            "the union lock-order graph must report the inversion: {:?}",
+            ex.findings
+        );
+        let deadlock = ex
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::Deadlock)
+            .expect("some schedule must deadlock outright");
+        let rerun = h.replay(&quick(), &deadlock.schedule).expect("valid id");
+        assert!(
+            rerun.findings.iter().any(|f| f.kind == FindingKind::Deadlock),
+            "replay of {} found {:?}",
+            deadlock.schedule,
+            rerun.findings
+        );
+    }
+}

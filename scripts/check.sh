@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
 # Canonical verification for the workspace: formatting, lints, the
-# self-hosted audit (static rules A01-A06 + structural invariants), and
-# tests. Run from the repository root. All four must pass before merging.
+# self-hosted audit (static rules A01-A07 + structural invariants), the
+# cbr-sched schedule exploration (an honest pass that must run clean
+# plus a seeded-bug pass proving the checker is not vacuous), and
+# tests. Run from the repository root. All six must pass before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run -q -p cbr-audit -- all
+# Honest tree: every concurrency harness must explore clean, and the CI
+# budget must cover at least a thousand distinct interleavings.
+cargo run -q -p cbr-sched -- --budget 1200 --min-schedules 1000 --json
+# Non-vacuity: with the seeded bugs compiled in, the checker must find
+# them and every printed schedule ID must reproduce its finding.
+cargo run -q -p cbr-sched --features seeded-races -- \
+    --budget 200 \
+    --harness seeded-unlock-race --harness seeded-lock-inversion \
+    --expect-findings
 cargo test -q
