@@ -177,7 +177,7 @@ fn workspace_pool_stress() -> Result<(), String> {
             scope.spawn(move || {
                 for _ in 0..ROUNDS {
                     barrier.wait();
-                    let _ = s.rds(&q, 3);
+                    s.rds(&q, 3).expect("stress query failed");
                 }
             });
         }

@@ -16,8 +16,14 @@
 //!   frame round-trip hashing, and a deterministic stress of the
 //!   `SharedEngine` workspace pool.
 //!
+//! The shared scanner, report, and allowlist machinery lives in
+//! `cbr-flow` (the bottom of the tooling stack, which also runs the
+//! call-graph dataflow rules `F01`–`F05`); this crate re-exports those
+//! modules so existing `cbr_audit::scanner::..` paths keep working, and
+//! `cbr-audit all` runs lint + flow + invariants in one gate.
+//!
 //! ```sh
-//! cargo run -p cbr-audit -- all          # lint + invariants
+//! cargo run -p cbr-audit -- all          # lint + flow + invariants
 //! cargo run -p cbr-audit -- lint --json  # machine-readable report
 //! ```
 //!
@@ -27,89 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod allowlist;
 pub mod invariants;
-pub mod report;
 pub mod rules;
-pub mod scanner;
+
+pub use cbr_flow::{allowlist, report, scanner};
+pub use cbr_flow::{collect_manifests, collect_sources, workspace_root};
 
 use report::Report;
-use scanner::SourceFile;
-use std::path::{Path, PathBuf};
-
-/// The workspace root, resolved from this crate's manifest directory.
-pub fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/audit sits two levels under the workspace root")
-        .to_path_buf()
-}
-
-/// Source directories the lint walks, relative to the workspace root.
-/// `vendor/` is excluded: third-party placeholder code is not ours to
-/// lint (its manifests still go through A06).
-const SOURCE_ROOTS: [&str; 4] = ["src", "crates", "tests", "examples"];
-
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    entries.sort();
-    for path in entries {
-        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-        if path.is_dir() {
-            if name != "target" && !name.starts_with('.') {
-                walk_rs(&path, out);
-            }
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Loads and scans every workspace source file.
-pub fn collect_sources(root: &Path) -> Vec<SourceFile> {
-    let mut paths = Vec::new();
-    for sub in SOURCE_ROOTS {
-        walk_rs(&root.join(sub), &mut paths);
-    }
-    paths
-        .into_iter()
-        .filter_map(|p| {
-            let rel = p.strip_prefix(root).ok()?.to_str()?.to_string();
-            let text = std::fs::read_to_string(&p).ok()?;
-            Some(SourceFile::parse(&rel, &text))
-        })
-        .collect()
-}
-
-/// Workspace manifests: root, member crates, and the vendored stubs
-/// (which must also never grow registry dependencies).
-pub fn collect_manifests(root: &Path) -> Vec<(String, String)> {
-    let mut rels = vec!["Cargo.toml".to_string()];
-    for sub in ["crates", "vendor"] {
-        if let Ok(entries) = std::fs::read_dir(root.join(sub)) {
-            let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-            dirs.sort();
-            for d in dirs {
-                let m = d.join("Cargo.toml");
-                if m.is_file() {
-                    if let Ok(rel) = m.strip_prefix(root) {
-                        rels.push(rel.to_string_lossy().into_owned());
-                    }
-                }
-            }
-        }
-    }
-    rels.into_iter()
-        .filter_map(|rel| {
-            let text = std::fs::read_to_string(root.join(&rel)).ok()?;
-            Some((rel, text))
-        })
-        .collect()
-}
+use std::path::Path;
 
 /// Runs the lint half: all rules over all sources and manifests, with
 /// `audit.allow` applied.
@@ -121,7 +52,7 @@ pub fn run_lint(root: &Path) -> Report {
     }
 
     let allow_content = std::fs::read_to_string(root.join("audit.allow")).unwrap_or_default();
-    let (entries, mut parse_errors) = allowlist::parse(&allow_content);
+    let (entries, mut parse_errors) = allowlist::parse(&allow_content, "audit.allow");
     let mut findings = allowlist::apply(findings, &entries);
     findings.append(&mut parse_errors);
 

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! cbr-audit lint        [--json]   static analysis rules A01–A06
+//! cbr-audit flow        [--json]   call-graph dataflow rules F01–F05
 //! cbr-audit invariants  [--json]   structural validate() suite
-//! cbr-audit all         [--json]   both halves
+//! cbr-audit all         [--json]   lint + flow + invariants
 //! ```
 //!
 //! Exits 0 when clean, 1 when any finding survives the allowlist, 2 on
@@ -22,13 +23,15 @@ fn main() {
     let mut report = Report::default();
     match command {
         Some("lint") => report.merge(cbr_audit::run_lint(&root)),
+        Some("flow") => report.merge(cbr_flow::run_workspace(&root).report),
         Some("invariants") => report.merge(cbr_audit::invariants::run()),
         Some("all") => {
             report.merge(cbr_audit::run_lint(&root));
+            report.merge(cbr_flow::run_workspace(&root).report);
             report.merge(cbr_audit::invariants::run());
         }
         _ => {
-            eprintln!("usage: cbr-audit <lint|invariants|all> [--json]");
+            eprintln!("usage: cbr-audit <lint|flow|invariants|all> [--json]");
             std::process::exit(2);
         }
     }

@@ -8,7 +8,7 @@
 //! invariants" for what each rule protects and why a scanner suffices.
 
 use crate::report::Finding;
-use crate::scanner::SourceFile;
+use crate::scanner::{slice_index_sites, SourceFile};
 use std::collections::BTreeSet;
 
 /// Hot-path modules where A02 (no panics, no slice indexing) applies:
@@ -112,41 +112,6 @@ pub fn a02_no_hot_path_panics(file: &SourceFile) -> Vec<Finding> {
         }
     }
     out.sort_by_key(|f| f.line);
-    out
-}
-
-/// Byte offsets of `[` that index into a value (preceded by an
-/// identifier, `)`, or `]`) rather than opening a literal, type, pattern,
-/// attribute, or macro invocation.
-fn slice_index_sites(file: &SourceFile) -> Vec<usize> {
-    const KEYWORDS: [&str; 14] = [
-        "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move",
-        "while", "for", "loop",
-    ];
-    let bytes = file.code.as_bytes();
-    let mut out = Vec::new();
-    for (i, &b) in bytes.iter().enumerate() {
-        if b != b'[' || i == 0 {
-            continue;
-        }
-        let mut p = i - 1;
-        while p > 0 && (bytes[p] == b' ' || bytes[p] == b'\n') {
-            p -= 1;
-        }
-        let prev = bytes[p];
-        if prev == b')' || prev == b']' {
-            out.push(i);
-        } else if is_ident_byte(prev) {
-            let mut s = p;
-            while s > 0 && is_ident_byte(bytes[s - 1]) {
-                s -= 1;
-            }
-            let word = &file.code[s..=p];
-            if !KEYWORDS.contains(&word) {
-                out.push(i);
-            }
-        }
-    }
     out
 }
 

@@ -349,6 +349,17 @@ mod tests {
     }
 
     #[test]
+    fn sds_and_full_scan_agree() {
+        let e = engine();
+        let q = some_query(&e, 3);
+        let fast = e.sds(&q, 5).unwrap();
+        let slow = e.sds_full_scan(&q, 5).unwrap();
+        for (a, b) in fast.results.iter().zip(slow.results.iter()) {
+            assert_eq!(a.distance, b.distance);
+        }
+    }
+
+    #[test]
     fn workspace_queries_match_and_report_reuse() {
         let e = engine();
         let q = some_query(&e, 3);

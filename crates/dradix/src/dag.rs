@@ -435,6 +435,9 @@ impl DRadixDag {
 
     /// Returns the node slot of `concept`, materializing it at the
     /// watermark if new. Recycled slots keep their edge `Vec` allocation.
+    // Arena growth past the high-water mark; slots are retained and
+    // recycled by later builds.
+    // flow: workspace-fed
     fn slot_for(&mut self, concept: ConceptId) -> u32 {
         if let Some(&n) = self.by_concept.get(&concept) {
             return n;

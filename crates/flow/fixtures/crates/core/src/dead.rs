@@ -1,0 +1,7 @@
+//! Seeded-violation fixture for cbr-flow. Parsed, never compiled.
+//!
+//! Nothing in the fixture tree reaches or mentions this export.
+
+pub fn forgotten_helper() -> u32 { // seeded: F05
+    7
+}

@@ -1,11 +1,12 @@
 //! The checked-in lint allowlist and its ratchet semantics.
 //!
-//! `audit.allow` at the workspace root carries one entry per `(rule,
-//! file)` pair that is permitted a fixed number of findings, each with a
-//! justification. The counts ratchet in both directions: *more* findings
-//! than allowed fail the build (a regression), and *fewer* findings also
-//! fail (the entry is stale and must be lowered or removed — the budget
-//! cannot silently accumulate slack for future regressions).
+//! `audit.allow` and `flow.allow` at the workspace root carry one entry
+//! per `(rule, file)` pair that is permitted a fixed number of findings,
+//! each with a justification. The counts ratchet in both directions:
+//! *more* findings than allowed fail the build (a regression), and
+//! *fewer* findings also fail (the entry is stale and must be lowered or
+//! removed — the budget cannot silently accumulate slack for future
+//! regressions).
 
 use crate::report::Finding;
 use std::collections::BTreeMap;
@@ -23,7 +24,8 @@ pub struct AllowEntry {
     pub justification: String,
 }
 
-/// Parses `audit.allow` content. Grammar, one entry per line:
+/// Parses allowlist content (`origin` names the file for error
+/// findings, e.g. `audit.allow`). Grammar, one entry per line:
 ///
 /// ```text
 /// A02 crates/dradix/src/dag.rs 57 arena indices are bounded by the live watermark
@@ -31,7 +33,7 @@ pub struct AllowEntry {
 ///
 /// Blank lines and `#` comments are skipped. Returns parse errors as
 /// findings so a malformed allowlist fails the audit loudly.
-pub fn parse(content: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
+pub fn parse(content: &str, origin: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
     let mut entries = Vec::new();
     let mut errors = Vec::new();
     for (i, raw) in content.lines().enumerate() {
@@ -53,7 +55,7 @@ pub fn parse(content: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
             }
             _ => errors.push(Finding::new(
                 "ALLOW",
-                "audit.allow",
+                origin,
                 i + 1,
                 format!("malformed entry {line:?} (want: RULE FILE COUNT JUSTIFICATION)"),
             )),
@@ -94,7 +96,7 @@ pub fn apply(findings: Vec<Finding>, entries: &[AllowEntry]) -> Vec<Finding> {
                 "ALLOW",
                 &key.1,
                 0,
-                format!("rule {} has {have} finding(s) but audit.allow permits {n}", key.0),
+                format!("rule {} has {have} finding(s) but the allowlist permits {n}", key.0),
             ));
         } else if have < n {
             out.push(Finding::new(
@@ -122,7 +124,8 @@ mod tests {
 
     #[test]
     fn parse_accepts_entries_and_comments() {
-        let (entries, errors) = parse("# header\n\nA02 crates/d/dag.rs 3 arena indices bounded\n");
+        let (entries, errors) =
+            parse("# header\n\nA02 crates/d/dag.rs 3 arena indices bounded\n", "audit.allow");
         assert!(errors.is_empty());
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].count, 3);
@@ -131,21 +134,21 @@ mod tests {
 
     #[test]
     fn parse_rejects_missing_justification() {
-        let (entries, errors) = parse("A02 crates/d/dag.rs 3\n");
+        let (entries, errors) = parse("A02 crates/d/dag.rs 3\n", "flow.allow");
         assert!(entries.is_empty());
         assert_eq!(errors.len(), 1);
     }
 
     #[test]
     fn exact_count_suppresses() {
-        let entries = parse("A02 f.rs 2 fine\n").0;
+        let entries = parse("A02 f.rs 2 fine\n", "audit.allow").0;
         let out = apply(vec![finding("A02", "f.rs"), finding("A02", "f.rs")], &entries);
         assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
     fn over_budget_fails_with_annotation() {
-        let entries = parse("A02 f.rs 1 fine\n").0;
+        let entries = parse("A02 f.rs 1 fine\n", "audit.allow").0;
         let out = apply(vec![finding("A02", "f.rs"), finding("A02", "f.rs")], &entries);
         assert_eq!(out.len(), 3, "2 raw + 1 annotation: {out:?}");
         assert!(out.iter().any(|f| f.rule == "ALLOW" && f.message.contains("permits 1")));
@@ -153,14 +156,14 @@ mod tests {
 
     #[test]
     fn stale_entry_fails() {
-        let entries = parse("A02 f.rs 2 fine\n").0;
+        let entries = parse("A02 f.rs 2 fine\n", "audit.allow").0;
         let out = apply(vec![finding("A02", "f.rs")], &entries);
         assert!(out.iter().any(|f| f.message.contains("stale allowlist")), "{out:?}");
     }
 
     #[test]
     fn unrelated_findings_pass_through() {
-        let entries = parse("A02 f.rs 1 fine\n").0;
+        let entries = parse("A02 f.rs 1 fine\n", "audit.allow").0;
         let out = apply(vec![finding("A01", "g.rs"), finding("A02", "f.rs")], &entries);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "A01");

@@ -1,0 +1,286 @@
+//! `cbr-flow`: call-graph dataflow lints that prove the zero-allocation
+//! query path.
+//!
+//! Where `cbr-audit` lints token streams file by file, this crate lifts
+//! the same hand-rolled [`scanner`] into an item-level [`parser`]
+//! (functions, impl blocks, call sites), builds an approximate
+//! whole-workspace call [`graph`], and runs worklist propagation to
+//! check *flow* properties the token rules cannot see:
+//!
+//! * **F01/F04** — no allocation and no panic source transitively
+//!   reachable from the hot-path query roots on the release graph;
+//! * **F02** — workspace pool pop/push balance across early exits;
+//! * **F03** — no discarded `Result` from fallible workspace calls;
+//! * **F05** — dead `pub` exports.
+//!
+//! Findings ratchet through `flow.allow` (same exact-count grammar as
+//! `audit.allow`). The shared [`scanner`]/[`report`]/[`allowlist`]
+//! modules live here — at the bottom of the tooling stack — and
+//! `cbr-audit` re-exports them, so this crate has zero dependencies.
+//!
+//! ```sh
+//! cargo run -p cbr-flow                          # lint the workspace
+//! cargo run -p cbr-flow -- --json                # machine-readable report
+//! cargo run -p cbr-flow -- --fixtures --expect-findings  # prove non-vacuity
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod graph;
+pub mod parser;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+
+use graph::{CrateDeps, Graph, GraphStats};
+use parser::{normalize_crate_ident, Workspace};
+use report::Report;
+use scanner::SourceFile;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/flow sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Source directories the analyses walk, relative to the analysis root.
+/// `vendor/` is excluded: third-party placeholder code is not ours to
+/// lint (its manifests still go through audit A06).
+const SOURCE_ROOTS: [&str; 4] = ["src", "crates", "tests", "examples"];
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // `fixtures` trees hold seeded-violation corpora for the
+            // flow rules; they are analyzed on demand, never as part of
+            // the real workspace.
+            if name != "target" && name != "fixtures" && !name.starts_with('.') {
+                walk_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Loads and scans every source file under `root`.
+pub fn collect_sources(root: &Path) -> Vec<SourceFile> {
+    let mut paths = Vec::new();
+    for sub in SOURCE_ROOTS {
+        walk_rs(&root.join(sub), &mut paths);
+    }
+    paths
+        .into_iter()
+        .filter_map(|p| {
+            let rel = p.strip_prefix(root).ok()?.to_str()?.to_string();
+            let text = std::fs::read_to_string(&p).ok()?;
+            Some(SourceFile::parse(&rel, &text))
+        })
+        .collect()
+}
+
+/// Workspace manifests: root, member crates, and the vendored stubs
+/// (which must also never grow registry dependencies).
+pub fn collect_manifests(root: &Path) -> Vec<(String, String)> {
+    let mut rels = vec!["Cargo.toml".to_string()];
+    for sub in ["crates", "vendor"] {
+        if let Ok(entries) = std::fs::read_dir(root.join(sub)) {
+            let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+            dirs.sort();
+            for d in dirs {
+                let m = d.join("Cargo.toml");
+                if m.is_file() {
+                    if let Ok(rel) = m.strip_prefix(root) {
+                        rels.push(rel.to_string_lossy().into_owned());
+                    }
+                }
+            }
+        }
+    }
+    rels.into_iter()
+        .filter_map(|rel| {
+            let text = std::fs::read_to_string(root.join(&rel)).ok()?;
+            Some((rel, text))
+        })
+        .collect()
+}
+
+/// Derives the workspace crate-dependency relation from manifests.
+/// Crates are keyed by their `crates/<dir>` name (matching
+/// [`parser::module_path`]); the root package is `repro`. Dependency
+/// keys are normalized package names, so `cbr-sched-model = ..` becomes
+/// an edge to `sched`.
+pub fn crate_deps(manifests: &[(String, String)]) -> CrateDeps {
+    let mut out = CrateDeps::default();
+    for (rel, text) in manifests {
+        let krate = match rel.strip_suffix("Cargo.toml").map(|p| p.trim_end_matches('/')) {
+            Some("") => "repro".to_string(),
+            Some(dir) => match dir.strip_prefix("crates/") {
+                Some(name) => name.to_string(),
+                None => continue, // vendor stubs are not analyzed crates
+            },
+            None => continue,
+        };
+        let mut section = String::new();
+        let mut deps = BTreeSet::new();
+        for line in text.lines() {
+            let t = line.trim();
+            if let Some(h) = t.strip_prefix('[') {
+                section = h.trim_end_matches(']').to_string();
+                continue;
+            }
+            if matches!(
+                section.as_str(),
+                "dependencies" | "dev-dependencies" | "build-dependencies"
+            ) {
+                if let Some((key, _)) = t.split_once('=') {
+                    let key = key.trim().trim_matches('"');
+                    if !key.is_empty() && !key.starts_with('#') {
+                        deps.insert(normalize_crate_ident(&key.replace('-', "_")));
+                    }
+                }
+            }
+        }
+        out.deps.insert(krate, deps);
+    }
+    out
+}
+
+/// The flow report: findings plus call-graph statistics.
+#[derive(Debug)]
+pub struct FlowReport {
+    /// Findings and passed-rule lines, allowlist already applied.
+    pub report: Report,
+    /// Call-graph statistics for the resolution acceptance gate.
+    pub stats: GraphStats,
+}
+
+impl FlowReport {
+    /// Human-readable report with the graph summary line.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}graph: {} fns, {} edges, {}/{} internal calls resolved ({:.1}%)\n",
+            self.report.render_text(),
+            self.stats.functions,
+            self.stats.edges,
+            self.stats.calls_resolved,
+            self.stats.calls_internal,
+            self.stats.resolution() * 100.0,
+        )
+    }
+
+    /// JSON report: the shared [`Report`] shape plus graph statistics.
+    pub fn render_json(&self) -> String {
+        let base = self.report.render_json();
+        let trimmed = base.trim_end().trim_end_matches('}').trim_end().trim_end_matches(',');
+        format!(
+            "{trimmed},\n  \"functions\": {},\n  \"edges\": {},\n  \"calls_total\": {},\n  \
+             \"calls_internal\": {},\n  \"calls_resolved\": {},\n  \"resolution\": {:.3}\n}}\n",
+            self.stats.functions,
+            self.stats.edges,
+            self.stats.calls_total,
+            self.stats.calls_internal,
+            self.stats.calls_resolved,
+            self.stats.resolution(),
+        )
+    }
+}
+
+/// Analyzes scanned sources with an allowlist (`origin` names the
+/// allowlist file in parse-error findings) under a crate-dependency
+/// constraint.
+pub fn analyze(files: Vec<SourceFile>, allow: &str, origin: &str, deps: &CrateDeps) -> FlowReport {
+    let ws = Workspace::parse(files);
+    let graph = Graph::build(&ws, deps);
+    let findings = rules::run(&ws, &graph);
+
+    let (entries, mut parse_errors) = allowlist::parse(allow, origin);
+    let mut findings = allowlist::apply(findings, &entries);
+    findings.append(&mut parse_errors);
+
+    let mut report = Report { findings, passed: Vec::new() };
+    if report.ok() {
+        for rule in ["F01", "F02", "F03", "F04", "F05"] {
+            report.passed.push(format!(
+                "flow {rule} ({} fns, {} edges)",
+                ws.fns.len(),
+                graph.stats.edges
+            ));
+        }
+    }
+    FlowReport { report, stats: graph.stats }
+}
+
+/// Runs the flow analysis over the real workspace with `flow.allow`.
+pub fn run_workspace(root: &Path) -> FlowReport {
+    let allow = std::fs::read_to_string(root.join("flow.allow")).unwrap_or_default();
+    let deps = crate_deps(&collect_manifests(root));
+    analyze(collect_sources(root), &allow, "flow.allow", &deps)
+}
+
+/// Runs the flow analysis over the seeded-violation fixture tree (no
+/// allowlist — every seeded finding must surface — and no dependency
+/// constraint, since the fixture tree has no manifests).
+pub fn run_fixtures(root: &Path) -> FlowReport {
+    analyze(
+        collect_sources(&root.join("crates/flow/fixtures")),
+        "",
+        "flow.allow",
+        &CrateDeps::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The flow lint must be silent on its own tree modulo `flow.allow`.
+    #[test]
+    fn current_tree_is_clean() {
+        let fr = run_workspace(&workspace_root());
+        assert!(fr.report.ok(), "flow findings on the current tree:\n{}", fr.render_text());
+    }
+
+    /// The acceptance gate: at least 80% of workspace-internal calls
+    /// resolve to a callee.
+    #[test]
+    fn resolution_meets_the_acceptance_bar() {
+        let fr = run_workspace(&workspace_root());
+        assert!(
+            fr.stats.resolution() >= 0.80,
+            "resolution {:.3} below 0.80 ({} / {} internal calls)",
+            fr.stats.resolution(),
+            fr.stats.calls_resolved,
+            fr.stats.calls_internal
+        );
+    }
+
+    #[test]
+    fn collectors_skip_fixture_trees() {
+        let files = collect_sources(&workspace_root());
+        assert!(files.iter().any(|f| f.rel == "crates/knds/src/engine.rs"));
+        assert!(!files.iter().any(|f| f.rel.contains("fixtures/")));
+    }
+
+    #[test]
+    fn json_report_carries_graph_stats() {
+        let fr = run_workspace(&workspace_root());
+        let json = fr.render_json();
+        for key in ["\"ok\"", "\"functions\"", "\"edges\"", "\"resolution\""] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+}

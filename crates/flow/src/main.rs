@@ -1,0 +1,72 @@
+//! `cbr-flow` CLI: run the call-graph dataflow lints.
+//!
+//! ```sh
+//! cbr-flow                           # lint the real workspace (flow.allow applied)
+//! cbr-flow --json                    # machine-readable report with graph stats
+//! cbr-flow --fixtures                # lint the seeded-violation fixture tree
+//! cbr-flow --fixtures --expect-findings  # assert every rule F01-F05 fires
+//! ```
+//!
+//! Exit codes: `0` clean (or, with `--expect-findings`, all rules
+//! fired), `1` findings (or a missing rule), `2` usage error.
+
+#![forbid(unsafe_code)]
+
+use cbr_flow::{run_fixtures, run_workspace, workspace_root};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cbr-flow [--json] [--fixtures] [--expect-findings]\n\n\
+         options:\n  \
+         --json             emit the machine-readable report\n  \
+         --fixtures         analyze the seeded-violation fixture tree instead of the workspace\n  \
+         --expect-findings  fail unless every rule F01-F05 produced at least one finding"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fixtures = false;
+    let mut expect_findings = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fixtures" => fixtures = true,
+            "--expect-findings" => expect_findings = true,
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let root = workspace_root();
+    let fr = if fixtures { run_fixtures(&root) } else { run_workspace(&root) };
+
+    if json {
+        print!("{}", fr.render_json());
+    } else {
+        print!("{}", fr.render_text());
+    }
+
+    if expect_findings {
+        let missing: Vec<&str> = ["F01", "F02", "F03", "F04", "F05"]
+            .into_iter()
+            .filter(|rule| !fr.report.findings.iter().any(|f| f.rule == *rule))
+            .collect();
+        if missing.is_empty() {
+            eprintln!("expect-findings: all rules F01-F05 fired");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("expect-findings: rule(s) {} produced no findings", missing.join(", "));
+            ExitCode::FAILURE
+        }
+    } else if fr.report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,14 +1,18 @@
 //! A lightweight lexical scanner for Rust sources.
 //!
-//! The lint rules need three things the raw text cannot give them:
+//! The lint rules need a few things the raw text cannot give them:
 //! a view of the source with comments and string literals blanked out
 //! (so `"panic!"` inside a message never trips A02), byte-accurate
-//! `#[cfg(test)]` region tracking (test code may unwrap freely), and
+//! `#[cfg(test)]` region tracking (test code may unwrap freely),
 //! `#[cfg(feature = "serde")]` item tracking (gated serde imports are
-//! legal). It is a character-level scanner, not a parser: it understands
-//! exactly the token classes the rules query — line and nested block
-//! comments, string/char/raw-string literals versus lifetimes, attribute
-//! spans, and brace-matched item extents — and nothing more.
+//! legal), and `#[cfg(debug_assertions)]` tracking (debug-only
+//! validation hooks are outside the release hot path the flow rules
+//! reason about). It is a character-level scanner, not a parser: it
+//! understands exactly the token classes the rules query — line and
+//! nested block comments, string/char/raw-string literals versus
+//! lifetimes, attribute spans, and brace-matched item extents — and
+//! nothing more. The item-level parser in [`crate::parser`] builds its
+//! `fn`/`impl` index on top of the blanked `code` view.
 
 /// A scanned source file: original text plus derived masks.
 #[derive(Debug)]
@@ -24,6 +28,8 @@ pub struct SourceFile {
     in_test: Vec<bool>,
     /// Per-byte: inside a `#[cfg(feature = "serde")]`-gated item.
     in_serde_gate: Vec<bool>,
+    /// Per-byte: inside a `#[cfg(debug_assertions)]`-gated item or block.
+    in_debug_gate: Vec<bool>,
 }
 
 impl SourceFile {
@@ -37,6 +43,7 @@ impl SourceFile {
             code,
             in_test: vec![whole_file_test; text.len()],
             in_serde_gate: vec![false; text.len()],
+            in_debug_gate: vec![false; text.len()],
         };
         file.mark_attr_regions();
         file
@@ -58,6 +65,14 @@ impl SourceFile {
     /// Whether the byte at `offset` is inside a serde-gated item.
     pub fn is_serde_gated(&self, offset: usize) -> bool {
         self.in_serde_gate.get(offset).copied().unwrap_or(false)
+    }
+
+    /// Whether the byte at `offset` is inside a
+    /// `#[cfg(debug_assertions)]`-gated item or statement block — code
+    /// the release build compiles out, which the flow hot-path rules
+    /// therefore ignore.
+    pub fn is_debug_gated(&self, offset: usize) -> bool {
+        self.in_debug_gate.get(offset).copied().unwrap_or(false)
     }
 
     /// Byte offsets of every occurrence of `needle` in non-comment,
@@ -88,7 +103,8 @@ impl SourceFile {
                 let is_test_cfg = attr.contains("cfg(test)");
                 let is_serde_cfg = (attr.contains("cfg(feature") || attr.contains("cfg_attr"))
                     && attr.contains("\"serde\"");
-                if is_test_cfg || is_serde_cfg {
+                let is_debug_cfg = attr.contains("cfg(debug_assertions)");
+                if is_test_cfg || is_serde_cfg || is_debug_cfg {
                     if let Some((start, end)) = self.item_after(close + 1) {
                         for o in start..=end.min(self.in_test.len() - 1) {
                             if is_test_cfg {
@@ -96,6 +112,9 @@ impl SourceFile {
                             }
                             if is_serde_cfg {
                                 self.in_serde_gate[o] = true;
+                            }
+                            if is_debug_cfg {
+                                self.in_debug_gate[o] = true;
                             }
                         }
                     }
@@ -144,8 +163,49 @@ impl SourceFile {
     }
 }
 
+/// Whether `b` can appear in a Rust identifier.
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets of `[` that index into a value (preceded by an
+/// identifier, `)`, or `]`) rather than opening a literal, type, pattern,
+/// attribute, or macro invocation. Shared by audit rule A02 and flow
+/// rule F04.
+pub fn slice_index_sites(file: &SourceFile) -> Vec<usize> {
+    const KEYWORDS: [&str; 14] = [
+        "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move",
+        "while", "for", "loop",
+    ];
+    let bytes = file.code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let mut p = i - 1;
+        while p > 0 && (bytes[p] == b' ' || bytes[p] == b'\n') {
+            p -= 1;
+        }
+        let prev = bytes[p];
+        if prev == b')' || prev == b']' {
+            out.push(i);
+        } else if is_ident_byte(prev) {
+            let mut s = p;
+            while s > 0 && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            let word = &file.code[s..=p];
+            if !KEYWORDS.contains(&word) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
 /// Finds the offset of the bracket closing the one at `open`.
-fn match_bracket(bytes: &[u8], open: usize, ob: u8, cb: u8) -> Option<usize> {
+pub(crate) fn match_bracket(bytes: &[u8], open: usize, ob: u8, cb: u8) -> Option<usize> {
     debug_assert_eq!(bytes.get(open), Some(&ob));
     let mut depth = 0usize;
     for (i, &b) in bytes.iter().enumerate().skip(open) {
@@ -374,6 +434,27 @@ mod tests {
     fn files_under_tests_are_wholly_test() {
         let f = SourceFile::parse("crates/knds/tests/streaming.rs", "fn x() { y.unwrap(); }");
         assert!(f.is_test(f.code_matches(".unwrap(")[0]));
+    }
+
+    #[test]
+    fn debug_assertions_blocks_are_marked() {
+        let src = "fn f() {\n    step();\n    #[cfg(debug_assertions)]\n    {\n        self.check().unwrap();\n    }\n}\n#[cfg(debug_assertions)]\nfn check_all() { x.unwrap(); }\nfn live() { y.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let hits = f.code_matches(".unwrap(");
+        assert_eq!(hits.len(), 3);
+        assert!(f.is_debug_gated(hits[0]), "statement block is gated");
+        assert!(f.is_debug_gated(hits[1]), "gated fn item is gated");
+        assert!(!f.is_debug_gated(hits[2]), "plain code is not gated");
+    }
+
+    #[test]
+    fn slice_index_sites_classify_brackets() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "#[derive(Debug)]\nfn f(v: &[u32], i: usize) -> u32 { let a: [u8; 2] = [0, 1]; \
+             vec![3]; v[i] + (a)[0] }",
+        );
+        assert_eq!(slice_index_sites(&f).len(), 2, "v[i] and (a)[0] only");
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! The seeded-violation fixture tree proves the rules are not vacuous:
+//! every rule F01–F05 must fire, with exact counts, and every finding
+//! must replay to a line carrying a `// seeded: <rule>` marker.
+
+use cbr_flow::{run_fixtures, workspace_root};
+
+#[test]
+fn fixtures_seed_every_rule_with_exact_counts() {
+    let fr = run_fixtures(&workspace_root());
+    let count = |r: &str| fr.report.findings.iter().filter(|f| f.rule == r).count();
+    assert_eq!(count("F01"), 3, "F01: {:#?}", fr.report.findings);
+    assert_eq!(count("F02"), 2, "F02: {:#?}", fr.report.findings);
+    assert_eq!(count("F03"), 2, "F03: {:#?}", fr.report.findings);
+    assert_eq!(count("F04"), 4, "F04: {:#?}", fr.report.findings);
+    assert_eq!(count("F05"), 1, "F05: {:#?}", fr.report.findings);
+    assert_eq!(count("FLOW"), 0, "every hot-path root spec matched a fixture fn");
+    assert_eq!(fr.report.findings.len(), 12);
+}
+
+#[test]
+fn every_fixture_finding_replays_to_a_seeded_marker() {
+    let root = workspace_root();
+    let fixture_root = root.join("crates/flow/fixtures");
+    let fr = run_fixtures(&root);
+    assert!(!fr.report.findings.is_empty(), "fixtures produced no findings");
+    for f in &fr.report.findings {
+        let text = std::fs::read_to_string(fixture_root.join(&f.file))
+            .unwrap_or_else(|e| panic!("reading fixture {}: {e}", f.file));
+        let line = text
+            .lines()
+            .nth(f.line - 1)
+            .unwrap_or_else(|| panic!("{}:{} out of range", f.file, f.line));
+        assert!(
+            line.contains(&format!("seeded: {}", f.rule)),
+            "{}:{} reported for {} but the line has no marker: `{line}`",
+            f.file,
+            f.line,
+            f.rule
+        );
+    }
+}
+
+#[test]
+fn exemptions_hold_inside_the_fixture_tree() {
+    let fr = run_fixtures(&workspace_root());
+    // The workspace-fed helper in the weighted fixture allocates, and
+    // must not be reported.
+    assert!(
+        !fr.report
+            .findings
+            .iter()
+            .any(|f| f.rule == "F01" && f.file.ends_with("knds/src/weighted.rs")),
+        "workspace-fed callee was reported: {:#?}",
+        fr.report.findings
+    );
+    // The drop-guard variant pops without pushing back and must stay
+    // quiet; both F02 findings blame `query` itself.
+    assert!(
+        fr.report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "F02")
+            .all(|f| f.message.contains("`query`") && !f.message.contains("query_guarded")),
+        "F02 leaked into the guarded variant: {:#?}",
+        fr.report.findings
+    );
+}

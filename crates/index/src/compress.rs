@@ -195,6 +195,14 @@ mod tests {
     }
 
     #[test]
+    fn size_accessors_are_consistent() {
+        let comp = CompressedPostings::build(&InvertedIndex::build(&corpus(), 5));
+        assert_eq!(comp.num_concepts(), 5);
+        // The offset table stores num_concepts + 1 u32 fence posts.
+        assert_eq!(comp.total_bytes(), comp.data_bytes() + (comp.num_concepts() + 1) * 4);
+    }
+
+    #[test]
     fn dense_postings_compress_below_raw_size() {
         // 1000 docs all containing concept 0 -> deltas of 1 -> 1 byte each
         // vs 4 bytes raw.

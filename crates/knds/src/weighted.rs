@@ -152,10 +152,12 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         if buckets.is_empty() {
             buckets.push(Vec::new());
         }
-        for (i, &c) in self.query.iter().enumerate() {
-            let s: State = (i as u32, c, false);
-            self.ws.best_dist.insert(pack_state(s), 0);
-            buckets[0].push(s);
+        if let Some(seed) = buckets.first_mut() {
+            for (i, &c) in self.query.iter().enumerate() {
+                let s: State = (i as u32, c, false);
+                self.ws.best_dist.insert(pack_state(s), 0);
+                seed.push(s);
+            }
         }
 
         let mut d: u32 = 0;
@@ -163,7 +165,7 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
             // --- process bucket `d` (traversal bucket) ----------------------
             let t0 = Instant::now();
             let mut forced = false;
-            let mut current = std::mem::take(&mut buckets[d as usize]);
+            let mut current = buckets.get_mut(d as usize).map(std::mem::take).unwrap_or_default();
             for &state in &current {
                 let (origin, node, descending) = state;
                 // Lazy deletion: skip stale entries.
@@ -177,7 +179,9 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
             // Hand the drained bucket's capacity back (expansion only ever
             // pushes past `d`, so the slot is final for this query).
             current.clear();
-            buckets[d as usize] = current;
+            if let Some(slot) = buckets.get_mut(d as usize) {
+                *slot = current;
+            }
             let frontier_size: usize = buckets.iter().map(|b| b.len()).sum();
             if frontier_size > self.config.queue_cap {
                 forced = true;
@@ -199,7 +203,12 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
                 break;
             }
             // Advance to the next non-empty bucket.
-            let next = (d as usize + 1..buckets.len()).find(|&i| !buckets[i].is_empty());
+            let next = buckets
+                .iter()
+                .enumerate()
+                .skip(d as usize + 1)
+                .find(|(_, b)| !b.is_empty())
+                .map(|(i, _)| i);
             match next {
                 Some(i) => d = i as u32,
                 None => {
@@ -230,8 +239,8 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         self.source.postings(node, &mut self.ws.postings_buf);
         self.metrics.io += t.elapsed();
 
-        for i in 0..self.ws.postings_buf.len() {
-            let doc = self.ws.postings_buf[i];
+        let postings = std::mem::take(&mut self.ws.postings_buf);
+        for &doc in &postings {
             let cand = match self.ws.candidates.entry(doc) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -251,14 +260,17 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
                 cand.rev_sum += dist as u64;
             }
         }
+        self.ws.postings_buf = postings;
     }
 
     fn expand(&mut self, state: State, d: u32, descending: bool, buckets: &mut Vec<Vec<State>>) {
         let (origin, node, _) = state;
         if !descending {
             for &p in self.ont.parents(node) {
-                let w =
-                    self.weights.weight(self.ont, p, node).expect("parent adjacency is symmetric");
+                let Some(w) = self.weights.weight(self.ont, p, node) else {
+                    debug_assert!(false, "parent adjacency is symmetric");
+                    continue;
+                };
                 self.push(buckets, (origin, p, false), d + w);
             }
         }
@@ -268,6 +280,8 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         }
     }
 
+    // Bucket growth is retained by the workspace across queries.
+    // flow: workspace-fed
     fn push(&mut self, buckets: &mut Vec<Vec<State>>, state: State, dist: u32) {
         if self.config.dedup_visits {
             // Dijkstra relaxation: only keep strictly improving pushes.
@@ -286,7 +300,9 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         if buckets.len() <= dist as usize {
             buckets.resize(dist as usize + 1, Vec::new());
         }
-        buckets[dist as usize].push(state);
+        if let Some(bucket) = buckets.get_mut(dist as usize) {
+            bucket.push(state);
+        }
     }
 
     fn examine(&mut self, d: u32, forced: bool) -> f64 {
@@ -315,7 +331,10 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
                 break;
             }
             let exact = self.exact_distance(doc);
-            let cand = self.ws.candidates.get_mut(&doc).expect("candidate exists");
+            let Some(cand) = self.ws.candidates.get_mut(&doc) else {
+                debug_assert!(false, "examined doc {doc} has no candidate");
+                continue;
+            };
             cand.examined = true;
             self.metrics.docs_examined += 1;
             self.heap.offer(doc, exact);
@@ -347,7 +366,12 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
     }
 
     fn error_estimate(&self, doc: DocId, lb: f64) -> f64 {
-        let c = &self.ws.candidates[&doc];
+        let Some(c) = self.ws.candidates.get(&doc) else {
+            // Degraded result: "no error" forces exact examination, which is
+            // always sound.
+            debug_assert!(false, "error estimate for unseen doc {doc}");
+            return 0.0;
+        };
         if lb <= 0.0 {
             return 0.0;
         }
@@ -363,7 +387,10 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
     }
 
     fn exact_distance(&mut self, doc: DocId) -> f64 {
-        let c = &self.ws.candidates[&doc];
+        let Some(c) = self.ws.candidates.get(&doc) else {
+            debug_assert!(false, "exact distance for unseen doc {doc}");
+            return f64::INFINITY;
+        };
         let complete = match self.kind {
             Kind::Rds => c.covered as usize == self.nq,
             Kind::Sds => c.covered as usize == self.nq && c.rev_covered == c.doc_len,
@@ -400,12 +427,17 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         docs.clear();
         docs.extend(self.ws.candidates.iter().filter(|(_, c)| !c.examined).map(|(&doc, _)| doc));
         for &doc in &docs {
-            let c = &self.ws.candidates[&doc];
+            let Some(c) = self.ws.candidates.get(&doc) else {
+                debug_assert!(false, "exhausted doc {doc} has no candidate");
+                continue;
+            };
             debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
             let exact = self.partial_distance(c);
             self.metrics.exact_from_partial += 1;
             self.metrics.docs_examined += 1;
-            self.ws.candidates.get_mut(&doc).expect("exists").examined = true;
+            if let Some(c) = self.ws.candidates.get_mut(&doc) {
+                c.examined = true;
+            }
             self.heap.offer(doc, exact);
         }
         docs.clear();

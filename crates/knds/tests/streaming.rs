@@ -77,6 +77,24 @@ fn some_results_arrive_before_termination_on_selective_queries() {
 }
 
 #[test]
+fn streaming_with_variants_reuse_a_caller_workspace() {
+    let (ont, source, queries) = setup();
+    let knds = Knds::new(&ont, &source, KndsConfig::default());
+    let mut ws = cbr_knds::KndsWorkspace::new();
+    for (i, q) in queries.iter().enumerate() {
+        let mut emitted = Vec::new();
+        let r = knds.rds_streaming_with(&mut ws, q, 5, |d| emitted.push(d));
+        check_stream(&emitted, &r.results, &format!("rds_with query {i}"));
+        assert_eq!(r.results, knds.rds(q, 5).results);
+
+        let mut emitted = Vec::new();
+        let r = knds.sds_streaming_with(&mut ws, q, 4, |d| emitted.push(d));
+        check_stream(&emitted, &r.results, &format!("sds_with query {i}"));
+        assert_eq!(r.results, knds.sds(q, 4).results);
+    }
+}
+
+#[test]
 fn streaming_with_progressive_disabled_still_flushes_everything() {
     let (ont, source, queries) = setup();
     let cfg = KndsConfig { progressive: false, ..KndsConfig::default() };

@@ -86,6 +86,23 @@ fn candidate_events_report_coverage_monotonically() {
 }
 
 #[test]
+fn traced_with_variants_match_over_a_shared_workspace() {
+    let (fig, source) = setup();
+    let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());
+    let q = fig.example_query();
+    let mut ws = cbr_knds::KndsWorkspace::new();
+    let mut events = 0usize;
+    let traced = knds.rds_traced_with(&mut ws, &q, 3, |_| events += 1);
+    assert_eq!(traced.results, knds.rds(&q, 3).results);
+    assert!(events > 0, "rds_traced_with produced no trace events");
+
+    let mut events = 0usize;
+    let traced = knds.sds_traced_with(&mut ws, &q, 2, |_| events += 1);
+    assert_eq!(traced.results, knds.sds(&q, 2).results);
+    assert!(events > 0, "sds_traced_with produced no trace events");
+}
+
+#[test]
 fn tracing_does_not_change_results() {
     let (fig, source) = setup();
     let knds = Knds::new(&fig.ontology, &source, KndsConfig::default());

@@ -239,6 +239,14 @@ mod tests {
     }
 
     #[test]
+    fn information_content_accessor_exposes_the_table_in_use() {
+        let fig = fixture::figure3();
+        let s = sim(&fig);
+        let root = fig.concept("A");
+        assert_eq!(s.information_content().ic(root), 0.0, "root IC is zero by definition");
+    }
+
+    #[test]
     fn mica_and_lcs_of_g_and_f_is_root() {
         // Same configuration as the paper's D(G,F) example: the only common
         // ancestor of G and F is A.

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # Canonical verification for the workspace: formatting, lints, the
 # self-hosted audit (static rules A01-A07 + structural invariants), the
-# cbr-sched schedule exploration (an honest pass that must run clean
-# plus a seeded-bug pass proving the checker is not vacuous), and
-# tests. Run from the repository root. All six must pass before merging.
+# cbr-flow dataflow lints (an honest call-graph pass over the real tree
+# plus a seeded-fixture pass proving every rule fires), the cbr-sched
+# schedule exploration (same honest + seeded-bug pairing), and tests.
+# Run from the repository root. All eight must pass before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run -q -p cbr-audit -- all
+# Honest tree: the hot-path dataflow lints (F01-F05) must run clean
+# against flow.allow, with the call graph resolving enough internal
+# calls for the reachability analysis to mean anything.
+cargo run -q -p cbr-flow -- --json
+# Non-vacuity: the seeded fixture tree must trip every rule F01-F05.
+cargo run -q -p cbr-flow -- --fixtures --expect-findings
 # Honest tree: every concurrency harness must explore clean, and the CI
 # budget must cover at least a thousand distinct interleavings.
 cargo run -q -p cbr-sched -- --budget 1200 --min-schedules 1000 --json
