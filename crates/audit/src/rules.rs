@@ -1,4 +1,4 @@
-//! The lint rules, A01–A07.
+//! The lint rules, A01–A08.
 //!
 //! Every rule has a stable identifier, runs over [`SourceFile`]s (or
 //! `Cargo.toml` manifests for A06), and reports findings that are then
@@ -37,6 +37,22 @@ const A07_NEEDLES: [(&str, &str); 4] = [
     ("parking_lot", "`parking_lot`"),
     ("crossbeam", "`crossbeam`"),
 ];
+
+/// Query-path files where A08 (no hash tables) applies: the dense
+/// epoch-stamped tables (kNDS workspace + D-Radix concept slots) replaced
+/// every hash-keyed structure on the per-state and per-probe paths, and
+/// this rule keeps them from creeping back in.
+pub const A08_SCOPES: [&str; 4] = [
+    "crates/knds/src/engine.rs",
+    "crates/knds/src/weighted.rs",
+    "crates/knds/src/workspace.rs",
+    "crates/dradix/src/dag.rs",
+];
+
+/// Hash-table type tokens A08 rejects. `HashMap`/`HashSet` also match as
+/// suffixes of `FxHashMap`/`FxHashSet`; the finding reports the full
+/// identifier at the site.
+const A08_NEEDLES: [&str; 2] = ["HashMap", "HashSet"];
 
 fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
@@ -354,6 +370,50 @@ pub fn a07_facade_only_sync(file: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// A08: the query-path files (kNDS per-state code and the D-Radix
+/// per-probe build) must not use hash tables in non-test code. The dense
+/// epoch-stamped tables (sized by |C| and |D|, O(1) stamped reset)
+/// replaced every `FxHashMap`/`FxHashSet` on the query path; a hash
+/// lookup reintroduced here puts hashing, probing, and `clear()`
+/// traversals back into the per-state hot loop.
+pub fn a08_no_hot_path_hash_tables(file: &SourceFile) -> Vec<Finding> {
+    if !A08_SCOPES.contains(&file.rel.as_str()) {
+        return Vec::new();
+    }
+    let bytes = file.code.as_bytes();
+    let mut out = Vec::new();
+    for needle in A08_NEEDLES {
+        for o in file.code_matches(needle) {
+            if file.is_test(o) {
+                continue;
+            }
+            // Expand to the full identifier so `FxHashMap` is reported as
+            // such, and a suffix match inside a longer name (`HashMapLike`)
+            // still points at the real token.
+            let mut start = o;
+            while start > 0 && is_ident_byte(bytes[start - 1]) {
+                start -= 1;
+            }
+            let mut end = o + needle.len();
+            while end < bytes.len() && is_ident_byte(bytes[end]) {
+                end += 1;
+            }
+            let ident = &file.code[start..end];
+            out.push(Finding::new(
+                "A08",
+                &file.rel,
+                file.line_of(o),
+                format!(
+                    "`{ident}` in a query-path file: use the dense epoch-stamped \
+                     tables instead of a hash table on the per-state/per-probe path"
+                ),
+            ));
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
 /// Runs every source-level rule over `files` (A06 runs separately on
 /// manifests via [`a06_no_registry_deps`]).
 pub fn run_source_rules(files: &[SourceFile]) -> Vec<Finding> {
@@ -366,6 +426,7 @@ pub fn run_source_rules(files: &[SourceFile]) -> Vec<Finding> {
         out.extend(a04_forbid_unsafe(f));
         out.extend(a05_serde_gated(f, &gated));
         out.extend(a07_facade_only_sync(f));
+        out.extend(a08_no_hot_path_hash_tables(f));
     }
     out
 }
@@ -518,6 +579,33 @@ mod tests {
         assert_eq!(a07_facade_only_sync(&q).len(), 1);
         let p = src("crates/core/src/service.rs", "use parking_lot::RwLock;\n");
         assert_eq!(a07_facade_only_sync(&p).len(), 1);
+    }
+
+    #[test]
+    fn a08_fires_on_hash_tables_in_knds_state_files() {
+        let f = src(
+            "crates/knds/src/workspace.rs",
+            "use rustc_hash::FxHashMap;\npub struct W { seen: FxHashSet<u64>, \
+             best: std::collections::HashMap<u64, u64> }\n",
+        );
+        let hits = a08_no_hot_path_hash_tables(&f);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits[0].message.contains("`FxHashMap`"));
+        assert!(hits.iter().any(|h| h.message.contains("`HashMap`")), "{hits:?}");
+        // The D-Radix per-probe build is in scope too.
+        let dag = src("crates/dradix/src/dag.rs", "by_concept: FxHashMap<ConceptId, u32>,\n");
+        assert_eq!(a08_no_hot_path_hash_tables(&dag).len(), 1);
+    }
+
+    #[test]
+    fn a08_silent_on_tests_and_out_of_scope_files() {
+        let body = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        assert!(a08_no_hot_path_hash_tables(&src("crates/knds/src/util.rs", body)).is_empty());
+        assert!(a08_no_hot_path_hash_tables(&src("crates/core/src/service.rs", body)).is_empty());
+        let gated = format!("#[cfg(test)]\nmod tests {{ use std::collections::HashSet; {body} }}");
+        assert!(a08_no_hot_path_hash_tables(&src("crates/knds/src/engine.rs", &gated)).is_empty());
+        let comment = src("crates/knds/src/engine.rs", "// replaced the FxHashMap per-state map\n");
+        assert!(a08_no_hot_path_hash_tables(&comment).is_empty());
     }
 
     #[test]

@@ -8,8 +8,15 @@
 //! ```
 //!
 //! Subcommands: `ontology`, `table3`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `ablation`, `all`. Flags: `--scale micro|small|paper`,
+//! `ablation`, `phases`, `all`. Flags: `--scale micro|small|paper`,
 //! `--queries <n>`.
+//!
+//! `--json [--label <name>]` runs the kNDS perf-trajectory workloads
+//! (`fig8_query_size`, `fig9_topk`) instead of a report and appends the
+//! measurements to `BENCH_knds.json` in the current directory, computing
+//! per-figure speedups against the first recorded run. `--json --smoke`
+//! is the CI variant: micro scale, prints the run to stdout, re-parses
+//! its own output, and writes nothing.
 //!
 //! Absolute times are not comparable to the paper (different hardware,
 //! language, and data scale); the *shapes* — who wins, growth rates,
@@ -18,20 +25,28 @@
 
 #![forbid(unsafe_code)]
 
+use cbr_bench::json::Json;
 use cbr_bench::{fmt_duration, Scale, Table, Timing, Workbench};
 use cbr_corpus::CorpusStats;
 use cbr_dradix::{brute, Drc};
-use cbr_knds::{baseline, ta, Knds, KndsConfig, QueryMetrics};
+use cbr_knds::{baseline, ta, Knds, KndsConfig, KndsWorkspace, QueryMetrics};
 use cbr_ontology::{ConceptId, OntologyStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The trajectory file `--json` maintains, relative to the working
+/// directory (`scripts/check.sh` runs from the repository root).
+const TRAJECTORY_FILE: &str = "BENCH_knds.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut scale = Scale::small();
     let mut queries_override = None;
+    let mut json = false;
+    let mut smoke = false;
+    let mut label = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -52,6 +67,12 @@ fn main() {
                 i += 1;
                 queries_override = args.get(i).and_then(|s| s.parse::<usize>().ok());
             }
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned();
+            }
             cmd if command.is_none() => command = Some(cmd.to_string()),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -59,6 +80,15 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if smoke && !json {
+        eprintln!("--smoke requires --json");
+        std::process::exit(2);
+    }
+    if smoke {
+        // CI smoke: smallest workbench, a couple of queries per point.
+        scale = Scale::micro();
+        scale.queries_per_point = 2;
     }
     if let Some(q) = queries_override {
         scale.queries_per_point = q;
@@ -78,6 +108,11 @@ fn main() {
     let wb = Workbench::build(scale);
     eprintln!("workbench ready in {:.1?}\n", t.elapsed());
 
+    if json {
+        trajectory(&wb, label.as_deref(), smoke);
+        return;
+    }
+
     match command.as_str() {
         "ontology" => ontology_report(&wb),
         "table3" => table3(&wb),
@@ -87,6 +122,7 @@ fn main() {
         "fig9" => fig9(&wb),
         "ablation" => ablation(&wb),
         "effectiveness" => effectiveness(&wb),
+        "phases" => phases(&wb),
         "all" => {
             ontology_report(&wb);
             table3(&wb);
@@ -154,6 +190,236 @@ fn run_baseline_sds(
     let metrics: Vec<QueryMetrics> =
         queries.iter().map(|q| baseline::sds(&wb.ontology, &coll.source, q, k).metrics).collect();
     Timing::from_metrics(&metrics, k)
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable perf trajectory (--json)
+// ---------------------------------------------------------------------------
+
+/// Measures one trajectory point: warm-workspace kNDS over `queries`.
+/// One uncounted warm-up query fills the workspace capacities so the
+/// numbers reflect the steady state the service path runs in.
+fn trajectory_point(
+    wb: &Workbench,
+    coll: &cbr_bench::Collection,
+    kind: &str,
+    queries: &[Vec<ConceptId>],
+    nq: usize,
+    k: usize,
+    eps: f64,
+) -> Json {
+    let cfg = KndsConfig::default().with_error_threshold(eps);
+    let engine = Knds::new(&wb.ontology, &coll.source, cfg);
+    let mut ws = KndsWorkspace::new();
+    let run = |ws: &mut KndsWorkspace, q: &Vec<ConceptId>| match kind {
+        "RDS" => engine.rds_with(ws, q, k),
+        _ => engine.sds_with(ws, q, k),
+    };
+    if let Some(q) = queries.first() {
+        let warm = run(&mut ws, q);
+        debug_assert!(warm.results.len() <= k, "warm-up returned more than k results");
+    }
+    let metrics: Vec<QueryMetrics> = queries.iter().map(|q| run(&mut ws, q).metrics).collect();
+    let timing = Timing::from_metrics(&metrics, k);
+    let total: Duration = metrics.iter().map(|m| m.total()).sum();
+    let qps = metrics.len() as f64 / total.as_secs_f64().max(1e-12);
+    let workspace_bytes = metrics.iter().map(|m| m.workspace_bytes).max().unwrap_or(0);
+    let table_bytes = metrics.iter().map(|m| m.table_bytes).max().unwrap_or(0);
+    Json::Obj(vec![
+        ("collection".into(), Json::Str(coll.name.into())),
+        ("kind".into(), Json::Str(kind.into())),
+        ("nq".into(), Json::Num(nq as f64)),
+        ("k".into(), Json::Num(k as f64)),
+        ("median_ns".into(), Json::Num(timing.p50.as_nanos() as f64)),
+        ("p95_ns".into(), Json::Num(timing.p95.as_nanos() as f64)),
+        ("qps".into(), Json::Num(qps)),
+        ("workspace_bytes".into(), Json::Num(workspace_bytes as f64)),
+        ("table_bytes".into(), Json::Num(table_bytes as f64)),
+    ])
+}
+
+/// Runs the two trajectory figures and packages them as one run object.
+fn trajectory_run(wb: &Workbench, label: &str) -> Json {
+    let k_default = 10;
+    let nq_default = 5;
+    let mut fig8 = Vec::new();
+    for coll in &wb.collections {
+        for nq in [1usize, 3, 5, 10] {
+            eprintln!("fig8_query_size: {} RDS nq = {nq} …", coll.name);
+            let queries = coll.rds_queries(wb.scale.queries_per_point, nq, wb.scale.seed ^ 0x80);
+            fig8.push(trajectory_point(wb, coll, "RDS", &queries, nq, k_default, coll.default_eps));
+        }
+    }
+    let mut fig9 = Vec::new();
+    for coll in &wb.collections {
+        for kind in ["RDS", "SDS"] {
+            eprintln!("fig9_topk: {} {kind} k sweep …", coll.name);
+            let queries = match kind {
+                "RDS" => {
+                    coll.rds_queries(wb.scale.queries_per_point, nq_default, wb.scale.seed ^ 0x90)
+                }
+                _ => coll.sds_queries(wb.scale.queries_per_point, wb.scale.seed ^ 0x91),
+            };
+            for k in [3usize, 5, 10, 50, 100] {
+                fig9.push(trajectory_point(
+                    wb,
+                    coll,
+                    kind,
+                    &queries,
+                    nq_default,
+                    k,
+                    coll.default_eps,
+                ));
+            }
+        }
+    }
+    Json::Obj(vec![
+        ("label".into(), Json::Str(label.into())),
+        ("ontology_concepts".into(), Json::Num(wb.scale.ontology_concepts as f64)),
+        ("queries_per_point".into(), Json::Num(wb.scale.queries_per_point as f64)),
+        (
+            "figures".into(),
+            Json::Obj(vec![
+                ("fig8_query_size".into(), Json::Arr(fig8)),
+                ("fig9_topk".into(), Json::Arr(fig9)),
+            ]),
+        ),
+    ])
+}
+
+/// Identity of a trajectory point, for cross-run matching.
+fn point_key(p: &Json) -> Option<(String, String, i64, i64)> {
+    Some((
+        p.get("collection")?.as_str()?.to_string(),
+        p.get("kind")?.as_str()?.to_string(),
+        p.get("nq")?.as_f64()? as i64,
+        p.get("k")?.as_f64()? as i64,
+    ))
+}
+
+fn median_of(mut v: Vec<f64>) -> Option<f64> {
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(f64::total_cmp);
+    Some(v[v.len() / 2])
+}
+
+/// Median `baseline / current` ratio over the matching points of one
+/// figure (> 1 means the current run is faster).
+fn figure_speedup(baseline: &[Json], current: &[Json]) -> Option<f64> {
+    let mut ratios = Vec::new();
+    for p in current {
+        let key = point_key(p)?;
+        let base = baseline.iter().find(|b| point_key(b).as_ref() == Some(&key))?;
+        let (b, c) = (base.get("median_ns")?.as_f64()?, p.get("median_ns")?.as_f64()?);
+        if c > 0.0 {
+            ratios.push(b / c);
+        }
+    }
+    median_of(ratios)
+}
+
+/// Structural validation of one run: both figures present and non-empty,
+/// every point carrying sane numbers. The smoke step relies on this to
+/// fail on malformed output.
+fn validate_run(run: &Json) -> Result<(), String> {
+    let figures = run.get("figures").ok_or("run has no figures object")?;
+    for fig in ["fig8_query_size", "fig9_topk"] {
+        let points = figures
+            .get(fig)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("figure {fig} missing"))?;
+        if points.is_empty() {
+            return Err(format!("figure {fig} is empty"));
+        }
+        for p in points {
+            point_key(p).ok_or_else(|| format!("{fig}: point without identity"))?;
+            for field in ["median_ns", "qps", "workspace_bytes", "table_bytes"] {
+                let n = p
+                    .get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{fig}: point without {field}"))?;
+                if n.is_nan() || n < 0.0 {
+                    return Err(format!("{fig}: {field} = {n} is not a sane measurement"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `--json` driver: measure, self-validate, and either print (smoke) or
+/// merge into [`TRAJECTORY_FILE`] with speedups vs the first recorded run.
+fn trajectory(wb: &Workbench, label: Option<&str>, smoke: bool) {
+    let label = label.unwrap_or(if smoke { "smoke" } else { "run" });
+    let mut run = trajectory_run(wb, label);
+
+    if smoke {
+        let text = run.render();
+        let reparsed = match Json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("smoke: emitted JSON does not re-parse: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = validate_run(&reparsed) {
+            eprintln!("smoke: emitted run is malformed: {e}");
+            std::process::exit(1);
+        }
+        print!("{text}");
+        eprintln!("smoke OK: run re-parsed and validated; nothing written");
+        return;
+    }
+
+    if let Err(e) = validate_run(&run) {
+        eprintln!("refusing to record a malformed run: {e}");
+        std::process::exit(1);
+    }
+    let existing_runs: Vec<Json> = match std::fs::read_to_string(TRAJECTORY_FILE) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(doc) => doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]).to_vec(),
+            Err(e) => {
+                eprintln!("{TRAJECTORY_FILE} exists but does not parse ({e}); fix or remove it");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+
+    if let Some(baseline) = existing_runs.first() {
+        let mut speedups = Vec::new();
+        for fig in ["fig8_query_size", "fig9_topk"] {
+            let base = baseline.get("figures").and_then(|f| f.get(fig)).and_then(Json::as_arr);
+            let cur = run.get("figures").and_then(|f| f.get(fig)).and_then(Json::as_arr);
+            if let (Some(base), Some(cur)) = (base, cur) {
+                if let Some(s) = figure_speedup(base, cur) {
+                    let rounded = (s * 100.0).round() / 100.0;
+                    eprintln!("{fig}: median speedup {rounded}x vs baseline run");
+                    speedups.push((fig.to_string(), Json::Num(rounded)));
+                }
+            }
+        }
+        if !speedups.is_empty() {
+            if let Json::Obj(members) = &mut run {
+                members.push(("speedup_vs_baseline".into(), Json::Obj(speedups)));
+            }
+        }
+    }
+
+    print!("{}", run.render());
+    let mut runs = existing_runs;
+    runs.push(run);
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("knds".into())),
+        ("runs".into(), Json::Arr(runs)),
+    ]);
+    if let Err(e) = std::fs::write(TRAJECTORY_FILE, doc.render()) {
+        eprintln!("failed to write {TRAJECTORY_FILE}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("recorded run {label:?} in {TRAJECTORY_FILE}");
 }
 
 // ---------------------------------------------------------------------------
@@ -676,6 +942,63 @@ fn effectiveness(wb: &Workbench) {
             ]);
         }
         println!("-- {} ({} cohort queries) --", coll.name, queries.len());
+        println!("{}", t.render());
+    }
+}
+
+/// Phase breakdown of the trajectory workloads: where each fig8/fig9
+/// point spends its time (ontology traversal + candidate bookkeeping,
+/// index access, exact-distance computation). The paper's Table 5
+/// analogue, and the compass for hot-loop work: a point dominated by
+/// DRC probes will not move however fast the BFS bookkeeping gets.
+fn phases(wb: &Workbench) {
+    println!("== Phase breakdown (warm workspace, default εθ) ==\n");
+    for coll in &wb.collections {
+        let mut t =
+            Table::new(&["kind", "nq", "k", "total", "traversal", "index", "distance", "DRC/q"]);
+        let mut points: Vec<(&str, usize, usize, Vec<Vec<ConceptId>>)> = Vec::new();
+        for nq in [1usize, 3, 5, 10] {
+            let q = coll.rds_queries(wb.scale.queries_per_point, nq, wb.scale.seed ^ 0x80);
+            points.push(("RDS", nq, 10, q));
+        }
+        for k in [10usize, 100] {
+            let q = coll.sds_queries(wb.scale.queries_per_point, wb.scale.seed ^ 0x91);
+            points.push(("SDS", 5, k, q));
+        }
+        for (kind, nq, k, queries) in points {
+            let cfg = KndsConfig::default().with_error_threshold(coll.default_eps);
+            let engine = Knds::new(&wb.ontology, &coll.source, cfg);
+            let mut ws = KndsWorkspace::new();
+            let run = |ws: &mut KndsWorkspace, q: &Vec<ConceptId>| match kind {
+                "RDS" => engine.rds_with(ws, q, k),
+                _ => engine.sds_with(ws, q, k),
+            };
+            if let Some(q) = queries.first() {
+                let warm = run(&mut ws, q);
+                debug_assert!(warm.results.len() <= k, "warm-up overfilled top-k");
+            }
+            let metrics: Vec<QueryMetrics> =
+                queries.iter().map(|q| run(&mut ws, q).metrics).collect();
+            let timing = Timing::from_metrics(&metrics, k);
+            let pct = |d: Duration| {
+                format!(
+                    "{} ({:.0}%)",
+                    fmt_duration(d),
+                    100.0 * d.as_secs_f64() / timing.total.as_secs_f64().max(1e-12)
+                )
+            };
+            t.row(vec![
+                kind.into(),
+                nq.to_string(),
+                k.to_string(),
+                fmt_duration(timing.total),
+                pct(timing.traversal),
+                pct(timing.io),
+                pct(timing.distance_calc),
+                format!("{:.1}", timing.drc_calls),
+            ]);
+        }
+        println!("-- {} --", coll.name);
         println!("{}", t.render());
     }
 }

@@ -42,8 +42,10 @@ impl Engine {
         let threads = if threads == 0 { available_parallelism() } else { threads };
         let threads = threads.min(queries.len().max(1));
 
+        let (concepts, docs) = self.workspace_hint();
         if threads <= 1 {
             let mut ws = KndsWorkspace::new();
+            ws.reserve(concepts, docs);
             return queries.iter().map(|q| self.run_one(kind, q, k, &mut ws)).collect();
         }
 
@@ -60,8 +62,10 @@ impl Engine {
                 scope.spawn(|| {
                     // One workspace per worker, reused across every query
                     // the worker steals: after the first query the worker's
-                    // hot loop stops allocating.
+                    // hot loop stops allocating. Pre-sizing the dense tables
+                    // moves even the first query's growth out of the loop.
                     let mut ws = KndsWorkspace::new();
+                    ws.reserve(concepts, docs);
                     while let Some(i) = work.pop() {
                         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             self.run_one(kind, &queries[i], k, &mut ws)
@@ -73,6 +77,7 @@ impl Engine {
                                 // the aborted query; replace it rather than
                                 // reuse it dirty.
                                 ws = KndsWorkspace::new();
+                                ws.reserve(concepts, docs);
                                 let msg = panic_text(payload.as_ref());
                                 slot_queue.push((i, Err(EngineError::WorkerPanicked(msg))));
                             }

@@ -131,6 +131,14 @@ impl Engine {
         self.source.num_docs()
     }
 
+    /// Sizing hint for [`KndsWorkspace::reserve`]: `(concept id bound,
+    /// document count)`. Pooled and per-worker workspaces pre-size their
+    /// dense tables from this so growth happens at acquisition, never
+    /// mid-query.
+    pub fn workspace_hint(&self) -> (usize, usize) {
+        (self.ontology.id_bound(), self.source.num_docs())
+    }
+
     /// The concept set of any document, including appended ones.
     pub fn document_concepts(&self, doc: DocId) -> Result<Vec<ConceptId>, EngineError> {
         if doc.index() >= self.source.num_docs() {

@@ -43,9 +43,14 @@ impl SharedEngine {
     }
 
     /// Runs `f` with a pooled workspace; the workspace returns to the pool
-    /// afterwards (unless `f` panics, in which case it is dropped).
+    /// afterwards (unless `f` panics, in which case it is dropped). The
+    /// workspace's dense tables are re-reserved against the engine's
+    /// current size first, so pooled workspaces survive index growth
+    /// between queries without ever growing mid-query.
     fn with_workspace<R>(&self, f: impl FnOnce(&mut KndsWorkspace) -> R) -> R {
         let mut ws = self.pool.pop().unwrap_or_default();
+        let (concepts, docs) = self.inner.read().workspace_hint();
+        ws.reserve(concepts, docs);
         let r = f(&mut ws);
         self.pool.push(ws);
         r

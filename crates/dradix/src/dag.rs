@@ -30,11 +30,17 @@
 //! backing allocation — the node arena (a high-water mark tracks the live
 //! prefix, and each recycled slot keeps its edge `Vec`), the label arena
 //! (edge labels are ranges into one flat `Vec<u32>` instead of per-edge
-//! boxes), the `by_concept` map, and the tuning scratch (topological-order
-//! buffers). After a few probes the structure reaches steady state and
-//! subsequent builds allocate nothing.
+//! boxes), the dense concept-slot table, and the tuning scratch
+//! (topological-order buffers). After a few probes the structure reaches
+//! steady state and subsequent builds allocate nothing.
+//!
+//! Per-build bookkeeping (concept → node slot, doc/query membership) is
+//! epoch-stamped and sized by `|C|`: [`reset`](DRadixDag::reset) bumps a
+//! build counter instead of touching the tables, so "clear" is O(1) and
+//! every lookup on the probe path is a single array read — no hashing
+//! anywhere in the EXAMINE step.
 
-use cbr_ontology::{ConceptId, FxHashMap, FxHashSet, Ontology};
+use cbr_ontology::{ConceptId, Ontology};
 use std::collections::VecDeque;
 
 /// Distance placeholder before tuning (`∞` in the paper).
@@ -134,17 +140,29 @@ pub struct DRadixDag {
     /// by later builds.
     nodes: Vec<Node>,
     live: usize,
-    by_concept: FxHashMap<ConceptId, u32>,
+    /// Dense concept → node-slot table, one packed entry per ontology
+    /// concept: `(stamp << 32) | slot`, live iff `stamp == epoch`. One
+    /// array read replaces the per-build hash lookup.
+    concept_slots: Vec<u64>,
     /// Label arena: every inserted address is appended once, and edge
     /// labels are subranges of it. Splits re-slice; nothing is copied.
     labels: Vec<u32>,
     addresses_inserted: usize,
     // --- per-build scratch, cleared (not freed) by `reset` ---------------
-    in_doc: FxHashSet<ConceptId>,
-    in_query: FxHashSet<ConceptId>,
+    /// Membership stamps: concept is in the current build's document
+    /// (resp. query) side iff its stamp equals `epoch`.
+    doc_stamps: Vec<u32>,
+    query_stamps: Vec<u32>,
+    /// Build counter backing the stamped tables; bumped by
+    /// [`reset`](Self::reset), wrap-around zeroes the stamps.
+    epoch: u32,
     /// `(start, len, concept)` ranges of the addresses to insert, sorted
-    /// lexicographically by label content before insertion.
-    addr_buf: Vec<(u32, u32, ConceptId)>,
+    /// lexicographically by label content before insertion. The leading
+    /// `u32` is the address's global rank from the ontology's path table:
+    /// rank order IS content order (ranks are distinct per unique
+    /// address), so the per-build sort costs one integer compare per
+    /// decision instead of a slice compare against the label arena.
+    addr_buf: Vec<(u32, u32, u32, ConceptId)>,
     topo_indegree: Vec<u32>,
     topo_queue: VecDeque<u32>,
     topo_order: Vec<u32>,
@@ -202,15 +220,23 @@ impl DRadixDag {
 
     /// Clears the logical content while keeping all capacity: the node
     /// watermark drops to zero (recycled slots keep their edge `Vec`s),
-    /// and the maps, arenas, and tuning scratch are emptied in place.
+    /// the arenas are emptied in place, and the stamped tables are
+    /// "cleared" by bumping the build epoch — O(1) regardless of how many
+    /// concepts the previous build touched.
     pub fn reset(&mut self) {
         self.live = 0;
-        self.by_concept.clear();
         self.labels.clear();
         self.addresses_inserted = 0;
-        self.in_doc.clear();
-        self.in_query.clear();
         self.addr_buf.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One full stamp cycle exhausted: zero the tables so stamps
+            // from 2^32 builds ago cannot alias the restarted counter.
+            self.concept_slots.iter_mut().for_each(|e| *e = 0);
+            self.doc_stamps.iter_mut().for_each(|s| *s = 0);
+            self.query_stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
         // The topo buffers are cleared at use; nothing to do here.
     }
 
@@ -223,8 +249,25 @@ impl DRadixDag {
     ) {
         let paths = ont.path_table();
         self.reset();
-        self.in_doc.extend(doc.iter().copied());
-        self.in_query.extend(query.iter().copied());
+        // Size the stamped tables by |C| once; later builds over the same
+        // ontology find them already large enough.
+        if self.concept_slots.len() < ont.len() {
+            self.concept_slots.resize(ont.len(), 0);
+            self.doc_stamps.resize(ont.len(), 0);
+            self.query_stamps.resize(ont.len(), 0);
+        }
+        for &c in doc {
+            match self.doc_stamps.get_mut(c.index()) {
+                Some(s) => *s = self.epoch,
+                None => debug_assert!(false, "document concept outside the ontology"),
+            }
+        }
+        for &c in query {
+            match self.query_stamps.get_mut(c.index()) {
+                Some(s) => *s = self.epoch,
+                None => debug_assert!(false, "query concept outside the ontology"),
+            }
+        }
 
         // Initialize with the root (Algorithm 1 line 4).
         self.slot_for(ont.root());
@@ -236,19 +279,19 @@ impl DRadixDag {
         // second insertion is a no-op) and needs no per-build Vec of
         // borrowed slices.
         for &c in doc.iter().chain(query) {
-            for addr in paths.addresses(c) {
+            for (rank, addr) in paths.addresses_ranked(c) {
                 let start = self.labels.len() as u32;
                 self.labels.extend_from_slice(addr);
-                self.addr_buf.push((start, addr.len() as u32, c));
+                self.addr_buf.push((rank, start, addr.len() as u32, c));
             }
         }
         let mut addr_buf = std::mem::take(&mut self.addr_buf);
-        addr_buf.sort_unstable_by(|&(sa, la, ca), &(sb, lb, cb)| {
-            let a = self.label_range(sa, la);
-            let b = self.label_range(sb, lb);
-            a.cmp(b).then(ca.cmp(&cb))
-        });
-        for &(start, len, concept) in &addr_buf {
+        // Equal ranks are the same address of the same concept (an address
+        // names a unique root path) staged from both sides of d ∪ q; the
+        // offset tie-break only pins a deterministic permutation of
+        // identical insertions.
+        addr_buf.sort_unstable_by(|&(ka, sa, ..), &(kb, sb, ..)| ka.cmp(&kb).then(sa.cmp(&sb)));
+        for &(_, start, len, concept) in &addr_buf {
             self.insert_address(ont, weights, concept, start, len);
         }
         self.addr_buf = addr_buf;
@@ -300,17 +343,40 @@ impl DRadixDag {
         self.topo_order = order;
     }
 
+    /// The node slot of `c` in the current build, `None` if it is not
+    /// materialized. One packed array read: the entry's high half must
+    /// match the build epoch.
+    #[inline]
+    fn slot_of(&self, c: ConceptId) -> Option<u32> {
+        match self.concept_slots.get(c.index()) {
+            Some(&e) if (e >> 32) as u32 == self.epoch => Some(e as u32),
+            _ => None,
+        }
+    }
+
+    /// Whether `c` is a document-side member of the current build.
+    #[inline]
+    fn is_doc_member(&self, c: ConceptId) -> bool {
+        self.doc_stamps.get(c.index()).is_some_and(|&s| s == self.epoch)
+    }
+
+    /// Whether `c` is a query-side member of the current build.
+    #[inline]
+    fn is_query_member(&self, c: ConceptId) -> bool {
+        self.query_stamps.get(c.index()).is_some_and(|&s| s == self.epoch)
+    }
+
     /// Distance of radix node `c` from the nearest *document* concept
     /// (`Ddc(d, c)`), exact after [`tune`](Self::tune). Returns `None` for
     /// concepts not materialized in the DAG.
     pub fn doc_distance(&self, c: ConceptId) -> Option<u32> {
-        self.by_concept.get(&c).and_then(|&n| self.node(NodeIx(n))).map(|nd| nd.doc_dist)
+        self.slot_of(c).and_then(|n| self.node(NodeIx(n))).map(|nd| nd.doc_dist)
     }
 
     /// Distance of radix node `c` from the nearest *query* concept
     /// (`Ddc(q, c)`), exact after [`tune`](Self::tune).
     pub fn query_distance(&self, c: ConceptId) -> Option<u32> {
-        self.by_concept.get(&c).and_then(|&n| self.node(NodeIx(n))).map(|nd| nd.query_dist)
+        self.slot_of(c).and_then(|n| self.node(NodeIx(n))).map(|nd| nd.query_dist)
     }
 
     /// The live node slots of the current build.
@@ -357,16 +423,16 @@ impl DRadixDag {
         self.nodes.capacity() * size_of::<Node>()
             + self.nodes.iter().map(|n| n.edges.capacity() * size_of::<Edge>()).sum::<usize>()
             + self.labels.capacity() * size_of::<u32>()
-            + self.addr_buf.capacity() * size_of::<(u32, u32, ConceptId)>()
-            + self.by_concept.capacity() * size_of::<(ConceptId, u32)>()
-            + (self.in_doc.capacity() + self.in_query.capacity()) * size_of::<ConceptId>()
+            + self.addr_buf.capacity() * size_of::<(u32, u32, u32, ConceptId)>()
+            + self.concept_slots.capacity() * size_of::<u64>()
+            + (self.doc_stamps.capacity() + self.query_stamps.capacity()) * size_of::<u32>()
             + (self.topo_indegree.capacity() + self.topo_order.capacity()) * size_of::<u32>()
             + self.topo_queue.capacity() * size_of::<u32>()
     }
 
     /// Whether concept `c` is materialized as a node.
     pub fn contains(&self, c: ConceptId) -> bool {
-        self.by_concept.contains_key(&c)
+        self.slot_of(c).is_some()
     }
 
     /// Iterates the materialized nodes as
@@ -439,12 +505,12 @@ impl DRadixDag {
     // recycled by later builds.
     // flow: workspace-fed
     fn slot_for(&mut self, concept: ConceptId) -> u32 {
-        if let Some(&n) = self.by_concept.get(&concept) {
+        if let Some(n) = self.slot_of(concept) {
             return n;
         }
         let n = self.live as u32;
-        let doc_dist = if self.in_doc.contains(&concept) { 0 } else { UNSET };
-        let query_dist = if self.in_query.contains(&concept) { 0 } else { UNSET };
+        let doc_dist = if self.is_doc_member(concept) { 0 } else { UNSET };
+        let query_dist = if self.is_query_member(concept) { 0 } else { UNSET };
         if let Some(slot) = self.nodes.get_mut(self.live) {
             slot.concept = concept;
             slot.doc_dist = doc_dist;
@@ -455,7 +521,10 @@ impl DRadixDag {
             self.nodes.push(Node { concept, doc_dist, query_dist, edges: Vec::new(), indegree: 0 });
         }
         self.live += 1;
-        self.by_concept.insert(concept, n);
+        match self.concept_slots.get_mut(concept.index()) {
+            Some(e) => *e = (self.epoch as u64) << 32 | n as u64,
+            None => debug_assert!(false, "concept outside the slot table"),
+        }
         n
     }
 
@@ -468,7 +537,10 @@ impl DRadixDag {
         len: u32,
     ) {
         self.addresses_inserted += 1;
-        let root = self.by_concept[&ont.root()];
+        let Some(root) = self.slot_of(ont.root()) else {
+            debug_assert!(false, "root must be materialized before inserts");
+            return;
+        };
         self.insert_suffix(ont, weights, root, concept, start, len);
     }
 
@@ -636,7 +708,8 @@ fn resolve_relative(ont: &Ontology, from: ConceptId, comps: &[u32]) -> Option<Co
 /// [`DRadixDag::spot_check`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DagViolation {
-    /// `by_concept` and the live node arena disagree about `concept`.
+    /// The concept-slot table and the live node arena disagree about
+    /// `concept`.
     ConceptMapMismatch {
         /// The concept whose map entry and arena slot diverge.
         concept: ConceptId,
@@ -743,12 +816,15 @@ impl DRadixDag {
     /// before and after [`tune`](Self::tune).
     pub fn validate_structure(&self) -> Result<(), Vec<DagViolation>> {
         let mut v = Vec::new();
-        // Bijection between by_concept and the live arena prefix.
-        if self.by_concept.len() != self.live {
+        // Bijection between the stamped slot table and the live arena
+        // prefix.
+        let stamped =
+            self.concept_slots.iter().filter(|&&e| (e >> 32) as u32 == self.epoch).count();
+        if stamped != self.live {
             v.push(DagViolation::ConceptMapMismatch { concept: ConceptId(u32::MAX) });
         }
         for (i, n) in self.active().iter().enumerate() {
-            if self.by_concept.get(&n.concept).copied() != Some(i as u32) {
+            if self.slot_of(n.concept) != Some(i as u32) {
                 v.push(DagViolation::ConceptMapMismatch { concept: n.concept });
             }
         }
@@ -791,7 +867,7 @@ impl DRadixDag {
             }
             // Path compression: a non-member interior node exists only as a
             // branch or merge point, so it has ≥ 2 children or ≥ 2 parents.
-            let member = self.in_doc.contains(&n.concept) || self.in_query.contains(&n.concept);
+            let member = self.is_doc_member(n.concept) || self.is_query_member(n.concept);
             if i != 0 && !member && actual <= 1 && n.edges.len() <= 1 {
                 v.push(DagViolation::UncompressedChain { concept: n.concept });
             }
@@ -825,8 +901,12 @@ impl DRadixDag {
     /// Pushes a violation for every member concept that is missing or whose
     /// own-side distance is nonzero.
     fn check_members(&self, v: &mut Vec<DagViolation>) {
-        for (set, doc_side) in [(&self.in_doc, true), (&self.in_query, false)] {
-            for &c in set.iter() {
+        for (stamps, doc_side) in [(&self.doc_stamps, true), (&self.query_stamps, false)] {
+            for (i, &s) in stamps.iter().enumerate() {
+                if s != self.epoch {
+                    continue;
+                }
+                let c = ConceptId::from_index(i);
                 let dist = if doc_side { self.doc_distance(c) } else { self.query_distance(c) };
                 match dist {
                     None => v.push(DagViolation::MemberMissing { concept: c }),
@@ -907,8 +987,8 @@ impl DRadixDag {
         let mut dd: Vec<u32> = Vec::with_capacity(live);
         let mut qd: Vec<u32> = Vec::with_capacity(live);
         for n in self.active() {
-            dd.push(if self.in_doc.contains(&n.concept) { 0 } else { UNSET });
-            qd.push(if self.in_query.contains(&n.concept) { 0 } else { UNSET });
+            dd.push(if self.is_doc_member(n.concept) { 0 } else { UNSET });
+            qd.push(if self.is_query_member(n.concept) { 0 } else { UNSET });
         }
         for &n in order.iter().rev() {
             let n = NodeIx(n);
@@ -1056,9 +1136,9 @@ impl DRadixDag {
                 let Some(mid) = resolve_relative(ont, from_concept, lead) else {
                     continue;
                 };
-                if self.by_concept.contains_key(&mid)
-                    || self.in_doc.contains(&mid)
-                    || self.in_query.contains(&mid)
+                if self.slot_of(mid).is_some()
+                    || self.is_doc_member(mid)
+                    || self.is_query_member(mid)
                 {
                     continue;
                 }

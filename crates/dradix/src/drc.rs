@@ -4,7 +4,8 @@ use crate::dag::DRadixDag;
 use cbr_ontology::{ConceptId, Ontology};
 
 /// The reusable build state of one [`Drc`]: the D-Radix node arena, the
-/// `by_concept` map, the label arena, and the tuning scratch. Cleared —
+/// epoch-stamped concept-slot table, the label arena, and the tuning
+/// scratch. Cleared —
 /// never reallocated — between document probes, so the per-document DAG
 /// build at the heart of every kNDS EXAMINE becomes allocation-free once
 /// warm.

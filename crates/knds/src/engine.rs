@@ -71,10 +71,13 @@ pub(crate) enum Kind {
     Sds,
 }
 
+/// One row of the dense candidate table (`Md` bookkeeping of Equation 5).
+/// The per-origin coverage bits live in the workspace's shared arena (one
+/// `cover_stride` span per row), so a row is a small flat record and
+/// admission allocates nothing.
 #[derive(Debug)]
 pub(crate) struct Candidate {
-    /// One bit per query concept: covered by the forward expansion.
-    covered_bits: Box<[u64]>,
+    /// Query concepts covered by the forward expansion.
     pub(crate) covered: u32,
     /// Σ of first-touch levels over covered query concepts.
     pub(crate) partial: u64,
@@ -88,32 +91,8 @@ pub(crate) struct Candidate {
 }
 
 impl Candidate {
-    pub(crate) fn new(nq: usize, doc_len: u32) -> Candidate {
-        Candidate {
-            covered_bits: vec![0u64; nq.div_ceil(64)].into_boxed_slice(),
-            covered: 0,
-            partial: 0,
-            rev_covered: 0,
-            rev_sum: 0,
-            doc_len,
-            examined: false,
-        }
-    }
-
-    #[inline]
-    pub(crate) fn cover(&mut self, origin: u32, level: u32) -> bool {
-        let (word, bit) = ((origin / 64) as usize, origin % 64);
-        debug_assert!(word < self.covered_bits.len(), "origin out of range");
-        let Some(w) = self.covered_bits.get_mut(word) else {
-            return false;
-        };
-        if *w & (1 << bit) != 0 {
-            return false;
-        }
-        *w |= 1 << bit;
-        self.covered += 1;
-        self.partial += level as u64;
-        true
+    pub(crate) fn new(doc_len: u32) -> Candidate {
+        Candidate { covered: 0, partial: 0, rev_covered: 0, rev_sum: 0, doc_len, examined: false }
     }
 }
 
@@ -326,6 +305,16 @@ impl<'a, S: IndexSource> Knds<'a, S> {
         let mut q = std::mem::take(&mut ws.query);
         crate::util::normalize_query_into(query, &mut q);
         assert!(!q.is_empty(), "query must contain at least one concept");
+        // Open a dense-table epoch sized to this query's geometry (the SDS
+        // reverse map needs the first-touch table; the unit engine never
+        // needs Dijkstra distances).
+        let rolled = ws.dense.begin_query(
+            q.len(),
+            self.ontology.len(),
+            self.source.num_docs(),
+            kind == Kind::Sds,
+            false,
+        );
 
         let drc = Drc::new(self.ontology).with_scratch(ws.take_dag());
         let mut search = Search {
@@ -338,7 +327,7 @@ impl<'a, S: IndexSource> Knds<'a, S> {
             query: q,
             ws,
             heap: TopK::new(k),
-            metrics: QueryMetrics::default(),
+            metrics: QueryMetrics { epoch_rollover: rolled as usize, ..QueryMetrics::default() },
             on_final,
             on_trace,
         };
@@ -351,6 +340,7 @@ impl<'a, S: IndexSource> Knds<'a, S> {
         ws.finish();
         result.metrics.workspace_reused = reused as usize;
         result.metrics.workspace_bytes = ws.footprint_bytes();
+        result.metrics.table_bytes = ws.dense.footprint_bytes();
         result
     }
 }
@@ -388,8 +378,8 @@ impl<S: IndexSource> Search<'_, '_, S> {
         frontier.clear();
         frontier.extend(self.query.iter().enumerate().map(|(i, &c)| (i as u32, c, false)));
         if self.config.dedup_visits {
-            for &s in &frontier {
-                self.ws.seen_states.insert(pack_state(s));
+            for &(origin, node, desc) in &frontier {
+                self.ws.dense.mark_state(origin, node, desc);
             }
         }
 
@@ -437,7 +427,7 @@ impl<S: IndexSource> Search<'_, '_, S> {
         self.ws.frontier = frontier;
         self.ws.next_frontier = next;
 
-        self.metrics.candidates_seen = self.ws.candidates.len();
+        self.metrics.candidates_seen = self.ws.dense.cand.len();
         let results: Vec<RankedDoc> = std::mem::replace(&mut self.heap, TopK::new(1))
             .into_sorted()
             .into_iter()
@@ -446,7 +436,7 @@ impl<S: IndexSource> Search<'_, '_, S> {
         // Flush the remaining results (already sorted) to the sink.
         if let Some(sink) = self.on_final.as_mut() {
             for &r in &results {
-                if self.ws.emitted.insert(r.doc) {
+                if self.ws.dense.mark_doc(r.doc) {
                     sink(r);
                 }
             }
@@ -466,13 +456,13 @@ impl<S: IndexSource> Search<'_, '_, S> {
         ready.extend(
             self.heap
                 .iter()
-                .filter(|&(doc, d)| d < d_minus && !self.ws.emitted.contains(&doc))
+                .filter(|&(doc, d)| d < d_minus && !self.ws.dense.doc_marked(doc))
                 .map(|(doc, d)| (d, doc)),
         );
         ready.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         if let Some(sink) = self.on_final.as_mut() {
             for &(distance, doc) in &ready {
-                self.ws.emitted.insert(doc);
+                self.ws.dense.mark_doc(doc);
                 sink(RankedDoc { doc, distance });
             }
         }
@@ -484,17 +474,14 @@ impl<S: IndexSource> Search<'_, '_, S> {
     /// forward coverage once per `(origin, node)`, reverse coverage (SDS)
     /// once per `node`.
     fn apply_coverage(&mut self, origin: u32, node: ConceptId, level: u32) {
-        let fwd_new = self.ws.covered_pairs.insert(pack_pair(origin, node));
-        let rev_new = self.kind == Kind::Sds && !self.ws.first_touch.contains_key(&node);
+        let fwd_new = self.ws.dense.mark_pair(origin, node);
+        let rev_new = self.kind == Kind::Sds && self.ws.dense.touch_first(node);
         if !fwd_new && !rev_new {
             return;
         }
-        if rev_new {
-            self.ws.first_touch.insert(node, level);
-        }
 
         // Detach the postings buffer so the loop below can mutate the
-        // candidate map without aliasing the workspace borrow.
+        // candidate table without aliasing the workspace borrow.
         let mut postings = std::mem::take(&mut self.ws.postings_buf);
         let t = Instant::now();
         postings.clear();
@@ -502,24 +489,18 @@ impl<S: IndexSource> Search<'_, '_, S> {
         self.metrics.io += t.elapsed();
 
         for &d in &postings {
-            let cand = match self.ws.candidates.entry(d) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => {
+            let slot = match self.ws.dense.slot_of(d) {
+                Some(slot) => {
+                    self.metrics.dense_hits += 1;
+                    slot
+                }
+                None => {
                     let len =
                         if self.kind == Kind::Sds { self.source.doc_len(d) as u32 } else { 0 };
-                    e.insert(Candidate::new(self.nq, len))
+                    self.ws.dense.insert_candidate(d, len)
                 }
             };
-            if cand.examined {
-                continue; // already in Sd (Algorithm 2 line 11)
-            }
-            if fwd_new {
-                cand.cover(origin, level);
-            }
-            if rev_new {
-                cand.rev_covered += 1;
-                cand.rev_sum += level as u64;
-            }
+            self.ws.dense.apply_to_candidate(slot, origin, level, fwd_new, rev_new);
         }
         self.ws.postings_buf = postings;
     }
@@ -540,8 +521,12 @@ impl<S: IndexSource> Search<'_, '_, S> {
 
     #[inline]
     fn push_state(&mut self, state: State, next: &mut Vec<State>) {
-        if self.config.dedup_visits && !self.ws.seen_states.insert(pack_state(state)) {
-            return;
+        if self.config.dedup_visits {
+            let (origin, node, desc) = state;
+            if !self.ws.dense.mark_state(origin, node, desc) {
+                self.metrics.dense_hits += 1;
+                return;
+            }
         }
         next.push(state);
     }
@@ -555,8 +540,10 @@ impl<S: IndexSource> Search<'_, '_, S> {
         order.clear();
         order.extend(
             self.ws
-                .candidates
+                .dense
+                .cand_docs
                 .iter()
+                .zip(self.ws.dense.cand.iter())
                 .filter(|(_, c)| !c.examined)
                 .map(|(&d, c)| (self.lower_bound(c, level), d)),
         );
@@ -565,7 +552,8 @@ impl<S: IndexSource> Search<'_, '_, S> {
 
         if self.on_trace.is_some() {
             for &(_, doc) in &order {
-                if let Some(c) = self.ws.candidates.get(&doc) {
+                let entry = self.ws.dense.slot_of(doc).and_then(|s| self.ws.dense.candidate(s));
+                if let Some(c) = entry {
                     let (covered, partial) = (c.covered, c.partial);
                     self.trace(|| crate::trace::TraceEvent::Candidate { doc, covered, partial });
                 }
@@ -580,10 +568,14 @@ impl<S: IndexSource> Search<'_, '_, S> {
                 min_unexamined = lb;
                 break;
             }
-            // `order` was built from the candidate map, so the lookup cannot
+            // `order` was built from the candidate rows, so the lookup cannot
             // miss; degrade to skipping the entry rather than panicking.
-            let Some(c) = self.ws.candidates.get(&doc) else {
-                debug_assert!(false, "ordered candidate {doc:?} missing from map");
+            let Some(slot) = self.ws.dense.slot_of(doc) else {
+                debug_assert!(false, "ordered candidate {doc:?} missing from the slot map");
+                continue;
+            };
+            let Some(c) = self.ws.dense.candidate(slot) else {
+                debug_assert!(false, "slot of {doc:?} points past the candidate rows");
                 continue;
             };
             let eps = self.error_estimate(c, lb);
@@ -594,7 +586,7 @@ impl<S: IndexSource> Search<'_, '_, S> {
             let complete = self.is_complete(c);
             let partial = self.partial_distance(c);
             let (exact, via_drc) = self.exact_distance(doc, complete, partial);
-            if let Some(cand) = self.ws.candidates.get_mut(&doc) {
+            if let Some(cand) = self.ws.dense.candidate_mut(slot) {
                 cand.examined = true;
             }
             self.metrics.docs_examined += 1;
@@ -715,11 +707,22 @@ impl<S: IndexSource> Search<'_, '_, S> {
         let t0 = Instant::now();
         let mut docs = std::mem::take(&mut self.ws.docs_buf);
         docs.clear();
-        docs.extend(self.ws.candidates.iter().filter(|(_, c)| !c.examined).map(|(&d, _)| d));
+        docs.extend(
+            self.ws
+                .dense
+                .cand_docs
+                .iter()
+                .zip(self.ws.dense.cand.iter())
+                .filter(|(_, c)| !c.examined)
+                .map(|(&d, _)| d),
+        );
         let finalized = docs.len();
         self.trace(|| crate::trace::TraceEvent::Exhausted { finalized });
         for &doc in &docs {
-            let Some(exact) = self.ws.candidates.get(&doc).map(|c| {
+            let Some(slot) = self.ws.dense.slot_of(doc) else {
+                continue;
+            };
+            let Some(exact) = self.ws.dense.candidate(slot).map(|c| {
                 debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
                 self.partial_distance(c)
             }) else {
@@ -727,7 +730,7 @@ impl<S: IndexSource> Search<'_, '_, S> {
             };
             self.metrics.exact_from_partial += 1;
             self.metrics.docs_examined += 1;
-            if let Some(c) = self.ws.candidates.get_mut(&doc) {
+            if let Some(c) = self.ws.dense.candidate_mut(slot) {
                 c.examined = true;
             }
             self.heap.offer(doc, exact);
@@ -737,24 +740,13 @@ impl<S: IndexSource> Search<'_, '_, S> {
         if !self.heap.is_full() {
             for i in 0..self.source.num_docs() {
                 let d = DocId::from_index(i);
-                if !self.ws.candidates.contains_key(&d) && self.source.is_live(d) {
+                if self.ws.dense.slot_of(d).is_none() && self.source.is_live(d) {
                     self.heap.offer(d, f64::INFINITY);
                 }
             }
         }
         self.metrics.distance_calc += t0.elapsed();
     }
-}
-
-#[inline]
-pub(crate) fn pack_pair(origin: u32, node: ConceptId) -> u64 {
-    ((origin as u64) << 32) | node.0 as u64
-}
-
-#[inline]
-pub(crate) fn pack_state((origin, node, desc): State) -> u64 {
-    debug_assert!(origin < (1 << 31));
-    ((origin as u64) << 33) | ((node.0 as u64) << 1) | desc as u64
 }
 
 #[cfg(test)]

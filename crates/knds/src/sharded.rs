@@ -128,8 +128,10 @@ fn run_sharded<S: IndexSource + Sync>(
                     // One workspace per worker thread: a shard that serves
                     // several queries in its lifetime reuses it (here one
                     // query per spawn, but the pattern matches `cbr-core`'s
-                    // batch workers).
+                    // batch workers). Pre-size the dense tables so the
+                    // query itself never grows them.
                     let mut ws = KndsWorkspace::new();
+                    ws.reserve(ontology.len(), view.num_docs());
                     if rds {
                         engine.rds_with(&mut ws, query, k)
                     } else {

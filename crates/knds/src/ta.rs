@@ -87,7 +87,7 @@ pub fn rds<S: IndexSource>(
 
 /// [`rds`] over a caller-owned workspace. TA's posting lists are
 /// inherently per-query (one per query concept), but the normalized-query
-/// and seen-document buffers are reused.
+/// buffer and the dense seen-document marks are reused.
 pub fn rds_with<S: IndexSource>(
     ontology: &Ontology,
     source: &S,
@@ -100,8 +100,11 @@ pub fn rds_with<S: IndexSource>(
     let mut q = std::mem::take(&mut ws.query);
     crate::util::normalize_query_into(query, &mut q);
     assert!(!q.is_empty(), "query must contain at least one concept");
+    // TA only needs the per-document marks; the epoch bump replaces the
+    // old O(|D|) clear-and-resize of a boolean vector.
+    let rolled = ws.dense.begin_query(0, 0, source.num_docs(), false, false);
 
-    let mut metrics = QueryMetrics::default();
+    let mut metrics = QueryMetrics { epoch_rollover: rolled as usize, ..QueryMetrics::default() };
 
     // "Offline" phase: one distance-sorted list per query concept, plus a
     // per-document random-access table.
@@ -125,9 +128,6 @@ pub fn rds_with<S: IndexSource>(
     // TA round-robin over sorted accesses.
     let t = Instant::now();
     let mut heap = TopK::new(k);
-    let mut seen = std::mem::take(&mut ws.seen_docs);
-    seen.clear();
-    seen.resize(num_docs, false);
     let mut pos = 0usize;
     while pos < num_docs {
         // Threshold: sum of the distances at the current sorted positions.
@@ -139,9 +139,8 @@ pub fn rds_with<S: IndexSource>(
                 continue;
             };
             threshold += dist as u64;
-            match seen.get_mut(doc.index()) {
-                Some(s) if !*s => *s = true,
-                _ => continue,
+            if !ws.dense.mark_doc(doc) {
+                continue;
             }
             metrics.docs_examined += 1;
             let total: u64 =
@@ -156,13 +155,12 @@ pub fn rds_with<S: IndexSource>(
     metrics.traversal += t.elapsed();
     metrics.candidates_seen = metrics.docs_examined;
 
-    seen.clear();
-    ws.seen_docs = seen;
     q.clear();
     ws.query = q;
     ws.finish();
     metrics.workspace_reused = reused as usize;
     metrics.workspace_bytes = ws.footprint_bytes();
+    metrics.table_bytes = ws.dense.footprint_bytes();
 
     let results =
         heap.into_sorted().into_iter().map(|(doc, distance)| RankedDoc { doc, distance }).collect();

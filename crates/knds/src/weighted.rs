@@ -25,7 +25,7 @@
 //! queries.
 
 use crate::config::KndsConfig;
-use crate::engine::{pack_pair, pack_state, Candidate, Kind, QueryResult, RankedDoc, State};
+use crate::engine::{Candidate, Kind, QueryResult, RankedDoc, State};
 use crate::metrics::QueryMetrics;
 use crate::util::TopK;
 use crate::workspace::KndsWorkspace;
@@ -97,6 +97,15 @@ impl<'a, S: IndexSource> WeightedKnds<'a, S> {
         let mut q = std::mem::take(&mut ws.query);
         crate::util::normalize_query_into(query, &mut q);
         assert!(!q.is_empty(), "query must contain at least one concept");
+        // Dense-table epoch for this query; the weighted engine needs the
+        // Dijkstra tentative-distance table.
+        let rolled = ws.dense.begin_query(
+            q.len(),
+            self.ontology.len(),
+            self.source.num_docs(),
+            kind == Kind::Sds,
+            true,
+        );
 
         let drc = Drc::with_weights(self.ontology, self.weights).with_scratch(ws.take_dag());
         let mut search = WeightedSearch {
@@ -110,7 +119,7 @@ impl<'a, S: IndexSource> WeightedKnds<'a, S> {
             query: q,
             ws,
             heap: TopK::new(k),
-            metrics: QueryMetrics::default(),
+            metrics: QueryMetrics { epoch_rollover: rolled as usize, ..QueryMetrics::default() },
         };
         let mut result = search.run();
 
@@ -121,6 +130,7 @@ impl<'a, S: IndexSource> WeightedKnds<'a, S> {
         ws.finish();
         result.metrics.workspace_reused = reused as usize;
         result.metrics.workspace_bytes = ws.footprint_bytes();
+        result.metrics.table_bytes = ws.dense.footprint_bytes();
         result
     }
 }
@@ -134,9 +144,9 @@ struct WeightedSearch<'a, 'w, S: IndexSource> {
     kind: Kind,
     query: Vec<ConceptId>,
     nq: usize,
-    /// Per-query maps and buffers, borrowed for this query (the weighted
-    /// engine uses `first_touch_set`, `best_dist`, and `buckets` where the
-    /// unit-weight engine uses `first_touch`, `seen_states`, and the
+    /// Per-query dense tables and buffers, borrowed for this query (the
+    /// weighted engine uses the tentative-distance table and `buckets`
+    /// where the unit-weight engine uses the visited bitset and the
     /// frontier pair).
     ws: &'w mut KndsWorkspace,
     heap: TopK,
@@ -155,7 +165,7 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         if let Some(seed) = buckets.first_mut() {
             for (i, &c) in self.query.iter().enumerate() {
                 let s: State = (i as u32, c, false);
-                self.ws.best_dist.insert(pack_state(s), 0);
+                self.ws.dense.improve_best(i as u32, c, false, 0);
                 seed.push(s);
             }
         }
@@ -169,7 +179,7 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
             for &state in &current {
                 let (origin, node, descending) = state;
                 // Lazy deletion: skip stale entries.
-                if self.ws.best_dist.get(&pack_state(state)).is_some_and(|&best| best < d) {
+                if self.ws.dense.best_dist(origin, node, descending).is_some_and(|best| best < d) {
                     continue;
                 }
                 self.metrics.nodes_visited += 1;
@@ -219,7 +229,7 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         }
         self.ws.buckets = buckets;
 
-        self.metrics.candidates_seen = self.ws.candidates.len();
+        self.metrics.candidates_seen = self.ws.dense.cand.len();
         let results = std::mem::replace(&mut self.heap, TopK::new(1))
             .into_sorted()
             .into_iter()
@@ -229,8 +239,8 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
     }
 
     fn apply_coverage(&mut self, origin: u32, node: ConceptId, dist: u32) {
-        let fwd_new = self.ws.covered_pairs.insert(pack_pair(origin, node));
-        let rev_new = self.kind == Kind::Sds && self.ws.first_touch_set.insert(node);
+        let fwd_new = self.ws.dense.mark_pair(origin, node);
+        let rev_new = self.kind == Kind::Sds && self.ws.dense.touch_first(node);
         if !fwd_new && !rev_new {
             return;
         }
@@ -241,24 +251,18 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
 
         let postings = std::mem::take(&mut self.ws.postings_buf);
         for &doc in &postings {
-            let cand = match self.ws.candidates.entry(doc) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => {
+            let slot = match self.ws.dense.slot_of(doc) {
+                Some(slot) => {
+                    self.metrics.dense_hits += 1;
+                    slot
+                }
+                None => {
                     let len =
                         if self.kind == Kind::Sds { self.source.doc_len(doc) as u32 } else { 0 };
-                    e.insert(Candidate::new(self.nq, len))
+                    self.ws.dense.insert_candidate(doc, len)
                 }
             };
-            if cand.examined {
-                continue;
-            }
-            if fwd_new {
-                cand.cover(origin, dist);
-            }
-            if rev_new {
-                cand.rev_covered += 1;
-                cand.rev_sum += dist as u64;
-            }
+            self.ws.dense.apply_to_candidate(slot, origin, dist, fwd_new, rev_new);
         }
         self.ws.postings_buf = postings;
     }
@@ -285,16 +289,10 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
     fn push(&mut self, buckets: &mut Vec<Vec<State>>, state: State, dist: u32) {
         if self.config.dedup_visits {
             // Dijkstra relaxation: only keep strictly improving pushes.
-            match self.ws.best_dist.entry(pack_state(state)) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    if *e.get() <= dist {
-                        return;
-                    }
-                    e.insert(dist);
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(dist);
-                }
+            let (origin, node, desc) = state;
+            if !self.ws.dense.improve_best(origin, node, desc, dist) {
+                self.metrics.dense_hits += 1;
+                return;
             }
         }
         if buckets.len() <= dist as usize {
@@ -311,8 +309,10 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         order.clear();
         order.extend(
             self.ws
-                .candidates
+                .dense
+                .cand_docs
                 .iter()
+                .zip(self.ws.dense.cand.iter())
                 .filter(|(_, c)| !c.examined)
                 .map(|(&doc, c)| (self.lower_bound(c, d), doc)),
         );
@@ -325,17 +325,21 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
                 min_unexamined = lb;
                 break;
             }
-            let eps = self.error_estimate(doc, lb);
+            let Some(slot) = self.ws.dense.slot_of(doc) else {
+                debug_assert!(false, "examined doc {doc} has no candidate");
+                continue;
+            };
+            // Degraded result on a missing row: "no error" forces exact
+            // examination, which is always sound.
+            let eps = self.ws.dense.candidate(slot).map_or(0.0, |c| self.error_estimate(c, lb));
             if !forced && eps > self.config.error_threshold {
                 min_unexamined = lb;
                 break;
             }
-            let exact = self.exact_distance(doc);
-            let Some(cand) = self.ws.candidates.get_mut(&doc) else {
-                debug_assert!(false, "examined doc {doc} has no candidate");
-                continue;
-            };
-            cand.examined = true;
+            let exact = self.exact_distance(doc, slot);
+            if let Some(cand) = self.ws.dense.candidate_mut(slot) {
+                cand.examined = true;
+            }
             self.metrics.docs_examined += 1;
             self.heap.offer(doc, exact);
         }
@@ -365,13 +369,7 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         }
     }
 
-    fn error_estimate(&self, doc: DocId, lb: f64) -> f64 {
-        let Some(c) = self.ws.candidates.get(&doc) else {
-            // Degraded result: "no error" forces exact examination, which is
-            // always sound.
-            debug_assert!(false, "error estimate for unseen doc {doc}");
-            return 0.0;
-        };
+    fn error_estimate(&self, c: &Candidate, lb: f64) -> f64 {
         if lb <= 0.0 {
             return 0.0;
         }
@@ -386,8 +384,8 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         }
     }
 
-    fn exact_distance(&mut self, doc: DocId) -> f64 {
-        let Some(c) = self.ws.candidates.get(&doc) else {
+    fn exact_distance(&mut self, doc: DocId, slot: usize) -> f64 {
+        let Some(c) = self.ws.dense.candidate(slot) else {
             debug_assert!(false, "exact distance for unseen doc {doc}");
             return f64::INFINITY;
         };
@@ -425,17 +423,29 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         let t0 = Instant::now();
         let mut docs = std::mem::take(&mut self.ws.docs_buf);
         docs.clear();
-        docs.extend(self.ws.candidates.iter().filter(|(_, c)| !c.examined).map(|(&doc, _)| doc));
+        docs.extend(
+            self.ws
+                .dense
+                .cand_docs
+                .iter()
+                .zip(self.ws.dense.cand.iter())
+                .filter(|(_, c)| !c.examined)
+                .map(|(&doc, _)| doc),
+        );
         for &doc in &docs {
-            let Some(c) = self.ws.candidates.get(&doc) else {
+            let Some(slot) = self.ws.dense.slot_of(doc) else {
                 debug_assert!(false, "exhausted doc {doc} has no candidate");
                 continue;
             };
-            debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
-            let exact = self.partial_distance(c);
+            let Some(exact) = self.ws.dense.candidate(slot).map(|c| {
+                debug_assert_eq!(c.covered as usize, self.nq, "exhaustion implies full coverage");
+                self.partial_distance(c)
+            }) else {
+                continue;
+            };
             self.metrics.exact_from_partial += 1;
             self.metrics.docs_examined += 1;
-            if let Some(c) = self.ws.candidates.get_mut(&doc) {
+            if let Some(c) = self.ws.dense.candidate_mut(slot) {
                 c.examined = true;
             }
             self.heap.offer(doc, exact);
@@ -445,7 +455,7 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         if !self.heap.is_full() {
             for i in 0..self.source.num_docs() {
                 let doc = DocId::from_index(i);
-                if !self.ws.candidates.contains_key(&doc) && self.source.is_live(doc) {
+                if self.ws.dense.slot_of(doc).is_none() && self.source.is_live(doc) {
                     self.heap.offer(doc, f64::INFINITY);
                 }
             }

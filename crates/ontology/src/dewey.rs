@@ -102,6 +102,12 @@ pub struct PathTable {
     /// `addr_ranges[concept_offsets[c] .. concept_offsets[c+1]]`.
     addr_ranges: Vec<(u32, u16)>,
     concept_offsets: Vec<u32>,
+    /// Global lexicographic rank of each address (parallel to
+    /// `addr_ranges`): `ranks[i] < ranks[j]` iff address `i`'s component
+    /// sequence sorts before address `j`'s. An address names a unique root
+    /// path, so ranks are distinct and consumers can order any address
+    /// subset with single-integer comparisons instead of slice compares.
+    ranks: Vec<u32>,
 }
 
 impl PathTable {
@@ -129,9 +135,10 @@ impl PathTable {
         for &c in ont.topological_order() {
             if c != ont.root() {
                 let mut addrs = Vec::new();
-                for &p in ont.parents(c) {
-                    let ordinal =
-                        ont.child_ordinal(p, c).expect("parent/child adjacency is symmetric");
+                // Ordinals ride on the reverse edges (precomputed at build),
+                // so extending a parent's addresses never rescans its child
+                // list.
+                for (p, ordinal) in ont.parents_with_ordinals(c) {
                     for base in &per_concept[p.index()] {
                         let mut addr = Vec::with_capacity(base.len() + 1);
                         addr.extend_from_slice(base);
@@ -163,7 +170,21 @@ impl PathTable {
             concept_offsets.push(addr_ranges.len() as u32);
         }
 
-        Ok(PathTable { arena, addr_ranges, concept_offsets })
+        // Rank every address by content, once. D-Radix probes re-sort the
+        // staged address multiset of d ∪ q on every build; with global
+        // ranks that sort degenerates to integer comparisons.
+        let mut order: Vec<u32> = (0..addr_ranges.len() as u32).collect();
+        let slice_of = |i: u32| -> &[u32] {
+            let (off, len) = addr_ranges[i as usize];
+            &arena[off as usize..off as usize + len as usize]
+        };
+        order.sort_unstable_by(|&a, &b| slice_of(a).cmp(slice_of(b)));
+        let mut ranks = vec![0u32; addr_ranges.len()];
+        for (rank, &i) in order.iter().enumerate() {
+            ranks[i as usize] = rank as u32;
+        }
+
+        Ok(PathTable { arena, addr_ranges, concept_offsets, ranks })
     }
 
     /// The Dewey addresses of `c` as component slices, lexicographically
@@ -174,6 +195,21 @@ impl PathTable {
         self.addr_ranges[lo..hi]
             .iter()
             .map(move |&(off, len)| &self.arena[off as usize..off as usize + len as usize])
+    }
+
+    /// [`addresses`](Self::addresses) paired with each address's global
+    /// lexicographic rank: ordering a set of addresses from any mix of
+    /// concepts by rank is exactly the content order, at one integer
+    /// compare per decision.
+    pub fn addresses_ranked(
+        &self,
+        c: ConceptId,
+    ) -> impl ExactSizeIterator<Item = (u32, &[u32])> + Clone + '_ {
+        let lo = self.concept_offsets[c.index()] as usize;
+        let hi = self.concept_offsets[c.index() + 1] as usize;
+        self.addr_ranges[lo..hi].iter().zip(&self.ranks[lo..hi]).map(move |(&(off, len), &rank)| {
+            (rank, &self.arena[off as usize..off as usize + len as usize])
+        })
     }
 
     /// Number of addresses (root paths) of concept `c`.

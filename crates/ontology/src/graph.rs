@@ -27,6 +27,10 @@ pub struct Ontology {
     child_targets: Vec<ConceptId>,
     parent_offsets: Vec<u32>,
     parent_targets: Vec<ConceptId>,
+    /// Parallel to `parent_targets`: the 1-based Dewey component of the
+    /// concept under that parent, precomputed at build so the Dewey hot
+    /// paths never scan a parent's child list for a position.
+    parent_ordinals: Vec<u32>,
     /// Minimum number of edges from the root to each concept.
     depths: Vec<u32>,
     /// Concepts ordered so that every parent precedes all of its children.
@@ -49,6 +53,14 @@ impl Ontology {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
+    }
+
+    /// Exclusive upper bound on [`ConceptId::index`] values: ids are dense,
+    /// so every concept's index is below `len()`. Dense per-concept tables
+    /// (e.g. the kNDS workspace state tables) size themselves by this.
+    #[inline]
+    pub fn id_bound(&self) -> usize {
+        self.labels.len()
     }
 
     /// The unique root concept.
@@ -89,10 +101,27 @@ impl Ontology {
         self.depths[c.index()]
     }
 
+    /// The parents of `c` paired with `c`'s 1-based Dewey component under
+    /// each — the precomputed form the Dewey address builder walks, one
+    /// O(1) lookup per edge instead of a scan of the parent's child list.
+    #[inline]
+    pub fn parents_with_ordinals(
+        &self,
+        c: ConceptId,
+    ) -> impl Iterator<Item = (ConceptId, u32)> + '_ {
+        let lo = self.parent_offsets[c.index()] as usize;
+        let hi = self.parent_offsets[c.index() + 1] as usize;
+        let parents = self.parent_targets.get(lo..hi).unwrap_or(&[]);
+        let ordinals = self.parent_ordinals.get(lo..hi).unwrap_or(&[]);
+        parents.iter().copied().zip(ordinals.iter().copied())
+    }
+
     /// The 1-based Dewey component of `child` under `parent`, or `None` if
-    /// there is no such edge.
+    /// there is no such edge. Resolved from the per-edge ordinals computed
+    /// at build time, so the cost is `O(parents(child))` — constant for
+    /// tree-like regions — rather than a scan of `children(parent)`.
     pub fn child_ordinal(&self, parent: ConceptId, child: ConceptId) -> Option<u32> {
-        self.children(parent).iter().position(|&c| c == child).map(|p| p as u32 + 1)
+        self.parents_with_ordinals(child).find(|&(p, _)| p == parent).map(|(_, o)| o)
     }
 
     /// Resolves the 1-based Dewey component `ordinal` under `parent`.
@@ -149,6 +178,16 @@ impl Ontology {
     #[doc(hidden)]
     pub fn corrupt_topo_order_for_tests(&mut self) {
         self.topo_order.reverse();
+    }
+
+    /// Corrupts the first stored per-edge ordinal of `concept` so validator
+    /// tests can prove detection. Not part of the public API.
+    #[doc(hidden)]
+    pub fn corrupt_parent_ordinal_for_tests(&mut self, concept: ConceptId) {
+        let lo = self.parent_offsets[concept.index()] as usize;
+        if let Some(o) = self.parent_ordinals.get_mut(lo) {
+            *o = o.saturating_add(1);
+        }
     }
 
     /// Total number of parent→child edges.
@@ -286,12 +325,17 @@ impl OntologyBuilder {
         let parent_offsets = prefix_sum(&parent_counts);
         let mut child_targets = vec![ConceptId(0); self.edges.len()];
         let mut parent_targets = vec![ConceptId(0); self.edges.len()];
+        let mut parent_ordinals = vec![0u32; self.edges.len()];
         let mut child_fill = child_offsets.clone();
         let mut parent_fill = parent_offsets.clone();
         for &(p, c) in &self.edges {
+            // 1-based position of `c` in `p`'s child list — `c`'s Dewey
+            // component under `p`, recorded on the reverse edge.
+            let ordinal = child_fill[p.index()] - child_offsets[p.index()] + 1;
             child_targets[child_fill[p.index()] as usize] = c;
             child_fill[p.index()] += 1;
             parent_targets[parent_fill[c.index()] as usize] = p;
+            parent_ordinals[parent_fill[c.index()] as usize] = ordinal;
             parent_fill[c.index()] += 1;
         }
 
@@ -353,6 +397,7 @@ impl OntologyBuilder {
             child_targets,
             parent_offsets,
             parent_targets,
+            parent_ordinals,
             depths,
             topo_order,
             root,
@@ -430,6 +475,28 @@ mod tests {
         assert_eq!(ont.child_at(ConceptId(0), 2), Some(ConceptId(2)));
         assert_eq!(ont.child_at(ConceptId(0), 0), None);
         assert_eq!(ont.child_at(ConceptId(0), 3), None);
+    }
+
+    #[test]
+    fn parent_ordinals_mirror_child_positions() {
+        let ont = diamond();
+        // leaf is child #1 of both a and b.
+        let got: Vec<(ConceptId, u32)> = ont.parents_with_ordinals(ConceptId(3)).collect();
+        assert_eq!(got, vec![(ConceptId(1), 1), (ConceptId(2), 1)]);
+        // Exhaustive cross-check against the child lists.
+        for c in ont.concepts() {
+            for (p, o) in ont.parents_with_ordinals(c) {
+                assert_eq!(ont.child_at(p, o), Some(c), "ordinal of {c:?} under {p:?}");
+            }
+            assert_eq!(ont.parents_with_ordinals(c).count(), ont.parents(c).len());
+        }
+    }
+
+    #[test]
+    fn id_bound_covers_every_concept() {
+        let ont = diamond();
+        assert_eq!(ont.id_bound(), ont.len());
+        assert!(ont.concepts().all(|c| c.index() < ont.id_bound()));
     }
 
     #[test]

@@ -45,6 +45,14 @@ pub enum OntologyViolation {
         /// The depth recomputed over the parent edges.
         expected: u32,
     },
+    /// A precomputed per-edge Dewey ordinal that does not resolve back to
+    /// the edge's child through the parent's child list.
+    BadOrdinal {
+        /// The edge's parent endpoint.
+        parent: ConceptId,
+        /// The edge's child endpoint.
+        child: ConceptId,
+    },
     /// A concept with no Dewey address in the path table.
     MissingAddress {
         /// The concept without addresses.
@@ -89,6 +97,12 @@ impl Ontology {
             let is_root = c == self.root();
             if self.parents(c).is_empty() != is_root {
                 v.push(OntologyViolation::BadRoot { concept: c });
+            }
+            // Precomputed per-edge ordinals must agree with the child lists.
+            for (parent, ordinal) in self.parents_with_ordinals(c) {
+                if self.child_at(parent, ordinal) != Some(c) {
+                    v.push(OntologyViolation::BadOrdinal { parent, child: c });
+                }
             }
         }
 
@@ -207,6 +221,14 @@ mod tests {
             err.iter().any(|x| matches!(x, OntologyViolation::DepthMismatch { .. })),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn corrupted_parent_ordinal_is_caught() {
+        let mut ont = diamond();
+        ont.corrupt_parent_ordinal_for_tests(ConceptId(3));
+        let err = ont.validate().unwrap_err();
+        assert!(err.iter().any(|x| matches!(x, OntologyViolation::BadOrdinal { .. })), "{err:?}");
     }
 
     #[test]

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Canonical verification for the workspace: formatting, lints, the
-# self-hosted audit (static rules A01-A07 + structural invariants), the
+# self-hosted audit (static rules A01-A08 + structural invariants), the
 # cbr-flow dataflow lints (an honest call-graph pass over the real tree
 # plus a seeded-fixture pass proving every rule fires), the cbr-sched
-# schedule exploration (same honest + seeded-bug pairing), and tests.
-# Run from the repository root. All eight must pass before merging.
+# schedule exploration (same honest + seeded-bug pairing), the bench
+# smoke pass (the JSON trajectory pipeline end to end at micro scale),
+# and tests. Run from the repository root. All nine must pass before
+# merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,4 +28,9 @@ cargo run -q -p cbr-sched --features seeded-races -- \
     --budget 200 \
     --harness seeded-unlock-race --harness seeded-lock-inversion \
     --expect-findings
+# Bench smoke: run the machine-readable trajectory at micro scale and
+# validate the emitted JSON in-process. Catches a panicking measurement
+# loop or a malformed BENCH_knds.json run object without paying for a
+# full benchmark; writes nothing.
+cargo run -q --release -p cbr-bench --bin repro -- --json --smoke
 cargo test -q

@@ -91,8 +91,10 @@ fn file_backed_source_answers_identically() {
         assert_eq!(x.doc, y.doc);
         assert_eq!(x.distance, y.distance);
     }
-    // The file-backed run attributes real time to the I/O bucket.
-    assert!(b.metrics.io >= a.metrics.io);
+    // The file-backed run attributes real time to the I/O bucket. (Not
+    // compared against the in-memory run's bucket: both are wall-clock
+    // timers, and scheduler noise can inflate the in-memory one.)
+    assert!(b.metrics.io > std::time::Duration::ZERO);
     std::fs::remove_file(&path).unwrap();
 }
 
