@@ -3,7 +3,7 @@
 //!
 //! Two halves, one binary:
 //!
-//! * **Lint** ([`run_lint`]) — token-level rules `A01`–`A08` over every
+//! * **Lint** ([`run_lint`]) — token-level rules `A01`–`A09` over every
 //!   workspace source and manifest, filtered through the checked-in
 //!   `audit.allow` ratchet. No external parser: the build environment is
 //!   offline, so the scanner is ~300 lines of hand-rolled lexing that
@@ -58,7 +58,7 @@ pub fn run_lint(root: &Path) -> Report {
 
     let mut report = Report { findings, passed: Vec::new() };
     if report.ok() {
-        for rule in ["A01", "A02", "A03", "A04", "A05", "A06", "A07", "A08"] {
+        for rule in ["A01", "A02", "A03", "A04", "A05", "A06", "A07", "A08", "A09"] {
             report.passed.push(format!("lint {rule} ({} files)", files.len()));
         }
     }

@@ -1,4 +1,4 @@
-//! The lint rules, A01–A08.
+//! The lint rules, A01–A09.
 //!
 //! Every rule has a stable identifier, runs over [`SourceFile`]s (or
 //! `Cargo.toml` manifests for A06), and reports findings that are then
@@ -53,6 +53,12 @@ pub const A08_SCOPES: [&str; 4] = [
 /// suffixes of `FxHashMap`/`FxHashSet`; the finding reports the full
 /// identifier at the site.
 const A08_NEEDLES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// The read half of the engine where A09 (lock-free query path) applies:
+/// the immutable snapshot and the concurrent service wrapper. A query's
+/// only synchronization is one `Published` epoch load; any `RwLock`
+/// appearing here would put a lock acquisition back on every read.
+pub const A09_SCOPES: [&str; 2] = ["crates/core/src/service.rs", "crates/core/src/snapshot.rs"];
 
 fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
@@ -414,6 +420,33 @@ pub fn a08_no_hot_path_hash_tables(file: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// A09: the snapshot/service read path must stay lock-free. Readers
+/// revalidate their pinned [`EngineSnapshot`] with a single `Published`
+/// epoch load per query; the writer serializes behind a `Mutex` that
+/// queries never touch. An `RwLock` token in either file means someone
+/// has put a shared-section acquisition back on the steady-state read
+/// path — exactly what the snapshot/session split exists to remove.
+pub fn a09_lock_free_reads(file: &SourceFile) -> Vec<Finding> {
+    if !A09_SCOPES.contains(&file.rel.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for o in file.code_matches("RwLock") {
+        if file.is_test(o) {
+            continue;
+        }
+        out.push(Finding::new(
+            "A09",
+            &file.rel,
+            file.line_of(o),
+            "`RwLock` on the engine read path: queries revalidate with one `Published` \
+             epoch load; writer-side state belongs behind the writer `Mutex`",
+        ));
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
 /// Runs every source-level rule over `files` (A06 runs separately on
 /// manifests via [`a06_no_registry_deps`]).
 pub fn run_source_rules(files: &[SourceFile]) -> Vec<Finding> {
@@ -427,6 +460,7 @@ pub fn run_source_rules(files: &[SourceFile]) -> Vec<Finding> {
         out.extend(a05_serde_gated(f, &gated));
         out.extend(a07_facade_only_sync(f));
         out.extend(a08_no_hot_path_hash_tables(f));
+        out.extend(a09_lock_free_reads(f));
     }
     out
 }
@@ -606,6 +640,25 @@ mod tests {
         assert!(a08_no_hot_path_hash_tables(&src("crates/knds/src/engine.rs", &gated)).is_empty());
         let comment = src("crates/knds/src/engine.rs", "// replaced the FxHashMap per-state map\n");
         assert!(a08_no_hot_path_hash_tables(&comment).is_empty());
+    }
+
+    #[test]
+    fn a09_fires_on_rwlock_in_read_path_files() {
+        let body = "use sched::sync::RwLock;\nstruct S { inner: RwLock<Vec<u32>> }\n";
+        assert_eq!(a09_lock_free_reads(&src("crates/core/src/service.rs", body)).len(), 2);
+        assert_eq!(a09_lock_free_reads(&src("crates/core/src/snapshot.rs", body)).len(), 2);
+    }
+
+    #[test]
+    fn a09_silent_on_tests_comments_and_out_of_scope_files() {
+        let body = "use std::sync::RwLock;\nfn f() { let _ = RwLock::new(0); }";
+        // The epoch cell itself (crates/sched) legitimately owns an RwLock.
+        assert!(a09_lock_free_reads(&src("crates/sched/src/sync/published.rs", body)).is_empty());
+        assert!(a09_lock_free_reads(&src("crates/core/src/engine.rs", body)).is_empty());
+        let gated = format!("#[cfg(test)]\nmod tests {{ {body} }}");
+        assert!(a09_lock_free_reads(&src("crates/core/src/service.rs", &gated)).is_empty());
+        let comment = src("crates/core/src/snapshot.rs", "// one load, never an RwLock\n");
+        assert!(a09_lock_free_reads(&comment).is_empty());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 use cbr_bench::json::Json;
+use cbr_bench::trajectory::TrajectorySpec;
 use cbr_bench::{fmt_duration, Scale, Table, Timing, Workbench};
 use cbr_corpus::CorpusStats;
 use cbr_dradix::{brute, Drc};
@@ -35,9 +36,17 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
-/// The trajectory file `--json` maintains, relative to the working
-/// directory (`scripts/check.sh` runs from the repository root).
-const TRAJECTORY_FILE: &str = "BENCH_knds.json";
+/// The schema of the trajectory file `--json` maintains (relative to the
+/// working directory; `scripts/check.sh` runs from the repository root).
+/// `BENCH_scale.json` (the `scale` binary) shares the same format through
+/// the same [`TrajectorySpec`] machinery.
+const TRAJECTORY: TrajectorySpec = TrajectorySpec {
+    file: "BENCH_knds.json",
+    bench: "knds",
+    figures: &["fig8_query_size", "fig9_topk"],
+    key_fields: &["collection", "kind", "nq", "k"],
+    measure_fields: &["median_ns", "qps", "workspace_bytes", "table_bytes"],
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -287,139 +296,40 @@ fn trajectory_run(wb: &Workbench, label: &str) -> Json {
     ])
 }
 
-/// Identity of a trajectory point, for cross-run matching.
-fn point_key(p: &Json) -> Option<(String, String, i64, i64)> {
-    Some((
-        p.get("collection")?.as_str()?.to_string(),
-        p.get("kind")?.as_str()?.to_string(),
-        p.get("nq")?.as_f64()? as i64,
-        p.get("k")?.as_f64()? as i64,
-    ))
-}
-
-fn median_of(mut v: Vec<f64>) -> Option<f64> {
-    if v.is_empty() {
-        return None;
-    }
-    v.sort_by(f64::total_cmp);
-    Some(v[v.len() / 2])
-}
-
-/// Median `baseline / current` ratio over the matching points of one
-/// figure (> 1 means the current run is faster).
-fn figure_speedup(baseline: &[Json], current: &[Json]) -> Option<f64> {
-    let mut ratios = Vec::new();
-    for p in current {
-        let key = point_key(p)?;
-        let base = baseline.iter().find(|b| point_key(b).as_ref() == Some(&key))?;
-        let (b, c) = (base.get("median_ns")?.as_f64()?, p.get("median_ns")?.as_f64()?);
-        if c > 0.0 {
-            ratios.push(b / c);
-        }
-    }
-    median_of(ratios)
-}
-
-/// Structural validation of one run: both figures present and non-empty,
-/// every point carrying sane numbers. The smoke step relies on this to
-/// fail on malformed output.
-fn validate_run(run: &Json) -> Result<(), String> {
-    let figures = run.get("figures").ok_or("run has no figures object")?;
-    for fig in ["fig8_query_size", "fig9_topk"] {
-        let points = figures
-            .get(fig)
-            .and_then(Json::as_arr)
-            .ok_or_else(|| format!("figure {fig} missing"))?;
-        if points.is_empty() {
-            return Err(format!("figure {fig} is empty"));
-        }
-        for p in points {
-            point_key(p).ok_or_else(|| format!("{fig}: point without identity"))?;
-            for field in ["median_ns", "qps", "workspace_bytes", "table_bytes"] {
-                let n = p
-                    .get(field)
-                    .and_then(Json::as_f64)
-                    .ok_or_else(|| format!("{fig}: point without {field}"))?;
-                if n.is_nan() || n < 0.0 {
-                    return Err(format!("{fig}: {field} = {n} is not a sane measurement"));
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
 /// `--json` driver: measure, self-validate, and either print (smoke) or
-/// merge into [`TRAJECTORY_FILE`] with speedups vs the first recorded run.
+/// merge into the trajectory file with speedups vs the first recorded
+/// run — all through the shared [`TrajectorySpec`] machinery.
 fn trajectory(wb: &Workbench, label: Option<&str>, smoke: bool) {
     let label = label.unwrap_or(if smoke { "smoke" } else { "run" });
-    let mut run = trajectory_run(wb, label);
+    let run = trajectory_run(wb, label);
 
     if smoke {
-        let text = run.render();
-        let reparsed = match Json::parse(&text) {
-            Ok(v) => v,
+        match TRAJECTORY.smoke(&run) {
+            Ok(text) => {
+                print!("{text}");
+                eprintln!("smoke OK: run re-parsed and validated; nothing written");
+            }
             Err(e) => {
-                eprintln!("smoke: emitted JSON does not re-parse: {e}");
+                eprintln!("smoke: {e}");
                 std::process::exit(1);
             }
-        };
-        if let Err(e) = validate_run(&reparsed) {
-            eprintln!("smoke: emitted run is malformed: {e}");
-            std::process::exit(1);
         }
-        print!("{text}");
-        eprintln!("smoke OK: run re-parsed and validated; nothing written");
         return;
     }
 
-    if let Err(e) = validate_run(&run) {
-        eprintln!("refusing to record a malformed run: {e}");
-        std::process::exit(1);
-    }
-    let existing_runs: Vec<Json> = match std::fs::read_to_string(TRAJECTORY_FILE) {
-        Ok(text) => match Json::parse(&text) {
-            Ok(doc) => doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]).to_vec(),
-            Err(e) => {
-                eprintln!("{TRAJECTORY_FILE} exists but does not parse ({e}); fix or remove it");
-                std::process::exit(1);
+    match TRAJECTORY.record(run) {
+        Ok(recorded) => {
+            for (fig, s) in &recorded.speedups {
+                eprintln!("{fig}: median speedup {s}x vs baseline run");
             }
-        },
-        Err(_) => Vec::new(),
-    };
-
-    if let Some(baseline) = existing_runs.first() {
-        let mut speedups = Vec::new();
-        for fig in ["fig8_query_size", "fig9_topk"] {
-            let base = baseline.get("figures").and_then(|f| f.get(fig)).and_then(Json::as_arr);
-            let cur = run.get("figures").and_then(|f| f.get(fig)).and_then(Json::as_arr);
-            if let (Some(base), Some(cur)) = (base, cur) {
-                if let Some(s) = figure_speedup(base, cur) {
-                    let rounded = (s * 100.0).round() / 100.0;
-                    eprintln!("{fig}: median speedup {rounded}x vs baseline run");
-                    speedups.push((fig.to_string(), Json::Num(rounded)));
-                }
-            }
+            print!("{}", recorded.text);
+            eprintln!("recorded run {label:?} in {}", TRAJECTORY.file);
         }
-        if !speedups.is_empty() {
-            if let Json::Obj(members) = &mut run {
-                members.push(("speedup_vs_baseline".into(), Json::Obj(speedups)));
-            }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
         }
     }
-
-    print!("{}", run.render());
-    let mut runs = existing_runs;
-    runs.push(run);
-    let doc = Json::Obj(vec![
-        ("bench".into(), Json::Str("knds".into())),
-        ("runs".into(), Json::Arr(runs)),
-    ]);
-    if let Err(e) = std::fs::write(TRAJECTORY_FILE, doc.render()) {
-        eprintln!("failed to write {TRAJECTORY_FILE}: {e}");
-        std::process::exit(1);
-    }
-    eprintln!("recorded run {label:?} in {TRAJECTORY_FILE}");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,390 @@
+//! Million-document sustained mixed read/write benchmark.
+//!
+//! The paper's motivating deployment (Section 1) interleaves clinicians
+//! querying with new EMRs arriving; the serving stack reproduces it with
+//! the snapshot/session split: reader threads run lock-free RDS sessions
+//! against the epoch-published [`EngineSnapshot`](concept_rank::EngineSnapshot)
+//! while one writer appends, tombstones, and compacts the segmented index
+//! behind its mutex, publishing after every mutation.
+//!
+//! ```sh
+//! cargo run --release -p cbr-bench --bin scale            # 1M docs, ~30 s
+//! cargo run --release -p cbr-bench --bin scale -- --smoke # CI variant
+//! ```
+//!
+//! Flags: `--docs <n>` (default 1,000,000), `--readers <n>`, `--phase-ms
+//! <ms>` per measured phase, `--label <name>`, `--smoke` (tiny corpus,
+//! print + self-validate, write nothing). Measurements append to
+//! `BENCH_scale.json` in the working directory through the same
+//! [`TrajectorySpec`] machinery as `repro --json` / `BENCH_knds.json`.
+//!
+//! Two phases, identical query workload:
+//!
+//! * `read_only` — all readers, idle writer: the lock-free floor.
+//! * `mixed` — readers unchanged while the writer sustains a throttled
+//!   append/delete stream (an EMR feed) and periodically forces a full
+//!   compaction, the worst publish the writer can produce.
+//!
+//! The gap between the two phases is the price of concurrent writes on
+//! the read path — with the epoch-published snapshot design it should be
+//! a reload per publish, not a lock.
+
+#![forbid(unsafe_code)]
+
+use cbr_bench::json::Json;
+use cbr_bench::trajectory::TrajectorySpec;
+use cbr_corpus::{CorpusGenerator, CorpusProfile, DocId};
+use cbr_knds::KndsConfig;
+use cbr_ontology::{ConceptId, GeneratorConfig, OntologyGenerator};
+use concept_rank::{EngineBuilder, SharedEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// The schema of `BENCH_scale.json` — same format as `BENCH_knds.json`,
+/// different figures and point identity.
+const TRAJECTORY: TrajectorySpec = TrajectorySpec {
+    file: "BENCH_scale.json",
+    bench: "scale",
+    figures: &["scale_mixed"],
+    key_fields: &["phase", "kind", "nq", "k"],
+    measure_fields: &["median_ns", "p95_ns", "qps"],
+};
+
+/// The paper's default result count.
+const K: usize = 10;
+/// Query size: the middle of the Figure 8 sweep.
+const NQ: usize = 4;
+/// Error threshold: the paper's RADIO optimum (Figure 7, εθ ≈ 0.9) —
+/// right for a sparse, dispersed collection at this scale.
+const EPS: f64 = 0.9;
+/// Target sustained writer throughput (appends/second) in the mixed
+/// phase. Throttled: the point is a *sustained feed* racing readers, not
+/// a write-saturation test.
+const WRITES_PER_SEC: u64 = 2_000;
+/// One delete per this many appends.
+const DELETE_EVERY: u64 = 7;
+/// One full compaction per this many appends (on top of the policy's
+/// automatic tiered merges).
+const COMPACT_EVERY: u64 = 4_096;
+
+struct Args {
+    docs: usize,
+    readers: usize,
+    phase_ms: u64,
+    label: Option<String>,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args { docs: 0, readers: 0, phase_ms: 0, label: None, smoke: false };
+    let mut docs_override = None;
+    let mut readers_override = None;
+    let mut phase_override = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--docs" => {
+                i += 1;
+                docs_override = argv.get(i).and_then(|s| s.parse::<usize>().ok());
+            }
+            "--readers" => {
+                i += 1;
+                readers_override = argv.get(i).and_then(|s| s.parse::<usize>().ok());
+            }
+            "--phase-ms" => {
+                i += 1;
+                phase_override = argv.get(i).and_then(|s| s.parse::<u64>().ok());
+            }
+            "--label" => {
+                i += 1;
+                args.label = argv.get(i).cloned();
+            }
+            "--smoke" => args.smoke = true,
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    if args.smoke {
+        args.docs = docs_override.unwrap_or(3_000);
+        args.readers = readers_override.unwrap_or(2);
+        args.phase_ms = phase_override.unwrap_or(250);
+    } else {
+        args.docs = docs_override.unwrap_or(1_000_000);
+        // Leave one core for the writer.
+        args.readers = readers_override.unwrap_or(cores.saturating_sub(1).clamp(2, 8));
+        args.phase_ms = phase_override.unwrap_or(10_000);
+    }
+    args
+}
+
+/// Writer-side totals from the mixed phase.
+#[derive(Debug, Default)]
+struct WriterStats {
+    appends: u64,
+    deletes: u64,
+    compactions: u64,
+}
+
+fn main() {
+    let args = parse_args();
+    let label =
+        args.label
+            .clone()
+            .unwrap_or_else(|| if args.smoke { "smoke".into() } else { "run".into() });
+
+    // --- Build: RADIO-shaped corpus at serving scale -------------------
+    let profile = CorpusProfile::radio_scale(args.docs);
+    // Headroom above the sampling vocabulary so the depth filter always
+    // leaves enough eligible concepts.
+    let ontology_concepts = (profile.vocabulary_size * 3 / 2).max(8_000);
+    eprintln!(
+        "building: ontology {ontology_concepts} concepts, corpus {} docs ({}) …",
+        args.docs, profile.name
+    );
+    let t = Instant::now();
+    let ontology =
+        OntologyGenerator::new(GeneratorConfig::snomed_like(ontology_concepts)).generate();
+    eprintln!("  ontology ready in {:.1?}", t.elapsed());
+    let t = Instant::now();
+    let corpus = CorpusGenerator::new(&ontology, profile).generate();
+    eprintln!("  corpus ready in {:.1?}", t.elapsed());
+    let t = Instant::now();
+    // Path-table materialization is once-per-ontology; force it outside
+    // the measured phases.
+    let _ = ontology.path_table();
+    let engine = EngineBuilder::new()
+        .knds_config(KndsConfig::default().with_error_threshold(EPS))
+        .build(ontology, corpus);
+    eprintln!("  engine (segmented index + path table) ready in {:.1?}", t.elapsed());
+    let shared = SharedEngine::new(engine);
+
+    // --- Workload: deterministic query/append streams ------------------
+    let pool = concept_pool(&shared, 50_000);
+    assert!(pool.len() >= NQ, "concept pool too small to form queries");
+    let queries = make_queries(&pool, 512, NQ, 0x5CA1_E001);
+
+    // --- Phase 1: read-only floor --------------------------------------
+    eprintln!(
+        "phase read_only: {} readers × {} ms, {} docs …",
+        args.readers,
+        args.phase_ms,
+        shared.num_docs()
+    );
+    let duration = Duration::from_millis(args.phase_ms);
+    let (read_lat, _) = run_phase(&shared, &queries, args.readers, duration, None);
+
+    // --- Phase 2: readers racing a sustained writer --------------------
+    eprintln!("phase mixed: same readers + writer ({WRITES_PER_SEC} appends/s target) …");
+    let segments_before = shared.with_engine(|e| e.num_segments());
+    let (mixed_lat, stats) = run_phase(&shared, &queries, args.readers, duration, Some(&pool));
+    let stats = stats.unwrap_or_default();
+    let segments_after = shared.with_engine(|e| e.num_segments());
+    eprintln!(
+        "  writer: {} appends, {} deletes, {} full compactions; segments {} → {}; {} docs now",
+        stats.appends,
+        stats.deletes,
+        stats.compactions,
+        segments_before,
+        segments_after,
+        shared.num_docs()
+    );
+
+    // --- Record --------------------------------------------------------
+    let secs = duration.as_secs_f64();
+    let run = Json::Obj(vec![
+        ("label".into(), Json::Str(label.clone())),
+        ("docs".into(), Json::Num(args.docs as f64)),
+        ("readers".into(), Json::Num(args.readers as f64)),
+        ("phase_ms".into(), Json::Num(args.phase_ms as f64)),
+        ("write_rate_target".into(), Json::Num(WRITES_PER_SEC as f64)),
+        (
+            "writer".into(),
+            Json::Obj(vec![
+                ("appends".into(), Json::Num(stats.appends as f64)),
+                ("deletes".into(), Json::Num(stats.deletes as f64)),
+                ("compactions".into(), Json::Num(stats.compactions as f64)),
+            ]),
+        ),
+        (
+            "figures".into(),
+            Json::Obj(vec![(
+                "scale_mixed".into(),
+                Json::Arr(vec![
+                    phase_point("read_only", &read_lat, secs),
+                    phase_point("mixed", &mixed_lat, secs),
+                ]),
+            )]),
+        ),
+    ]);
+
+    if args.smoke {
+        match TRAJECTORY.smoke(&run) {
+            Ok(text) => {
+                print!("{text}");
+                eprintln!("smoke OK: run re-parsed and validated; nothing written");
+            }
+            Err(e) => {
+                eprintln!("smoke: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    match TRAJECTORY.record(run) {
+        Ok(recorded) => {
+            for (fig, s) in &recorded.speedups {
+                eprintln!("{fig}: median speedup {s}x vs baseline run");
+            }
+            print!("{}", recorded.text);
+            eprintln!("recorded run {label:?} in {}", TRAJECTORY.file);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Distinct eligible concepts sampled from the bulk corpus (the query
+/// and append vocabulary), capped at `limit`.
+fn concept_pool(shared: &SharedEngine, limit: usize) -> Vec<ConceptId> {
+    shared.with_engine(|e| {
+        let mut seen = cbr_ontology::FxHashSet::default();
+        let mut pool = Vec::new();
+        for d in e.corpus().documents() {
+            for &c in d.concepts() {
+                if seen.insert(c) {
+                    pool.push(c);
+                }
+            }
+            if pool.len() >= limit {
+                break;
+            }
+        }
+        pool.sort_unstable();
+        pool
+    })
+}
+
+/// `n` deterministic RDS queries of `nq` distinct concepts each.
+fn make_queries(pool: &[ConceptId], n: usize, nq: usize, seed: u64) -> Vec<Vec<ConceptId>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut q = cbr_ontology::FxHashSet::default();
+            while q.len() < nq.min(pool.len()) {
+                q.insert(pool[rng.random_range(0..pool.len())]);
+            }
+            let mut v: Vec<ConceptId> = q.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+/// Runs one measured phase: `readers` threads cycling RDS queries until
+/// the deadline, plus (when `append_pool` is given) one writer thread
+/// sustaining the throttled append/delete/compact stream. Returns the
+/// merged per-query latencies in nanoseconds and the writer stats.
+fn run_phase(
+    shared: &SharedEngine,
+    queries: &[Vec<ConceptId>],
+    readers: usize,
+    duration: Duration,
+    append_pool: Option<&[ConceptId]>,
+) -> (Vec<u64>, Option<WriterStats>) {
+    let start = Instant::now();
+    let deadline = start + duration;
+    std::thread::scope(|scope| {
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut j = r * 31;
+                    while Instant::now() < deadline {
+                        let q = &queries[j % queries.len()];
+                        j += 1;
+                        let t0 = Instant::now();
+                        let res = shared.rds(q, K).expect("scale query failed");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        assert!(res.results.len() <= K);
+                    }
+                    lat
+                })
+            })
+            .collect();
+
+        let writer_handle = append_pool.map(|pool| {
+            scope.spawn(move || {
+                let mut stats = WriterStats::default();
+                let mut appended: Vec<DocId> = Vec::new();
+                let mut rng = StdRng::seed_from_u64(0x5CA1_E002);
+                // Throttle in small batches: append a burst, then sleep to
+                // hold the target rate.
+                let batch = 32u64;
+                let batch_interval = Duration::from_nanos(batch * 1_000_000_000 / WRITES_PER_SEC);
+                let mut next_batch = start;
+                while Instant::now() < deadline {
+                    for _ in 0..batch {
+                        let doc: Vec<ConceptId> =
+                            (0..24).map(|_| pool[rng.random_range(0..pool.len())]).collect();
+                        appended.push(shared.add_document(doc));
+                        stats.appends += 1;
+                        if stats.appends % DELETE_EVERY == 0 {
+                            let victim = appended.swap_remove(rng.random_range(0..appended.len()));
+                            shared.remove_document(victim).expect("appended doc is live");
+                            stats.deletes += 1;
+                        }
+                        if stats.appends % COMPACT_EVERY == 0 {
+                            shared.compact();
+                            stats.compactions += 1;
+                        }
+                    }
+                    next_batch += batch_interval;
+                    let now = Instant::now();
+                    if next_batch > now {
+                        std::thread::sleep((next_batch - now).min(deadline - now));
+                    }
+                }
+                stats
+            })
+        });
+
+        let mut lat: Vec<u64> = Vec::new();
+        for h in reader_handles {
+            lat.extend(h.join().expect("reader thread panicked"));
+        }
+        let stats = writer_handle.map(|h| h.join().expect("writer thread panicked"));
+        (lat, stats)
+    })
+}
+
+/// One trajectory point from a phase's latency sample.
+fn phase_point(phase: &str, lat_ns: &[u64], phase_secs: f64) -> Json {
+    let mut sorted = lat_ns.to_vec();
+    sorted.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[((sorted.len() - 1) as f64 * q).round() as usize] as f64
+        }
+    };
+    Json::Obj(vec![
+        ("phase".into(), Json::Str(phase.into())),
+        ("kind".into(), Json::Str("RDS".into())),
+        ("nq".into(), Json::Num(NQ as f64)),
+        ("k".into(), Json::Num(K as f64)),
+        ("median_ns".into(), Json::Num(pct(0.5))),
+        ("p95_ns".into(), Json::Num(pct(0.95))),
+        ("qps".into(), Json::Num(lat_ns.len() as f64 / phase_secs.max(1e-9))),
+        ("queries".into(), Json::Num(lat_ns.len() as f64)),
+    ])
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod trajectory;
 
 use cbr_corpus::{ConceptFilter, Corpus, CorpusGenerator, CorpusProfile, DocId, FilterConfig};
 use cbr_index::MemorySource;

@@ -1,0 +1,291 @@
+//! Shared machinery for the `BENCH_*.json` perf-trajectory files.
+//!
+//! Two binaries record trajectories — `repro --json` (the paper-figure
+//! workloads, `BENCH_knds.json`) and `scale` (the million-document mixed
+//! read/write workload, `BENCH_scale.json`) — and both files must stay
+//! mutually intelligible: one `runs` array in append order, each run
+//! carrying named figures of keyed measurement points, with per-figure
+//! median speedups computed against the first recorded run. This module
+//! is that shared format. A binary describes its file once as a
+//! [`TrajectorySpec`] (which figures exist, which fields identify a point,
+//! which fields are measurements) and gets validation, cross-run point
+//! matching, speedup computation, the read-modify-write append, and the
+//! CI smoke round trip (render → re-parse → validate, write nothing) for
+//! free.
+
+use crate::json::Json;
+
+/// The schema of one trajectory file: enough structure for generic
+/// validation and cross-run speedup matching.
+#[derive(Debug, Clone)]
+pub struct TrajectorySpec {
+    /// File name, relative to the working directory (`scripts/check.sh`
+    /// runs from the repository root).
+    pub file: &'static str,
+    /// Value of the document's top-level `bench` tag.
+    pub bench: &'static str,
+    /// Figure names every run must carry (non-empty point arrays).
+    pub figures: &'static [&'static str],
+    /// Fields that identify a point across runs (strings or numbers).
+    pub key_fields: &'static [&'static str],
+    /// Numeric measurement fields every point must carry; validation
+    /// rejects NaN and negatives. The first one is the latency used for
+    /// speedup-vs-baseline (smaller is better).
+    pub measure_fields: &'static [&'static str],
+}
+
+/// The outcome of [`TrajectorySpec::record`]: the run as written
+/// (speedups included) plus the per-figure speedups for logging.
+#[derive(Debug)]
+pub struct RecordedRun {
+    /// The recorded run object, rendered.
+    pub text: String,
+    /// `(figure, median speedup vs the baseline run)`, rounded to 2
+    /// decimals; empty for the first run of a file.
+    pub speedups: Vec<(String, f64)>,
+}
+
+impl TrajectorySpec {
+    /// Identity of a point, for cross-run matching: its key fields
+    /// rendered in spec order. `None` if any key field is missing.
+    fn point_key(&self, p: &Json) -> Option<String> {
+        let mut key = String::new();
+        for field in self.key_fields {
+            let v = p.get(field)?;
+            match v {
+                Json::Str(s) => key.push_str(s),
+                Json::Num(n) => key.push_str(&format!("{n}")),
+                _ => return None,
+            }
+            key.push('\u{1f}');
+        }
+        Some(key)
+    }
+
+    /// Structural validation of one run: every figure present and
+    /// non-empty, every point carrying its identity and sane numbers.
+    /// The smoke step relies on this to fail on malformed output.
+    pub fn validate_run(&self, run: &Json) -> Result<(), String> {
+        let figures = run.get("figures").ok_or("run has no figures object")?;
+        for fig in self.figures {
+            let points = figures
+                .get(fig)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("figure {fig} missing"))?;
+            if points.is_empty() {
+                return Err(format!("figure {fig} is empty"));
+            }
+            for p in points {
+                self.point_key(p).ok_or_else(|| format!("{fig}: point without identity"))?;
+                for field in self.measure_fields {
+                    let n = p
+                        .get(field)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("{fig}: point without {field}"))?;
+                    if n.is_nan() || n < 0.0 {
+                        return Err(format!("{fig}: {field} = {n} is not a sane measurement"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Median `baseline / current` ratio of the primary latency field over
+    /// the matching points of one figure (> 1 means the current run is
+    /// faster).
+    fn figure_speedup(&self, baseline: &[Json], current: &[Json]) -> Option<f64> {
+        let latency = self.measure_fields.first()?;
+        let mut ratios = Vec::new();
+        for p in current {
+            let key = self.point_key(p)?;
+            let base = baseline.iter().find(|b| self.point_key(b).as_deref() == Some(&key))?;
+            let (b, c) = (base.get(latency)?.as_f64()?, p.get(latency)?.as_f64()?);
+            if c > 0.0 {
+                ratios.push(b / c);
+            }
+        }
+        median_of(ratios)
+    }
+
+    /// The CI smoke round trip: render the run, re-parse the rendered
+    /// text, validate the re-parsed value. Proves the emitter produces
+    /// well-formed, schema-complete output without writing anything.
+    /// Returns the rendered text for printing.
+    pub fn smoke(&self, run: &Json) -> Result<String, String> {
+        let text = run.render();
+        let reparsed =
+            Json::parse(&text).map_err(|e| format!("emitted JSON does not re-parse: {e}"))?;
+        self.validate_run(&reparsed).map_err(|e| format!("emitted run is malformed: {e}"))?;
+        Ok(text)
+    }
+
+    /// Pure core of [`TrajectorySpec::record`]: validates `run`, computes
+    /// per-figure speedups against `existing_runs.first()`, and returns
+    /// the full document to write plus the recorded-run report.
+    fn merge(
+        &self,
+        existing_runs: Vec<Json>,
+        mut run: Json,
+    ) -> Result<(Json, RecordedRun), String> {
+        self.validate_run(&run).map_err(|e| format!("refusing to record a malformed run: {e}"))?;
+
+        let mut speedups = Vec::new();
+        if let Some(baseline) = existing_runs.first() {
+            for fig in self.figures {
+                let base = baseline.get("figures").and_then(|f| f.get(fig)).and_then(Json::as_arr);
+                let cur = run.get("figures").and_then(|f| f.get(fig)).and_then(Json::as_arr);
+                if let (Some(base), Some(cur)) = (base, cur) {
+                    if let Some(s) = self.figure_speedup(base, cur) {
+                        let rounded = (s * 100.0).round() / 100.0;
+                        speedups.push((fig.to_string(), rounded));
+                    }
+                }
+            }
+            if !speedups.is_empty() {
+                if let Json::Obj(members) = &mut run {
+                    members.push((
+                        "speedup_vs_baseline".into(),
+                        Json::Obj(
+                            speedups.iter().map(|(f, s)| (f.clone(), Json::Num(*s))).collect(),
+                        ),
+                    ));
+                }
+            }
+        }
+
+        let text = run.render();
+        let mut runs = existing_runs;
+        runs.push(run);
+        let doc = Json::Obj(vec![
+            ("bench".into(), Json::Str(self.bench.into())),
+            ("runs".into(), Json::Arr(runs)),
+        ]);
+        Ok((doc, RecordedRun { text, speedups }))
+    }
+
+    /// Appends `run` to the trajectory file: validate, re-read the file,
+    /// compute speedups against the first recorded run, write the merged
+    /// document back. An existing file that does not parse is an error —
+    /// fix or remove it, never silently overwrite a trajectory.
+    pub fn record(&self, run: Json) -> Result<RecordedRun, String> {
+        let existing_runs: Vec<Json> = match std::fs::read_to_string(self.file) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(doc) => doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]).to_vec(),
+                Err(e) => {
+                    return Err(format!(
+                        "{} exists but does not parse ({e}); fix or remove it",
+                        self.file
+                    ));
+                }
+            },
+            Err(_) => Vec::new(),
+        };
+        let (doc, recorded) = self.merge(existing_runs, run)?;
+        std::fs::write(self.file, doc.render())
+            .map_err(|e| format!("failed to write {}: {e}", self.file))?;
+        Ok(recorded)
+    }
+}
+
+/// The median of a sample (lower-middle for even sizes); `None` when
+/// empty.
+pub fn median_of(mut v: Vec<f64>) -> Option<f64> {
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(f64::total_cmp);
+    Some(v[v.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: TrajectorySpec = TrajectorySpec {
+        file: "BENCH_test.json",
+        bench: "test",
+        figures: &["fig"],
+        key_fields: &["name", "n"],
+        measure_fields: &["median_ns", "qps"],
+    };
+
+    fn point(name: &str, n: f64, median_ns: f64) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(name.into())),
+            ("n".into(), Json::Num(n)),
+            ("median_ns".into(), Json::Num(median_ns)),
+            ("qps".into(), Json::Num(1e9 / median_ns)),
+        ])
+    }
+
+    fn run(label: &str, median_ns: f64) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(label.into())),
+            (
+                "figures".into(),
+                Json::Obj(vec![(
+                    "fig".into(),
+                    Json::Arr(vec![point("a", 1.0, median_ns), point("b", 2.0, median_ns * 2.0)]),
+                )]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn validates_complete_runs_and_rejects_broken_ones() {
+        assert_eq!(SPEC.validate_run(&run("ok", 100.0)), Ok(()));
+        assert!(SPEC.validate_run(&Json::Obj(vec![])).is_err(), "missing figures");
+        let empty_fig =
+            Json::Obj(vec![("figures".into(), Json::Obj(vec![("fig".into(), Json::Arr(vec![]))]))]);
+        assert!(SPEC.validate_run(&empty_fig).is_err(), "empty figure");
+        let mut bad = run("bad", 100.0);
+        if let Json::Obj(m) = &mut bad {
+            if let Json::Obj(figs) = &mut m[1].1 {
+                if let Json::Arr(points) = &mut figs[0].1 {
+                    if let Json::Obj(p) = &mut points[0] {
+                        p[2].1 = Json::Num(-1.0); // negative median_ns
+                    }
+                }
+            }
+        }
+        assert!(SPEC.validate_run(&bad).is_err(), "negative measurement");
+    }
+
+    #[test]
+    fn smoke_round_trips() {
+        let text = SPEC.smoke(&run("s", 50.0)).unwrap();
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn merge_computes_speedup_vs_first_run() {
+        // First run: no baseline, no speedups.
+        let (doc, rec) = SPEC.merge(Vec::new(), run("base", 200.0)).unwrap();
+        assert!(rec.speedups.is_empty());
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap().to_vec();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("test"));
+
+        // Second run at half the latency: 2x speedup, recorded in the run.
+        let (doc, rec) = SPEC.merge(runs, run("fast", 100.0)).unwrap();
+        assert_eq!(rec.speedups, vec![("fig".to_string(), 2.0)]);
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 2);
+        let s = runs[1].get("speedup_vs_baseline").and_then(|s| s.get("fig"));
+        assert_eq!(s.and_then(Json::as_f64), Some(2.0));
+        assert!(rec.text.contains("speedup_vs_baseline"));
+    }
+
+    #[test]
+    fn merge_rejects_malformed_runs() {
+        let err = SPEC.merge(Vec::new(), Json::Obj(vec![])).unwrap_err();
+        assert!(err.contains("refusing to record"), "{err}");
+    }
+
+    #[test]
+    fn median_of_picks_the_middle() {
+        assert_eq!(median_of(vec![]), None);
+        assert_eq!(median_of(vec![3.0, 1.0, 2.0]), Some(2.0));
+    }
+}

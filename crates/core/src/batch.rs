@@ -14,6 +14,7 @@
 //! instead of tearing the whole batch down.
 
 use crate::engine::{Engine, EngineError};
+use crate::snapshot::EngineSnapshot;
 use cbr_knds::{KndsWorkspace, QueryResult};
 use cbr_ontology::ConceptId;
 use sched::sync::{available_parallelism, scope, SegQueue};
@@ -28,10 +29,25 @@ pub enum BatchKind {
 }
 
 impl Engine {
+    /// Evaluates `queries` in parallel against the engine's current
+    /// snapshot; see [`EngineSnapshot::batch`].
+    pub fn batch(
+        &self,
+        kind: BatchKind,
+        queries: &[Vec<ConceptId>],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Result<QueryResult, EngineError>> {
+        self.snapshot().batch(kind, queries, k, threads)
+    }
+}
+
+impl EngineSnapshot {
     /// Evaluates `queries` in parallel across up to `threads` workers
     /// (0 = all available cores). Results come back in input order; each
     /// slot is `Err` exactly when the corresponding sequential call would
-    /// have been.
+    /// have been. The whole batch runs against this one snapshot — every
+    /// worker sees the same epoch and no worker ever takes a lock.
     pub fn batch(
         &self,
         kind: BatchKind,

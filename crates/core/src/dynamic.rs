@@ -9,8 +9,15 @@
 //! [`MemorySource`] for the bulk-loaded collection plus hash-map overlays
 //! for appended documents. Appends are `O(|concepts|)`; queries see the
 //! union immediately.
+//!
+//! The serving engine now runs on the segmented, epoch-published
+//! [`SegmentedSource`](cbr_index::SegmentedSource) instead; this
+//! monolithic source remains as the *reference implementation* the
+//! equivalence proptests compare against (`tests/segmented_equiv.rs`):
+//! arbitrary append/delete/compact interleavings must yield bit-identical
+//! query results on both.
 
-use cbr_corpus::{DocId, Document};
+use cbr_corpus::DocId;
 use cbr_index::{IndexSource, MemorySource};
 use cbr_ontology::{ConceptId, FxHashMap};
 
@@ -40,15 +47,15 @@ impl DynamicSource {
         }
     }
 
-    /// Appends a document's (sorted, deduplicated) concept set, returning
-    /// its new id. `O(|concepts|)` — no index rebuild.
-    pub fn append(&mut self, concepts: Vec<ConceptId>) -> DocId {
-        let doc = Document::new(DocId(0), concepts, 0); // sorts + dedups
+    /// Appends a document's concept set (normalized to sorted-set form),
+    /// returning its new id. `O(|concepts|)` — no index rebuild.
+    pub fn append(&mut self, mut concepts: Vec<ConceptId>) -> DocId {
+        cbr_corpus::normalize_concepts(&mut concepts);
         let id = DocId::from_index(self.base_docs + self.overlay_docs.len());
-        for &c in doc.concepts() {
+        for &c in &concepts {
             self.overlay_postings.entry(c).or_default().push(id);
         }
-        self.overlay_docs.push(doc.concepts().into());
+        self.overlay_docs.push(concepts.into_boxed_slice());
         id
     }
 

@@ -1,11 +1,13 @@
-//! The high-level query engine.
+//! The high-level query engine: the mutable writer half of the
+//! snapshot/session split (the read half is
+//! [`EngineSnapshot`](crate::snapshot::EngineSnapshot)).
 
-use crate::dynamic::DynamicSource;
+use crate::snapshot::EngineSnapshot;
 use cbr_corpus::{ConceptFilter, Corpus, DocId, FilterConfig};
-use cbr_dradix::Drc;
-use cbr_index::{IndexSource, MemorySource};
-use cbr_knds::{baseline, Knds, KndsConfig, KndsWorkspace, QueryResult};
+use cbr_index::{CompactionPolicy, SegmentedSource};
+use cbr_knds::{KndsConfig, KndsWorkspace, QueryResult};
 use cbr_ontology::{ConceptId, Ontology};
+use sched::sync::Arc;
 use std::fmt;
 
 /// Errors surfaced by the [`Engine`]'s checked API.
@@ -68,30 +70,41 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds the engine: applies the filter to the corpus, then builds the
-    /// inverted and forward indexes.
+    /// Builds the engine: applies the filter to the corpus, wraps the
+    /// result as the base segment of a [`SegmentedSource`], and derives
+    /// the first published [`EngineSnapshot`].
     pub fn build(self, ontology: Ontology, corpus: Corpus) -> Engine {
         let filter = match self.filter {
             Some(cfg) => ConceptFilter::build(&ontology, &corpus, cfg),
             None => ConceptFilter::accept_all(&ontology),
         };
         let filtered = filter.apply(&corpus);
-        let source = DynamicSource::new(MemorySource::build(&filtered, ontology.len()));
-        Engine { ontology, corpus: filtered, filter, source, config: self.knds }
+        let mut writer = SegmentedSource::from_corpus(&filtered, CompactionPolicy::default());
+        let snapshot = EngineSnapshot::assemble(
+            Arc::new(ontology),
+            Arc::new(filtered),
+            Arc::new(filter),
+            writer.view(),
+            self.knds,
+        );
+        Engine { writer, snapshot }
     }
 }
 
-/// An in-memory concept-search engine over one ontology and one corpus.
+/// The mutable half of the engine: owns the segmented index writer
+/// (memtable, tombstones, compaction) and a cached [`EngineSnapshot`]
+/// re-derived after every mutation.
 ///
-/// Thread-safe for concurrent queries (`&self`); document appends take
-/// `&mut self`.
+/// Every read — here or through a clone of the snapshot — runs against an
+/// immutable snapshot and never holds any lock; appends and deletes take
+/// `&mut self` and refresh the cached snapshot in `O(memtable)` at most.
+/// [`SharedEngine`](crate::SharedEngine) wraps this split for concurrent
+/// serving: one writer behind a mutex, snapshots epoch-published to any
+/// number of lock-free readers.
 #[derive(Debug)]
 pub struct Engine {
-    ontology: Ontology,
-    corpus: Corpus,
-    filter: ConceptFilter,
-    source: DynamicSource,
-    config: KndsConfig,
+    writer: SegmentedSource,
+    snapshot: EngineSnapshot,
 }
 
 impl Engine {
@@ -100,180 +113,179 @@ impl Engine {
         EngineBuilder::new()
     }
 
+    /// The current snapshot: clone it to pin this epoch for lock-free
+    /// querying while the engine keeps mutating (cloning costs a few
+    /// `Arc` bumps).
+    pub fn snapshot(&self) -> &EngineSnapshot {
+        &self.snapshot
+    }
+
+    /// Re-derives the cached snapshot after a mutation.
+    fn refresh(&mut self) {
+        self.snapshot.set_source(self.writer.view());
+    }
+
     /// The ontology.
     pub fn ontology(&self) -> &Ontology {
-        &self.ontology
+        self.snapshot.ontology()
     }
 
     /// The (filtered) bulk-loaded corpus. Appended documents are not part
     /// of this view; read them with [`Engine::document_concepts`].
     pub fn corpus(&self) -> &Corpus {
-        &self.corpus
+        self.snapshot.corpus()
     }
 
     /// The active kNDS configuration.
     pub fn config(&self) -> &KndsConfig {
-        &self.config
+        self.snapshot.config()
     }
 
     /// Replaces the kNDS configuration (e.g. to tune `εθ` per collection).
     pub fn set_config(&mut self, config: KndsConfig) {
-        self.config = config;
+        self.snapshot.set_config(config);
     }
 
     /// Whether concept `c` survives the eligibility filter.
     pub fn eligible(&self, c: ConceptId) -> bool {
-        self.filter.allows(c)
+        self.snapshot.eligible(c)
     }
 
     /// Total documents (bulk + appended).
     pub fn num_docs(&self) -> usize {
-        self.source.num_docs()
+        self.snapshot.num_docs()
     }
 
-    /// Sizing hint for [`KndsWorkspace::reserve`]: `(concept id bound,
-    /// document count)`. Pooled and per-worker workspaces pre-size their
-    /// dense tables from this so growth happens at acquisition, never
-    /// mid-query.
+    /// Sizing hint for [`KndsWorkspace::reserve`]; see
+    /// [`EngineSnapshot::workspace_hint`].
     pub fn workspace_hint(&self) -> (usize, usize) {
-        (self.ontology.id_bound(), self.source.num_docs())
+        self.snapshot.workspace_hint()
     }
 
     /// The concept set of any document, including appended ones.
     pub fn document_concepts(&self, doc: DocId) -> Result<Vec<ConceptId>, EngineError> {
-        if doc.index() >= self.source.num_docs() {
-            return Err(EngineError::UnknownDocument(doc));
-        }
-        let mut out = Vec::new();
-        self.source.doc_concepts(doc, &mut out);
-        Ok(out)
+        self.snapshot.document_concepts(doc)
     }
 
     /// Appends a document on the fly (the Section 1 "new patient at the
-    /// point-of-care" scenario): its concepts are filtered for eligibility
-    /// and indexed immediately, with no rebuild.
+    /// point-of-care" scenario): its concepts are filtered for
+    /// eligibility, normalized, and appended to the segmented memtable —
+    /// visible to the next snapshot immediately, with no rebuild.
     pub fn add_document(&mut self, concepts: Vec<ConceptId>) -> DocId {
-        let kept = concepts.into_iter().filter(|&c| self.filter.allows(c)).collect();
-        self.source.append(kept)
+        let kept = concepts.into_iter().filter(|&c| self.snapshot.eligible(c)).collect();
+        let id = self.writer.append(kept);
+        self.refresh();
+        id
     }
 
     /// Deletes a document (tombstone): ids stay stable, but the document
-    /// disappears from postings and query results immediately.
+    /// disappears from postings and query results immediately. Compaction
+    /// later drops the payload physically; the id stays dead.
     pub fn remove_document(&mut self, doc: DocId) -> Result<(), EngineError> {
-        if self.source.delete(doc) {
+        if self.writer.delete(doc) {
+            self.refresh();
             Ok(())
         } else {
             Err(EngineError::UnknownDocument(doc))
         }
     }
 
+    /// Seals the memtable and merges every segment into one, physically
+    /// dropping tombstoned documents (their ids stay allocated and dead).
+    /// Returns whether a merge ran. Queries racing this see either the
+    /// old or the new snapshot, never a mixture.
+    pub fn compact(&mut self) -> bool {
+        self.writer.seal();
+        let merged = self.writer.compact_all();
+        self.refresh();
+        merged
+    }
+
+    /// Runs the segment compaction policy once (seal nothing, merge a
+    /// trailing run of small segments if one is due). Returns whether a
+    /// merge ran.
+    pub fn maybe_compact(&mut self) -> bool {
+        let merged = self.writer.maybe_compact();
+        if merged {
+            self.refresh();
+        }
+        merged
+    }
+
+    /// Segments behind the current snapshot (diagnostics for benches and
+    /// the compaction harnesses).
+    pub fn num_segments(&self) -> usize {
+        self.snapshot.source().num_segments()
+    }
+
     /// Whether `doc` is live (exists and was not deleted).
     pub fn is_live(&self, doc: DocId) -> bool {
-        doc.index() < self.source.num_docs() && cbr_index::IndexSource::is_live(&self.source, doc)
+        self.snapshot.is_live(doc)
     }
 
     /// Resolves labels to concepts, failing on the first unknown label.
     pub fn concepts_by_labels(&self, labels: &[&str]) -> Result<Vec<ConceptId>, EngineError> {
-        labels
-            .iter()
-            .map(|&l| {
-                self.ontology
-                    .concept_by_label(l)
-                    .ok_or_else(|| EngineError::UnknownLabel(l.to_string()))
-            })
-            .collect()
+        self.snapshot.concepts_by_labels(labels)
     }
 
-    fn eligible_query(&self, concepts: &[ConceptId]) -> Result<Vec<ConceptId>, EngineError> {
-        let q: Vec<ConceptId> =
-            concepts.iter().copied().filter(|&c| self.filter.allows(c)).collect();
-        if q.is_empty() {
-            return Err(EngineError::EmptyQuery);
-        }
-        Ok(q)
-    }
-
-    /// RDS (Definition 1): the `k` documents most relevant to a set of
-    /// query concepts. Ineligible concepts are dropped from the query.
+    /// RDS (Definition 1); see [`EngineSnapshot::rds`].
     pub fn rds(&self, query: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
-        let mut ws = KndsWorkspace::new();
-        self.rds_with(&mut ws, query, k)
+        self.snapshot.rds(query, k)
     }
 
-    /// [`Engine::rds`] over a caller-owned [`KndsWorkspace`]: all per-query
-    /// maps and buffers (candidate table, BFS frontier, DRC DAG scratch)
-    /// are borrowed from `ws` and returned clean, so a long-lived caller —
-    /// a service worker, a batch thread — stops allocating once the
-    /// workspace is warm. Results are identical to [`Engine::rds`].
+    /// RDS over a caller-owned workspace; see [`EngineSnapshot::rds_with`].
     pub fn rds_with(
         &self,
         ws: &mut KndsWorkspace,
         query: &[ConceptId],
         k: usize,
     ) -> Result<QueryResult, EngineError> {
-        let q = self.eligible_query(query)?;
-        Ok(Knds::new(&self.ontology, &self.source, self.config.clone()).rds_with(ws, &q, k))
+        self.snapshot.rds_with(ws, query, k)
     }
 
     /// RDS with label-based input.
     pub fn rds_by_labels(&self, labels: &[&str], k: usize) -> Result<QueryResult, EngineError> {
-        let q = self.concepts_by_labels(labels)?;
-        self.rds(&q, k)
+        self.snapshot.rds_by_labels(labels, k)
     }
 
-    /// SDS (Definition 2): the `k` documents most similar to a query
-    /// document given as a concept set.
+    /// SDS (Definition 2); see [`EngineSnapshot::sds`].
     pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
-        let mut ws = KndsWorkspace::new();
-        self.sds_with(&mut ws, query_doc, k)
+        self.snapshot.sds(query_doc, k)
     }
 
-    /// [`Engine::sds`] over a caller-owned workspace; see
-    /// [`Engine::rds_with`].
+    /// SDS over a caller-owned workspace; see [`EngineSnapshot::sds_with`].
     pub fn sds_with(
         &self,
         ws: &mut KndsWorkspace,
         query_doc: &[ConceptId],
         k: usize,
     ) -> Result<QueryResult, EngineError> {
-        let q = self.eligible_query(query_doc)?;
-        Ok(Knds::new(&self.ontology, &self.source, self.config.clone()).sds_with(ws, &q, k))
+        self.snapshot.sds_with(ws, query_doc, k)
     }
 
     /// SDS with a collection document as the query (patient-similarity).
     pub fn sds_by_doc(&self, doc: DocId, k: usize) -> Result<QueryResult, EngineError> {
-        let mut ws = KndsWorkspace::new();
-        self.sds_by_doc_with(&mut ws, doc, k)
+        self.snapshot.sds_by_doc(doc, k)
     }
 
-    /// [`Engine::sds_by_doc`] over a caller-owned workspace; see
-    /// [`Engine::rds_with`].
+    /// [`Engine::sds_by_doc`] over a caller-owned workspace.
     pub fn sds_by_doc_with(
         &self,
         ws: &mut KndsWorkspace,
         doc: DocId,
         k: usize,
     ) -> Result<QueryResult, EngineError> {
-        let concepts = self.document_concepts(doc)?;
-        if concepts.is_empty() {
-            return Err(EngineError::EmptyDocument(doc));
-        }
-        self.sds_with(ws, &concepts, k)
+        self.snapshot.sds_by_doc_with(ws, doc, k)
     }
 
     /// Exact `Ddq` between one document and a query (Equation 2).
     pub fn query_distance(&self, doc: DocId, query: &[ConceptId]) -> Result<f64, EngineError> {
-        let q = self.eligible_query(query)?;
-        let concepts = self.document_concepts(doc)?;
-        let d = Drc::new(&self.ontology).document_query_distance(&concepts, &q);
-        Ok(if d == cbr_dradix::INFINITE { f64::INFINITY } else { d as f64 })
+        self.snapshot.query_distance(doc, query)
     }
 
     /// Exact symmetric `Ddd` between two documents (Equation 3).
     pub fn document_distance(&self, a: DocId, b: DocId) -> Result<f64, EngineError> {
-        let ca = self.document_concepts(a)?;
-        let cb = self.document_concepts(b)?;
-        Ok(Drc::new(&self.ontology).document_document_distance(&ca, &cb))
+        self.snapshot.document_distance(a, b)
     }
 
     /// Auto-tunes the error threshold `εθ` for this collection by timing a
@@ -288,25 +300,26 @@ impl Engine {
         k: usize,
     ) -> Result<f64, EngineError> {
         let filtered: Vec<Vec<ConceptId>> =
-            sample.iter().map(|q| self.eligible_query(q)).collect::<Result<_, _>>()?;
+            sample.iter().map(|q| self.snapshot.eligible_query(q)).collect::<Result<_, _>>()?;
         let (best, _) = cbr_knds::tune_error_threshold(
-            &self.ontology,
-            &self.source,
+            self.snapshot.ontology(),
+            self.snapshot.source(),
             kind,
             &filtered,
             k,
             cbr_knds::tuner::DEFAULT_CANDIDATES,
-            &self.config,
+            self.snapshot.config(),
         );
-        self.config.error_threshold = best;
+        let mut config = self.snapshot.config().clone();
+        config.error_threshold = best;
+        self.snapshot.set_config(config);
         Ok(best)
     }
 
     /// Exhaustive (no-pruning) RDS — exposed for benchmarking and
     /// verification against [`Engine::rds`].
     pub fn rds_full_scan(&self, query: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
-        let q = self.eligible_query(query)?;
-        Ok(baseline::rds(&self.ontology, &self.source, &q, k))
+        self.snapshot.rds_full_scan(query, k)
     }
 
     /// Exhaustive (no-pruning) SDS.
@@ -315,8 +328,7 @@ impl Engine {
         query_doc: &[ConceptId],
         k: usize,
     ) -> Result<QueryResult, EngineError> {
-        let q = self.eligible_query(query_doc)?;
-        Ok(baseline::sds(&self.ontology, &self.source, &q, k))
+        self.snapshot.sds_full_scan(query_doc, k)
     }
 }
 

@@ -58,6 +58,7 @@ pub mod explain;
 pub mod persist;
 pub mod rerank;
 pub mod service;
+pub mod snapshot;
 
 pub use batch::BatchKind;
 pub use dynamic::DynamicSource;
@@ -66,6 +67,7 @@ pub use expansion::ExpansionConfig;
 pub use explain::{ConceptMatch, Explanation};
 pub use rerank::{Measure, ScoredDoc};
 pub use service::SharedEngine;
+pub use snapshot::EngineSnapshot;
 
 /// Commonly needed items in one import.
 pub mod prelude {

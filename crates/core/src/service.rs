@@ -3,94 +3,155 @@
 //! The paper's motivating deployment interleaves reads (clinicians
 //! querying) with writes (new EMRs arriving) — "when a new patient arrives
 //! at the point-of-care, we can instantly add his or her EMR to our
-//! database" (Section 1). [`SharedEngine`] wraps an [`Engine`] in a
-//! [`RwLock`]: queries run concurrently under read locks,
-//! appends take a brief write lock (the dynamic overlay makes them
-//! `O(|concepts|)`), and clones of the handle share one engine.
+//! database" (Section 1). [`SharedEngine`] splits that workload along the
+//! engine's snapshot/session seam:
 //!
-//! Query scratch never sits under the lock: the handle keeps a lock-free
-//! pool of [`KndsWorkspace`]s (a [`SegQueue`]) beside the
-//! `RwLock`. Each query pops a workspace (or makes one on a cold start),
-//! runs through [`Engine::rds_with`]/[`Engine::sds_with`], and pushes it
-//! back — so concurrent readers each get their own warm buffers with no
-//! contention, and steady-state queries allocate nothing. A workspace held
-//! during a panic simply never returns to the pool; those that do return
-//! are always clean.
+//! * **Readers** run against an epoch-published
+//!   [`EngineSnapshot`]: each query pops a pooled session (a
+//!   [`KndsWorkspace`] plus a [`Cached`] snapshot handle), revalidates the
+//!   snapshot with **one atomic epoch load**, and evaluates entirely over
+//!   immutable structures. The steady-state query path acquires no lock of
+//!   any kind — publishes only cost a reader a brief shared section on the
+//!   *next* query after a write.
+//! * **The writer** (appends, deletes, compaction) serializes behind a
+//!   mutex that queries never touch, mutates the segmented index, and
+//!   publishes the resulting snapshot to the epoch cell. Old snapshots are
+//!   retired implicitly: readers still pinning them keep them alive, so a
+//!   compaction can never free a segment out from under a running query.
+//!
+//! Query scratch never waits on anything either: sessions live in a
+//! lock-free pool (a [`SegQueue`]), so concurrent readers each get their
+//! own warm buffers with no contention, and steady-state queries allocate
+//! nothing. A session held during a panic simply never returns to the
+//! pool; those that do return are always clean.
 //!
 //! All synchronization goes through the [`sched::sync`] facade, so the
 //! `cbr-sched` model checker can exhaustively explore this module's
-//! interleavings; in normal builds the facade compiles straight down to
-//! the real primitives.
+//! interleavings — including publish/retire racing readers and compaction
+//! (see the `publish-retire` and `compact-race` harnesses); in normal
+//! builds the facade compiles straight down to the real primitives.
 
 use crate::engine::{Engine, EngineError};
+use crate::snapshot::EngineSnapshot;
 use cbr_corpus::DocId;
 use cbr_knds::{KndsWorkspace, QueryResult};
 use cbr_ontology::ConceptId;
-use sched::sync::{Arc, RwLock, SegQueue};
+use sched::sync::{Arc, Cached, Mutex, Published, SegQueue};
+
+/// A pooled query session: warm kNDS scratch plus an epoch-validated
+/// snapshot handle. Reusing the handle means a reader that queries twice
+/// between publishes touches the epoch cell's lock zero times.
+#[derive(Debug, Default)]
+struct Session {
+    ws: KndsWorkspace,
+    snap: Cached<EngineSnapshot>,
+}
 
 /// A cloneable, thread-safe handle to a shared [`Engine`].
 #[derive(Debug, Clone)]
 pub struct SharedEngine {
-    inner: Arc<RwLock<Engine>>,
-    /// Lock-free pool of per-query workspaces, shared by all clones.
-    pool: Arc<SegQueue<KndsWorkspace>>,
+    /// The current snapshot, epoch-published to readers.
+    published: Arc<Published<EngineSnapshot>>,
+    /// The writer half; queries never touch this mutex.
+    writer: Arc<Mutex<Engine>>,
+    /// Lock-free pool of per-query sessions, shared by all clones.
+    pool: Arc<SegQueue<Session>>,
 }
 
 impl SharedEngine {
     /// Wraps an engine.
     pub fn new(engine: Engine) -> SharedEngine {
-        SharedEngine { inner: Arc::new(RwLock::new(engine)), pool: Arc::new(SegQueue::pooled()) }
+        let published = Arc::new(Published::new(engine.snapshot().clone()));
+        SharedEngine {
+            published,
+            writer: Arc::new(Mutex::new(engine)),
+            pool: Arc::new(SegQueue::pooled()),
+        }
     }
 
-    /// Runs `f` with a pooled workspace; the workspace returns to the pool
-    /// afterwards (unless `f` panics, in which case it is dropped). The
-    /// workspace's dense tables are re-reserved against the engine's
-    /// current size first, so pooled workspaces survive index growth
-    /// between queries without ever growing mid-query.
-    fn with_workspace<R>(&self, f: impl FnOnce(&mut KndsWorkspace) -> R) -> R {
-        let mut ws = self.pool.pop().unwrap_or_default();
-        let (concepts, docs) = self.inner.read().workspace_hint();
+    /// Runs `f` as a query session: a pooled workspace plus the current
+    /// snapshot, revalidated with one atomic epoch load. The session
+    /// returns to the pool afterwards (unless `f` panics, in which case
+    /// it is dropped). The workspace's dense tables are re-reserved
+    /// against the snapshot's size first, so pooled sessions survive
+    /// index growth between queries without ever growing mid-query.
+    fn with_session<R>(&self, f: impl FnOnce(&EngineSnapshot, &mut KndsWorkspace) -> R) -> R {
+        let mut session = self.pool.pop().unwrap_or_default();
+        let Session { ws, snap } = &mut session;
+        let snapshot = snap.get(&self.published);
+        let (concepts, docs) = snapshot.workspace_hint();
         ws.reserve(concepts, docs);
-        let r = f(&mut ws);
-        self.pool.push(ws);
+        let r = f(snapshot, ws);
+        self.pool.push(session);
         r
     }
 
-    /// Number of idle workspaces currently pooled.
+    /// Number of idle sessions currently pooled.
     pub fn pooled_workspaces(&self) -> usize {
         self.pool.len()
     }
 
-    /// Concurrent RDS query (read lock; pooled workspace).
+    /// The current published snapshot: pin it to run many queries —
+    /// batches, shards — against one consistent epoch.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.published.load()
+    }
+
+    /// Concurrent RDS query (lock-free; pooled session).
     pub fn rds(&self, query: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
-        self.with_workspace(|ws| self.inner.read().rds_with(ws, query, k))
+        self.with_session(|snap, ws| snap.rds_with(ws, query, k))
     }
 
-    /// Concurrent SDS query (read lock; pooled workspace).
+    /// Concurrent SDS query (lock-free; pooled session).
     pub fn sds(&self, query_doc: &[ConceptId], k: usize) -> Result<QueryResult, EngineError> {
-        self.with_workspace(|ws| self.inner.read().sds_with(ws, query_doc, k))
+        self.with_session(|snap, ws| snap.sds_with(ws, query_doc, k))
     }
 
-    /// Concurrent SDS query with a collection document (read lock; pooled
-    /// workspace).
+    /// Concurrent SDS query with a collection document (lock-free; pooled
+    /// session).
     pub fn sds_by_doc(&self, doc: DocId, k: usize) -> Result<QueryResult, EngineError> {
-        self.with_workspace(|ws| self.inner.read().sds_by_doc_with(ws, doc, k))
+        self.with_session(|snap, ws| snap.sds_by_doc_with(ws, doc, k))
     }
 
-    /// Appends a document (write lock); immediately visible to queries.
+    /// Runs `mutate` on the writer engine, then publishes the resulting
+    /// snapshot. Publishing inside the writer section keeps the epoch
+    /// order identical to the mutation order.
+    fn write<R>(&self, mutate: impl FnOnce(&mut Engine) -> R) -> R {
+        let mut engine = self.writer.lock();
+        let r = mutate(&mut engine);
+        self.published.publish(engine.snapshot().clone());
+        r
+    }
+
+    /// Appends a document (writer mutex); visible to every query that
+    /// starts after the publish.
     pub fn add_document(&self, concepts: Vec<ConceptId>) -> DocId {
-        self.inner.write().add_document(concepts)
+        self.write(|e| e.add_document(concepts))
+    }
+
+    /// Tombstones a document (writer mutex); it disappears from results
+    /// at the next epoch, and compaction later drops it physically.
+    pub fn remove_document(&self, doc: DocId) -> Result<(), EngineError> {
+        self.write(|e| e.remove_document(doc))
+    }
+
+    /// Seals and merges the segmented index (writer mutex), publishing
+    /// the compacted snapshot. In-flight queries keep their pinned
+    /// epoch's segments alive; new queries see the merged set.
+    pub fn compact(&self) -> bool {
+        self.write(|e| e.compact())
     }
 
     /// Total documents currently searchable.
     pub fn num_docs(&self) -> usize {
-        self.inner.read().num_docs()
+        self.published.load().num_docs()
     }
 
-    /// Runs `f` with shared access to the engine (for reads not covered by
-    /// the convenience methods).
+    /// Runs `f` with access to the writer engine (for reads not covered
+    /// by the convenience methods; takes the writer mutex, so prefer
+    /// [`SharedEngine::snapshot`] on hot paths).
     pub fn with_engine<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.writer.lock())
     }
 }
 

@@ -51,11 +51,23 @@ pub struct Document {
     token_count: u32,
 }
 
+/// Normalizes a raw concept list into the set representation every index
+/// layer expects: sorted ascending, duplicates removed.
+///
+/// The paper's distance definitions (Equations 1–3) treat documents as
+/// concept *sets*; this is the single place that turns an extraction
+/// result into one. [`Document::new`], the dynamic overlay's append path,
+/// and the segmented memtable all go through it, so a concept set is
+/// normalized exactly once however it enters the system.
+pub fn normalize_concepts(concepts: &mut Vec<ConceptId>) {
+    concepts.sort_unstable();
+    concepts.dedup();
+}
+
 impl Document {
     /// Creates a document, sorting and deduplicating `concepts`.
     pub fn new(id: DocId, mut concepts: Vec<ConceptId>, token_count: u32) -> Self {
-        concepts.sort_unstable();
-        concepts.dedup();
+        normalize_concepts(&mut concepts);
         Document { id, concepts: concepts.into_boxed_slice(), token_count }
     }
 
@@ -179,6 +191,16 @@ mod tests {
 
     fn c(v: u32) -> ConceptId {
         ConceptId(v)
+    }
+
+    #[test]
+    fn normalize_concepts_sorts_and_dedups_in_place() {
+        let mut set = vec![c(4), c(1), c(4), c(4), c(2)];
+        normalize_concepts(&mut set);
+        assert_eq!(set, vec![c(1), c(2), c(4)]);
+        let mut empty: Vec<ConceptId> = Vec::new();
+        normalize_concepts(&mut empty);
+        assert!(empty.is_empty());
     }
 
     #[test]

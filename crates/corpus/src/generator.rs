@@ -106,6 +106,27 @@ impl CorpusProfile {
         }
     }
 
+    /// A RADIO-shaped collection at serving scale: `num_docs` documents
+    /// (a million and up) with the paper's sparse-dispersal character but
+    /// a leaner per-document concept count, so generation and indexing
+    /// stay tractable past paper scale. The sampling vocabulary grows
+    /// with the collection — a million radiology reports draw on far more
+    /// distinct concepts than Table 3's 12k-report slice — keeping
+    /// per-concept posting lists from ballooning linearly with `n`.
+    pub fn radio_scale(num_docs: usize) -> Self {
+        let base = CorpusProfile::radio_like();
+        CorpusProfile {
+            name: "RADIO-SCALE".to_string(),
+            num_docs,
+            concepts_per_doc_mean: 24.0,
+            tokens_per_concept: 2.2,
+            // Vocabulary ~ n/16, never below the Table 3 RADIO vocabulary.
+            vocabulary_size: (num_docs / 16).max(base.vocabulary_size),
+            seed: 0xC0FF_EE05,
+            ..base
+        }
+    }
+
     /// Scales both the document count and the per-document concept count by
     /// `factor` (at least one document and one concept remain). Used for the
     /// session-sized default experiments.

@@ -31,7 +31,7 @@ pub mod io;
 pub mod stats;
 pub mod textgen;
 
-pub use document::{Corpus, DocId, Document};
+pub use document::{normalize_concepts, Corpus, DocId, Document};
 pub use extract::{ConceptExtractor, ExtractorConfig, Mention, Polarity};
 pub use filter::{ConceptFilter, FilterConfig};
 pub use generator::{CorpusGenerator, CorpusProfile};

@@ -13,6 +13,10 @@
 //!   against, with [`MemorySource`] (both indexes resident) and
 //!   [`FileSource`] (per-access `pread` against an on-disk image, the
 //!   MySQL stand-in whose access time the harness reports as I/O time);
+//! * [`Segment`] / [`SegmentedSource`] / [`SegmentedView`] — the dynamic
+//!   path: immutable CSR segments plus a small memtable, sealed and
+//!   compacted by a single writer and published to readers as lock-free
+//!   `Arc`-shared snapshot views (see `DESIGN.md` §12);
 //! * [`SnapshotStore`] — typed binary snapshots of any serde value using
 //!   the workspace codec (`cbr_ontology::ser`); requires the `serde`
 //!   cargo feature.
@@ -24,6 +28,8 @@ pub mod compress;
 pub mod file;
 pub mod forward;
 pub mod inverted;
+pub mod segment;
+pub mod segmented;
 pub mod snapshot;
 pub mod source;
 pub mod validate;
@@ -32,6 +38,8 @@ pub use compress::{CompressedPostings, CompressedSource};
 pub use file::FileSource;
 pub use forward::ForwardIndex;
 pub use inverted::InvertedIndex;
+pub use segment::Segment;
+pub use segmented::{CompactionPolicy, SegmentedSource, SegmentedView};
 #[cfg(feature = "serde")]
 pub use snapshot::SnapshotStore;
 pub use source::{IndexSource, MemorySource};

@@ -1,0 +1,250 @@
+//! Immutable CSR segments: the building block of the segmented index.
+//!
+//! A [`Segment`] covers one contiguous range of document ids and stores
+//! both access directions in compressed-sparse-row form, exactly like the
+//! full [`InvertedIndex`](crate::InvertedIndex)/[`ForwardIndex`](crate::ForwardIndex)
+//! pair but scoped to its range. Unlike the full inverted index — whose
+//! offset table is dense over every concept id the ontology knows — a
+//! segment holds postings for the sorted *distinct* concepts that actually
+//! occur in it, found by binary search. Small segments sealed from a
+//! memtable touch a handful of concepts, so a dense 300k-entry offset
+//! table per segment would dwarf the payload.
+//!
+//! Segments are never mutated after construction (the Navarro–Nekrich
+//! static-structure discipline): appends go to a memtable that is sealed
+//! into a *new* segment, deletes go to a side bitset, and compaction
+//! *replaces* a run of segments with a freshly built merged one. Readers
+//! therefore share segments freely behind `Arc` with no synchronization.
+
+use cbr_corpus::DocId;
+use cbr_ontology::ConceptId;
+
+/// An immutable CSR index fragment over the contiguous document range
+/// `[first_doc, first_doc + len)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Global id of the first document slot this segment covers.
+    first_doc: u32,
+    /// Forward CSR: `fwd_offsets[i]..fwd_offsets[i+1]` indexes the sorted
+    /// concept set of local document `i`.
+    fwd_offsets: Vec<u32>,
+    fwd_concepts: Vec<ConceptId>,
+    /// Inverted CSR over the sorted distinct concepts present in this
+    /// segment: `inv_offsets[j]..inv_offsets[j+1]` indexes the ascending
+    /// local postings of `inv_concepts[j]`.
+    inv_concepts: Vec<ConceptId>,
+    inv_offsets: Vec<u32>,
+    inv_docs: Vec<u32>,
+}
+
+impl Segment {
+    /// Builds a segment from normalized (sorted, deduplicated) concept
+    /// sets, one per document slot starting at `first_doc`.
+    pub fn from_docs<'a, I>(first_doc: u32, docs: I) -> Segment
+    where
+        I: IntoIterator<Item = &'a [ConceptId]>,
+    {
+        let mut fwd_offsets = vec![0u32];
+        let mut fwd_concepts = Vec::new();
+        for set in docs {
+            debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "concept set not normalized");
+            fwd_concepts.extend_from_slice(set);
+            fwd_offsets.push(fwd_concepts.len() as u32);
+        }
+        Segment::from_forward(first_doc, fwd_offsets, fwd_concepts)
+    }
+
+    /// Merges a contiguous run of segments into one, physically dropping
+    /// every document `is_dead` says is tombstoned: its forward row
+    /// becomes empty and it vanishes from every posting list, while its
+    /// id slot stays covered so global ids never shift. Panics if the
+    /// run's ranges are not adjacent in order.
+    pub fn merge(parts: &[&Segment], mut is_dead: impl FnMut(DocId) -> bool) -> Segment {
+        assert!(!parts.is_empty(), "cannot merge zero segments");
+        let first_doc = parts[0].first_doc;
+        let mut fwd_offsets = vec![0u32];
+        let mut fwd_concepts = Vec::new();
+        let mut next = first_doc;
+        for part in parts {
+            assert_eq!(part.first_doc, next, "merge run is not contiguous");
+            for local in 0..part.len() {
+                let id = DocId(part.first_doc + local as u32);
+                if !is_dead(id) {
+                    fwd_concepts.extend_from_slice(part.concepts(local));
+                }
+                fwd_offsets.push(fwd_concepts.len() as u32);
+            }
+            next = part.doc_end();
+        }
+        Segment::from_forward(first_doc, fwd_offsets, fwd_concepts)
+    }
+
+    /// Builds the inverted half from a finished forward CSR. Linear in the
+    /// payload: one dense concept→slot scratch table sized to the largest
+    /// concept id present, then a counting fill (no comparison sort).
+    fn from_forward(
+        first_doc: u32,
+        fwd_offsets: Vec<u32>,
+        fwd_concepts: Vec<ConceptId>,
+    ) -> Segment {
+        let max_c = fwd_concepts.iter().map(|c| c.0 as usize).max();
+        let mut slot_of = vec![u32::MAX; max_c.map_or(0, |m| m + 1)];
+        for &c in &fwd_concepts {
+            slot_of[c.0 as usize] = 0; // mark present
+        }
+        let mut inv_concepts = Vec::new();
+        for (raw, slot) in slot_of.iter_mut().enumerate() {
+            if *slot != u32::MAX {
+                *slot = inv_concepts.len() as u32;
+                inv_concepts.push(ConceptId(raw as u32));
+            }
+        }
+        let mut counts = vec![0u32; inv_concepts.len()];
+        for &c in &fwd_concepts {
+            counts[slot_of[c.0 as usize] as usize] += 1;
+        }
+        let mut inv_offsets = Vec::with_capacity(inv_concepts.len() + 1);
+        let mut total = 0u32;
+        inv_offsets.push(0);
+        for &n in &counts {
+            total += n;
+            inv_offsets.push(total);
+        }
+        // Fill cursors; iterating documents in ascending local order keeps
+        // every posting list sorted by construction.
+        let mut cursor: Vec<u32> = inv_offsets[..inv_concepts.len()].to_vec();
+        let mut inv_docs = vec![0u32; fwd_concepts.len()];
+        for local in 0..fwd_offsets.len() - 1 {
+            let (lo, hi) = (fwd_offsets[local] as usize, fwd_offsets[local + 1] as usize);
+            for &c in &fwd_concepts[lo..hi] {
+                let slot = slot_of[c.0 as usize] as usize;
+                inv_docs[cursor[slot] as usize] = local as u32;
+                cursor[slot] += 1;
+            }
+        }
+        Segment { first_doc, fwd_offsets, fwd_concepts, inv_concepts, inv_offsets, inv_docs }
+    }
+
+    /// Global id of the first covered document slot.
+    #[inline]
+    pub fn first_doc(&self) -> u32 {
+        self.first_doc
+    }
+
+    /// One past the last covered document slot (global).
+    #[inline]
+    pub fn doc_end(&self) -> u32 {
+        self.first_doc + self.len() as u32
+    }
+
+    /// Number of document slots covered (including physically dropped
+    /// ones, whose rows are empty).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fwd_offsets.len() - 1
+    }
+
+    /// Whether the segment covers no document slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether global document `d` falls in this segment's range.
+    #[inline]
+    pub fn contains(&self, d: DocId) -> bool {
+        d.0 >= self.first_doc && d.0 < self.doc_end()
+    }
+
+    /// The sorted concept set of local document `local`.
+    #[inline]
+    pub fn concepts(&self, local: usize) -> &[ConceptId] {
+        let (lo, hi) = (self.fwd_offsets[local] as usize, self.fwd_offsets[local + 1] as usize);
+        &self.fwd_concepts[lo..hi]
+    }
+
+    /// Number of concepts of local document `local`.
+    #[inline]
+    pub fn doc_len(&self, local: usize) -> usize {
+        (self.fwd_offsets[local + 1] - self.fwd_offsets[local]) as usize
+    }
+
+    /// The ascending *local* postings of `c` (empty when the concept does
+    /// not occur in this segment). Binary search over the segment's
+    /// distinct concepts.
+    pub fn local_postings(&self, c: ConceptId) -> &[u32] {
+        match self.inv_concepts.binary_search(&c) {
+            Ok(j) => {
+                let (lo, hi) = (self.inv_offsets[j] as usize, self.inv_offsets[j + 1] as usize);
+                &self.inv_docs[lo..hi]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Total postings stored (== total forward payload).
+    #[inline]
+    pub fn num_postings(&self) -> usize {
+        self.fwd_concepts.len()
+    }
+
+    /// Number of distinct concepts occurring in this segment.
+    #[inline]
+    pub fn num_concepts(&self) -> usize {
+        self.inv_concepts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: u32) -> ConceptId {
+        ConceptId(v)
+    }
+
+    fn seg(first: u32, docs: &[&[ConceptId]]) -> Segment {
+        Segment::from_docs(first, docs.iter().copied())
+    }
+
+    #[test]
+    fn round_trips_forward_and_inverted() {
+        let s = seg(10, &[&[c(1), c(7)], &[], &[c(7), c(9)]]);
+        assert_eq!(s.first_doc(), 10);
+        assert_eq!(s.doc_end(), 13);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.concepts(0), &[c(1), c(7)]);
+        assert_eq!(s.concepts(1), &[] as &[ConceptId]);
+        assert_eq!(s.doc_len(2), 2);
+        assert_eq!(s.local_postings(c(7)), &[0, 2]);
+        assert_eq!(s.local_postings(c(1)), &[0]);
+        assert_eq!(s.local_postings(c(2)), &[] as &[u32]);
+        assert_eq!(s.num_postings(), 4);
+        assert_eq!(s.num_concepts(), 3);
+        assert!(s.contains(DocId(12)));
+        assert!(!s.contains(DocId(13)));
+    }
+
+    #[test]
+    fn merge_concatenates_and_drops_dead_rows() {
+        let a = seg(0, &[&[c(1)], &[c(2), c(3)]]);
+        let b = seg(2, &[&[c(1), c(3)]]);
+        let merged = Segment::merge(&[&a, &b], |d| d == DocId(1));
+        assert_eq!(merged.first_doc(), 0);
+        assert_eq!(merged.len(), 3);
+        // The dead slot keeps its position but loses its payload.
+        assert_eq!(merged.concepts(1), &[] as &[ConceptId]);
+        assert_eq!(merged.concepts(2), &[c(1), c(3)]);
+        assert_eq!(merged.local_postings(c(1)), &[0, 2]);
+        assert_eq!(merged.local_postings(c(3)), &[2]);
+        assert_eq!(merged.local_postings(c(2)), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn merge_rejects_gaps() {
+        let a = seg(0, &[&[c(1)]]);
+        let b = seg(5, &[&[c(1)]]);
+        let _ = Segment::merge(&[&a, &b], |_| false);
+    }
+}

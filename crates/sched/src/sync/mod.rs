@@ -15,8 +15,17 @@
 //! `Arc`, `SegQueue` (with a [`SegQueue::pooled`] constructor that opts a
 //! queue into the pool-leak analysis), `spawn`, `scope`, `yield_now`, and
 //! `available_parallelism`.
+//!
+//! [`Published`]/[`Cached`] — the epoch-published snapshot cell — are
+//! built *on top of* the facade primitives in [`published`] and therefore
+//! compile once for both variants: the real build gets a plain
+//! atomic-epoch cell, the model build gets every publish/load as a
+//! scheduler-visible sync point for free.
 
 pub use std::sync::Arc;
+
+mod published;
+pub use published::{Cached, Published};
 
 #[cfg(not(feature = "model"))]
 mod real;

@@ -1,0 +1,182 @@
+//! `Published<T>`: an epoch-published cell for snapshot handoff.
+//!
+//! The writer half of a snapshot/session split calls [`Published::publish`]
+//! with a freshly built immutable value; readers either [`Published::load`]
+//! the current `Arc<T>` or — the intended hot path — keep a [`Cached`]
+//! handle whose [`Cached::get`] performs **one atomic epoch load** per call
+//! and only touches the lock when a publish actually happened. Between
+//! publishes a reader therefore acquires no lock at all, which is what
+//! makes a query against a published engine snapshot lock-free end to end.
+//!
+//! The cell is built from the facade's own primitives (`AtomicU64` +
+//! `RwLock<Arc<T>>`), so the same source file compiles under both the real
+//! build and the `model` build — `cbr-sched` model-checks publish/retire
+//! interleavings against concurrent readers with no extra shims. Retire is
+//! implicit: the old `Arc<T>` drops when the last reader caching it moves
+//! to the new epoch, so a reader can never observe a freed value.
+//!
+//! Protocol invariants:
+//! * the epoch is bumped *inside* the writer's exclusive section, and
+//!   readers re-read it *inside* their shared section, so an (epoch, value)
+//!   pair observed under the read guard is always consistent — no torn
+//!   snapshot;
+//! * epochs are monotone: a cached reader only ever moves forward.
+
+use super::{Arc, AtomicU64, Ordering, RwLock};
+
+/// An epoch-stamped, atomically publishable `Arc<T>` cell.
+#[derive(Debug)]
+pub struct Published<T> {
+    /// Bumped on every publish, strictly inside the write section.
+    epoch: AtomicU64,
+    /// The current value. Writers hold the exclusive guard only for the
+    /// duration of an `Arc` swap; readers hold the shared guard only for
+    /// the duration of an `Arc` clone.
+    value: RwLock<Arc<T>>,
+}
+
+impl<T> Published<T> {
+    /// Wraps `value` as epoch 0.
+    pub fn new(value: T) -> Published<T> {
+        Published::from_arc(Arc::new(value))
+    }
+
+    /// Wraps an already-shared `value` as epoch 0.
+    pub fn from_arc(value: Arc<T>) -> Published<T> {
+        Published { epoch: AtomicU64::new(0), value: RwLock::new(value) }
+    }
+
+    /// The current epoch: one atomic load, no lock.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clones the current value together with the epoch it was published
+    /// at. The epoch is read while the shared guard is held, so the pair
+    /// is consistent even when a publish races this load.
+    pub fn load_with_epoch(&self) -> (u64, Arc<T>) {
+        let guard = self.value.read();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        (epoch, Arc::clone(&guard))
+    }
+
+    /// Clones the current value (a brief shared section).
+    pub fn load(&self) -> Arc<T> {
+        self.load_with_epoch().1
+    }
+
+    /// Publishes `value` as the new current snapshot, retiring the old
+    /// one, and returns the new epoch. The epoch bump happens inside the
+    /// exclusive section so readers can never pair a new epoch with the
+    /// old value or vice versa.
+    pub fn publish(&self, value: T) -> u64 {
+        self.publish_arc(Arc::new(value))
+    }
+
+    /// [`Published::publish`] for an already-shared value.
+    pub fn publish_arc(&self, value: Arc<T>) -> u64 {
+        let mut guard = self.value.write();
+        *guard = value;
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// A reader-side cache over a [`Published<T>`] cell.
+///
+/// [`Cached::get`] revalidates with a single atomic epoch load and reuses
+/// the cached `Arc<T>` while the epoch is unchanged — the steady-state
+/// read path acquires no lock. Only when a publish has happened does it
+/// fall back to [`Published::load_with_epoch`]'s brief shared section.
+#[derive(Debug)]
+pub struct Cached<T> {
+    epoch: u64,
+    value: Option<Arc<T>>,
+}
+
+impl<T> Default for Cached<T> {
+    fn default() -> Self {
+        Cached::new()
+    }
+}
+
+impl<T> Cached<T> {
+    /// An empty cache; the first [`Cached::get`] always loads.
+    pub fn new() -> Cached<T> {
+        Cached { epoch: 0, value: None }
+    }
+
+    /// The current value of `cell`: one atomic epoch load when the cache
+    /// is still fresh, a shared-section reload otherwise.
+    pub fn get(&mut self, cell: &Published<T>) -> &Arc<T> {
+        let fresh = self.value.is_some() && self.epoch == cell.epoch();
+        if !fresh {
+            let (epoch, value) = cell.load_with_epoch();
+            self.epoch = epoch;
+            self.value = Some(value);
+        }
+        self.value.as_ref().expect("cache was just filled")
+    }
+
+    /// Drops the cached value so the next [`Cached::get`] reloads. Used
+    /// when a pooled reader wants to release its reference early.
+    pub fn clear(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(all(test, not(feature = "model")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_epoch_and_swaps_value() {
+        let cell = Published::new(1u32);
+        assert_eq!(cell.epoch(), 0);
+        assert_eq!(*cell.load(), 1);
+        assert_eq!(cell.publish(2), 1);
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(*cell.load(), 2);
+        let (epoch, value) = cell.load_with_epoch();
+        assert_eq!((epoch, *value), (1, 2));
+    }
+
+    #[test]
+    fn cached_reader_skips_the_lock_until_a_publish() {
+        let cell = Published::new(String::from("a"));
+        let mut cache = Cached::new();
+        assert_eq!(cache.get(&cell).as_str(), "a");
+        // Same epoch: the cached Arc is reused (pointer identity).
+        let first = Arc::clone(cache.get(&cell));
+        assert!(Arc::ptr_eq(&first, cache.get(&cell)));
+        cell.publish(String::from("b"));
+        assert_eq!(cache.get(&cell).as_str(), "b");
+        cache.clear();
+        assert_eq!(cache.get(&cell).as_str(), "b");
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_a_torn_pair() {
+        // Values are (epoch, payload) pairs kept in lockstep by the
+        // writer; a reader observing epoch e must observe payload e.
+        let cell = Arc::new(Published::new((0u64, 0u64)));
+        super::super::scope(|s| {
+            for _ in 0..3 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    let mut cache = Cached::new();
+                    for _ in 0..200 {
+                        let snap = cache.get(&cell);
+                        assert_eq!(snap.0, snap.1);
+                    }
+                });
+            }
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                for e in 1..50u64 {
+                    cell.publish((e, e));
+                    super::super::yield_now();
+                }
+            });
+        });
+    }
+}

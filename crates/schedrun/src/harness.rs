@@ -6,10 +6,14 @@
 //! `Err(description)` otherwise; the explorer turns the error into a
 //! finding tagged with a replayable schedule ID.
 //!
-//! The honest harnesses cover the three concurrent subsystems:
+//! The honest harnesses cover the four concurrent subsystems:
 //!
 //! * the [`SharedEngine`] workspace pool (readers racing each other and a
 //!   writer),
+//! * the snapshot publish/retire protocol (`publish-retire` and
+//!   `compact-race`: every racing read answers exactly one epoch's
+//!   oracle, and retiring an epoch — even by physical compaction — never
+//!   invalidates a reader still pinning it),
 //! * the batch runner's work/slot queues (every submission fills exactly
 //!   one slot, even when a worker panics mid-query),
 //! * sharded kNDS fan-out (the merged top-k equals the single-engine
@@ -176,6 +180,135 @@ fn pool_writer() -> Harness {
             let r = shared.rds(&q, 1).map_err(|e| e.to_string())?;
             if r.results[0].distance != 0.0 {
                 return Err("appended exact match does not rank first".to_string());
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// The ranking as a comparable value: `(doc, distance)` in rank order.
+fn answer(r: &cbr_knds::QueryResult) -> Vec<(DocId, f64)> {
+    r.results.iter().map(|d| (d.doc, d.distance)).collect()
+}
+
+/// The snapshot/session seam under a racing publish. A reader pins an
+/// epoch and queries while the writer appends and publishes. On every
+/// interleaving: the concurrent query and the pinned snapshot each answer
+/// exactly one epoch's oracle (publishes are atomic — no torn snapshot),
+/// and a query issued after the writer finishes sees the new epoch.
+/// Retire safety rides along: the pinned snapshot keeps answering its
+/// epoch bit-for-bit even once the publish has moved past it.
+fn publish_retire() -> Harness {
+    const K: usize = 2;
+    let (mut oracle, q) = tiny_engine();
+    let before = answer(&oracle.rds(&q, K).expect("oracle query"));
+    oracle.add_document(q.clone());
+    let after = answer(&oracle.rds(&q, K).expect("oracle query"));
+    assert_ne!(before, after, "the append must change the top-{K} or the harness is vacuous");
+    Harness {
+        name: "publish-retire",
+        about: "epoch publishes are atomic; retire never invalidates a pinned reader",
+        run: Box::new(move || {
+            let (engine, _) = tiny_engine();
+            let shared = SharedEngine::new(engine);
+            let mut read = Err("reader never ran".to_string());
+            sched::sync::scope(|s| {
+                let sh = shared.clone();
+                let qq = q.clone();
+                let reader = s.spawn(move || {
+                    let pinned = sh.snapshot();
+                    let live = answer(&sh.rds(&qq, K)?);
+                    let held = answer(&pinned.rds(&qq, K)?);
+                    Ok::<_, EngineError>((live, held))
+                });
+                let sh = shared.clone();
+                let qq = q.clone();
+                s.spawn(move || {
+                    sh.add_document(qq);
+                });
+                read = match reader.join() {
+                    Ok(r) => r.map_err(|e| format!("reader failed: {e}")),
+                    Err(_) => Err("reader panicked".to_string()),
+                };
+            });
+            let (live, held) = read?;
+            if live != before && live != after {
+                return Err("concurrent query answered a torn epoch".to_string());
+            }
+            if held != before && held != after {
+                return Err("pinned snapshot answered a torn epoch".to_string());
+            }
+            let settled = answer(&shared.rds(&q, K).map_err(|e| e.to_string())?);
+            if settled != after {
+                return Err("query after the publish missed the appended epoch".to_string());
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// A query racing delete + physical compaction + publish. The writer
+/// tombstones the top-ranked document and compacts — physically dropping
+/// it and rewriting segments — while a reader queries a pinned epoch and
+/// the live handle. On every interleaving both answers stay
+/// oracle-consistent (the collection before the delete, or after it;
+/// never a hybrid), proving compaction cannot free a segment out from
+/// under a running query.
+fn compact_race() -> Harness {
+    const K: usize = 2;
+    let (mut oracle, q) = tiny_engine();
+    let before = answer(&oracle.rds(&q, K).expect("oracle query"));
+    let victim = before[0].0;
+    oracle.remove_document(victim).expect("victim is live");
+    assert!(oracle.compact(), "the tombstone must force a physical rewrite");
+    let after = answer(&oracle.rds(&q, K).expect("oracle query"));
+    assert_ne!(before, after, "the delete must change the top-{K} or the harness is vacuous");
+    Harness {
+        name: "compact-race",
+        about: "queries racing delete+compact+publish stay oracle-consistent",
+        run: Box::new(move || {
+            let (engine, _) = tiny_engine();
+            let shared = SharedEngine::new(engine);
+            let mut read = Err("reader never ran".to_string());
+            let mut wrote = Err("writer never ran".to_string());
+            sched::sync::scope(|s| {
+                let sh = shared.clone();
+                let qq = q.clone();
+                let reader = s.spawn(move || {
+                    let pinned = sh.snapshot();
+                    let live = answer(&sh.rds(&qq, K)?);
+                    let held = answer(&pinned.rds(&qq, K)?);
+                    Ok::<_, EngineError>((live, held))
+                });
+                let sh = shared.clone();
+                let writer = s.spawn(move || {
+                    sh.remove_document(victim)?;
+                    sh.compact();
+                    Ok::<_, EngineError>(())
+                });
+                read = match reader.join() {
+                    Ok(r) => r.map_err(|e| format!("reader failed: {e}")),
+                    Err(_) => Err("reader panicked".to_string()),
+                };
+                wrote = match writer.join() {
+                    Ok(r) => r.map_err(|e| format!("writer failed: {e}")),
+                    Err(_) => Err("writer panicked".to_string()),
+                };
+            });
+            wrote?;
+            let (live, held) = read?;
+            if live != before && live != after {
+                return Err("concurrent query answered a torn epoch".to_string());
+            }
+            if held != before && held != after {
+                return Err("pinned snapshot answered a torn epoch".to_string());
+            }
+            let settled = shared.snapshot();
+            if settled.is_live(victim) {
+                return Err("victim still live after delete+compact".to_string());
+            }
+            if answer(&settled.rds(&q, K).map_err(|e| e.to_string())?) != after {
+                return Err("query after the compaction missed the compacted epoch".to_string());
             }
             Ok(())
         }),
@@ -351,8 +484,15 @@ fn seeded_lock_inversion() -> Harness {
 /// under the `seeded-races` feature.
 pub fn registry() -> Vec<Harness> {
     #[cfg_attr(not(feature = "seeded-races"), allow(unused_mut))]
-    let mut all =
-        vec![pool_stress(), pool_writer(), batch_slots(), batch_poison(), sharded_merge()];
+    let mut all = vec![
+        pool_stress(),
+        pool_writer(),
+        publish_retire(),
+        compact_race(),
+        batch_slots(),
+        batch_poison(),
+        sharded_merge(),
+    ];
     #[cfg(feature = "seeded-races")]
     {
         all.push(seeded_unlock_race());

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Canonical verification for the workspace: formatting, lints, the
-# self-hosted audit (static rules A01-A08 + structural invariants), the
+# self-hosted audit (static rules A01-A09 + structural invariants), the
 # cbr-flow dataflow lints (an honest call-graph pass over the real tree
 # plus a seeded-fixture pass proving every rule fires), the cbr-sched
-# schedule exploration (same honest + seeded-bug pairing), the bench
-# smoke pass (the JSON trajectory pipeline end to end at micro scale),
-# and tests. Run from the repository root. All nine must pass before
-# merging.
+# schedule exploration — including the publish/retire and compaction
+# harnesses over the epoch-published snapshot — (same honest +
+# seeded-bug pairing), the bench smoke passes (both JSON trajectory
+# pipelines end to end at micro scale), and tests. Run from the
+# repository root. All ten must pass before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +20,9 @@ cargo run -q -p cbr-audit -- all
 cargo run -q -p cbr-flow -- --json
 # Non-vacuity: the seeded fixture tree must trip every rule F01-F05.
 cargo run -q -p cbr-flow -- --fixtures --expect-findings
-# Honest tree: every concurrency harness must explore clean, and the CI
+# Honest tree: every concurrency harness must explore clean — the
+# publish-retire and compact-race harnesses prove epoch publishes are
+# atomic and compaction never invalidates a pinned reader — and the CI
 # budget must cover at least a thousand distinct interleavings.
 cargo run -q -p cbr-sched -- --budget 1200 --min-schedules 1000 --json
 # Non-vacuity: with the seeded bugs compiled in, the checker must find
@@ -33,4 +36,8 @@ cargo run -q -p cbr-sched --features seeded-races -- \
 # loop or a malformed BENCH_knds.json run object without paying for a
 # full benchmark; writes nothing.
 cargo run -q --release -p cbr-bench --bin repro -- --json --smoke
+# Same end-to-end smoke for the mixed read/write scale bench: a tiny
+# collection, short phases, and in-process validation of the
+# BENCH_scale.json run object; writes nothing.
+cargo run -q --release -p cbr-bench --bin scale -- --smoke
 cargo test -q
