@@ -254,14 +254,15 @@ mod tests {
         assert!(fr.report.ok(), "flow findings on the current tree:\n{}", fr.render_text());
     }
 
-    /// The acceptance gate: at least 80% of workspace-internal calls
-    /// resolve to a callee.
+    /// The acceptance gate: re-export-aware fallback plus constructor /
+    /// aliased-assoc classification push internal resolution above 99.5%
+    /// — `cbr-race` inherits this graph, so the bar is a regression test.
     #[test]
     fn resolution_meets_the_acceptance_bar() {
         let fr = run_workspace(&workspace_root());
         assert!(
-            fr.stats.resolution() >= 0.80,
-            "resolution {:.3} below 0.80 ({} / {} internal calls)",
+            fr.stats.resolution() >= 0.995,
+            "resolution {:.4} below 0.995 ({} / {} internal calls)",
             fr.stats.resolution(),
             fr.stats.calls_resolved,
             fr.stats.calls_internal

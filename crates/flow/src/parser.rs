@@ -402,8 +402,10 @@ fn sig_returns_result(sig: &str) -> bool {
 }
 
 /// Whether the comment/attribute block directly above the declaration
-/// line carries `directive`.
-fn has_directive(text: &str, decl: usize, directive: &str) -> bool {
+/// line carries `directive`. Public so downstream analyses (`cbr-race`'s
+/// facade-annotation channel) can read their own directive vocabulary
+/// off the same parsed items.
+pub fn has_directive(text: &str, decl: usize, directive: &str) -> bool {
     let line_start = text[..decl].rfind('\n').map_or(0, |p| p + 1);
     for line in text[..line_start].lines().rev() {
         let t = line.trim();

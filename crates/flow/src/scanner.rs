@@ -100,7 +100,7 @@ impl SourceFile {
                 // Attribute arguments carry string literals ("serde"),
                 // which the code mask blanks — classify on the original.
                 let attr = &self.text[i..=close];
-                let is_test_cfg = attr.contains("cfg(test)");
+                let is_test_cfg = attr.contains("cfg(test)") || attr.contains("cfg(all(test");
                 let is_serde_cfg = (attr.contains("cfg(feature") || attr.contains("cfg_attr"))
                     && attr.contains("\"serde\"");
                 let is_debug_cfg = attr.contains("cfg(debug_assertions)");
@@ -164,7 +164,7 @@ impl SourceFile {
 }
 
 /// Whether `b` can appear in a Rust identifier.
-pub(crate) fn is_ident_byte(b: u8) -> bool {
+pub fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
@@ -205,7 +205,7 @@ pub fn slice_index_sites(file: &SourceFile) -> Vec<usize> {
 }
 
 /// Finds the offset of the bracket closing the one at `open`.
-pub(crate) fn match_bracket(bytes: &[u8], open: usize, ob: u8, cb: u8) -> Option<usize> {
+pub fn match_bracket(bytes: &[u8], open: usize, ob: u8, cb: u8) -> Option<usize> {
     debug_assert_eq!(bytes.get(open), Some(&ob));
     let mut depth = 0usize;
     for (i, &b) in bytes.iter().enumerate().skip(open) {
@@ -428,6 +428,15 @@ mod tests {
         assert!(hits.iter().all(|&h| f.is_serde_gated(h)));
         let std_use = f.code_matches("use std::fmt")[0];
         assert!(!f.is_serde_gated(std_use));
+    }
+
+    #[test]
+    fn cfg_all_test_regions_are_marked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(all(test, not(feature = \"model\")))]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let hits = f.code_matches(".unwrap(");
+        assert!(!f.is_test(hits[0]));
+        assert!(f.is_test(hits[1]), "cfg(all(test, ..)) gates test code too");
     }
 
     #[test]

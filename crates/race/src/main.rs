@@ -1,0 +1,73 @@
+//! `cbr-race` CLI: run the static lock-discipline analysis.
+//!
+//! ```sh
+//! cbr-race                           # analyze the real workspace (race.allow applied)
+//! cbr-race --json                    # machine-readable report with the R04 proof stats
+//! cbr-race --fixtures                # analyze the seeded-violation fixture tree
+//! cbr-race --fixtures --expect-findings  # assert every rule R01-R05 fires
+//! ```
+//!
+//! Exit codes: `0` clean (or, with `--expect-findings`, all rules
+//! fired), `1` findings (or a missing rule), `2` usage error.
+
+#![forbid(unsafe_code)]
+
+use cbr_flow::workspace_root;
+use cbr_race::{run_fixtures, run_workspace};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cbr-race [--json] [--fixtures] [--expect-findings]\n\n\
+         options:\n  \
+         --json             emit the machine-readable report\n  \
+         --fixtures         analyze the seeded-violation fixture tree instead of the workspace\n  \
+         --expect-findings  fail unless every rule R01-R05 produced at least one finding"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fixtures = false;
+    let mut expect_findings = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fixtures" => fixtures = true,
+            "--expect-findings" => expect_findings = true,
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let root = workspace_root();
+    let rr = if fixtures { run_fixtures(&root) } else { run_workspace(&root) };
+
+    if json {
+        print!("{}", rr.render_json());
+    } else {
+        print!("{}", rr.render_text());
+    }
+
+    if expect_findings {
+        let missing: Vec<&str> = ["R01", "R02", "R03", "R04", "R05"]
+            .into_iter()
+            .filter(|rule| !rr.report.findings.iter().any(|f| f.rule == *rule))
+            .collect();
+        if missing.is_empty() {
+            eprintln!("expect-findings: all rules R01-R05 fired");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("expect-findings: rule(s) {} produced no findings", missing.join(", "));
+            ExitCode::FAILURE
+        }
+    } else if rr.report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

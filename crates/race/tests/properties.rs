@@ -1,0 +1,49 @@
+//! Property: the race analysis is independent of file collection order.
+//!
+//! Effect extraction, the lock-order graph, and the rule fixpoints must
+//! produce byte-identical findings and proof statistics however the
+//! source walker happens to order the files — the allowlist ratchet
+//! depends on exact counts, so any order sensitivity would make the
+//! gate flaky.
+
+use cbr_flow::graph::CrateDeps;
+use cbr_flow::scanner::SourceFile;
+use proptest::prelude::*;
+
+const SVC: &str = include_str!("../fixtures/crates/svc/src/lib.rs");
+const SNAP: &str = include_str!("../fixtures/crates/core/src/snapshot.rs");
+const EXTRA: &str = "pub fn helper(m: &Mutex<u32>) { let _g = m.lock(); }\n";
+
+type Keyed = (Vec<(String, String, usize, String)>, usize, usize);
+
+fn run_in_order(order: &[usize; 3]) -> Keyed {
+    let files = [
+        ("crates/svc/src/lib.rs", SVC),
+        ("crates/core/src/snapshot.rs", SNAP),
+        ("crates/extra/src/lib.rs", EXTRA),
+    ];
+    let sources: Vec<SourceFile> =
+        order.iter().map(|&i| SourceFile::parse(files[i].0, files[i].1)).collect();
+    let rr = cbr_race::analyze(sources, "", "race.allow", &CrateDeps::default(), true);
+    let mut keyed: Vec<_> = rr
+        .report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line, f.message.clone()))
+        .collect();
+    keyed.sort();
+    (keyed, rr.stats.r04.r04_reachable_fns, rr.stats.r04.r04_lock_acquisitions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn analysis_is_permutation_stable(k in 0usize..6) {
+        let perms: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let baseline = run_in_order(&perms[0]);
+        prop_assert!(!baseline.0.is_empty(), "fixture findings must be non-empty");
+        prop_assert_eq!(baseline, run_in_order(&perms[k]));
+    }
+}

@@ -45,6 +45,7 @@ impl<T> Mutex<T> {
     }
 
     /// Acquires the lock (modeled contention, poison-free).
+    // race: acquire
     pub fn lock(&self) -> MutexGuard<'_, T> {
         touch(&self.rid, ResKind::Lock, Op::Lock);
         MutexGuard {
@@ -112,6 +113,7 @@ impl<T> RwLock<T> {
     }
 
     /// Acquires a shared read guard (modeled contention).
+    // race: acquire-shared
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         touch(&self.rid, ResKind::Lock, Op::Read);
         RwLockReadGuard {
@@ -121,6 +123,7 @@ impl<T> RwLock<T> {
     }
 
     /// Acquires an exclusive write guard (modeled contention).
+    // race: acquire
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         touch(&self.rid, ResKind::Lock, Op::Write);
         RwLockWriteGuard {
@@ -183,6 +186,7 @@ impl Condvar {
 
     /// Atomically releases `guard` and sleeps until notified, then
     /// re-acquires the mutex.
+    // race: blocking
     pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         let owner = guard.owner;
         let real = guard.inner.take().expect("guard not released");
@@ -321,12 +325,14 @@ impl<T> SegQueue<T> {
     }
 
     /// Pushes `value` onto the back of the queue.
+    // race: pool-op
     pub fn push(&self, value: T) {
         self.touch(Op::QPush);
         self.inner.push(value);
     }
 
     /// Pops from the front, or `None` when empty.
+    // race: pool-op
     pub fn pop(&self) -> Option<T> {
         self.touch(Op::QPop);
         self.inner.pop()
@@ -384,6 +390,7 @@ pub struct JoinHandle<T> {
 
 impl<T> JoinHandle<T> {
     /// Waits for the thread to finish (a modeled join sync point).
+    // race: blocking
     pub fn join(self) -> std::thread::Result<T> {
         if let Some(child) = self.child {
             rt::sync_point(Op::Join(vec![child]));
@@ -393,6 +400,7 @@ impl<T> JoinHandle<T> {
 }
 
 /// Spawns a thread; modeled when called from inside an execution.
+// race: spawn
 pub fn spawn<F, T>(f: F) -> JoinHandle<T>
 where
     F: FnOnce() -> T + Send + 'static,
@@ -427,6 +435,7 @@ pub struct ScopedJoinHandle<'scope, T> {
 
 impl<'scope, T> ScopedJoinHandle<'scope, T> {
     /// Waits for the thread to finish (a modeled join sync point).
+    // race: blocking
     pub fn join(self) -> std::thread::Result<T> {
         if let Some(child) = self.child {
             let mut pending = self.unjoined.lock().unwrap_or_else(|e| e.into_inner());
@@ -440,6 +449,7 @@ impl<'scope, T> ScopedJoinHandle<'scope, T> {
 
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Spawns a scoped thread; modeled when called inside an execution.
+    // race: spawn
     pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
     where
         F: FnOnce() -> T + Send + 'scope,
@@ -465,6 +475,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
 /// Runs `f` with a scope in which borrowing threads can be spawned. The
 /// implicit join of unjoined modeled children is a single sync point
 /// before the real scope joins them.
+// race: blocking
 pub fn scope<'env, F, T>(f: F) -> T
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,

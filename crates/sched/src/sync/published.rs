@@ -69,11 +69,13 @@ impl<T> Published<T> {
     /// one, and returns the new epoch. The epoch bump happens inside the
     /// exclusive section so readers can never pair a new epoch with the
     /// old value or vice versa.
+    // race: publish
     pub fn publish(&self, value: T) -> u64 {
         self.publish_arc(Arc::new(value))
     }
 
     /// [`Published::publish`] for an already-shared value.
+    // race: publish
     pub fn publish_arc(&self, value: Arc<T>) -> u64 {
         let mut guard = self.value.write();
         *guard = value;

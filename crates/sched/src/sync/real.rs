@@ -20,6 +20,7 @@ impl<T> Mutex<T> {
 
     /// Acquires the lock, ignoring poison (a panicked holder does not
     /// make the data unreachable).
+    // race: acquire
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -46,11 +47,13 @@ impl<T> RwLock<T> {
     }
 
     /// Acquires a shared read guard.
+    // race: acquire-shared
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         self.0.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Acquires an exclusive write guard.
+    // race: acquire
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
@@ -67,6 +70,7 @@ impl Condvar {
     }
 
     /// Atomically releases `guard` and sleeps until notified.
+    // race: blocking
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
     }
@@ -100,11 +104,13 @@ impl<T> SegQueue<T> {
     }
 
     /// Pushes `value` onto the back of the queue.
+    // race: pool-op
     pub fn push(&self, value: T) {
         self.0.push(value);
     }
 
     /// Pops from the front, or `None` when empty.
+    // race: pool-op
     pub fn pop(&self) -> Option<T> {
         self.0.pop()
     }
@@ -126,12 +132,14 @@ pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
 
 impl<T> JoinHandle<T> {
     /// Waits for the thread to finish, returning its result.
+    // race: blocking
     pub fn join(self) -> std::thread::Result<T> {
         self.0.join()
     }
 }
 
 /// Spawns a detached-by-default OS thread (see [`std::thread::spawn`]).
+// race: spawn
 pub fn spawn<F, T>(f: F) -> JoinHandle<T>
 where
     F: FnOnce() -> T + Send + 'static,
@@ -152,6 +160,7 @@ pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>)
 
 impl<'scope, T> ScopedJoinHandle<'scope, T> {
     /// Waits for the thread to finish, returning its result.
+    // race: blocking
     pub fn join(self) -> std::thread::Result<T> {
         self.0.join()
     }
@@ -159,6 +168,7 @@ impl<'scope, T> ScopedJoinHandle<'scope, T> {
 
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Spawns a scoped thread (see [`std::thread::Scope::spawn`]).
+    // race: spawn
     pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
     where
         F: FnOnce() -> T + Send + 'scope,
@@ -170,6 +180,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
 
 /// Runs `f` with a scope in which borrowing threads can be spawned; all
 /// unjoined scoped threads are joined before `scope` returns.
+// race: blocking
 pub fn scope<'env, F, T>(f: F) -> T
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,

@@ -2,12 +2,14 @@
 # Canonical verification for the workspace: formatting, lints, the
 # self-hosted audit (static rules A01-A09 + structural invariants), the
 # cbr-flow dataflow lints (an honest call-graph pass over the real tree
-# plus a seeded-fixture pass proving every rule fires), the cbr-sched
-# schedule exploration — including the publish/retire and compaction
-# harnesses over the epoch-published snapshot — (same honest +
-# seeded-bug pairing), the bench smoke passes (both JSON trajectory
+# plus a seeded-fixture pass proving every rule fires), the cbr-race
+# lock-discipline analysis (honest pass with a non-vacuous R04
+# lock-free-read proof, plus the same seeded-fixture pairing), the
+# cbr-sched schedule exploration — including the publish/retire and
+# compaction harnesses over the epoch-published snapshot — (same honest
+# + seeded-bug pairing), the bench smoke passes (both JSON trajectory
 # pipelines end to end at micro scale), and tests. Run from the
-# repository root. All ten must pass before merging.
+# repository root. All twelve must pass before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +22,16 @@ cargo run -q -p cbr-audit -- all
 cargo run -q -p cbr-flow -- --json
 # Non-vacuity: the seeded fixture tree must trip every rule F01-F05.
 cargo run -q -p cbr-flow -- --fixtures --expect-findings
+# Honest tree: the lock-discipline rules (R01-R05) must run clean
+# against race.allow, and the R04 lock-free-read proof must be
+# non-vacuous — both snapshot query roots matched, zero reachable lock
+# acquisitions. Grepping the report keeps the proof honest even if the
+# exit code logic regresses.
+race_json="$(cargo run -q -p cbr-race -- --json)"
+grep -q '"r04_roots": 2' <<<"$race_json"
+grep -q '"r04_lock_acquisitions": 0' <<<"$race_json"
+# Non-vacuity: the seeded fixture tree must trip every rule R01-R05.
+cargo run -q -p cbr-race -- --fixtures --expect-findings
 # Honest tree: every concurrency harness must explore clean — the
 # publish-retire and compact-race harnesses prove epoch publishes are
 # atomic and compaction never invalidates a pinned reader — and the CI
