@@ -51,10 +51,8 @@ pub fn run_lint(root: &Path) -> Report {
         findings.extend(rules::a06_no_registry_deps(&rel, &text));
     }
 
-    let allow_content = std::fs::read_to_string(root.join("audit.allow")).unwrap_or_default();
-    let (entries, mut parse_errors) = allowlist::parse(&allow_content, "audit.allow");
-    let mut findings = allowlist::apply(findings, &entries);
-    findings.append(&mut parse_errors);
+    let allow_content = allowlist::load(root, "audit.allow");
+    let findings = allowlist::ratchet(findings, &allow_content, "audit.allow");
 
     let mut report = Report { findings, passed: Vec::new() };
     if report.ok() {

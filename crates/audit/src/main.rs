@@ -4,8 +4,9 @@
 //! cbr-audit lint        [--json]   static analysis rules A01–A06
 //! cbr-audit flow        [--json]   call-graph dataflow rules F01–F05
 //! cbr-audit race        [--json]   lock-discipline rules R01–R05
+//! cbr-audit bound       [--json]   numeric-safety rules B01–B05
 //! cbr-audit invariants  [--json]   structural validate() suite
-//! cbr-audit all         [--json]   lint + flow + race + invariants
+//! cbr-audit all         [--json]   lint + flow + race + bound + invariants
 //! ```
 //!
 //! Exits 0 when clean, 1 when any finding survives the allowlist, 2 on
@@ -26,15 +27,17 @@ fn main() {
         Some("lint") => report.merge(cbr_audit::run_lint(&root)),
         Some("flow") => report.merge(cbr_flow::run_workspace(&root).report),
         Some("race") => report.merge(cbr_race::run_workspace(&root).report),
+        Some("bound") => report.merge(cbr_bound::run_workspace(&root).report),
         Some("invariants") => report.merge(cbr_audit::invariants::run()),
         Some("all") => {
             report.merge(cbr_audit::run_lint(&root));
             report.merge(cbr_flow::run_workspace(&root).report);
             report.merge(cbr_race::run_workspace(&root).report);
+            report.merge(cbr_bound::run_workspace(&root).report);
             report.merge(cbr_audit::invariants::run());
         }
         _ => {
-            eprintln!("usage: cbr-audit <lint|flow|race|invariants|all> [--json]");
+            eprintln!("usage: cbr-audit <lint|flow|race|bound|invariants|all> [--json]");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,73 @@
+//! `cbr-bound` CLI: run the static numeric-safety analysis.
+//!
+//! ```sh
+//! cbr-bound                           # analyze the real workspace (bound.allow applied)
+//! cbr-bound --json                    # machine-readable report with the B04 proof stats
+//! cbr-bound --fixtures                # analyze the seeded-violation fixture tree
+//! cbr-bound --fixtures --expect-findings  # assert every rule B01-B05 fires
+//! ```
+//!
+//! Exit codes: `0` clean (or, with `--expect-findings`, all rules
+//! fired), `1` findings (or a missing rule), `2` usage error.
+
+#![forbid(unsafe_code)]
+
+use cbr_bound::{run_fixtures, run_workspace};
+use cbr_flow::workspace_root;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cbr-bound [--json] [--fixtures] [--expect-findings]\n\n\
+         options:\n  \
+         --json             emit the machine-readable report\n  \
+         --fixtures         analyze the seeded-violation fixture tree instead of the workspace\n  \
+         --expect-findings  fail unless every rule B01-B05 produced at least one finding"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fixtures = false;
+    let mut expect_findings = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fixtures" => fixtures = true,
+            "--expect-findings" => expect_findings = true,
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let root = workspace_root();
+    let br = if fixtures { run_fixtures(&root) } else { run_workspace(&root) };
+
+    if json {
+        print!("{}", br.render_json());
+    } else {
+        print!("{}", br.render_text());
+    }
+
+    if expect_findings {
+        let missing: Vec<&str> = ["B01", "B02", "B03", "B04", "B05"]
+            .into_iter()
+            .filter(|rule| !br.report.findings.iter().any(|f| f.rule == *rule))
+            .collect();
+        if missing.is_empty() {
+            eprintln!("expect-findings: all rules B01-B05 fired");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("expect-findings: rule(s) {} produced no findings", missing.join(", "));
+            ExitCode::FAILURE
+        }
+    } else if br.report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

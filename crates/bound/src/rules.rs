@@ -1,0 +1,588 @@
+//! The bound rules B01–B05, run over per-function numeric sites and
+//! the whole-program call graph.
+//!
+//! * **B01** — no potentially-truncating `as` cast on the query path:
+//!   narrowing width, sign changes, and narrow targets with an unproven
+//!   source type must go through the checked `cbr_index::packing`
+//!   helpers or carry a justified `// bound: proven` directive.
+//! * **B02** — overflow-capable left shifts (the `stamp << 32 | slot`
+//!   packing shape) are confined to the packing axiom module; the
+//!   literal-LHS set-bit idiom (`1u64 << (i & 63)`) is exempt.
+//! * **B03** — buffers reachable from the query roots grow only with
+//!   capacity established at construction or sized by `|C|`/`|D|`; a
+//!   growth call inside a loop needs a `// bound: sized` justification.
+//!   This is the static complement of flow F01's dynamic steady-state
+//!   allocation check.
+//! * **B04** — the hot path is proven recursion-free: no call-graph
+//!   cycle among functions reachable from [`ROOT_SPECS`].
+//! * **B05** — float hygiene on the ranking path: no division without a
+//!   lexical nonzero guard, and no `as f64` on 64-bit integers (exact
+//!   only below 2^53) — extending audit A01 from comparison sites to
+//!   the producer sites feeding them.
+//!
+//! A meta-rule (`BOUND`) guards against vacuity: every entry of
+//! [`ROOT_SPECS`] must match a function, otherwise the rules would
+//! "pass" by proving nothing.
+
+use crate::summary::{Cast, Directive, NumSites, SrcTy};
+use cbr_flow::graph::{propagate, Graph};
+use cbr_flow::parser::Workspace;
+use cbr_flow::report::Finding;
+use std::collections::BTreeSet;
+
+/// The hot-path roots the bound rules protect, as `(module, fn)`
+/// pairs: the snapshot/engine/TA/weighted query entry points plus the
+/// D-Radix DAG build that every exact distance goes through.
+pub const ROOT_SPECS: [(&str, &str); 8] = [
+    ("core::snapshot", "rds_with"),
+    ("core::snapshot", "sds_with"),
+    ("knds::engine", "rds_with"),
+    ("knds::engine", "sds_with"),
+    ("knds::ta", "rds_with"),
+    ("knds::weighted", "rds_with"),
+    ("knds::weighted", "sds_with"),
+    ("dradix::dag", "build_into"),
+];
+
+/// B04 proof statistics, reported even when everything passes: a clean
+/// run must show *what* was proven (roots matched, functions covered,
+/// zero cycles), not just the absence of findings.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RuleStats {
+    /// Root functions matched by [`ROOT_SPECS`].
+    pub b04_roots: usize,
+    /// Non-test functions transitively reachable from the roots.
+    pub b04_reachable_fns: usize,
+    /// Functions participating in a reachable call cycle (findings).
+    pub b04_cyclic_fns: usize,
+}
+
+/// Runs all bound rules; returns findings plus the B04 proof stats.
+pub fn run(ws: &Workspace, graph: &Graph, sites: &NumSites) -> (Vec<Finding>, RuleStats) {
+    let edges = bound_edges(ws, graph, false);
+    let mut findings = Vec::new();
+
+    let seeds = match_roots(ws, &mut findings);
+    let reach = propagate(&edges, &seeds);
+    let mut stats = RuleStats { b04_roots: seeds.len(), ..RuleStats::default() };
+
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test || !reach.reached(id) {
+            continue;
+        }
+        stats.b04_reachable_fns += 1;
+        let file = &ws.files[f.file];
+        let fx = &sites.fns[id];
+
+        for cast in &fx.casts {
+            let Some(detail) = b01_verdict(cast) else { continue };
+            if let Some(msg) = directive_note(cast.proven, &detail) {
+                findings.push(Finding::new("B01", &file.rel, file.line_of(cast.at), msg));
+            }
+        }
+        for shift in &fx.shifts {
+            let detail = "overflow-capable left shift outside the checked packing \
+                          helpers; route through `cbr_index::packing` or prove the bound"
+                .to_string();
+            if let Some(msg) = directive_note(shift.proven, &detail) {
+                findings.push(Finding::new("B02", &file.rel, file.line_of(shift.at), msg));
+            }
+        }
+        for g in &fx.growths {
+            let detail = format!(
+                "`{}.{}` grows a buffer inside a loop on the hot path; establish \
+                 capacity at construction or justify with `// bound: sized <why>`",
+                g.receiver, g.method
+            );
+            if let Some(msg) = sized_note(g.sized, &detail) {
+                findings.push(Finding::new("B03", &file.rel, file.line_of(g.at), msg));
+            }
+        }
+        for div in &fx.divisions {
+            let detail = format!(
+                "division by `{}` without a zero/NaN guard on the ranking path",
+                div.divisor
+            );
+            if let Some(msg) = directive_note(div.proven, &detail) {
+                findings.push(Finding::new("B05", &file.rel, file.line_of(div.at), msg));
+            }
+        }
+        for cast in &fx.casts {
+            let Some(detail) = b05_float_verdict(cast) else { continue };
+            if let Some(msg) = directive_note(cast.proven, &detail) {
+                findings.push(Finding::new("B05", &file.rel, file.line_of(cast.at), msg));
+            }
+        }
+    }
+
+    let call_edges = bound_edges(ws, graph, true);
+    b04_recursion_free(ws, &call_edges, &reach, &mut stats, &mut findings);
+    findings.sort_by(|a, b| (&a.rule, &a.file, a.line).cmp(&(&b.rule, &b.file, b.line)));
+    (findings, stats)
+}
+
+/// Suppression for `bound: proven`: justified directives discharge the
+/// site; bare ones fire with a note so the argument cannot evaporate.
+fn directive_note(d: Directive, detail: &str) -> Option<String> {
+    match d {
+        Directive::Justified => None,
+        Directive::Absent => Some(detail.to_string()),
+        Directive::Unjustified => Some(format!(
+            "{detail} (bare `bound: proven` directive — write the invariant justification)"
+        )),
+    }
+}
+
+/// Suppression for `bound: sized`, with the same bare-directive rule.
+fn sized_note(d: Directive, detail: &str) -> Option<String> {
+    match d {
+        Directive::Justified => None,
+        Directive::Absent => Some(detail.to_string()),
+        Directive::Unjustified => Some(format!(
+            "{detail} (bare `bound: sized` directive — write the sizing justification)"
+        )),
+    }
+}
+
+/// Width rank of a primitive type token (bool ranks 0: never wider).
+fn rank(ty: &str) -> u8 {
+    match ty {
+        "bool" => 0,
+        "u8" | "i8" => 1,
+        "u16" | "i16" => 2,
+        "u32" | "i32" | "f32" => 4,
+        _ => 8, // u64, i64, usize, isize, f64
+    }
+}
+
+fn signed(ty: &str) -> bool {
+    ty.starts_with('i')
+}
+
+fn unsigned(ty: &str) -> bool {
+    ty.starts_with('u')
+}
+
+fn float(ty: &str) -> bool {
+    ty == "f32" || ty == "f64"
+}
+
+/// Narrow integer targets where an unknown source is flagged.
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// The B01 verdict for one cast: `Some(detail)` when truncation is
+/// possible, `None` when the cast is provably value-preserving.
+fn b01_verdict(cast: &Cast) -> Option<String> {
+    let t = cast.target.as_str();
+    if float(t) {
+        return None; // B05 owns float targets
+    }
+    match &cast.src {
+        SrcTy::Lit => None,
+        SrcTy::Known(s) => {
+            let s = s.as_str();
+            if s == t {
+                return None;
+            }
+            if float(s) {
+                return Some(format!(
+                    "float-to-integer cast `{} as {t}` truncates on the query path",
+                    cast.expr
+                ));
+            }
+            if signed(s) && unsigned(t) {
+                return Some(format!(
+                    "sign-changing cast `{} as {t}` ({s} -> {t}); use a checked conversion",
+                    cast.expr
+                ));
+            }
+            if rank(s) > rank(t) {
+                return Some(format!(
+                    "narrowing cast `{} as {t}` ({s} -> {t}); use `cbr_index::packing` \
+                     or prove the bound",
+                    cast.expr
+                ));
+            }
+            if s == "u64" && t == "usize" {
+                return Some(format!(
+                    "platform-dependent cast `{} as usize` (u64 -> usize truncates on \
+                     32-bit targets)",
+                    cast.expr
+                ));
+            }
+            if unsigned(s) && signed(t) && rank(s) >= rank(t) {
+                return Some(format!(
+                    "sign-overflowing cast `{} as {t}` ({s} -> {t}); the high bit flips \
+                     the sign",
+                    cast.expr
+                ));
+            }
+            None
+        }
+        SrcTy::Unknown => {
+            if NARROW_TARGETS.contains(&t) {
+                Some(format!(
+                    "cast `{} as {t}` with unproven source type on the query path; use \
+                     `cbr_index::packing` or prove the bound",
+                    cast.expr
+                ))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The B05 verdict for float-target casts: 64-bit integers are exact in
+/// `f64` only below 2^53 (and 32-bit in `f32` below 2^24).
+fn b05_float_verdict(cast: &Cast) -> Option<String> {
+    let t = cast.target.as_str();
+    if !float(t) {
+        return None;
+    }
+    let SrcTy::Known(s) = &cast.src else { return None };
+    if float(s.as_str()) || rank(s) < rank(t) {
+        return None;
+    }
+    Some(format!(
+        "`{} as {t}` on a {s} loses precision for values beyond the mantissa; bound \
+         the operand or prove the range",
+        cast.expr
+    ))
+}
+
+/// Call edges the bound rules work over: the resolved graph minus
+/// test-region and debug-gated sites, and test functions on either end.
+///
+/// Two precision modes. Reachability (`confident = false`) keeps the
+/// full name-resolved over-approximation — more reach means more code
+/// checked, which is the conservative direction for B01/B02/B03/B05.
+/// The B04 cycle check (`confident = true`) keeps only confidently
+/// resolved calls: free-function calls, `self.` method calls, and
+/// method calls with a unique candidate. Name-ambiguous dispatch like
+/// `self.inner.postings(..)` otherwise resolves back to the delegating
+/// wrapper itself and every same-name trait impl, manufacturing call
+/// "cycles" no execution can take.
+fn bound_edges(ws: &Workspace, graph: &Graph, confident: bool) -> Vec<Vec<usize>> {
+    ws.fns
+        .iter()
+        .enumerate()
+        .map(|(id, f)| {
+            if f.is_test {
+                return Vec::new();
+            }
+            let file = &ws.files[f.file];
+            let mut out = BTreeSet::new();
+            for (ci, call) in f.calls.iter().enumerate() {
+                if file.is_test(call.at) || file.is_debug_gated(call.at) {
+                    continue;
+                }
+                let targets: Vec<usize> =
+                    graph.targets[id][ci].iter().copied().filter(|&t| !ws.fns[t].is_test).collect();
+                if confident && call.method && !call.recv_self && targets.len() > 1 {
+                    continue;
+                }
+                out.extend(targets);
+            }
+            out.into_iter().collect()
+        })
+        .collect()
+}
+
+/// Matches [`ROOT_SPECS`] against the workspace; emits `BOUND`
+/// meta-findings for unmatched specs so the proof can never go vacuous.
+fn match_roots(ws: &Workspace, findings: &mut Vec<Finding>) -> Vec<usize> {
+    let mut seeds = Vec::new();
+    for (module, name) in ROOT_SPECS {
+        let matched: Vec<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test && f.module == module && f.name == name)
+            .map(|(id, _)| id)
+            .collect();
+        if matched.is_empty() {
+            findings.push(Finding::new(
+                "BOUND",
+                "crates/bound/src/rules.rs",
+                0,
+                format!(
+                    "root spec `{module}::{name}` matched no function — the numeric-safety \
+                     proof is vacuous; update ROOT_SPECS"
+                ),
+            ));
+        }
+        seeds.extend(matched);
+    }
+    seeds
+}
+
+/// B04: every strongly-connected component among the reachable
+/// functions must be trivial (single node, no self loop).
+fn b04_recursion_free(
+    ws: &Workspace,
+    edges: &[Vec<usize>],
+    reach: &cbr_flow::graph::Reach,
+    stats: &mut RuleStats,
+    findings: &mut Vec<Finding>,
+) {
+    let keep: Vec<bool> =
+        ws.fns.iter().enumerate().map(|(id, f)| !f.is_test && reach.reached(id)).collect();
+    for comp in sccs(edges, &keep) {
+        let cyclic = comp.len() > 1 || edges[comp[0]].contains(&comp[0]);
+        if !cyclic {
+            continue;
+        }
+        stats.b04_cyclic_fns += comp.len();
+        // Anchor the finding at the lexically-first member.
+        let anchor = comp
+            .iter()
+            .copied()
+            .min_by_key(|&id| (&ws.files[ws.fns[id].file].rel, ws.fns[id].line))
+            .unwrap_or(comp[0]);
+        let mut names: Vec<String> = comp.iter().map(|&id| ws.display(id)).collect();
+        names.sort();
+        let chain = names.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(" -> ");
+        let f = &ws.fns[anchor];
+        findings.push(Finding::new(
+            "B04",
+            &ws.files[f.file].rel,
+            f.line,
+            format!(
+                "recursive call cycle on the hot path: {chain} -> back; the query \
+                     path must have a static depth bound"
+            ),
+        ));
+    }
+}
+
+/// Strongly-connected components of the kept subgraph (iterative
+/// Tarjan — the recursion checker must not itself recurse).
+fn sccs(edges: &[Vec<usize>], keep: &[bool]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut out = Vec::new();
+    for s in 0..n {
+        if !keep[s] || index[s] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = Vec::new();
+        index[s] = next;
+        low[s] = next;
+        next += 1;
+        stack.push(s);
+        on[s] = true;
+        call.push((s, 0));
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0;
+            let ci = frame.1;
+            frame.1 += 1;
+            match edges[v].get(ci).copied() {
+                Some(w) => {
+                    if !keep[w] {
+                        continue;
+                    }
+                    if index[w] == usize::MAX {
+                        index[w] = next;
+                        low[w] = next;
+                        next += 1;
+                        stack.push(w);
+                        on[w] = true;
+                        call.push((w, 0));
+                    } else if on[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                }
+                None => {
+                    call.pop();
+                    if let Some(parent) = call.last() {
+                        low[parent.0] = low[parent.0].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::extract;
+    use cbr_flow::graph::CrateDeps;
+    use cbr_flow::scanner::SourceFile;
+
+    fn check(files: &[(&str, &str)]) -> (Vec<Finding>, RuleStats) {
+        let ws = Workspace::parse(files.iter().map(|(r, t)| SourceFile::parse(r, t)).collect());
+        let graph = Graph::build(&ws, &CrateDeps::default());
+        let sites = extract(&ws);
+        run(&ws, &graph, &sites)
+    }
+
+    /// Fixture files matching every root spec, so the meta-rule stays
+    /// quiet in tests that target specific rules. Files already present
+    /// in the test's own input are not duplicated.
+    const ROOTS: [(&str, &str); 5] = [
+        (
+            "crates/core/src/snapshot.rs",
+            "pub struct Snap;\nimpl Snap {\n\
+             pub fn rds_with(&self) -> u32 { 0 }\n\
+             pub fn sds_with(&self) -> u32 { 0 }\n\
+             }\n",
+        ),
+        (
+            "crates/knds/src/engine.rs",
+            "pub struct Knds;\nimpl Knds {\n\
+             pub fn rds_with(&self) -> u32 { 0 }\n\
+             pub fn sds_with(&self) -> u32 { 0 }\n\
+             }\n",
+        ),
+        ("crates/knds/src/ta.rs", "pub fn rds_with() -> u32 { 0 }\n"),
+        (
+            "crates/knds/src/weighted.rs",
+            "pub struct W;\nimpl W {\n\
+             pub fn rds_with(&self) -> u32 { 0 }\n\
+             pub fn sds_with(&self) -> u32 { 0 }\n\
+             }\n",
+        ),
+        ("crates/dradix/src/dag.rs", "pub fn build_into() {}\n"),
+    ];
+
+    fn with_roots<'a>(files: &[(&'a str, &'a str)]) -> Vec<(&'a str, &'a str)> {
+        let mut all = files.to_vec();
+        for (rel, text) in ROOTS {
+            if !files.iter().any(|(r, _)| *r == rel) {
+                all.push((rel, text));
+            }
+        }
+        all
+    }
+
+    fn count(findings: &[Finding], rule: &str) -> usize {
+        findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    #[test]
+    fn narrowing_casts_fire_only_on_the_hot_path() {
+        let (findings, _) = check(&with_roots(&[(
+            "crates/knds/src/ta.rs",
+            "pub fn rds_with() -> u32 { helper(9) }\n\
+             fn helper(n: usize) -> u32 { n as u32 }\n\
+             fn cold(n: usize) -> u32 { n as u32 }\n",
+        )]));
+        let b01: Vec<_> = findings.iter().filter(|f| f.rule == "B01").collect();
+        assert_eq!(b01.len(), 1, "only the reachable cast:\n{findings:#?}");
+        assert_eq!(b01[0].line, 2);
+        assert!(b01[0].message.contains("usize -> u32"));
+    }
+
+    #[test]
+    fn justified_directives_suppress_and_bare_ones_fire() {
+        let (findings, _) = check(&with_roots(&[(
+            "crates/knds/src/ta.rs",
+            "pub fn rds_with() -> u32 { a(1) + b(2) }\n\
+             fn a(n: usize) -> u32 {\n\
+             // bound: proven — n indexes the u32 doc id space\n\
+             n as u32\n\
+             }\n\
+             fn b(n: usize) -> u32 {\n\
+             // bound: proven\n\
+             n as u32\n\
+             }\n",
+        )]));
+        let b01: Vec<_> = findings.iter().filter(|f| f.rule == "B01").collect();
+        assert_eq!(b01.len(), 1, "bare directive still fires:\n{findings:#?}");
+        assert!(b01[0].message.contains("bare `bound: proven`"));
+    }
+
+    #[test]
+    fn packing_shifts_fire_and_set_bit_idiom_is_exempt() {
+        let (findings, _) = check(&with_roots(&[(
+            "crates/knds/src/ta.rs",
+            "pub fn rds_with() -> u64 { pack(1, 2) | mask(3) }\n\
+             fn pack(stamp: u64, slot: u64) -> u64 { stamp << 32 | slot }\n\
+             fn mask(idx: usize) -> u64 { 1u64 << (idx & 63) }\n",
+        )]));
+        let b02: Vec<_> = findings.iter().filter(|f| f.rule == "B02").collect();
+        assert_eq!(b02.len(), 1, "only the packing shift:\n{findings:#?}");
+        assert_eq!(b02[0].line, 2);
+    }
+
+    #[test]
+    fn loop_growth_needs_a_sizing_justification() {
+        let (findings, _) = check(&with_roots(&[(
+            "crates/knds/src/ta.rs",
+            "pub fn rds_with(xs: &[u32]) -> usize { collect(xs) }\n\
+             fn collect(xs: &[u32]) -> usize {\n\
+             let mut out = Vec::new();\n\
+             for &x in xs {\n\
+             out.push(x);\n\
+             }\n\
+             out.len()\n\
+             }\n",
+        )]));
+        let b03: Vec<_> = findings.iter().filter(|f| f.rule == "B03").collect();
+        assert_eq!(b03.len(), 1, "push in loop:\n{findings:#?}");
+        assert!(b03[0].message.contains("out.push"));
+    }
+
+    #[test]
+    fn recursion_on_the_hot_path_is_b04() {
+        let (findings, stats) = check(&with_roots(&[(
+            "crates/knds/src/ta.rs",
+            "pub fn rds_with(n: u32) -> u32 { descend(n) }\n\
+             fn descend(n: u32) -> u32 { if n == 0 { 0 } else { ascend(n - 1) } }\n\
+             fn ascend(n: u32) -> u32 { descend(n) }\n",
+        )]));
+        let b04: Vec<_> = findings.iter().filter(|f| f.rule == "B04").collect();
+        assert_eq!(b04.len(), 1, "one cycle:\n{findings:#?}");
+        assert!(b04[0].message.contains("descend") && b04[0].message.contains("ascend"));
+        assert_eq!(stats.b04_cyclic_fns, 2);
+        assert_eq!(stats.b04_roots, 8);
+    }
+
+    #[test]
+    fn unguarded_division_and_wide_float_casts_are_b05() {
+        let (findings, _) = check(&with_roots(&[(
+            "crates/knds/src/ta.rs",
+            "pub struct C { partial: u64 }\n\
+             pub fn rds_with(c: &C, lb: f64) -> f64 { score(c, lb) }\n\
+             fn score(c: &C, lb: f64) -> f64 { c.partial as f64 / lb }\n",
+        )]));
+        let b05: Vec<_> = findings.iter().filter(|f| f.rule == "B05").collect();
+        assert_eq!(b05.len(), 2, "division + wide cast:\n{findings:#?}");
+        assert!(b05.iter().any(|f| f.message.contains("division by `lb`")));
+        assert!(b05.iter().any(|f| f.message.contains("loses precision")));
+    }
+
+    #[test]
+    fn missing_root_specs_fail_the_meta_rule() {
+        let (findings, stats) = check(&[("crates/svc/src/lib.rs", "pub fn quiet() {}\n")]);
+        assert_eq!(count(&findings, "BOUND"), ROOT_SPECS.len(), "all specs unmatched");
+        assert_eq!(stats.b04_roots, 0);
+    }
+
+    #[test]
+    fn clean_roots_prove_everything_with_stats() {
+        let (findings, stats) = check(&with_roots(&[]));
+        assert!(findings.is_empty(), "clean tree:\n{findings:#?}");
+        assert_eq!(stats.b04_roots, 8);
+        assert_eq!(stats.b04_cyclic_fns, 0);
+        assert!(stats.b04_reachable_fns >= 8);
+    }
+}

@@ -1,0 +1,703 @@
+//! Per-function numeric-effect summaries.
+//!
+//! The bound rules run on a small vocabulary of *numeric sites*
+//! extracted from every function body: `as` casts (with a best-effort
+//! source type), overflow-capable left shifts, buffer-growth calls
+//! inside loops, and divisions (with a lexical guard check). Extraction
+//! is purely syntactic over `cbr-flow`'s comment-blanked code view; the
+//! rules in [`crate::rules`] decide which sites matter by restricting
+//! to functions reachable from the hot-path roots.
+//!
+//! Source types come from three channels, most-specific first:
+//!
+//! 1. **Literals** — `1u64 as usize` carries its own type; unsuffixed
+//!    literals are value-known and never truncating.
+//! 2. **Typed idents** — a workspace-wide `ident: type` map built from
+//!    field and parameter declarations (`stamp: u32`, `nq: usize`).
+//!    An identifier declared with two different numeric types anywhere
+//!    in the workspace reads as unknown, which is the conservative
+//!    direction.
+//! 3. **Method table** — `.len()`, `.capacity()`, `.index()` and the
+//!    other `usize`-returning accessors the hot path leans on.
+//!
+//! Sites can be discharged with a `// bound: proven <why>` directive
+//! (B01/B02/B05) or `// bound: sized <why>` (B03) on the same line, the
+//! line above, or in the comment block above the enclosing function. A
+//! directive **without a justification is not a suppression** — the
+//! finding still fires, flagging the bare directive, so the invariant
+//! argument can never silently evaporate.
+
+use cbr_flow::parser::{FnItem, Workspace};
+use cbr_flow::scanner::{is_ident_byte, SourceFile};
+use std::collections::BTreeMap;
+
+/// The axiom module: the checked packing/narrowing helpers whose raw
+/// casts *implement* the discipline B01/B02 enforce everywhere else.
+/// Its invariants are documented and boundary-tested in place, so the
+/// scanner skips it entirely.
+pub const AXIOM_FILES: [&str; 1] = ["crates/index/src/packing.rs"];
+
+/// Numeric primitive type tokens the analysis understands.
+const TYPE_TOKENS: [&str; 13] =
+    ["u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "f32", "f64", "bool"];
+
+/// Methods whose return type is `usize` wherever the hot path calls
+/// them (slice/Vec accessors and the id-space accessors of the index).
+const USIZE_METHODS: [&str; 8] =
+    ["len", "capacity", "index", "num_docs", "doc_len", "count", "num_concepts", "total_postings"];
+
+/// Buffer-growth methods B03 watches inside loops.
+const GROWTH_METHODS: [&str; 6] =
+    ["push", "extend", "extend_from_slice", "resize", "append", "insert"];
+
+/// Suppression state of a site-level `// bound:` directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// No directive anywhere in scope.
+    Absent,
+    /// Directive present with a written justification — suppresses.
+    Justified,
+    /// Bare directive with no justification — does **not** suppress.
+    Unjustified,
+}
+
+/// Best-effort source type of a cast expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SrcTy {
+    /// A literal with a known value; never truncating.
+    Lit,
+    /// A known primitive type (one of [`TYPE_TOKENS`]).
+    Known(String),
+    /// Could not be typed; narrow targets treat this conservatively.
+    Unknown,
+}
+
+/// One `expr as target` site.
+#[derive(Debug, Clone)]
+pub struct Cast {
+    /// Byte offset of the `as` keyword.
+    pub at: usize,
+    /// Short rendering of the source expression (for messages).
+    pub expr: String,
+    /// Inferred source type.
+    pub src: SrcTy,
+    /// Target primitive type token.
+    pub target: String,
+    /// `bound: proven` directive state at this site.
+    pub proven: Directive,
+}
+
+/// One non-literal left-shift site.
+#[derive(Debug, Clone)]
+pub struct Shift {
+    /// Byte offset of the `<<` operator.
+    pub at: usize,
+    /// `bound: proven` directive state at this site.
+    pub proven: Directive,
+}
+
+/// One buffer-growth call inside a loop.
+#[derive(Debug, Clone)]
+pub struct Growth {
+    /// Byte offset of the method name.
+    pub at: usize,
+    /// Method name (`push`, `resize`, ...).
+    pub method: String,
+    /// Receiver chain of the growing buffer.
+    pub receiver: String,
+    /// `bound: sized` directive state at this site.
+    pub sized: Directive,
+}
+
+/// One division whose divisor has no lexical nonzero guard.
+#[derive(Debug, Clone)]
+pub struct Division {
+    /// Byte offset of the `/` operator.
+    pub at: usize,
+    /// Short rendering of the divisor expression.
+    pub divisor: String,
+    /// `bound: proven` directive state at this site.
+    pub proven: Directive,
+}
+
+/// The numeric sites of one function body.
+#[derive(Debug, Default)]
+pub struct FnSites {
+    /// `as` casts.
+    pub casts: Vec<Cast>,
+    /// Left shifts with a non-literal operand.
+    pub shifts: Vec<Shift>,
+    /// Growth calls inside loops.
+    pub growths: Vec<Growth>,
+    /// Unguarded divisions.
+    pub divisions: Vec<Division>,
+}
+
+/// Numeric sites for every function, aligned with `Workspace::fns`.
+#[derive(Debug)]
+pub struct NumSites {
+    /// Per-function site lists.
+    pub fns: Vec<FnSites>,
+}
+
+/// Builds the workspace-wide `ident: type` environment from field and
+/// parameter declarations. Conflicting declarations map to `"?"`.
+pub fn type_env(ws: &Workspace) -> BTreeMap<String, String> {
+    let mut env: BTreeMap<String, String> = BTreeMap::new();
+    for file in &ws.files {
+        let code = &file.code;
+        let bytes = code.as_bytes();
+        for ty in TYPE_TOKENS {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(ty) {
+                let at = from + rel;
+                from = at + 1;
+                // Whole-token match: `u32` must not hit inside `u32x4`
+                // or `AtomicU32`.
+                if at > 0 && is_ident_byte(bytes[at - 1]) {
+                    continue;
+                }
+                if bytes.get(at + ty.len()).copied().is_some_and(is_ident_byte) {
+                    continue;
+                }
+                let mut p = at;
+                while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+                    p -= 1;
+                }
+                if p == 0 || bytes[p - 1] != b':' {
+                    continue;
+                }
+                p -= 1;
+                if p > 0 && bytes[p - 1] == b':' {
+                    continue; // `::` path, not a declaration
+                }
+                while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+                    p -= 1;
+                }
+                let e = p;
+                while p > 0 && is_ident_byte(bytes[p - 1]) {
+                    p -= 1;
+                }
+                if p == e {
+                    continue;
+                }
+                let name = &code[p..e];
+                if name.bytes().next().is_some_and(|b| b.is_ascii_digit()) {
+                    continue;
+                }
+                match env.get(name) {
+                    Some(t) if t != ty => {
+                        env.insert(name.to_string(), "?".to_string());
+                    }
+                    Some(_) => {}
+                    None => {
+                        env.insert(name.to_string(), ty.to_string());
+                    }
+                }
+            }
+        }
+    }
+    env
+}
+
+/// Looks for `key` on the given text line; distinguishes bare
+/// directives from justified ones (anything with a word after the key).
+fn directive_on_line(line: &str, key: &str) -> Directive {
+    let Some(pos) = line.find(key) else {
+        return Directive::Absent;
+    };
+    let rest = line[pos + key.len()..].trim_matches(|c: char| {
+        c.is_whitespace() || matches!(c, '—' | '-' | ':' | ',' | '.' | '*' | '/')
+    });
+    if rest.chars().any(|c| c.is_alphanumeric()) {
+        Directive::Justified
+    } else {
+        Directive::Unjustified
+    }
+}
+
+/// Directive state for a site: same line, line above, or the comment
+/// block directly above the enclosing function's declaration.
+pub fn directive_at(file: &SourceFile, f: &FnItem, at: usize, key: &str) -> Directive {
+    let lines: Vec<&str> = file.text.lines().collect();
+    let line = file.line_of(at); // 1-based
+    for idx in [line, line.saturating_sub(1)] {
+        if idx >= 1 {
+            if let Some(l) = lines.get(idx - 1) {
+                match directive_on_line(l, key) {
+                    Directive::Absent => {}
+                    d => return d,
+                }
+            }
+        }
+    }
+    // Comment/attribute block above the fn declaration.
+    let mut idx = file.line_of(f.decl).saturating_sub(1);
+    while idx >= 1 {
+        let l = lines[idx - 1].trim_start();
+        if !(l.starts_with("//") || l.starts_with("#[") || l.starts_with("/*")) {
+            break;
+        }
+        match directive_on_line(l, key) {
+            Directive::Absent => {}
+            d => return d,
+        }
+        idx -= 1;
+    }
+    Directive::Absent
+}
+
+/// Reads the identifier (or numeric token) ending at `end`, extended
+/// backward through `.`-chains; returns `(chain_start, last_segment)`.
+fn ident_chain_back(bytes: &[u8], mut end: usize) -> (usize, String) {
+    let mut p = end;
+    while p > 0 && is_ident_byte(bytes[p - 1]) {
+        p -= 1;
+    }
+    let last = String::from_utf8_lossy(&bytes[p..end]).into_owned();
+    // Extend through `self.`-style chains for display purposes.
+    while p > 0 && bytes[p - 1] == b'.' {
+        end = p - 1;
+        p = end;
+        while p > 0 && is_ident_byte(bytes[p - 1]) {
+            p -= 1;
+        }
+        if p == end {
+            break;
+        }
+    }
+    (p, last)
+}
+
+/// Backward scan over a balanced `(..)` group ending at `close`.
+fn paren_group_start(bytes: &[u8], close: usize) -> usize {
+    let mut depth = 0i32;
+    let mut p = close;
+    loop {
+        match bytes[p] {
+            b')' => depth += 1,
+            b'(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return p;
+                }
+            }
+            _ => {}
+        }
+        if p == 0 {
+            return 0;
+        }
+        p -= 1;
+    }
+}
+
+/// Classifies the expression ending just before the `as` at `as_at`.
+fn classify_source(code: &str, body_start: usize, as_at: usize, env: &TypeMap) -> (String, SrcTy) {
+    let bytes = code.as_bytes();
+    let mut p = as_at;
+    while p > body_start && bytes[p - 1].is_ascii_whitespace() {
+        p -= 1;
+    }
+    if p == body_start {
+        return (String::new(), SrcTy::Unknown);
+    }
+    let last = bytes[p - 1];
+    if last == b')' {
+        let open = paren_group_start(bytes, p - 1);
+        let (start, name) = ident_chain_back(bytes, open);
+        let expr = snippet(code, start, p);
+        if !name.is_empty()
+            && open > name.len()
+            && bytes[open - name.len() - 1] == b'.'
+            && USIZE_METHODS.contains(&name.as_str())
+        {
+            return (expr, SrcTy::Known("usize".to_string()));
+        }
+        return (expr, SrcTy::Unknown);
+    }
+    if is_ident_byte(last) {
+        let (start, name) = ident_chain_back(bytes, p);
+        let expr = snippet(code, start, p);
+        if name.bytes().next().is_some_and(|b| b.is_ascii_digit()) {
+            // Literal, possibly suffixed: `1u64`, `0`, `0xFF_u32`.
+            for ty in TYPE_TOKENS {
+                if name.ends_with(ty) && name.len() > ty.len() {
+                    return (expr, SrcTy::Known(ty.to_string()));
+                }
+            }
+            return (expr, SrcTy::Lit);
+        }
+        if let Some(t) = env.get(&name) {
+            if t != "?" {
+                return (expr, SrcTy::Known(t.clone()));
+            }
+        }
+        return (expr, SrcTy::Unknown);
+    }
+    (snippet(code, p.saturating_sub(12), p), SrcTy::Unknown)
+}
+
+type TypeMap = BTreeMap<String, String>;
+
+/// Truncated single-line rendering of `code[from..to]` for messages.
+fn snippet(code: &str, from: usize, to: usize) -> String {
+    let s = code[from..to].split_whitespace().collect::<Vec<_>>().join(" ");
+    if s.len() > 48 {
+        format!("..{}", &s[s.len() - 46..])
+    } else {
+        s
+    }
+}
+
+/// Byte spans of `for`/`while`/`loop` blocks inside `body`.
+fn loop_spans(code: &str, body: (usize, usize)) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut spans = Vec::new();
+    for kw in ["for ", "while ", "loop"] {
+        let mut from = body.0;
+        while let Some(rel) = code[from..body.1.min(code.len())].find(kw) {
+            let at = from + rel;
+            from = at + 1;
+            if at > 0 && is_ident_byte(bytes[at - 1]) {
+                continue;
+            }
+            let after = at + kw.len();
+            if kw == "loop" && bytes.get(after).copied().is_some_and(is_ident_byte) {
+                continue;
+            }
+            let Some(open_rel) = code[after..body.1.min(code.len())].find('{') else {
+                continue;
+            };
+            let open = after + open_rel;
+            if let Some(close) = cbr_flow::scanner::match_bracket(bytes, open, b'{', b'}') {
+                spans.push((open, close));
+            }
+        }
+    }
+    spans
+}
+
+/// Whether the divisor expression starting at `from` is lexically
+/// guarded: a nonzero literal, a `.max(nonzero)` clamp, or an identifier
+/// the function body tests against zero.
+fn divisor_guarded(code: &str, body: (usize, usize), from: usize) -> (String, bool) {
+    let bytes = code.as_bytes();
+    let mut p = from;
+    while p < body.1.min(code.len()) && bytes[p].is_ascii_whitespace() {
+        p += 1;
+    }
+    // Slice the divisor term: up to a top-level `+ - * % ; , )` boundary.
+    let mut depth = 0i32;
+    let mut end = p;
+    while end < body.1.min(code.len()) {
+        let b = bytes[end];
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' if depth > 0 => depth -= 1,
+            b')' | b']' | b';' | b',' | b'{' => break,
+            b'+' | b'*' | b'%' if depth == 0 => break,
+            b'-' if depth == 0 && end > p => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    let term = code[p..end].trim();
+    let display = snippet(code, p, end);
+    // Nonzero literal divisor.
+    if term.bytes().next().is_some_and(|b| b.is_ascii_digit()) {
+        let num: String =
+            term.bytes().take_while(|b| b.is_ascii_digit() || *b == b'.').map(char::from).collect();
+        return (display, num.parse::<f64>().map(|v| v != 0.0).unwrap_or(false));
+    }
+    // `.max(nonzero)` clamp anywhere in the term.
+    if let Some(mx) = term.find(".max(") {
+        let arg = &term[mx + 5..];
+        let num: String =
+            arg.bytes().take_while(|b| b.is_ascii_digit() || *b == b'.').map(char::from).collect();
+        if num.parse::<f64>().map(|v| v != 0.0).unwrap_or(false) {
+            return (display, true);
+        }
+    }
+    // Identifier divisor: look for a zero test on it in this body.
+    let ident: String = term
+        .bytes()
+        .skip_while(|&b| !is_ident_byte(b))
+        .take_while(|&b| is_ident_byte(b) || b == b'.')
+        .map(char::from)
+        .collect();
+    let leaf = ident.rsplit('.').next().unwrap_or("").trim_matches('.');
+    if !leaf.is_empty() {
+        let body_code = &code[body.0..body.1.min(code.len())];
+        for pat in ["<= 0", "== 0", "!= 0", "> 0", ">= 1"] {
+            if body_code.contains(&format!("{leaf} {pat}")) {
+                return (display, true);
+            }
+        }
+        if body_code.contains(&format!("{leaf}.max(")) {
+            return (display, true);
+        }
+    }
+    (display, false)
+}
+
+/// Extracts numeric sites for every function in the workspace.
+pub fn extract(ws: &Workspace) -> NumSites {
+    let env = type_env(ws);
+    let mut fns = Vec::with_capacity(ws.fns.len());
+    for f in &ws.fns {
+        let file = &ws.files[f.file];
+        let mut sites = FnSites::default();
+        if f.is_test || AXIOM_FILES.contains(&file.rel.as_str()) {
+            fns.push(sites);
+            continue;
+        }
+        let code = &file.code;
+        let bytes = code.as_bytes();
+        let body = f.body;
+        let live = |at: usize| !file.is_test(at) && !file.is_debug_gated(at);
+
+        // Casts: every ` as <type>` in the body.
+        let mut from = body.0;
+        while let Some(rel) = code[from..body.1.min(code.len())].find(" as ") {
+            let sp = from + rel;
+            from = sp + 4;
+            let at = sp + 1;
+            if !live(at) {
+                continue;
+            }
+            let tgt_start = sp + 4;
+            let mut tgt_end = tgt_start;
+            while tgt_end < code.len() && is_ident_byte(bytes[tgt_end]) {
+                tgt_end += 1;
+            }
+            let target = &code[tgt_start..tgt_end];
+            if !TYPE_TOKENS.contains(&target) {
+                continue;
+            }
+            let (expr, src) = classify_source(code, body.0, sp, &env);
+            sites.casts.push(Cast {
+                at,
+                expr,
+                src,
+                target: target.to_string(),
+                proven: directive_at(file, f, at, "bound: proven"),
+            });
+        }
+
+        // Shifts: `<<` with a non-literal left operand.
+        let mut from = body.0;
+        while let Some(rel) = code[from..body.1.min(code.len())].find("<<") {
+            let at = from + rel;
+            from = at + 2;
+            if !live(at) {
+                continue;
+            }
+            // `Vec<<T as ..>::Out>`-style qualified paths, not shifts.
+            let mut n = at + 2;
+            if bytes.get(n) == Some(&b'=') {
+                n += 1;
+            }
+            while n < code.len() && bytes[n].is_ascii_whitespace() {
+                n += 1;
+            }
+            if bytes.get(n).copied().is_some_and(|b| b.is_ascii_uppercase()) {
+                continue;
+            }
+            let mut p = at;
+            while p > body.0 && bytes[p - 1].is_ascii_whitespace() {
+                p -= 1;
+            }
+            if is_ident_byte(bytes[p - 1]) {
+                let (_, tok) = ident_chain_back(bytes, p);
+                if tok.bytes().next().is_some_and(|b| b.is_ascii_digit()) {
+                    continue; // literal LHS: the set-bit idiom
+                }
+            }
+            sites.shifts.push(Shift { at, proven: directive_at(file, f, at, "bound: proven") });
+        }
+
+        // Growths: push/extend/resize/... call sites inside loop blocks.
+        let loops = loop_spans(code, body);
+        for call in &f.calls {
+            if !call.method
+                || call.recv_self
+                || !GROWTH_METHODS.contains(&call.name.as_str())
+                || !live(call.at)
+            {
+                continue;
+            }
+            if loops.iter().any(|(o, c)| *o < call.at && call.at < *c) {
+                sites.growths.push(Growth {
+                    at: call.at,
+                    method: call.name.clone(),
+                    receiver: call.receiver.clone(),
+                    sized: directive_at(file, f, call.at, "bound: sized"),
+                });
+            }
+        }
+
+        // Divisions: `/` whose divisor carries no lexical nonzero guard.
+        let mut from = body.0;
+        while let Some(rel) = code[from..body.1.min(code.len())].find('/') {
+            let at = from + rel;
+            from = at + 1;
+            if bytes.get(at + 1) == Some(&b'/') || (at > 0 && bytes[at - 1] == b'/') {
+                continue;
+            }
+            if !live(at) {
+                continue;
+            }
+            let mut d = at + 1;
+            if bytes.get(d) == Some(&b'=') {
+                d += 1;
+            }
+            while d < code.len() && bytes[d].is_ascii_whitespace() {
+                d += 1;
+            }
+            let (divisor, guarded) = divisor_guarded(code, body, d);
+            if !guarded {
+                sites.divisions.push(Division {
+                    at,
+                    divisor,
+                    proven: directive_at(file, f, at, "bound: proven"),
+                });
+            }
+        }
+
+        fns.push(sites);
+    }
+    NumSites { fns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbr_flow::scanner::SourceFile;
+
+    fn extract_for(files: &[(&str, &str)]) -> (Workspace, NumSites) {
+        let w = Workspace::parse(files.iter().map(|(r, t)| SourceFile::parse(r, t)).collect());
+        let s = extract(&w);
+        (w, s)
+    }
+
+    fn sites<'a>(w: &Workspace, s: &'a NumSites, name: &str) -> &'a FnSites {
+        let id = w.fns.iter().position(|f| f.name == name).unwrap();
+        &s.fns[id]
+    }
+
+    #[test]
+    fn typed_idents_classify_cast_sources() {
+        let (w, s) = extract_for(&[(
+            "crates/svc/src/lib.rs",
+            "struct S { nq: usize, level: u32 }\n\
+             impl S {\n\
+             fn f(&self) -> u32 { self.nq as u32 }\n\
+             fn g(&self) -> u64 { self.level as u64 }\n\
+             }\n",
+        )]);
+        let f = &sites(&w, &s, "f").casts[0];
+        assert_eq!(f.src, SrcTy::Known("usize".to_string()));
+        assert_eq!(f.target, "u32");
+        assert_eq!(f.expr, "self.nq");
+        let g = &sites(&w, &s, "g").casts[0];
+        assert_eq!(g.src, SrcTy::Known("u32".to_string()));
+    }
+
+    #[test]
+    fn len_calls_and_literals_are_typed() {
+        let (w, s) = extract_for(&[(
+            "crates/svc/src/lib.rs",
+            "fn f(v: &[u8]) -> u32 { v.len() as u32 }\n\
+             fn g() -> usize { 1u64 as usize }\n\
+             fn h() -> u32 { 7 as u32 }\n",
+        )]);
+        assert_eq!(sites(&w, &s, "f").casts[0].src, SrcTy::Known("usize".to_string()));
+        assert_eq!(sites(&w, &s, "g").casts[0].src, SrcTy::Known("u64".to_string()));
+        assert_eq!(sites(&w, &s, "h").casts[0].src, SrcTy::Lit);
+    }
+
+    #[test]
+    fn conflicting_declarations_read_as_unknown() {
+        let (w, s) = extract_for(&[(
+            "crates/svc/src/lib.rs",
+            "struct A { x: u32 }\nstruct B { x: u64 }\n\
+             fn f(a: &A) -> u16 { a.x as u16 }\n",
+        )]);
+        assert_eq!(sites(&w, &s, "f").casts[0].src, SrcTy::Unknown);
+    }
+
+    #[test]
+    fn literal_shifts_are_exempt_and_expressions_are_not() {
+        let (w, s) = extract_for(&[(
+            "crates/svc/src/lib.rs",
+            "fn set(w: &mut u64, idx: usize) { *w |= 1u64 << (idx & 63); }\n\
+             fn pack(stamp: u32, slot: u32) -> u64 { (stamp as u64) << 32 | slot as u64 }\n",
+        )]);
+        assert!(sites(&w, &s, "set").shifts.is_empty(), "set-bit idiom is exempt");
+        assert_eq!(sites(&w, &s, "pack").shifts.len(), 1);
+    }
+
+    #[test]
+    fn growth_in_loops_is_recorded_with_directive_state() {
+        let (w, s) = extract_for(&[(
+            "crates/svc/src/lib.rs",
+            "fn grow(xs: &[u32], out: &mut Vec<u32>) {\n\
+             for &x in xs {\n\
+             out.push(x);\n\
+             }\n\
+             }\n\
+             fn sized(xs: &[u32], out: &mut Vec<u32>) {\n\
+             for &x in xs {\n\
+             // bound: sized — one entry per input element, |xs| bounded\n\
+             out.push(x);\n\
+             }\n\
+             }\n\
+             fn flat(out: &mut Vec<u32>) { out.push(1); }\n",
+        )]);
+        let g = &sites(&w, &s, "grow").growths;
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].sized, Directive::Absent);
+        assert_eq!(sites(&w, &s, "sized").growths[0].sized, Directive::Justified);
+        assert!(sites(&w, &s, "flat").growths.is_empty(), "no loop, no site");
+    }
+
+    #[test]
+    fn divisions_detect_guards_and_clamps() {
+        let (w, s) = extract_for(&[(
+            "crates/svc/src/lib.rs",
+            "fn bad(a: f64, b: f64) -> f64 { a / b }\n\
+             fn guarded(a: f64, b: f64) -> f64 { if b <= 0.0 { return 0.0; } a / b }\n\
+             fn clamped(a: f64, n: u32) -> f64 { a / n.max(1) as f64 }\n\
+             fn literal(a: f64) -> f64 { a / 2.0 }\n",
+        )]);
+        assert_eq!(sites(&w, &s, "bad").divisions.len(), 1);
+        assert!(sites(&w, &s, "guarded").divisions.is_empty(), "zero test guards");
+        assert!(sites(&w, &s, "clamped").divisions.is_empty(), ".max(1) clamps");
+        assert!(sites(&w, &s, "literal").divisions.is_empty(), "nonzero literal");
+    }
+
+    #[test]
+    fn bare_directives_do_not_justify() {
+        let (w, s) = extract_for(&[(
+            "crates/svc/src/lib.rs",
+            "fn bare(n: usize) -> u32 {\n\
+             // bound: proven\n\
+             n as u32\n\
+             }\n\
+             /// Narrows the id.\n\
+             // bound: proven — n indexes a u32-keyed table\n\
+             fn fn_level(n: usize) -> u32 { n as u32 }\n",
+        )]);
+        assert_eq!(sites(&w, &s, "bare").casts[0].proven, Directive::Unjustified);
+        assert_eq!(sites(&w, &s, "fn_level").casts[0].proven, Directive::Justified);
+    }
+
+    #[test]
+    fn axiom_files_are_skipped() {
+        let (w, s) = extract_for(&[(
+            "crates/index/src/packing.rs",
+            "pub fn narrow(n: usize) -> u32 { n as u32 }\n",
+        )]);
+        assert!(sites(&w, &s, "narrow").casts.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Property: the bound analysis is independent of file collection order.
+//!
+//! Numeric-site extraction, the shared type environment, reachability,
+//! and the SCC check must produce byte-identical findings and proof
+//! statistics however the source walker happens to order the files —
+//! the allowlist ratchet depends on exact counts, so any order
+//! sensitivity would make the gate flaky.
+
+use cbr_flow::graph::CrateDeps;
+use cbr_flow::scanner::SourceFile;
+use proptest::prelude::*;
+
+const SNAP: &str = include_str!("../fixtures/crates/core/src/snapshot.rs");
+const ENGINE: &str = include_str!("../fixtures/crates/knds/src/engine.rs");
+const DAG: &str = include_str!("../fixtures/crates/dradix/src/dag.rs");
+
+type Keyed = (Vec<(String, String, usize, String)>, usize, usize);
+
+fn run_in_order(order: &[usize; 3]) -> Keyed {
+    let files = [
+        ("crates/core/src/snapshot.rs", SNAP),
+        ("crates/knds/src/engine.rs", ENGINE),
+        ("crates/dradix/src/dag.rs", DAG),
+    ];
+    let sources: Vec<SourceFile> =
+        order.iter().map(|&i| SourceFile::parse(files[i].0, files[i].1)).collect();
+    let br = cbr_bound::analyze(sources, "", "bound.allow", &CrateDeps::default());
+    let mut keyed: Vec<_> = br
+        .report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line, f.message.clone()))
+        .collect();
+    keyed.sort();
+    (keyed, br.stats.b04.b04_reachable_fns, br.stats.b04.b04_cyclic_fns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn analysis_is_permutation_stable(k in 0usize..6) {
+        let perms: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let baseline = run_in_order(&perms[0]);
+        prop_assert!(!baseline.0.is_empty(), "fixture findings must be non-empty");
+        prop_assert_eq!(baseline, run_in_order(&perms[k]));
+    }
+}

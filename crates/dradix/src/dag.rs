@@ -40,6 +40,7 @@
 //! every lookup on the probe path is a single array read — no hashing
 //! anywhere in the EXAMINE step.
 
+use cbr_index::packing;
 use cbr_ontology::{ConceptId, Ontology};
 use std::collections::VecDeque;
 
@@ -166,6 +167,10 @@ pub struct DRadixDag {
     topo_indegree: Vec<u32>,
     topo_queue: VecDeque<u32>,
     topo_order: Vec<u32>,
+    /// Pending `(from, target, vs, vl)` insertions for the explicit
+    /// suffix-insertion worklist; drained within each call, retained so
+    /// the hot path never reallocates in steady state.
+    suffix_work: Vec<(u32, ConceptId, u32, u32)>,
 }
 
 impl DRadixDag {
@@ -280,9 +285,11 @@ impl DRadixDag {
         // borrowed slices.
         for &c in doc.iter().chain(query) {
             for (rank, addr) in paths.addresses_ranked(c) {
-                let start = self.labels.len() as u32;
+                let start = packing::csr_offset(self.labels.len());
+                // bound: sized — one label range per ranked address of d ∪ q
                 self.labels.extend_from_slice(addr);
-                self.addr_buf.push((rank, start, addr.len() as u32, c));
+                // bound: sized — one staging entry per ranked address of d ∪ q
+                self.addr_buf.push((rank, start, packing::narrow_u32(addr.len()), c));
             }
         }
         let mut addr_buf = std::mem::take(&mut self.addr_buf);
@@ -348,10 +355,9 @@ impl DRadixDag {
     /// match the build epoch.
     #[inline]
     fn slot_of(&self, c: ConceptId) -> Option<u32> {
-        match self.concept_slots.get(c.index()) {
-            Some(&e) if (e >> 32) as u32 == self.epoch => Some(e as u32),
-            _ => None,
-        }
+        let &e = self.concept_slots.get(c.index())?;
+        let (stamp, slot) = packing::unpack_stamp_slot(e);
+        (stamp == self.epoch).then_some(slot)
     }
 
     /// Whether `c` is a document-side member of the current build.
@@ -428,6 +434,7 @@ impl DRadixDag {
             + (self.doc_stamps.capacity() + self.query_stamps.capacity()) * size_of::<u32>()
             + (self.topo_indegree.capacity() + self.topo_order.capacity()) * size_of::<u32>()
             + self.topo_queue.capacity() * size_of::<u32>()
+            + self.suffix_work.capacity() * size_of::<(u32, ConceptId, u32, u32)>()
     }
 
     /// Whether concept `c` is materialized as a node.
@@ -508,7 +515,7 @@ impl DRadixDag {
         if let Some(n) = self.slot_of(concept) {
             return n;
         }
-        let n = self.live as u32;
+        let n = packing::narrow_u32(self.live);
         let doc_dist = if self.is_doc_member(concept) { 0 } else { UNSET };
         let query_dist = if self.is_query_member(concept) { 0 } else { UNSET };
         if let Some(slot) = self.nodes.get_mut(self.live) {
@@ -522,7 +529,7 @@ impl DRadixDag {
         }
         self.live += 1;
         match self.concept_slots.get_mut(concept.index()) {
-            Some(e) => *e = (self.epoch as u64) << 32 | n as u64,
+            Some(e) => *e = packing::pack_stamp_slot(self.epoch, n),
             None => debug_assert!(false, "concept outside the slot table"),
         }
         n
@@ -553,74 +560,87 @@ impl DRadixDag {
         weights: Option<&cbr_ontology::EdgeWeights>,
         from: u32,
         target: ConceptId,
-        mut vs: u32,
-        mut vl: u32,
+        vs: u32,
+        vl: u32,
     ) {
-        let mut cn = from;
-        loop {
-            if vl == 0 {
-                // Fully matched: the walk ended on an existing node, which
-                // must be the target (equal Dewey position ⇒ equal concept).
-                debug_assert_eq!(self.nodes[cn as usize].concept, target);
-                return;
-            }
-            // At most one edge shares the leading component with v.
-            let lead = self.labels[vs as usize];
-            let edge_idx = self.nodes[cn as usize]
-                .edges
-                .iter()
-                .position(|e| self.labels[e.start as usize] == lead);
-            let Some(idx) = edge_idx else {
-                // No shared prefix: target becomes a direct child (lines 11–13).
-                let t = self.slot_for(target);
-                let w = self.price(ont, weights, cn, vs, vl);
-                self.add_edge(cn, t, vs, vl, w);
-                return;
-            };
+        // Explicit worklist rather than self-recursion: the edge-split case
+        // re-attaches two label ranges that are strict subranges of the one
+        // being inserted, so pending work is bounded by the Dewey address
+        // length and the query path stays recursion-free (bound B04). The
+        // worklist buffer is retained scratch — no per-call allocation.
+        debug_assert!(self.suffix_work.is_empty(), "worklist drains within each insertion");
+        // bound: sized — at most two subrange items replace each popped item
+        self.suffix_work.push((from, target, vs, vl));
+        'work: while let Some((from, target, mut vs, mut vl)) = self.suffix_work.pop() {
+            let mut cn = from;
+            loop {
+                if vl == 0 {
+                    // Fully matched: the walk ended on an existing node, which
+                    // must be the target (equal Dewey position ⇒ equal concept).
+                    debug_assert_eq!(self.nodes[cn as usize].concept, target);
+                    continue 'work;
+                }
+                // At most one edge shares the leading component with v.
+                let lead = self.labels[vs as usize];
+                let edge_idx = self.nodes[cn as usize]
+                    .edges
+                    .iter()
+                    .position(|e| self.labels[e.start as usize] == lead);
+                let Some(idx) = edge_idx else {
+                    // No shared prefix: target becomes a direct child (lines 11–13).
+                    let t = self.slot_for(target);
+                    let w = self.price(ont, weights, cn, vs, vl);
+                    self.add_edge(cn, t, vs, vl, w);
+                    continue 'work;
+                };
 
-            let (m_target, ms, ml) = {
-                let e = &self.nodes[cn as usize].edges[idx];
-                (e.target, e.start, e.len)
-            };
-            let lcp = cbr_ontology::dewey::longest_common_prefix(
-                &self.labels[vs as usize..(vs + vl) as usize],
-                &self.labels[ms as usize..(ms + ml) as usize],
-            ) as u32;
-            if lcp == ml {
-                // v contains the full edge label: descend (lines 14–17).
-                cn = m_target;
-                vs += lcp;
-                vl -= lcp;
-                continue;
-            }
+                let (m_target, ms, ml) = {
+                    let e = &self.nodes[cn as usize].edges[idx];
+                    (e.target, e.start, e.len)
+                };
+                let lcp = cbr_ontology::dewey::longest_common_prefix(
+                    &self.labels[vs as usize..(vs + vl) as usize],
+                    &self.labels[ms as usize..(ms + ml) as usize],
+                ) as u32; // bound: proven — lcp ≤ ml, which already fits u32
+                if lcp == ml {
+                    // v contains the full edge label: descend (lines 14–17).
+                    cn = m_target;
+                    vs += lcp;
+                    vl -= lcp;
+                    continue;
+                }
 
-            // Partial overlap: split the edge at the LCP (lines 18–27). The
-            // LCP endpoint is a real ontology node, resolved by walking from
-            // cn's concept (the paper's FindNodeByDewey). A failed walk means
-            // the label arena is corrupt; skip the insertion rather than
-            // panic (debug builds flag it via the structural validator).
-            let Some(mid_concept) = resolve_relative(
-                ont,
-                self.nodes[cn as usize].concept,
-                &self.labels[vs as usize..(vs + lcp) as usize],
-            ) else {
-                debug_assert!(false, "edge labels must be valid ontology paths");
-                return;
-            };
-            self.remove_edge(cn, idx);
-            let mid = self.slot_for(mid_concept);
-            let w = self.price(ont, weights, cn, vs, lcp);
-            self.add_edge(cn, mid, vs, lcp, w);
-            // Re-attach the displaced edge below the split point; recursion
-            // handles the case where `mid` already owns a sub-DAG reached
-            // through another root path. Both re-attached labels are
-            // subranges of arena labels that already exist — no copying.
-            let old_target_concept = self.nodes[m_target as usize].concept;
-            self.insert_suffix(ont, weights, mid, old_target_concept, ms + lcp, ml - lcp);
-            if mid_concept != target {
-                self.insert_suffix(ont, weights, mid, target, vs + lcp, vl - lcp);
+                // Partial overlap: split the edge at the LCP (lines 18–27). The
+                // LCP endpoint is a real ontology node, resolved by walking from
+                // cn's concept (the paper's FindNodeByDewey). A failed walk means
+                // the label arena is corrupt; skip the insertion rather than
+                // panic (debug builds flag it via the structural validator).
+                let Some(mid_concept) = resolve_relative(
+                    ont,
+                    self.nodes[cn as usize].concept,
+                    &self.labels[vs as usize..(vs + lcp) as usize],
+                ) else {
+                    debug_assert!(false, "edge labels must be valid ontology paths");
+                    continue 'work;
+                };
+                self.remove_edge(cn, idx);
+                let mid = self.slot_for(mid_concept);
+                let w = self.price(ont, weights, cn, vs, lcp);
+                self.add_edge(cn, mid, vs, lcp, w);
+                // Re-attach the displaced edge below the split point; queued
+                // work handles the case where `mid` already owns a sub-DAG
+                // reached through another root path. Both re-attached labels
+                // are subranges of arena labels that already exist — no
+                // copying. Queue order keeps the displaced edge first.
+                let old_target_concept = self.nodes[m_target as usize].concept;
+                if mid_concept != target {
+                    // bound: sized — strict subrange of the popped item
+                    self.suffix_work.push((mid, target, vs + lcp, vl - lcp));
+                }
+                // bound: sized — strict subrange of the split edge label
+                self.suffix_work.push((mid, old_target_concept, ms + lcp, ml - lcp));
+                continue 'work;
             }
-            return;
         }
     }
 
@@ -675,12 +695,13 @@ impl DRadixDag {
         self.topo_indegree.extend(self.nodes[..self.live].iter().map(|n| n.indegree));
         self.topo_queue.clear();
         self.topo_order.clear();
-        for n in 0..self.live as u32 {
+        for n in 0..packing::narrow_u32(self.live) {
             if self.topo_indegree[n as usize] == 0 {
                 self.topo_queue.push_back(n);
             }
         }
         while let Some(n) = self.topo_queue.pop_front() {
+            // bound: sized — each live node enters the topological order once
             self.topo_order.push(n);
             for e in &self.nodes[n as usize].edges {
                 self.topo_indegree[e.target as usize] -= 1;
@@ -1120,7 +1141,7 @@ impl DRadixDag {
     /// breaking path compression. Returns whether such an edge existed.
     #[doc(hidden)]
     pub fn corrupt_break_compression(&mut self, ont: &Ontology) -> bool {
-        for n in 0..self.live as u32 {
+        for n in 0..packing::narrow_u32(self.live) {
             let Some(node) = self.nodes.get(n as usize) else {
                 return false;
             };

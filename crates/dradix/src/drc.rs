@@ -217,6 +217,7 @@ impl<'a> Drc<'a> {
             sum_d1 += w(c) * d as f64;
             norm_d1 += w(c);
         }
+        // bound: proven — norms sum default-1 weights over non-empty concept sets
         sum_d1 / norm_d1 + sum_d2 / norm_d2
     }
 }

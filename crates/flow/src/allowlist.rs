@@ -10,6 +10,7 @@
 
 use crate::report::Finding;
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// One allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +115,24 @@ pub fn apply(findings: Vec<Finding>, entries: &[AllowEntry]) -> Vec<Finding> {
     out
 }
 
+/// Reads the allowlist named `name` from the workspace root. A missing
+/// file reads as empty — a tool with no debt needs no allowlist.
+pub fn load(root: &Path, name: &str) -> String {
+    std::fs::read_to_string(root.join(name)).unwrap_or_default()
+}
+
+/// The full ratchet in one call: parses `content` (with `origin` naming
+/// the allowlist in error findings), applies the exact-count entries to
+/// `findings`, and appends any parse errors. Every analyzer
+/// (audit/flow/race/bound) funnels its raw findings through here so the
+/// fewer-and-more-both-fail semantics cannot drift between tools.
+pub fn ratchet(findings: Vec<Finding>, content: &str, origin: &str) -> Vec<Finding> {
+    let (entries, mut parse_errors) = parse(content, origin);
+    let mut out = apply(findings, &entries);
+    out.append(&mut parse_errors);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +178,41 @@ mod tests {
         let entries = parse("A02 f.rs 2 fine\n", "audit.allow").0;
         let out = apply(vec![finding("A02", "f.rs")], &entries);
         assert!(out.iter().any(|f| f.message.contains("stale allowlist")), "{out:?}");
+    }
+
+    /// The ratchet property all four analyzers inherit through
+    /// [`ratchet`]: an exact-count entry fails when the tree drifts in
+    /// *either* direction — more findings is a regression, fewer is a
+    /// stale budget — and only the exact count runs clean.
+    #[test]
+    fn ratchet_fails_on_fewer_and_on_more() {
+        let allow = "B01 f.rs 2 two packed casts proven by construction\n";
+        let raw = |n: usize| (0..n).map(|_| finding("B01", "f.rs")).collect::<Vec<_>>();
+
+        let exact = ratchet(raw(2), allow, "bound.allow");
+        assert!(exact.is_empty(), "exact count must pass: {exact:?}");
+
+        let fewer = ratchet(raw(1), allow, "bound.allow");
+        assert!(
+            fewer.iter().any(|f| f.rule == "ALLOW" && f.message.contains("stale allowlist")),
+            "fewer findings must fail as a stale entry: {fewer:?}"
+        );
+
+        let more = ratchet(raw(3), allow, "bound.allow");
+        assert!(
+            more.iter().any(|f| f.rule == "ALLOW" && f.message.contains("permits 2")),
+            "more findings must fail as a regression: {more:?}"
+        );
+        assert_eq!(more.iter().filter(|f| f.rule == "B01").count(), 3, "raw findings surface");
+    }
+
+    /// Parse errors surface through the one-call ratchet too.
+    #[test]
+    fn ratchet_surfaces_parse_errors() {
+        let out = ratchet(Vec::new(), "B01 missing-count\n", "bound.allow");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "ALLOW");
+        assert_eq!(out[0].file, "bound.allow");
     }
 
     #[test]

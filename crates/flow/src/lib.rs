@@ -205,11 +205,7 @@ impl FlowReport {
 pub fn analyze(files: Vec<SourceFile>, allow: &str, origin: &str, deps: &CrateDeps) -> FlowReport {
     let ws = Workspace::parse(files);
     let graph = Graph::build(&ws, deps);
-    let findings = rules::run(&ws, &graph);
-
-    let (entries, mut parse_errors) = allowlist::parse(allow, origin);
-    let mut findings = allowlist::apply(findings, &entries);
-    findings.append(&mut parse_errors);
+    let findings = allowlist::ratchet(rules::run(&ws, &graph), allow, origin);
 
     let mut report = Report { findings, passed: Vec::new() };
     if report.ok() {
@@ -226,7 +222,7 @@ pub fn analyze(files: Vec<SourceFile>, allow: &str, origin: &str, deps: &CrateDe
 
 /// Runs the flow analysis over the real workspace with `flow.allow`.
 pub fn run_workspace(root: &Path) -> FlowReport {
-    let allow = std::fs::read_to_string(root.join("flow.allow")).unwrap_or_default();
+    let allow = allowlist::load(root, "flow.allow");
     let deps = crate_deps(&collect_manifests(root));
     analyze(collect_sources(root), &allow, "flow.allow", &deps)
 }

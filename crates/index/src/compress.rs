@@ -33,6 +33,7 @@ fn get_varint(bytes: &[u8]) -> (u32, usize) {
     let mut value = 0u32;
     let mut shift = 0;
     for (i, &b) in bytes.iter().enumerate() {
+        // bound: proven — the encoder emits ≤ 5 groups per u32, so shift ≤ 28
         value |= ((b & 0x7F) as u32) << shift;
         if b & 0x80 == 0 {
             return (value, i + 1);
@@ -85,6 +86,7 @@ impl CompressedPostings {
             slice = &slice[used..];
             prev = if first { delta } else { prev + delta };
             first = false;
+            // bound: sized — one DocId per posting encoded in the block
             out.push(DocId(prev));
         }
     }

@@ -1,5 +1,6 @@
 //! Forward index: document → its concept set.
 
+use crate::packing;
 use cbr_corpus::{Corpus, DocId};
 use cbr_ontology::ConceptId;
 #[cfg(feature = "serde")]
@@ -25,7 +26,7 @@ impl ForwardIndex {
         offsets.push(0u32);
         for d in corpus.documents() {
             concepts.extend_from_slice(d.concepts());
-            offsets.push(concepts.len() as u32);
+            offsets.push(packing::csr_offset(concepts.len()));
         }
         ForwardIndex { offsets, concepts }
     }

@@ -1,5 +1,6 @@
 //! Inverted index: concept → documents containing it.
 
+use crate::packing;
 use cbr_corpus::{Corpus, DocId};
 use cbr_ontology::ConceptId;
 #[cfg(feature = "serde")]
@@ -31,13 +32,15 @@ impl InvertedIndex {
             }
         }
         let mut offsets = Vec::with_capacity(num_concepts + 1);
-        let mut acc = 0u32;
+        // The running sum stays in usize; each fence post narrows through
+        // the checked CSR helper instead of accumulating in u32.
+        let mut acc = 0usize;
         offsets.push(0);
         for &c in &counts {
-            acc += c;
-            offsets.push(acc);
+            acc += c as usize;
+            offsets.push(packing::csr_offset(acc));
         }
-        let mut docs = vec![DocId(0); acc as usize];
+        let mut docs = vec![DocId(0); acc];
         let mut fill = offsets.clone();
         // Documents iterate in id order, so each posting list ends sorted.
         for d in corpus.documents() {
@@ -46,7 +49,7 @@ impl InvertedIndex {
                 fill[c.index()] += 1;
             }
         }
-        InvertedIndex { offsets, docs, num_docs: corpus.len() as u32 }
+        InvertedIndex { offsets, docs, num_docs: packing::narrow_u32(corpus.len()) }
     }
 
     /// Documents containing `c`, sorted by id. Concepts outside the indexed

@@ -28,6 +28,7 @@ pub mod compress;
 pub mod file;
 pub mod forward;
 pub mod inverted;
+pub mod packing;
 pub mod segment;
 pub mod segmented;
 pub mod snapshot;

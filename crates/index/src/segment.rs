@@ -16,6 +16,7 @@
 //! *replaces* a run of segments with a freshly built merged one. Readers
 //! therefore share segments freely behind `Arc` with no synchronization.
 
+use crate::packing;
 use cbr_corpus::DocId;
 use cbr_ontology::ConceptId;
 
@@ -49,7 +50,7 @@ impl Segment {
         for set in docs {
             debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "concept set not normalized");
             fwd_concepts.extend_from_slice(set);
-            fwd_offsets.push(fwd_concepts.len() as u32);
+            fwd_offsets.push(packing::csr_offset(fwd_concepts.len()));
         }
         Segment::from_forward(first_doc, fwd_offsets, fwd_concepts)
     }
@@ -68,11 +69,11 @@ impl Segment {
         for part in parts {
             assert_eq!(part.first_doc, next, "merge run is not contiguous");
             for local in 0..part.len() {
-                let id = DocId(part.first_doc + local as u32);
+                let id = DocId(part.first_doc + packing::narrow_u32(local));
                 if !is_dead(id) {
                     fwd_concepts.extend_from_slice(part.concepts(local));
                 }
-                fwd_offsets.push(fwd_concepts.len() as u32);
+                fwd_offsets.push(packing::csr_offset(fwd_concepts.len()));
             }
             next = part.doc_end();
         }
@@ -95,8 +96,8 @@ impl Segment {
         let mut inv_concepts = Vec::new();
         for (raw, slot) in slot_of.iter_mut().enumerate() {
             if *slot != u32::MAX {
-                *slot = inv_concepts.len() as u32;
-                inv_concepts.push(ConceptId(raw as u32));
+                *slot = packing::narrow_u32(inv_concepts.len());
+                inv_concepts.push(ConceptId(packing::narrow_u32(raw)));
             }
         }
         let mut counts = vec![0u32; inv_concepts.len()];
@@ -104,11 +105,13 @@ impl Segment {
             counts[slot_of[c.0 as usize] as usize] += 1;
         }
         let mut inv_offsets = Vec::with_capacity(inv_concepts.len() + 1);
-        let mut total = 0u32;
+        // Running sum in usize; each fence post narrows through the
+        // checked CSR helper.
+        let mut total = 0usize;
         inv_offsets.push(0);
         for &n in &counts {
-            total += n;
-            inv_offsets.push(total);
+            total += n as usize;
+            inv_offsets.push(packing::csr_offset(total));
         }
         // Fill cursors; iterating documents in ascending local order keeps
         // every posting list sorted by construction.
@@ -118,7 +121,7 @@ impl Segment {
             let (lo, hi) = (fwd_offsets[local] as usize, fwd_offsets[local + 1] as usize);
             for &c in &fwd_concepts[lo..hi] {
                 let slot = slot_of[c.0 as usize] as usize;
-                inv_docs[cursor[slot] as usize] = local as u32;
+                inv_docs[cursor[slot] as usize] = packing::narrow_u32(local);
                 cursor[slot] += 1;
             }
         }
@@ -134,7 +137,7 @@ impl Segment {
     /// One past the last covered document slot (global).
     #[inline]
     pub fn doc_end(&self) -> u32 {
-        self.first_doc + self.len() as u32
+        self.first_doc + packing::narrow_u32(self.len())
     }
 
     /// Number of document slots covered (including physically dropped

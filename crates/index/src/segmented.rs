@@ -22,6 +22,7 @@
 //! always see every append that happened before them — the paper's
 //! "instantly add the EMR at the point of care" claim, minus the lock.
 
+use crate::packing;
 use crate::segment::Segment;
 use crate::source::IndexSource;
 use cbr_corpus::DocId;
@@ -91,6 +92,7 @@ impl IndexSource for SegmentedView {
             for &local in seg.local_postings(c) {
                 let id = first + local;
                 if !bit(&self.dead, id as usize) {
+                    // bound: sized — at most one DocId per live posting
                     out.push(DocId(id));
                 }
             }
@@ -165,7 +167,7 @@ impl SegmentedSource {
 
     /// Global id the next append will receive.
     fn next_doc(&self) -> u32 {
-        self.mem_first() + self.memtable.len() as u32
+        self.mem_first() + packing::narrow_u32(self.memtable.len())
     }
 
     /// Global id of the first memtable slot.

@@ -1,0 +1,70 @@
+//! Boundary properties for the checked stamp/slot packing helpers.
+//!
+//! The packed `(stamp << 32) | slot` entries back both the kNDS
+//! workspace and the D-Radix concept-slot table; the bound rules (B01,
+//! B02) accept those crates' raw bit-twiddling only because it routes
+//! through `cbr_index::packing`. These tests pin the layout and the
+//! round-trip at the `u32::MAX` edges, where an off-by-one in the shift
+//! or mask would alias a stamp from 2³² epochs ago.
+
+use cbr_corpus::DocId;
+use cbr_index::packing;
+use proptest::prelude::*;
+
+/// Skews a raw sample toward both u32 edges: a third near zero, a third
+/// near `u32::MAX`, a third anywhere.
+fn edgy(raw: u32, sel: u32) -> u32 {
+    match sel % 3 {
+        0 => raw % 9,
+        1 => u32::MAX - (raw % 9),
+        _ => raw,
+    }
+}
+
+proptest! {
+    /// Pack/unpack is a bit-exact round trip with stamp in the high half
+    /// and slot in the low half, including at the wrap point.
+    #[test]
+    fn pack_unpack_round_trips_at_the_edges(
+        rs in any::<u32>(), ss in any::<u32>(), sel in any::<u32>(),
+    ) {
+        let (stamp, slot) = (edgy(rs, sel), edgy(ss, sel / 3));
+        let packed = packing::pack_stamp_slot(stamp, slot);
+        prop_assert_eq!(packing::unpack_stamp_slot(packed), (stamp, slot));
+        prop_assert_eq!(packed >> 32, u64::from(stamp));
+        prop_assert_eq!(packed & u64::from(u32::MAX), u64::from(slot));
+    }
+
+    /// An epoch rollover (stamp wrapping past u32::MAX) never collides
+    /// with the previous epoch's entry for the same slot.
+    #[test]
+    fn adjacent_stamps_never_collide(
+        stamp in any::<u32>(), ss in any::<u32>(), sel in any::<u32>(),
+    ) {
+        let slot = edgy(ss, sel);
+        let a = packing::pack_stamp_slot(stamp, slot);
+        let b = packing::pack_stamp_slot(stamp.wrapping_add(1), slot);
+        prop_assert!(a != b, "stamps {} and +1 alias at slot {}", stamp, slot);
+        prop_assert_eq!(packing::unpack_stamp_slot(a).1, packing::unpack_stamp_slot(b).1);
+    }
+
+    /// The checked narrowing helpers are the identity below the u32
+    /// bound — CSR fence posts widen back to the exact length.
+    #[test]
+    fn csr_offsets_and_narrowing_are_lossless(raw in any::<u64>()) {
+        let len = (raw % (u64::from(u32::MAX) + 1)) as usize;
+        prop_assert_eq!(packing::csr_offset(len) as usize, len);
+        prop_assert_eq!(packing::narrow_u32(len) as usize, len);
+    }
+
+    /// `doc_ordinal` inverts the segment-base offset for every global id
+    /// a segment can address.
+    #[test]
+    fn doc_ordinal_inverts_the_segment_base(
+        rf in any::<u32>(), ro in any::<u32>(), sel in any::<u32>(),
+    ) {
+        let ord = edgy(ro, sel);
+        let first = rf.min(u32::MAX - ord);
+        prop_assert_eq!(packing::doc_ordinal(DocId(first + ord), first), ord as usize);
+    }
+}

@@ -34,7 +34,7 @@ use crate::util::TopK;
 use crate::workspace::KndsWorkspace;
 use cbr_corpus::DocId;
 use cbr_dradix::Drc;
-use cbr_index::IndexSource;
+use cbr_index::{packing, IndexSource};
 use cbr_ontology::{ConceptId, Ontology};
 use std::time::Instant;
 
@@ -376,7 +376,9 @@ impl<S: IndexSource> Search<'_, '_, S> {
         let mut frontier = std::mem::take(&mut self.ws.frontier);
         let mut next = std::mem::take(&mut self.ws.next_frontier);
         frontier.clear();
-        frontier.extend(self.query.iter().enumerate().map(|(i, &c)| (i as u32, c, false)));
+        frontier.extend(
+            self.query.iter().enumerate().map(|(i, &c)| (packing::narrow_u32(i), c, false)),
+        );
         if self.config.dedup_visits {
             for &(origin, node, desc) in &frontier {
                 self.ws.dense.mark_state(origin, node, desc);
@@ -495,8 +497,11 @@ impl<S: IndexSource> Search<'_, '_, S> {
                     slot
                 }
                 None => {
-                    let len =
-                        if self.kind == Kind::Sds { self.source.doc_len(d) as u32 } else { 0 };
+                    let len = if self.kind == Kind::Sds {
+                        packing::narrow_u32(self.source.doc_len(d))
+                    } else {
+                        0
+                    };
                     self.ws.dense.insert_candidate(d, len)
                 }
             };
@@ -617,6 +622,8 @@ impl<S: IndexSource> Search<'_, '_, S> {
 
     /// Equation 6 (RDS) / Equation 8 (SDS): partial distance plus `l + 1`
     /// for every uncovered term.
+    // bound: proven — nq ≥ 1 (asserted at query entry) and every counter is
+    // bounded by nq · max ontology depth, far below the 2^53 f64 mantissa
     fn lower_bound(&self, c: &Candidate, level: u32) -> f64 {
         let next = (level + 1) as u64;
         let fwd = c.partial + (self.nq as u64 - c.covered as u64) * next;
@@ -630,6 +637,8 @@ impl<S: IndexSource> Search<'_, '_, S> {
     }
 
     /// The partial (currently known) distance — Equation 5 / 7.
+    // bound: proven — nq ≥ 1 (asserted at query entry); partial and rev_sum
+    // are sums of ≤ nq·doc_len hop counts, far below the 2^53 f64 mantissa
     fn partial_distance(&self, c: &Candidate) -> f64 {
         match self.kind {
             Kind::Rds => c.partial as f64,
@@ -658,6 +667,7 @@ impl<S: IndexSource> Search<'_, '_, S> {
 
     /// Smallest possible distance of a document no expansion has seen yet:
     /// every term is uncovered, so every term contributes at least `l + 1`.
+    // bound: proven — nq is the query concept count, far below 2^53
     fn unseen_bound(&self, level: u32) -> f64 {
         let next = (level + 1) as f64;
         match self.kind {

@@ -48,6 +48,7 @@ impl DistancePostings {
                 .map(|c| dist.get(c.index()).copied().unwrap_or(u32::MAX))
                 .min()
                 .unwrap_or(u32::MAX);
+            // bound: sized — one entry per corpus document
             entries.push((doc, best));
         }
         entries.sort_unstable_by_key(|&(d, dist)| (dist, d));
@@ -121,6 +122,7 @@ pub fn rds_with<S: IndexSource>(
                 *slot = dist;
             }
         }
+        // bound: sized — one random-access table per query concept
         random.push(table);
     }
     metrics.distance_calc += t.elapsed();
@@ -145,6 +147,7 @@ pub fn rds_with<S: IndexSource>(
             metrics.docs_examined += 1;
             let total: u64 =
                 random.iter().map(|r| r.get(doc.index()).map_or(u32::MAX, |&d| d) as u64).sum();
+            // bound: proven — total sums nq u32 distances, far below 2^53
             heap.offer(doc, total as f64);
         }
         pos += 1;

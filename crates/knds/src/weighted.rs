@@ -31,7 +31,7 @@ use crate::util::TopK;
 use crate::workspace::KndsWorkspace;
 use cbr_corpus::DocId;
 use cbr_dradix::Drc;
-use cbr_index::IndexSource;
+use cbr_index::{packing, IndexSource};
 use cbr_ontology::{ConceptId, EdgeWeights, Ontology};
 use std::time::Instant;
 
@@ -164,9 +164,10 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         }
         if let Some(seed) = buckets.first_mut() {
             for (i, &c) in self.query.iter().enumerate() {
-                let s: State = (i as u32, c, false);
-                self.ws.dense.improve_best(i as u32, c, false, 0);
-                seed.push(s);
+                let origin = packing::narrow_u32(i);
+                self.ws.dense.improve_best(origin, c, false, 0);
+                // bound: sized — one seed entry per query concept
+                seed.push((origin, c, false));
             }
         }
 
@@ -220,7 +221,7 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
                 .find(|(_, b)| !b.is_empty())
                 .map(|(i, _)| i);
             match next {
-                Some(i) => d = i as u32,
+                Some(i) => d = packing::narrow_u32(i),
                 None => {
                     self.finalize_exhausted();
                     break;
@@ -257,8 +258,11 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
                     slot
                 }
                 None => {
-                    let len =
-                        if self.kind == Kind::Sds { self.source.doc_len(doc) as u32 } else { 0 };
+                    let len = if self.kind == Kind::Sds {
+                        packing::narrow_u32(self.source.doc_len(doc))
+                    } else {
+                        0
+                    };
                     self.ws.dense.insert_candidate(doc, len)
                 }
             };
@@ -348,6 +352,8 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         min_unexamined
     }
 
+    // bound: proven — nq ≥ 1 (asserted at query entry) and every counter is
+    // bounded by nq · max path weight, far below the 2^53 f64 mantissa
     fn lower_bound(&self, c: &Candidate, d: u32) -> f64 {
         let next = (d + 1) as u64;
         let fwd = c.partial + (self.nq as u64 - c.covered as u64) * next;
@@ -360,6 +366,8 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         }
     }
 
+    // bound: proven — nq ≥ 1 (asserted at query entry); partial and rev_sum
+    // are sums of ≤ nq·doc_len edge weights, far below the 2^53 f64 mantissa
     fn partial_distance(&self, c: &Candidate) -> f64 {
         match self.kind {
             Kind::Rds => c.partial as f64,
@@ -376,6 +384,7 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         1.0 - self.partial_distance(c) / lb
     }
 
+    // bound: proven — nq is the query concept count, far below 2^53
     fn unseen_bound(&self, d: u32) -> f64 {
         let next = (d + 1) as f64;
         match self.kind {

@@ -37,6 +37,7 @@
 use crate::engine::{Candidate, State};
 use cbr_corpus::DocId;
 use cbr_dradix::DagScratch;
+use cbr_index::packing;
 use cbr_ontology::ConceptId;
 
 /// Owned, reusable query state for [`Knds`](crate::Knds),
@@ -276,6 +277,7 @@ impl DenseTables {
     #[inline]
     fn state_index(&self, origin: u32, node: ConceptId, descending: bool) -> usize {
         debug_assert!(node.index() < self.concepts, "node beyond the sized concept bound");
+        // bound: proven — the table is allocated at 2·origins·concepts, so the shift fits usize
         ((origin as usize * self.concepts + node.index()) << 1) | descending as usize
     }
 
@@ -450,10 +452,9 @@ impl DenseTables {
     /// The candidate row of `doc`, if one exists this query.
     #[inline]
     pub(crate) fn slot_of(&self, doc: DocId) -> Option<usize> {
-        match self.slots.get(doc.index()) {
-            Some(&e) if (e >> 32) as u32 == self.epoch => Some(e as u32 as usize),
-            _ => None,
-        }
+        let &e = self.slots.get(doc.index())?;
+        let (stamp, slot) = packing::unpack_stamp_slot(e);
+        (stamp == self.epoch).then_some(slot as usize)
     }
 
     /// Appends a candidate row for `doc` and points the slot map at it.
@@ -470,7 +471,7 @@ impl DenseTables {
         let i = doc.index();
         debug_assert!(i < self.slots.len(), "doc beyond the sized document bound");
         if let Some(e) = self.slots.get_mut(i) {
-            *e = (self.epoch as u64) << 32 | slot as u64;
+            *e = packing::pack_stamp_slot(self.epoch, packing::narrow_u32(slot));
         }
         slot
     }

@@ -34,7 +34,7 @@
 pub mod rules;
 pub mod summary;
 
-use cbr_flow::allowlist;
+pub use cbr_flow::allowlist;
 use cbr_flow::graph::{CrateDeps, Graph};
 use cbr_flow::parser::Workspace;
 use cbr_flow::report::Report;
@@ -109,10 +109,7 @@ pub fn analyze(
     let graph = Graph::build(&ws, deps);
     let fx = summary::extract(&ws, &graph, fixtures);
     let (findings, r04) = rules::run(&ws, &graph, &fx);
-
-    let (entries, mut parse_errors) = allowlist::parse(allow, origin);
-    let mut findings = allowlist::apply(findings, &entries);
-    findings.append(&mut parse_errors);
+    let findings = allowlist::ratchet(findings, allow, origin);
 
     let mut report = Report { findings, passed: Vec::new() };
     if report.ok() {
@@ -133,7 +130,7 @@ pub fn analyze(
 
 /// Runs the race analysis over the real workspace with `race.allow`.
 pub fn run_workspace(root: &Path) -> RaceReport {
-    let allow = std::fs::read_to_string(root.join("race.allow")).unwrap_or_default();
+    let allow = allowlist::load(root, "race.allow");
     let deps = cbr_flow::crate_deps(&cbr_flow::collect_manifests(root));
     analyze(cbr_flow::collect_sources(root), &allow, "race.allow", &deps, false)
 }

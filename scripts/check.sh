@@ -5,11 +5,13 @@
 # plus a seeded-fixture pass proving every rule fires), the cbr-race
 # lock-discipline analysis (honest pass with a non-vacuous R04
 # lock-free-read proof, plus the same seeded-fixture pairing), the
+# cbr-bound numeric-safety analysis (honest pass with a non-vacuous
+# B04 recursion-freedom proof, plus its own seeded fixtures), the
 # cbr-sched schedule exploration — including the publish/retire and
 # compaction harnesses over the epoch-published snapshot — (same honest
 # + seeded-bug pairing), the bench smoke passes (both JSON trajectory
 # pipelines end to end at micro scale), and tests. Run from the
-# repository root. All twelve must pass before merging.
+# repository root. All fourteen must pass before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +34,15 @@ grep -q '"r04_roots": 2' <<<"$race_json"
 grep -q '"r04_lock_acquisitions": 0' <<<"$race_json"
 # Non-vacuity: the seeded fixture tree must trip every rule R01-R05.
 cargo run -q -p cbr-race -- --fixtures --expect-findings
+# Honest tree: the numeric-safety rules (B01-B05) must run clean
+# against bound.allow, and the B04 recursion-freedom proof must be
+# non-vacuous — all eight hot-path roots matched, zero cyclic
+# functions in the reachable call graph.
+bound_json="$(cargo run -q -p cbr-bound -- --json)"
+grep -q '"b04_roots": 8' <<<"$bound_json"
+grep -q '"b04_cyclic_fns": 0' <<<"$bound_json"
+# Non-vacuity: the seeded fixture tree must trip every rule B01-B05.
+cargo run -q -p cbr-bound -- --fixtures --expect-findings
 # Honest tree: every concurrency harness must explore clean — the
 # publish-retire and compact-race harnesses prove epoch publishes are
 # atomic and compaction never invalidates a pinned reader — and the CI
