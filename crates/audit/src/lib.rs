@@ -20,10 +20,11 @@
 //! `cbr-flow` (the bottom of the tooling stack, which also runs the
 //! call-graph dataflow rules `F01`–`F05`); this crate re-exports those
 //! modules so existing `cbr_audit::scanner::..` paths keep working, and
-//! `cbr-audit all` runs lint + flow + invariants in one gate.
+//! `cbr-audit all` runs lint + flow + race + bound + cplx + invariants
+//! in one gate, over a single shared [`cbr_flow::ParsedWorkspace`].
 //!
 //! ```sh
-//! cargo run -p cbr-audit -- all          # lint + flow + invariants
+//! cargo run -p cbr-audit -- all          # the full six-way gate
 //! cargo run -p cbr-audit -- lint --json  # machine-readable report
 //! ```
 //!
@@ -46,7 +47,14 @@ use std::path::Path;
 /// `audit.allow` applied.
 pub fn run_lint(root: &Path) -> Report {
     let files = collect_sources(root);
-    let mut findings = rules::run_source_rules(&files);
+    run_lint_files(root, &files)
+}
+
+/// [`run_lint`] over already-collected sources, so `cbr-audit all` can
+/// share one parsed workspace across every analyzer instead of walking
+/// and re-reading the tree once per tool.
+pub fn run_lint_files(root: &Path, files: &[scanner::SourceFile]) -> Report {
+    let mut findings = rules::run_source_rules(files);
     for (rel, text) in collect_manifests(root) {
         findings.extend(rules::a06_no_registry_deps(&rel, &text));
     }
@@ -63,6 +71,33 @@ pub fn run_lint(root: &Path) -> Report {
     report
 }
 
+/// Exit-status bit assigned to each analyzer, so one `cbr-audit all`
+/// run reports exactly *which* gates failed: a CI wrapper can decode
+/// `exit & 8 != 0` as "bound findings" without re-parsing the output.
+/// Unknown names (and usage errors in the binary) map to [`USAGE_BIT`].
+pub fn analyzer_bit(name: &str) -> i32 {
+    match name {
+        "lint" => 1,
+        "flow" => 2,
+        "race" => 4,
+        "bound" => 8,
+        "cplx" => 16,
+        "invariants" => 32,
+        _ => USAGE_BIT,
+    }
+}
+
+/// Exit status for usage errors — above every analyzer bit so a bad
+/// invocation is never mistaken for a findings failure.
+pub const USAGE_BIT: i32 = 64;
+
+/// Folds per-analyzer outcomes into a process exit code: 0 when every
+/// analyzer passed, otherwise the bitwise OR of the failing analyzers'
+/// [`analyzer_bit`]s.
+pub fn exit_code(outcomes: &[(&str, bool)]) -> i32 {
+    outcomes.iter().filter(|(_, ok)| !ok).fold(0, |acc, (name, _)| acc | analyzer_bit(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +108,47 @@ mod tests {
     fn current_tree_is_clean() {
         let report = run_lint(&workspace_root());
         assert!(report.ok(), "lint findings on the current tree:\n{}", report.render_text());
+    }
+
+    /// Pins the analyzer → exit-bit mapping: each analyzer owns one
+    /// distinct bit, failures OR together, and usage errors sit above
+    /// them all.
+    #[test]
+    fn exit_bits_are_distinct_and_compose() {
+        let names = ["lint", "flow", "race", "bound", "cplx", "invariants"];
+        let bits: Vec<i32> = names.iter().map(|n| analyzer_bit(n)).collect();
+        assert_eq!(bits, vec![1, 2, 4, 8, 16, 32]);
+        for (i, a) in bits.iter().enumerate() {
+            for b in &bits[i + 1..] {
+                assert_eq!(a & b, 0, "bits must be disjoint");
+            }
+        }
+        assert_eq!(analyzer_bit("mystery"), USAGE_BIT);
+        assert_eq!(exit_code(&[("lint", true), ("flow", true)]), 0);
+        assert_eq!(exit_code(&[("lint", false), ("flow", true)]), 1);
+        assert_eq!(exit_code(&[("flow", false), ("bound", false)]), 2 | 8);
+        assert_eq!(
+            exit_code(&[
+                ("lint", false),
+                ("flow", false),
+                ("race", false),
+                ("bound", false),
+                ("cplx", false),
+                ("invariants", false),
+            ]),
+            63
+        );
+    }
+
+    /// The parse-once lint entry point matches the walking one.
+    #[test]
+    fn run_lint_files_matches_run_lint() {
+        let root = workspace_root();
+        let files = collect_sources(&root);
+        let a = run_lint(&root);
+        let b = run_lint_files(&root, &files);
+        assert_eq!(a.findings.len(), b.findings.len());
+        assert_eq!(a.passed, b.passed);
     }
 
     #[test]

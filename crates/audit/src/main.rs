@@ -5,16 +5,24 @@
 //! cbr-audit flow        [--json]   call-graph dataflow rules F01–F05
 //! cbr-audit race        [--json]   lock-discipline rules R01–R05
 //! cbr-audit bound       [--json]   numeric-safety rules B01–B05
+//! cbr-audit cplx        [--json]   symbolic complexity rules C01–C05
 //! cbr-audit invariants  [--json]   structural validate() suite
-//! cbr-audit all         [--json]   lint + flow + race + bound + invariants
+//! cbr-audit all         [--json]   lint + flow + race + bound + cplx + invariants
 //! ```
 //!
-//! Exits 0 when clean, 1 when any finding survives the allowlist, 2 on
-//! usage errors.
+//! `all` scans and parses the workspace **once** and hands the shared
+//! [`cbr_flow::ParsedWorkspace`] to every analyzer, so the six-way gate
+//! costs one parse instead of five.
+//!
+//! Exits 0 when clean; otherwise the bitwise OR of the failing
+//! analyzers' bits (lint=1, flow=2, race=4, bound=8, cplx=16,
+//! invariants=32), so CI logs show *which* gates failed straight from
+//! the status. Usage errors exit 64.
 
 #![forbid(unsafe_code)]
 
 use cbr_audit::report::Report;
+use cbr_flow::ParsedWorkspace;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,24 +30,34 @@ fn main() {
     let command = args.iter().find(|a| !a.starts_with("--")).map(String::as_str);
 
     let root = cbr_audit::workspace_root();
-    let mut report = Report::default();
+    // (analyzer name, its report) per analyzer that ran.
+    let mut runs: Vec<(&str, Report)> = Vec::new();
     match command {
-        Some("lint") => report.merge(cbr_audit::run_lint(&root)),
-        Some("flow") => report.merge(cbr_flow::run_workspace(&root).report),
-        Some("race") => report.merge(cbr_race::run_workspace(&root).report),
-        Some("bound") => report.merge(cbr_bound::run_workspace(&root).report),
-        Some("invariants") => report.merge(cbr_audit::invariants::run()),
+        Some("lint") => runs.push(("lint", cbr_audit::run_lint(&root))),
+        Some("flow") => runs.push(("flow", cbr_flow::run_workspace(&root).report)),
+        Some("race") => runs.push(("race", cbr_race::run_workspace(&root).report)),
+        Some("bound") => runs.push(("bound", cbr_bound::run_workspace(&root).report)),
+        Some("cplx") => runs.push(("cplx", cbr_cplx::run_workspace(&root).report)),
+        Some("invariants") => runs.push(("invariants", cbr_audit::invariants::run())),
         Some("all") => {
-            report.merge(cbr_audit::run_lint(&root));
-            report.merge(cbr_flow::run_workspace(&root).report);
-            report.merge(cbr_race::run_workspace(&root).report);
-            report.merge(cbr_bound::run_workspace(&root).report);
-            report.merge(cbr_audit::invariants::run());
+            let pw = ParsedWorkspace::load(&root);
+            runs.push(("lint", cbr_audit::run_lint_files(&root, &pw.ws.files)));
+            runs.push(("flow", cbr_flow::run_parsed(&root, &pw).report));
+            runs.push(("race", cbr_race::run_parsed(&root, &pw).report));
+            runs.push(("bound", cbr_bound::run_parsed(&root, &pw).report));
+            runs.push(("cplx", cbr_cplx::run_parsed(&root, &pw).report));
+            runs.push(("invariants", cbr_audit::invariants::run()));
         }
         _ => {
-            eprintln!("usage: cbr-audit <lint|flow|race|bound|invariants|all> [--json]");
-            std::process::exit(2);
+            eprintln!("usage: cbr-audit <lint|flow|race|bound|cplx|invariants|all> [--json]");
+            std::process::exit(cbr_audit::USAGE_BIT);
         }
+    }
+
+    let outcomes: Vec<(&str, bool)> = runs.iter().map(|(n, r)| (*n, r.ok())).collect();
+    let mut report = Report::default();
+    for (_, r) in runs {
+        report.merge(r);
     }
 
     if json {
@@ -47,5 +65,5 @@ fn main() {
     } else {
         print!("{}", report.render_text());
     }
-    std::process::exit(if report.ok() { 0 } else { 1 });
+    std::process::exit(cbr_audit::exit_code(&outcomes));
 }

@@ -41,6 +41,7 @@ use cbr_flow::graph::{CrateDeps, Graph};
 use cbr_flow::parser::Workspace;
 use cbr_flow::report::Report;
 use cbr_flow::scanner::SourceFile;
+use cbr_flow::ParsedWorkspace;
 use std::path::Path;
 
 /// Analysis statistics: graph size plus the B04 recursion-free proof.
@@ -103,8 +104,15 @@ impl BoundReport {
 pub fn analyze(files: Vec<SourceFile>, allow: &str, origin: &str, deps: &CrateDeps) -> BoundReport {
     let ws = Workspace::parse(files);
     let graph = Graph::build(&ws, deps);
-    let fx = summary::extract(&ws);
-    let (findings, b04) = rules::run(&ws, &graph, &fx);
+    let pw = ParsedWorkspace { ws, deps: deps.clone(), graph };
+    analyze_parsed(&pw, allow, origin)
+}
+
+/// [`analyze`] over an already-parsed workspace (the parse-once path).
+pub fn analyze_parsed(pw: &ParsedWorkspace, allow: &str, origin: &str) -> BoundReport {
+    let (ws, graph) = (&pw.ws, &pw.graph);
+    let fx = summary::extract(ws);
+    let (findings, b04) = rules::run(ws, graph, &fx);
     let findings = allowlist::ratchet(findings, allow, origin);
 
     let mut report = Report { findings, passed: Vec::new() };
@@ -126,9 +134,13 @@ pub fn analyze(files: Vec<SourceFile>, allow: &str, origin: &str, deps: &CrateDe
 
 /// Runs the bound analysis over the real workspace with `bound.allow`.
 pub fn run_workspace(root: &Path) -> BoundReport {
+    run_parsed(root, &ParsedWorkspace::load(root))
+}
+
+/// [`run_workspace`] over a shared [`ParsedWorkspace`].
+pub fn run_parsed(root: &Path, pw: &ParsedWorkspace) -> BoundReport {
     let allow = allowlist::load(root, "bound.allow");
-    let deps = cbr_flow::crate_deps(&cbr_flow::collect_manifests(root));
-    analyze(cbr_flow::collect_sources(root), &allow, "bound.allow", &deps)
+    analyze_parsed(pw, &allow, "bound.allow")
 }
 
 /// Runs the bound analysis over the seeded-violation fixture tree (no

@@ -1,0 +1,73 @@
+//! `cbr-cplx` CLI: run the static complexity analysis.
+//!
+//! ```sh
+//! cbr-cplx                           # analyze the real workspace (cplx.allow applied)
+//! cbr-cplx --json                    # machine-readable report with the C03 proof stats
+//! cbr-cplx --fixtures                # analyze the seeded-violation fixture tree
+//! cbr-cplx --fixtures --expect-findings  # assert every rule C01-C05 fires
+//! ```
+//!
+//! Exit codes: `0` clean (or, with `--expect-findings`, all rules
+//! fired), `1` findings (or a missing rule), `2` usage error.
+
+#![forbid(unsafe_code)]
+
+use cbr_cplx::{run_fixtures, run_workspace};
+use cbr_flow::workspace_root;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cbr-cplx [--json] [--fixtures] [--expect-findings]\n\n\
+         options:\n  \
+         --json             emit the machine-readable report\n  \
+         --fixtures         analyze the seeded-violation fixture tree instead of the workspace\n  \
+         --expect-findings  fail unless every rule C01-C05 produced at least one finding"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut fixtures = false;
+    let mut expect_findings = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fixtures" => fixtures = true,
+            "--expect-findings" => expect_findings = true,
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let root = workspace_root();
+    let cr = if fixtures { run_fixtures(&root) } else { run_workspace(&root) };
+
+    if json {
+        print!("{}", cr.render_json());
+    } else {
+        print!("{}", cr.render_text());
+    }
+
+    if expect_findings {
+        let missing: Vec<&str> = ["C01", "C02", "C03", "C04", "C05"]
+            .into_iter()
+            .filter(|rule| !cr.report.findings.iter().any(|f| f.rule == *rule))
+            .collect();
+        if missing.is_empty() {
+            eprintln!("expect-findings: all rules C01-C05 fired");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("expect-findings: rule(s) {} produced no findings", missing.join(", "));
+            ExitCode::FAILURE
+        }
+    } else if cr.report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

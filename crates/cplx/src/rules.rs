@@ -1,0 +1,735 @@
+//! The complexity rules C01–C05, run over per-function loop summaries
+//! and the whole-program call graph.
+//!
+//! * **C01** — every reachable loop has an inferred or declared
+//!   symbolic bound: bare `while`/`loop` constructs with no inference
+//!   channel fire, as do unparseable or unjustified `cplx: bound`
+//!   directives.
+//! * **C02** — no loop-nest product on the query path contains `D·D`
+//!   or `C·D`: the shapes the paper's recurrence forbids. Checked both
+//!   on lexical nests and across confident call edges (a `D` loop
+//!   calling a `D`-bounded callee), anchored at the loop or call that
+//!   *creates* the product.
+//! * **C03** — the differential claim: the composed bound of the
+//!   D-Radix build root is recognizably `O((|Pq|+|Pd|)·log)` (a `P·log`
+//!   term, and no `C`, `D`, or untyped factor anywhere), while the TA
+//!   baseline root is the **only** root carrying the pairwise `nq·D`
+//!   product.
+//! * **C04** — every `bound: sized` table filled inside a loop has a
+//!   symbolic capacity that dominates the loop nest filling it
+//!   (cross-linking `cbr-bound`'s B03 directives).
+//! * **C05** — counter-hook consistency: a loop marked
+//!   `// cplx: counter <name>` must bump that counter in its body and
+//!   vice versa, so the dynamic cross-validation harness measures the
+//!   loops the static model claims to bound.
+//!
+//! A meta-rule (`CPLX`) guards against vacuity: every [`ROOT_SPECS`]
+//! entry must match a function and the reachable slice must contain
+//! loops, otherwise the rules would "pass" by proving nothing.
+//!
+//! ## Composition
+//!
+//! Function bounds compose bottom-up over *confident* call edges (the
+//! same discipline as `cbr-bound`: method calls off non-`self`
+//! receivers with ambiguous name resolution are excluded, since an
+//! over-approximated dispatch would manufacture cost chains no
+//! execution takes). Reachability still uses the full over-approximated
+//! edge set, so C01/C04/C05 cover trait-dispatched index
+//! implementations even where composition cannot follow the call. The
+//! cost model: a loop costs its iteration bound times everything
+//! inside; confident calls contribute the callee's composed bound at
+//! their nesting context; `.sort*()` calls contribute `size·log` — the
+//! log factor of the D-Radix build. A function-level
+//! `// cplx: bound <expr> <why>` axiom overrides composition (the
+//! amortization escape hatch for costs a lexical model cannot see,
+//! e.g. per-query stamp resets amortized across posting scans).
+
+use crate::summary::{Directive, FnLoops, LoopBound, LoopKind, LoopSite, Summaries};
+use crate::sym::{Atom, Bound, Product};
+use cbr_flow::graph::{propagate, Graph, Reach};
+use cbr_flow::parser::Workspace;
+use cbr_flow::report::Finding;
+use std::collections::BTreeSet;
+
+/// The hot-path roots the complexity rules protect (same eight as
+/// `cbr-bound`'s B04): the snapshot/engine/TA/weighted query entry
+/// points plus the D-Radix DAG build every exact distance goes through.
+pub const ROOT_SPECS: [(&str, &str); 8] = [
+    ("core::snapshot", "rds_with"),
+    ("core::snapshot", "sds_with"),
+    ("knds::engine", "rds_with"),
+    ("knds::engine", "sds_with"),
+    ("knds::ta", "rds_with"),
+    ("knds::weighted", "rds_with"),
+    ("knds::weighted", "sds_with"),
+    ("dradix::dag", "build_into"),
+];
+
+/// Proof statistics, reported even when everything passes: a clean run
+/// must show *what* was proven, not just the absence of findings.
+#[derive(Debug, Default, Clone)]
+pub struct RuleStats {
+    /// Root functions matched by [`ROOT_SPECS`].
+    pub roots: usize,
+    /// Non-test functions transitively reachable from the roots.
+    pub reachable_fns: usize,
+    /// Live loops in reachable functions.
+    pub reachable_loops: usize,
+    /// Reachable loops without a symbolic bound (C01 findings).
+    pub unbounded_loops: usize,
+    /// Rendered composed bound of the D-Radix build root.
+    pub c03_dradix_path: String,
+    /// True when the D-Radix bound is recognizably `O(P·log)`-shaped.
+    pub c03_dradix_recognized: bool,
+    /// Rendered composed bound of the TA baseline root.
+    pub c03_ta_path: String,
+    /// Root functions whose composed bound carries the pairwise `nq·D`
+    /// product (must be exactly 1: the TA baseline).
+    pub c03_quadratic_roots: usize,
+    /// Reachable loops carrying a `cplx: counter` marker.
+    pub c05_counters: usize,
+}
+
+/// The atom vocabulary, for error messages.
+const VOCAB: &str =
+    " (atoms: 1, log, depth, deg, k, seg, nq, nd, p, post, c, d; joined with `*`, summed with `+`)";
+
+/// Runs all complexity rules; returns findings plus the proof stats.
+pub fn run(ws: &Workspace, graph: &Graph, sm: &Summaries) -> (Vec<Finding>, RuleStats) {
+    let mut findings = Vec::new();
+    let seeds = match_roots(ws, &mut findings);
+    let reach = propagate(&reach_edges(ws, graph), &seeds);
+    let sites = confident_sites(ws, graph);
+    let composed = compose(ws, sm, &sites, &reach);
+
+    let mut stats = RuleStats { roots: seeds.len(), ..RuleStats::default() };
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test || !reach.reached(id) {
+            continue;
+        }
+        stats.reachable_fns += 1;
+        let file = &ws.files[f.file];
+        let fl = &sm.fns[id];
+
+        c01_loop_bounds(ws, sm, id, &mut stats, &mut findings);
+        c02_no_pairwise(ws, sm, &sites, &composed, id, &mut findings);
+        c04_sized_capacity(ws, sm, id, &mut findings);
+        c05_counter_hooks(ws, sm, id, &mut stats, &mut findings);
+
+        // Axiom hygiene rides with C01: a bare or unparseable fn-level
+        // directive must not silently discharge composition.
+        if let Some(expr) = &fl.axiom_bad {
+            findings.push(Finding::new(
+                "C01",
+                &file.rel,
+                f.line,
+                format!("fn-level `cplx: bound` expression `{expr}` does not parse{VOCAB}"),
+            ));
+        }
+        if let Some((b, Directive::Bare)) = &fl.axiom {
+            findings.push(Finding::new(
+                "C01",
+                &file.rel,
+                f.line,
+                format!(
+                    "bare fn-level `cplx: bound` directive on `{}` (declared {}) — write the \
+                     amortization justification",
+                    ws.display(id),
+                    b.render()
+                ),
+            ));
+        }
+    }
+
+    c03_differential(ws, &seeds, &composed, &mut stats, &mut findings);
+
+    if stats.roots > 0 && stats.reachable_loops == 0 {
+        findings.push(Finding::new(
+            "CPLX",
+            "crates/cplx/src/rules.rs",
+            0,
+            "zero reachable loops from the hot roots — the complexity proof is vacuous",
+        ));
+    }
+
+    findings.sort_by(|a, b| (&a.rule, &a.file, a.line).cmp(&(&b.rule, &b.file, b.line)));
+    (findings, stats)
+}
+
+/// Matches [`ROOT_SPECS`]; emits `CPLX` meta-findings for unmatched
+/// specs so the differential proof can never go vacuous.
+fn match_roots(ws: &Workspace, findings: &mut Vec<Finding>) -> Vec<usize> {
+    let mut seeds = Vec::new();
+    for (module, name) in ROOT_SPECS {
+        let matched: Vec<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test && f.module == module && f.name == name)
+            .map(|(id, _)| id)
+            .collect();
+        if matched.is_empty() {
+            findings.push(Finding::new(
+                "CPLX",
+                "crates/cplx/src/rules.rs",
+                0,
+                format!(
+                    "root spec `{module}::{name}` matched no function — the complexity proof \
+                     is vacuous; update ROOT_SPECS"
+                ),
+            ));
+        }
+        seeds.extend(matched);
+    }
+    seeds
+}
+
+/// The full over-approximated edge set used for reachability, mirroring
+/// `cbr-bound`: test functions and test/debug-gated call sites are
+/// excluded, everything else keeps all resolved targets.
+fn reach_edges(ws: &Workspace, graph: &Graph) -> Vec<Vec<usize>> {
+    ws.fns
+        .iter()
+        .enumerate()
+        .map(|(id, f)| {
+            if f.is_test {
+                return Vec::new();
+            }
+            let file = &ws.files[f.file];
+            let mut out = BTreeSet::new();
+            for (ci, call) in f.calls.iter().enumerate() {
+                if file.is_test(call.at) || file.is_debug_gated(call.at) {
+                    continue;
+                }
+                out.extend(graph.targets[id][ci].iter().copied().filter(|&t| !ws.fns[t].is_test));
+            }
+            out.into_iter().collect()
+        })
+        .collect()
+}
+
+/// Per-function confident call resolutions: `(call byte offset, callee)`
+/// for every live call whose dispatch the graph resolves confidently.
+/// Method calls off non-`self` receivers with multiple same-name
+/// candidates are excluded — composition must not sum cost over
+/// dispatch targets no execution takes.
+fn confident_sites(ws: &Workspace, graph: &Graph) -> Vec<Vec<(usize, usize)>> {
+    ws.fns
+        .iter()
+        .enumerate()
+        .map(|(id, f)| {
+            if f.is_test {
+                return Vec::new();
+            }
+            let file = &ws.files[f.file];
+            let mut out = Vec::new();
+            for (ci, call) in f.calls.iter().enumerate() {
+                if file.is_test(call.at) || file.is_debug_gated(call.at) {
+                    continue;
+                }
+                let targets: Vec<usize> =
+                    graph.targets[id][ci].iter().copied().filter(|&t| !ws.fns[t].is_test).collect();
+                if call.method && !call.recv_self && targets.len() > 1 {
+                    continue;
+                }
+                out.extend(targets.into_iter().map(|t| (call.at, t)));
+            }
+            out
+        })
+        .collect()
+}
+
+/// The untyped-but-finite bound, used for composition across cycles.
+fn unk() -> Bound {
+    Bound::product(Product::atom(Atom::Unk))
+}
+
+/// Cross product of two bounds' terms.
+fn times(a: &Bound, b: &Bound) -> Bound {
+    let mut terms = Vec::new();
+    for x in &a.0 {
+        for y in &b.0 {
+            terms.push(x.times(y));
+        }
+    }
+    Bound(terms).normalize()
+}
+
+/// Bottom-up composition of function bounds over the confident call
+/// sites, restricted to the reachable slice. Iterative post-order DFS;
+/// a callee still on the stack (a cycle — impossible on the honest tree
+/// by B04, but fixtures seed them) composes as the untyped `?`.
+fn compose(
+    ws: &Workspace,
+    sm: &Summaries,
+    sites: &[Vec<(usize, usize)>],
+    reach: &Reach,
+) -> Vec<Bound> {
+    let n = ws.fns.len();
+    let mut memo: Vec<Option<Bound>> = vec![None; n];
+    let mut state: Vec<u8> = vec![0; n]; // 0 = new, 1 = on stack, 2 = done
+
+    enum Frame {
+        Enter(usize),
+        Exit(usize),
+    }
+
+    for start in 0..n {
+        if !reach.reached(start) || ws.fns[start].is_test || state[start] != 0 {
+            continue;
+        }
+        let mut stack = vec![Frame::Enter(start)];
+        while let Some(fr) = stack.pop() {
+            match fr {
+                Frame::Enter(id) => {
+                    if state[id] != 0 {
+                        continue;
+                    }
+                    state[id] = 1;
+                    stack.push(Frame::Exit(id));
+                    for &(_, callee) in &sites[id] {
+                        if state[callee] == 0 {
+                            stack.push(Frame::Enter(callee));
+                        }
+                    }
+                }
+                Frame::Exit(id) => {
+                    memo[id] = Some(fn_bound(sm, sites, id, &memo));
+                    state[id] = 2;
+                }
+            }
+        }
+    }
+    memo.into_iter().map(|b| b.unwrap_or_else(Bound::one)).collect()
+}
+
+/// Innermost enclosing loop of `at` among a function's loops.
+fn enclosing_loop(sm: &Summaries, fl: &FnLoops, at: usize) -> Option<usize> {
+    fl.loops.iter().copied().rfind(|&i| sm.loops[i].span.0 < at && at < sm.loops[i].span.1)
+}
+
+/// The composed bound of one function given its callees' memoized
+/// bounds (`None` = still on the DFS stack = cycle = `?`).
+fn fn_bound(
+    sm: &Summaries,
+    sites: &[Vec<(usize, usize)>],
+    id: usize,
+    memo: &[Option<Bound>],
+) -> Bound {
+    let fl = &sm.fns[id];
+    if let Some((axiom, _)) = &fl.axiom {
+        return axiom.clone();
+    }
+    let callee_bound = |callee: usize| memo[callee].clone().unwrap_or_else(unk);
+    let call_items: Vec<(Option<usize>, usize)> =
+        sites[id].iter().map(|&(at, t)| (enclosing_loop(sm, fl, at), t)).collect();
+
+    // Cost of one loop: its iteration bound times everything inside.
+    fn loop_cost(
+        sm: &Summaries,
+        fl: &FnLoops,
+        li: usize,
+        call_items: &[(Option<usize>, usize)],
+        callee_bound: &dyn Fn(usize) -> Bound,
+    ) -> Bound {
+        let mut inner = Bound::one();
+        for &ci in &fl.loops {
+            if sm.loops[ci].parent == Some(li) {
+                inner = inner.plus(&loop_cost(sm, fl, ci, call_items, callee_bound));
+            }
+        }
+        for &(at_loop, target) in call_items {
+            if at_loop == Some(li) {
+                inner = inner.plus(&callee_bound(target));
+            }
+        }
+        for s in &fl.sorts {
+            if s.in_loop == Some(li) {
+                inner = inner.plus(&s.size.scale(&Product::atom(Atom::Log)));
+            }
+        }
+        times(&sm.loops[li].bound.bound(), &inner)
+    }
+
+    let cb = |t: usize| callee_bound(t);
+    let mut total = Bound::one();
+    for &li in &fl.loops {
+        if sm.loops[li].parent.is_none() {
+            total = total.plus(&loop_cost(sm, fl, li, &call_items, &cb));
+        }
+    }
+    for &(at_loop, target) in &call_items {
+        if at_loop.is_none() {
+            total = total.plus(&cb(target));
+        }
+    }
+    for s in &fl.sorts {
+        if s.in_loop.is_none() {
+            total = total.plus(&s.size.scale(&Product::atom(Atom::Log)));
+        }
+    }
+    total
+}
+
+/// C01: every reachable live loop is bounded.
+fn c01_loop_bounds(
+    ws: &Workspace,
+    sm: &Summaries,
+    id: usize,
+    stats: &mut RuleStats,
+    findings: &mut Vec<Finding>,
+) {
+    let f = &ws.fns[id];
+    let file = &ws.files[f.file];
+    for &li in &sm.fns[id].loops {
+        let l = &sm.loops[li];
+        if !l.live {
+            continue;
+        }
+        stats.reachable_loops += 1;
+        match &l.bound {
+            LoopBound::Inferred(_) | LoopBound::Declared(_, Directive::Justified) => {}
+            LoopBound::Declared(b, Directive::Bare) => {
+                findings.push(Finding::new(
+                    "C01",
+                    &file.rel,
+                    file.line_of(l.at),
+                    format!(
+                        "bare `cplx: bound` directive on `{}` loop (declared {}) — write the \
+                         bound justification",
+                        kind_name(l),
+                        b.render()
+                    ),
+                ));
+            }
+            LoopBound::BadExpr(expr) => {
+                stats.unbounded_loops += 1;
+                findings.push(Finding::new(
+                    "C01",
+                    &file.rel,
+                    file.line_of(l.at),
+                    format!("`cplx: bound` expression `{expr}` does not parse{VOCAB}"),
+                ));
+            }
+            LoopBound::Missing => {
+                stats.unbounded_loops += 1;
+                findings.push(Finding::new(
+                    "C01",
+                    &file.rel,
+                    file.line_of(l.at),
+                    format!(
+                        "unbounded `{}` on the query path{} — declare \
+                         `// cplx: bound <expr> <why>`",
+                        kind_name(l),
+                        if l.driver.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" (driver `{}`)", l.driver)
+                        }
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Display name of a loop construct.
+fn kind_name(l: &LoopSite) -> &'static str {
+    match l.kind {
+        LoopKind::For => "for",
+        LoopKind::WhileLet => "while let",
+        LoopKind::While => "while",
+        LoopKind::Loop => "loop",
+    }
+}
+
+/// The lexical nest product at loop `li`: its own bound times every
+/// ancestor's.
+fn nest_bound(sm: &Summaries, li: usize) -> Bound {
+    let mut b = sm.loops[li].bound.bound();
+    let mut cur = sm.loops[li].parent;
+    while let Some(p) = cur {
+        b = times(&b, &sm.loops[p].bound.bound());
+        cur = sm.loops[p].parent;
+    }
+    b
+}
+
+/// C02: no `D·D` / `C·D` product on the query path, anchored at the
+/// loop or call that creates it.
+fn c02_no_pairwise(
+    ws: &Workspace,
+    sm: &Summaries,
+    sites: &[Vec<(usize, usize)>],
+    composed: &[Bound],
+    id: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let f = &ws.fns[id];
+    let file = &ws.files[f.file];
+    let fl = &sm.fns[id];
+
+    // An amortization axiom replaces the function's internal nests, but
+    // the declared bound itself must respect the recurrence.
+    if let Some((axiom, _)) = &fl.axiom {
+        if let Some(t) = axiom.0.iter().find(|p| p.is_forbidden_pairwise()) {
+            findings.push(Finding::new(
+                "C02",
+                &file.rel,
+                f.line,
+                format!(
+                    "declared bound {} on `{}` contains the forbidden pairwise product `{}`",
+                    axiom.render(),
+                    ws.display(id),
+                    t.render()
+                ),
+            ));
+        }
+        return;
+    }
+
+    // Lexical nests, anchored at the innermost loop that completes the
+    // forbidden product.
+    for &li in &fl.loops {
+        let l = &sm.loops[li];
+        if !l.live {
+            continue;
+        }
+        let nest = nest_bound(sm, li);
+        let parent_ok =
+            l.parent.map(|p| !nest_bound(sm, p).any(|t| t.is_forbidden_pairwise())).unwrap_or(true);
+        if parent_ok {
+            if let Some(t) = nest.0.iter().find(|p| p.is_forbidden_pairwise()) {
+                findings.push(Finding::new(
+                    "C02",
+                    &file.rel,
+                    file.line_of(l.at),
+                    format!(
+                        "loop nest composes the forbidden pairwise product `{}` — the paper's \
+                         recurrence admits no corpus-quadratic work on the query path",
+                        t.render()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Cross-function: a loop context multiplied by a confident callee's
+    // composed bound. Skipped when either factor is already forbidden —
+    // the finding anchors where the product is *created*.
+    for &(at, target) in &sites[id] {
+        let Some(li) = enclosing_loop(sm, fl, at) else { continue };
+        if !sm.loops[li].live {
+            continue;
+        }
+        let ctx = nest_bound(sm, li);
+        if ctx.any(|t| t.is_forbidden_pairwise())
+            || composed[target].any(|t| t.is_forbidden_pairwise())
+        {
+            continue;
+        }
+        let product = times(&ctx, &composed[target]);
+        if let Some(t) = product.0.iter().find(|p| p.is_forbidden_pairwise()) {
+            findings.push(Finding::new(
+                "C02",
+                &file.rel,
+                file.line_of(at),
+                format!(
+                    "call to `{}` ({}) inside an {} nest composes the forbidden pairwise \
+                     product `{}`",
+                    ws.display(target),
+                    composed[target].render(),
+                    ctx.render(),
+                    t.render()
+                ),
+            ));
+        }
+    }
+}
+
+/// C03: the differential asymptotic claim over the root bounds.
+fn c03_differential(
+    ws: &Workspace,
+    seeds: &[usize],
+    composed: &[Bound],
+    stats: &mut RuleStats,
+    findings: &mut Vec<Finding>,
+) {
+    for &id in seeds {
+        let f = &ws.fns[id];
+        let file = &ws.files[f.file];
+        let b = &composed[id];
+        let quadratic = b.any(|t| t.is_ta_quadratic());
+        if quadratic {
+            stats.c03_quadratic_roots += 1;
+        }
+        if f.module == "dradix::dag" && f.name == "build_into" {
+            let recognized = b.any(|t| t.count(Atom::P) >= 1 && t.count(Atom::Log) >= 1)
+                && !b.any(|t| {
+                    t.count(Atom::C) > 0 || t.count(Atom::D) > 0 || t.count(Atom::Unk) > 0
+                });
+            stats.c03_dradix_path = b.render();
+            stats.c03_dradix_recognized = recognized;
+            if !recognized {
+                findings.push(Finding::new(
+                    "C03",
+                    &file.rel,
+                    f.line,
+                    format!(
+                        "the D-Radix distance path composes to {} — not recognizably \
+                         O((|Pq|+|Pd|)·log): it needs a P·log term and no C, D, or untyped \
+                         factor",
+                        b.render()
+                    ),
+                ));
+            }
+        } else if f.module == "knds::ta" {
+            stats.c03_ta_path = b.render();
+            if !quadratic {
+                findings.push(Finding::new(
+                    "C03",
+                    &file.rel,
+                    f.line,
+                    format!(
+                        "the TA baseline composes to {} without the pairwise nq·D product — \
+                         the differential contrast against the D-Radix path is vacuous",
+                        b.render()
+                    ),
+                ));
+            }
+        } else if quadratic {
+            findings.push(Finding::new(
+                "C03",
+                &file.rel,
+                f.line,
+                format!(
+                    "root `{}` composes to {} carrying the pairwise nq·D product — only the \
+                     TA baseline is allowed the paper's O(nq·nd) shape",
+                    ws.display(id),
+                    b.render()
+                ),
+            ));
+        }
+    }
+}
+
+/// C04: sized-table capacity dominates the loop nest filling it.
+fn c04_sized_capacity(ws: &Workspace, sm: &Summaries, id: usize, findings: &mut Vec<Finding>) {
+    let f = &ws.fns[id];
+    let file = &ws.files[f.file];
+    for site in &sm.fns[id].sized {
+        if !sm.loops[site.in_loop].live {
+            continue;
+        }
+        let nest = nest_bound(sm, site.in_loop);
+        match &site.capacity {
+            None => {
+                findings.push(Finding::new(
+                    "C04",
+                    &file.rel,
+                    file.line_of(site.at),
+                    format!(
+                        "sized table `{}` has no symbolic capacity — add the identifier to \
+                         the lexical environment or a `// cplx: cap <expr>` directive",
+                        site.receiver
+                    ),
+                ));
+            }
+            Some(cap) => {
+                let dominated = nest
+                    .0
+                    .iter()
+                    .all(|t| t.count(Atom::Unk) > 0 || cap.0.iter().any(|c| c.dominates(t)));
+                if !dominated {
+                    findings.push(Finding::new(
+                        "C04",
+                        &file.rel,
+                        file.line_of(site.at),
+                        format!(
+                            "`{}` is sized {} but filled by an {} loop nest — the \
+                             `bound: sized` capacity does not dominate the writes",
+                            site.receiver,
+                            cap.render(),
+                            nest.render()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// C05: counter markers and bump calls stay in sync.
+fn c05_counter_hooks(
+    ws: &Workspace,
+    sm: &Summaries,
+    id: usize,
+    stats: &mut RuleStats,
+    findings: &mut Vec<Finding>,
+) {
+    let f = &ws.fns[id];
+    let file = &ws.files[f.file];
+    let fl = &sm.fns[id];
+    for &li in &fl.loops {
+        let l = &sm.loops[li];
+        let Some(name) = &l.counter else { continue };
+        if !l.live {
+            continue;
+        }
+        stats.c05_counters += 1;
+        let bumped = fl
+            .bumps
+            .iter()
+            .any(|b| &b.name == name && b.in_loop.is_some_and(|bl| ancestor_of(sm, li, bl)));
+        if !bumped {
+            findings.push(Finding::new(
+                "C05",
+                &file.rel,
+                file.line_of(l.at),
+                format!(
+                    "loop is marked `cplx: counter {name}` but never calls \
+                     `counters::bump_{name}` in its body — the dynamic cross-validation \
+                     would measure nothing"
+                ),
+            ));
+        }
+    }
+    for b in &fl.bumps {
+        // A bump links to its marker through any enclosing loop.
+        let marked = b.in_loop.is_some_and(|bl| {
+            let mut cur = Some(bl);
+            while let Some(li) = cur {
+                if sm.loops[li].counter.as_deref() == Some(b.name.as_str()) {
+                    return true;
+                }
+                cur = sm.loops[li].parent;
+            }
+            false
+        });
+        if !marked {
+            findings.push(Finding::new(
+                "C05",
+                &file.rel,
+                file.line_of(b.at),
+                format!(
+                    "`bump_{}` outside a loop marked `cplx: counter {}` — mark the measured \
+                     loop so the static bound and the counter stay linked",
+                    b.name, b.name
+                ),
+            ));
+        }
+    }
+}
+
+/// True when loop `anc` is `li` itself or an ancestor of `li`.
+fn ancestor_of(sm: &Summaries, anc: usize, mut li: usize) -> bool {
+    loop {
+        if li == anc {
+            return true;
+        }
+        match sm.loops[li].parent {
+            Some(p) => li = p,
+            None => return false,
+        }
+    }
+}

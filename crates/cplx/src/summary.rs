@@ -1,0 +1,824 @@
+//! Per-function loop summaries: every `for`/`while`/`loop` block with
+//! its iteration driver mapped through the lexical environment to a
+//! symbolic bound, plus the directive, counter-marker, sort, and
+//! sized-growth sites the rules consume.
+//!
+//! Inference channels, in order:
+//!
+//! 1. `// cplx: bound <expr> <why>` on the loop's line or the line
+//!    above — the axiom escape hatch for `while`/`loop` constructs and
+//!    for collections the environment cannot type.
+//! 2. `for x in <collection>` — adapter chains (`.iter()`,
+//!    `.enumerate()`, …) are stripped, `.chain(..)` splits into a sum,
+//!    and the remaining collection identifier or method call is looked
+//!    up in [`IDENT_ENV`] / [`METHOD_ENV`].
+//! 3. Range endpoints — `0..source.num_docs()` and friends, resolved
+//!    through the same environment (with `.len()` deferring to its
+//!    receiver and `packing::narrow_u32` being transparent).
+//! 4. `while let Some(..) = q.pop()` worklist pops, resolved through
+//!    the queue identifier.
+//!
+//! A `for` loop whose driver resists all channels is still *bounded*
+//! (it iterates a materialized collection) but typed [`Atom::Unk`];
+//! bare `while`/`loop` with no channel are [`LoopBound::Missing`] and
+//! fire C01.
+
+use crate::sym::{parse_expr, Atom, Bound, Product};
+use cbr_flow::parser::{FnItem, Workspace};
+use cbr_flow::scanner::{is_ident_byte, match_bracket, SourceFile};
+
+/// The lexical environment: collection identifiers the reproduction's
+/// hot path iterates, mapped to the symbolic size of the collection.
+/// The last `.`-chain segment of the driver expression is the key.
+pub const IDENT_ENV: &[(&str, &str)] = &[
+    // Posting lists and per-document candidate rows: at most one entry
+    // per corpus document.
+    ("postings", "d"),
+    ("postings_buf", "d"),
+    ("docs", "d"),
+    ("order", "d"),
+    ("cand", "d"),
+    ("cand_docs", "d"),
+    ("slots", "d"),
+    ("entries", "d"),
+    ("doc_bits", "d"),
+    ("cover_words", "d"),
+    // BFS / Dijkstra state pools: one state per (origin, concept) pair.
+    ("frontier", "nq*c"),
+    ("current", "nq*c"),
+    ("state_bits", "nq*c"),
+    ("pair_bits", "nq*c"),
+    ("best", "nq*c"),
+    ("best_stamps", "nq*c"),
+    // Query-profile-sized structures.
+    ("query", "nq"),
+    ("q", "nq"),
+    ("lists", "nq"),
+    ("seed", "nq"),
+    ("random", "nq"),
+    // Document-profile-sized structures.
+    ("doc", "nd"),
+    ("buf", "nd"),
+    // Result heaps.
+    ("ready", "k"),
+    ("heap", "k"),
+    // Index geometry.
+    ("segments", "seg"),
+    // D-Radix address space: the staging buffer holds one entry per
+    // ranked address of d ∪ q (≤ deg addresses per profile concept);
+    // the label arena holds at most one address worth of components per
+    // staged entry; the node arena and topological-order buffers hold
+    // at most the total label length, `p·depth`.
+    ("addr_buf", "p*deg"),
+    ("addresses", "p"),
+    ("labels", "p*deg*depth"),
+    ("live", "p*depth"),
+    ("topo_queue", "p*depth"),
+    ("topo_order", "p*depth"),
+    // The radix insertion worklist: each popped item is replaced by at
+    // most two strict subranges, so pending work per insertion stays
+    // within one Dewey address length.
+    ("suffix_work", "depth"),
+    ("comps", "depth"),
+    ("components", "depth"),
+    // Concept-count-sized tables.
+    ("touch_stamps", "c"),
+    ("stamps", "c"),
+    ("concepts", "c"),
+    // Bounded adjacency.
+    ("edges", "deg"),
+];
+
+/// Methods whose *result* is an iterable/endpoint of known symbolic
+/// size, keyed by method name.
+pub const METHOD_ENV: &[(&str, &str)] = &[
+    ("num_docs", "d"),
+    ("num_concepts", "c"),
+    ("parents", "deg"),
+    ("children", "deg"),
+    ("addresses_ranked", "deg"),
+    ("local_postings", "d"),
+];
+
+/// Iterator adapters that preserve (or shrink) the driver's bound and
+/// are stripped before the environment lookup.
+const ADAPTERS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "enumerate",
+    "rev",
+    "copied",
+    "cloned",
+    "drain",
+    "zip",
+    "skip",
+    "take",
+    "by_ref",
+    "values",
+    "keys",
+    "windows",
+    "chunks",
+    "as_slice",
+    "as_ref",
+];
+
+/// Sort methods; a sort over a collection of symbolic size `n` costs
+/// `n·log` — the log factor of the D-Radix build.
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+];
+
+/// Buffer-growth methods whose `bound: sized` capacity C04 cross-links.
+const GROWTH_METHODS: &[&str] =
+    &["push", "extend", "extend_from_slice", "resize", "append", "insert"];
+
+/// Suppression state of a directive (mirrors `cbr-bound`'s grammar: a
+/// directive with no written justification does **not** suppress).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Directive present with a written justification.
+    Justified,
+    /// Bare directive — parsed, but still fires with a note.
+    Bare,
+}
+
+/// How a loop's iteration bound was established.
+#[derive(Debug, Clone)]
+pub enum LoopBound {
+    /// Inferred from the driver through the lexical environment.
+    Inferred(Bound),
+    /// Declared via `// cplx: bound <expr> <why>`.
+    Declared(Bound, Directive),
+    /// A `cplx: bound` directive whose expression failed to parse.
+    BadExpr(String),
+    /// A `while`/`loop` construct with no inference channel and no
+    /// directive — unbounded as far as the analysis can tell.
+    Missing,
+}
+
+impl LoopBound {
+    /// The bound used in composition; `BadExpr`/`Missing` compose as
+    /// the untyped-but-finite `?` so one C01 finding does not cascade.
+    pub fn bound(&self) -> Bound {
+        match self {
+            LoopBound::Inferred(b) | LoopBound::Declared(b, _) => b.clone(),
+            LoopBound::BadExpr(_) | LoopBound::Missing => Bound::product(Product::atom(Atom::Unk)),
+        }
+    }
+}
+
+/// The loop construct kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `for pat in expr { .. }`
+    For,
+    /// `while let Some(..) = expr { .. }`
+    WhileLet,
+    /// `while cond { .. }`
+    While,
+    /// bare `loop { .. }`
+    Loop,
+}
+
+/// One loop block in a function body.
+#[derive(Debug, Clone)]
+pub struct LoopSite {
+    /// Function (index into `ws.fns`) owning the loop.
+    pub fun: usize,
+    /// Byte offset of the loop keyword.
+    pub at: usize,
+    /// Construct kind.
+    pub kind: LoopKind,
+    /// Short rendering of the driver expression (for messages).
+    pub driver: String,
+    /// Body span (`{`..`}` offsets).
+    pub span: (usize, usize),
+    /// Innermost enclosing loop of the same function, if any (index
+    /// into the global loop vector).
+    pub parent: Option<usize>,
+    /// The iteration bound.
+    pub bound: LoopBound,
+    /// `// cplx: counter <name>` marker on the loop.
+    pub counter: Option<String>,
+    /// True when the loop body is live on release paths (not test- or
+    /// debug-gated).
+    pub live: bool,
+}
+
+/// One `.sort*()` call site.
+#[derive(Debug, Clone)]
+pub struct SortSite {
+    /// Byte offset of the method name.
+    pub at: usize,
+    /// Symbolic size of the sorted collection (receiver through the
+    /// environment; `Unk` when untyped).
+    pub size: Bound,
+    /// Innermost enclosing loop, if any.
+    pub in_loop: Option<usize>,
+}
+
+/// One justified `bound: sized` growth site inside a loop (C04).
+#[derive(Debug, Clone)]
+pub struct SizedSite {
+    /// Byte offset of the growth method name.
+    pub at: usize,
+    /// Receiver chain of the growing table.
+    pub receiver: String,
+    /// Declared or environment capacity of the table, if typed.
+    pub capacity: Option<Bound>,
+    /// Innermost enclosing loop (sized sites are only collected inside
+    /// loops).
+    pub in_loop: usize,
+}
+
+/// One `counters::bump_*` call site.
+#[derive(Debug, Clone)]
+pub struct BumpSite {
+    /// Byte offset of the call.
+    pub at: usize,
+    /// Counter name (the `bump_` suffix).
+    pub name: String,
+    /// Innermost enclosing loop, if any.
+    pub in_loop: Option<usize>,
+}
+
+/// Per-function summary.
+#[derive(Debug, Clone, Default)]
+pub struct FnLoops {
+    /// Indices into [`Summaries::loops`] of this function's loops.
+    pub loops: Vec<usize>,
+    /// Function-level `cplx: bound` axiom: the declared total bound
+    /// overrides bottom-up composition (the amortization escape hatch).
+    pub axiom: Option<(Bound, Directive)>,
+    /// An axiom directive whose expression failed to parse.
+    pub axiom_bad: Option<String>,
+    /// Sort call sites.
+    pub sorts: Vec<SortSite>,
+    /// Justified sized-growth sites inside loops.
+    pub sized: Vec<SizedSite>,
+    /// Counter bump call sites.
+    pub bumps: Vec<BumpSite>,
+}
+
+/// All summaries for a parsed workspace.
+#[derive(Debug, Default)]
+pub struct Summaries {
+    /// Every loop block, across all functions.
+    pub loops: Vec<LoopSite>,
+    /// Per-function data, indexed like `ws.fns`.
+    pub fns: Vec<FnLoops>,
+}
+
+/// Looks up `ident` in an environment table and parses its expression.
+fn env_lookup(table: &[(&str, &str)], ident: &str) -> Option<Bound> {
+    table.iter().find(|(k, _)| *k == ident).and_then(|(_, e)| parse_expr(e))
+}
+
+/// Truncated single-line rendering of `code[from..to]` for messages.
+fn snippet(code: &str, from: usize, to: usize) -> String {
+    let s = code[from..to].split_whitespace().collect::<Vec<_>>().join(" ");
+    if s.len() > 48 {
+        format!("..{}", &s[s.len() - 46..])
+    } else {
+        s
+    }
+}
+
+/// The text after `key` on `line`, if the directive is present.
+fn directive_rest(line: &str, key: &str) -> Option<String> {
+    line.find(key).map(|pos| line[pos + key.len()..].trim().to_string())
+}
+
+/// Splits a `cplx: bound` payload into `(expr, why-justified?)`.
+fn split_payload(rest: &str) -> (String, Directive) {
+    let mut parts = rest.splitn(2, char::is_whitespace);
+    let expr = parts.next().unwrap_or("").to_string();
+    let why = parts.next().unwrap_or("").trim_matches(|c: char| {
+        c.is_whitespace() || matches!(c, '—' | '-' | ':' | ',' | '.' | '*' | '/')
+    });
+    let d = if why.chars().any(|c| c.is_alphanumeric()) {
+        Directive::Justified
+    } else {
+        Directive::Bare
+    };
+    (expr, d)
+}
+
+/// Directive payload on the site's line or the line above.
+fn directive_near(file: &SourceFile, at: usize, key: &str) -> Option<String> {
+    let lines: Vec<&str> = file.text.lines().collect();
+    let line = file.line_of(at); // 1-based
+    for idx in [line, line.saturating_sub(1)] {
+        if idx >= 1 {
+            if let Some(rest) = lines.get(idx - 1).and_then(|l| directive_rest(l, key)) {
+                return Some(rest);
+            }
+        }
+    }
+    None
+}
+
+/// Directive payload in the comment/attribute block directly above the
+/// function declaration (the fn-axiom position).
+fn directive_above_fn(file: &SourceFile, f: &FnItem, key: &str) -> Option<String> {
+    let lines: Vec<&str> = file.text.lines().collect();
+    let mut idx = file.line_of(f.decl).saturating_sub(1);
+    while idx >= 1 {
+        let l = lines[idx - 1].trim_start();
+        if !(l.starts_with("//") || l.starts_with("#[") || l.starts_with("/*")) {
+            break;
+        }
+        if let Some(rest) = directive_rest(l, key) {
+            return Some(rest);
+        }
+        idx -= 1;
+    }
+    None
+}
+
+/// `bound: sized` justification state at a growth site (same scoping as
+/// `cbr-bound`'s B03: site line, line above, or the fn comment block).
+fn sized_justified(file: &SourceFile, f: &FnItem, at: usize) -> bool {
+    let rest = directive_near(file, at, "bound: sized")
+        .or_else(|| directive_above_fn(file, f, "bound: sized"));
+    match rest {
+        Some(r) => {
+            let why = r.trim_matches(|c: char| {
+                c.is_whitespace() || matches!(c, '—' | '-' | ':' | ',' | '.' | '*' | '/')
+            });
+            why.chars().any(|c| c.is_alphanumeric())
+        }
+        None => false,
+    }
+}
+
+/// Reads the identifier chain ending at `end`; returns the last
+/// `.`-segment.
+fn last_segment_back(bytes: &[u8], end: usize) -> String {
+    let mut p = end;
+    while p > 0 && is_ident_byte(bytes[p - 1]) {
+        p -= 1;
+    }
+    String::from_utf8_lossy(&bytes[p..end]).into_owned()
+}
+
+/// Strips trailing adapter calls (`.iter()`, `.enumerate()`, …) from a
+/// driver expression. `.chain(arg)` splits into `(base, Some(arg))`.
+fn strip_adapters(expr: &str) -> (String, Option<String>) {
+    let mut s = expr.trim().to_string();
+    loop {
+        let t = s.trim_end();
+        if !t.ends_with(')') {
+            return (t.to_string(), None);
+        }
+        // Find the matching open paren of the trailing group.
+        let bytes = t.as_bytes();
+        let mut depth = 0i32;
+        let mut open = None;
+        for i in (0..t.len()).rev() {
+            match bytes[i] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(open) = open else {
+            return (t.to_string(), None);
+        };
+        let name = last_segment_back(bytes, open);
+        if name.is_empty() || open < name.len() + 1 || bytes[open - name.len() - 1] != b'.' {
+            return (t.to_string(), None);
+        }
+        if name == "chain" {
+            let base = t[..open - name.len() - 1].to_string();
+            let arg = t[open + 1..t.len() - 1].to_string();
+            return (base, Some(arg));
+        }
+        if !ADAPTERS.contains(&name.as_str()) {
+            return (t.to_string(), None);
+        }
+        s = t[..open - name.len() - 1].to_string();
+    }
+}
+
+/// Infers the symbolic size of a collection/endpoint expression through
+/// the environment. Returns `None` when the expression resists typing.
+fn infer_size(expr: &str) -> Option<Bound> {
+    let expr = expr.trim().trim_start_matches("&mut ").trim_start_matches('&').trim();
+    if expr.is_empty() {
+        return None;
+    }
+    // Numeric literal endpoint: constant.
+    if expr.bytes().next().is_some_and(|b| b.is_ascii_digit()) && !expr.contains('.') {
+        return Some(Bound::one());
+    }
+    let (base, chained) = strip_adapters(expr);
+    if let Some(arg) = chained {
+        let a = infer_size(&base)?;
+        let b = infer_size(&arg)?;
+        // `doc ∪ query` is the paper's combined profile.
+        if a == parse_expr("nd").unwrap() && b == parse_expr("nq").unwrap() {
+            return parse_expr("p");
+        }
+        return Some(a.plus(&b));
+    }
+    let bytes = base.as_bytes();
+    if base.ends_with(')') {
+        // A method/function call: `x.len()`, `source.num_docs()`,
+        // `paths.addresses_ranked(c)`, `packing::narrow_u32(self.live)`.
+        let mut depth = 0i32;
+        let mut open = base.len();
+        for i in (0..base.len()).rev() {
+            match bytes[i] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let name = last_segment_back(bytes, open);
+        if name == "len" || name == "capacity" {
+            // Defer to the receiver: `x.len()` is sized like `x`.
+            let recv_end = open - name.len() - 1; // the `.`
+            let recv = last_segment_back(bytes, recv_end);
+            return env_lookup(IDENT_ENV, &recv);
+        }
+        if name == "narrow_u32" || name == "min" {
+            return infer_size(&base[open + 1..base.len() - 1]);
+        }
+        return env_lookup(METHOD_ENV, &name);
+    }
+    // A plain identifier chain: key on the last segment.
+    let leaf = last_segment_back(bytes, base.len());
+    if leaf.is_empty() {
+        return None;
+    }
+    env_lookup(IDENT_ENV, &leaf)
+}
+
+/// Infers a `for`-loop driver: range endpoints or collection size.
+fn infer_for(expr: &str) -> Option<Bound> {
+    let expr = expr.trim();
+    // Range: `a..b` / `a..=b` at top level (parenthesized ranges are
+    // rare enough to ignore).
+    if let Some(pos) = expr.find("..") {
+        if !expr[..pos].contains('(') && !expr[..pos].contains('[') {
+            let end = expr[pos + 2..].trim_start_matches('=');
+            return infer_size(end);
+        }
+    }
+    infer_size(expr)
+}
+
+/// Infers a `while let` worklist driver: `q.pop()`-style pops resolve
+/// to the queue's symbolic size (every pop consumes one queued item).
+fn infer_while_let(expr: &str) -> Option<Bound> {
+    let expr = expr.trim();
+    for pop in [".pop()", ".pop_front()", ".pop_back()", ".next()"] {
+        if let Some(pos) = expr.find(pop) {
+            let leaf = last_segment_back(expr.as_bytes(), pos);
+            return env_lookup(IDENT_ENV, &leaf);
+        }
+    }
+    None
+}
+
+/// Scans one function body for loop keyword sites, in source order.
+fn loop_sites(code: &str, body: (usize, usize)) -> Vec<(usize, LoopKind, usize, usize)> {
+    let bytes = code.as_bytes();
+    let hi = body.1.min(code.len());
+    let mut out = Vec::new();
+    for kw in ["for ", "while ", "loop"] {
+        let mut from = body.0;
+        while let Some(rel) = code[from..hi].find(kw) {
+            let at = from + rel;
+            from = at + 1;
+            if at > 0 && is_ident_byte(bytes[at - 1]) {
+                continue;
+            }
+            let after = at + kw.len();
+            if kw == "loop" && bytes.get(after).copied().is_some_and(is_ident_byte) {
+                continue;
+            }
+            if kw == "while " && code[after..hi].trim_start().starts_with("let ") {
+                continue; // collected by the dedicated `while let` pass
+            }
+            let Some(open_rel) = code[after..hi].find('{') else {
+                continue;
+            };
+            let open = after + open_rel;
+            let Some(close) = match_bracket(bytes, open, b'{', b'}') else {
+                continue;
+            };
+            let kind = match kw {
+                "for " => LoopKind::For,
+                "while " => LoopKind::While,
+                _ => LoopKind::Loop,
+            };
+            out.push((at, kind, open, close));
+        }
+    }
+    // The dedicated `while let` pass (the generic `while ` pass skips
+    // them so the driver is the pop expression, not the whole pattern).
+    let mut from = body.0;
+    while let Some(rel) = code[from..hi].find("while let ") {
+        let at = from + rel;
+        from = at + 1;
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        let after = at + "while let ".len();
+        let Some(open_rel) = code[after..hi].find('{') else {
+            continue;
+        };
+        let open = after + open_rel;
+        let Some(close) = match_bracket(bytes, open, b'{', b'}') else {
+            continue;
+        };
+        out.push((at, LoopKind::WhileLet, open, close));
+    }
+    out.sort_by_key(|&(at, ..)| at);
+    out
+}
+
+/// Extracts loop summaries for every function in the workspace.
+pub fn extract(ws: &Workspace) -> Summaries {
+    let mut sm = Summaries::default();
+    for (fi, f) in ws.fns.iter().enumerate() {
+        let file = &ws.files[f.file];
+        let mut fl = FnLoops::default();
+        if f.is_test {
+            sm.fns.push(fl);
+            continue;
+        }
+        let code = &file.code;
+        let body = f.body;
+        let live = |at: usize| !file.is_test(at) && !file.is_debug_gated(at);
+
+        // Function-level axiom.
+        if let Some(rest) = directive_above_fn(file, f, "cplx: bound") {
+            let (expr, d) = split_payload(&rest);
+            match parse_expr(&expr) {
+                Some(b) => fl.axiom = Some((b, d)),
+                None => fl.axiom_bad = Some(expr),
+            }
+        }
+
+        // Loops, with nesting and per-loop directives.
+        let first = sm.loops.len();
+        for (at, kind, open, close) in loop_sites(code, body) {
+            let header = snippet(code, at, open);
+            let driver = match kind {
+                LoopKind::For => {
+                    let h = &code[at..open];
+                    h.find(" in ")
+                        .map(|p| code[at + p + 4..open].trim().to_string())
+                        .unwrap_or_default()
+                }
+                LoopKind::WhileLet => {
+                    let h = &code[at..open];
+                    h.find('=')
+                        .map(|p| code[at + p + 1..open].trim().to_string())
+                        .unwrap_or_default()
+                }
+                LoopKind::While => code[at + "while ".len()..open].trim().to_string(),
+                LoopKind::Loop => String::new(),
+            };
+            let declared = directive_near(file, at, "cplx: bound").map(|rest| split_payload(&rest));
+            let bound = match declared {
+                Some((expr, d)) => match parse_expr(&expr) {
+                    Some(b) => LoopBound::Declared(b, d),
+                    None => LoopBound::BadExpr(expr),
+                },
+                None => {
+                    let inferred = match kind {
+                        LoopKind::For => infer_for(&driver),
+                        LoopKind::WhileLet => infer_while_let(&driver),
+                        LoopKind::While | LoopKind::Loop => None,
+                    };
+                    match (inferred, kind) {
+                        (Some(b), _) => LoopBound::Inferred(b),
+                        // A `for` over a materialized collection is
+                        // finite even when the environment cannot type
+                        // it.
+                        (None, LoopKind::For) => {
+                            LoopBound::Inferred(Bound::product(Product::atom(Atom::Unk)))
+                        }
+                        (None, _) => LoopBound::Missing,
+                    }
+                }
+            };
+            let counter = directive_near(file, at, "cplx: counter")
+                .map(|rest| rest.split_whitespace().next().unwrap_or("").to_string())
+                .filter(|n| !n.is_empty());
+            let idx = sm.loops.len();
+            // Innermost enclosing loop: the latest earlier loop of this
+            // fn whose span contains this keyword.
+            let parent = sm.loops[first..idx]
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.span.0 < at && at < l.span.1)
+                .map(|(i, _)| first + i)
+                .next_back();
+            let display =
+                if driver.is_empty() { header } else { snippet(&driver, 0, driver.len()) };
+            sm.loops.push(LoopSite {
+                fun: fi,
+                at,
+                kind,
+                driver: display,
+                span: (open, close),
+                parent,
+                bound,
+                counter,
+                live: live(at),
+            });
+            fl.loops.push(idx);
+        }
+
+        let own_loops = fl.loops.clone();
+        let loops_ref = &sm.loops;
+        let in_loop = move |at: usize| -> Option<usize> {
+            own_loops
+                .iter()
+                .copied()
+                .rfind(|&i| loops_ref[i].span.0 < at && at < loops_ref[i].span.1)
+        };
+
+        // Sorts, sized growth sites, and counter bumps from the call
+        // list.
+        for call in &f.calls {
+            if !live(call.at) {
+                continue;
+            }
+            if call.name.starts_with("bump_") {
+                fl.bumps.push(BumpSite {
+                    at: call.at,
+                    name: call.name["bump_".len()..].to_string(),
+                    in_loop: in_loop(call.at),
+                });
+                continue;
+            }
+            if !call.method || call.recv_self {
+                continue;
+            }
+            if SORT_METHODS.contains(&call.name.as_str()) {
+                let size = infer_size(&call.receiver)
+                    .unwrap_or_else(|| Bound::product(Product::atom(Atom::Unk)));
+                fl.sorts.push(SortSite { at: call.at, size, in_loop: in_loop(call.at) });
+            } else if GROWTH_METHODS.contains(&call.name.as_str()) {
+                if let Some(li) = in_loop(call.at) {
+                    if sized_justified(file, f, call.at) {
+                        let cap = directive_near(file, call.at, "cplx: cap")
+                            .map(|rest| split_payload(&rest).0)
+                            .and_then(|e| parse_expr(&e))
+                            .or_else(|| {
+                                let leaf = call
+                                    .receiver
+                                    .rsplit('.')
+                                    .next()
+                                    .unwrap_or(call.receiver.as_str());
+                                env_lookup(IDENT_ENV, leaf)
+                            });
+                        fl.sized.push(SizedSite {
+                            at: call.at,
+                            receiver: call.receiver.clone(),
+                            capacity: cap,
+                            in_loop: li,
+                        });
+                    }
+                }
+            }
+        }
+
+        sm.fns.push(fl);
+    }
+    sm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summarize(text: &str) -> (Workspace, Summaries) {
+        let ws = Workspace::parse(vec![SourceFile::parse("crates/x/src/lib.rs", text)]);
+        let sm = extract(&ws);
+        (ws, sm)
+    }
+
+    #[test]
+    fn for_drivers_resolve_through_the_environment() {
+        let (_, sm) = summarize(
+            "fn f(postings: &[u32]) {\n\
+             \x20   for &d in postings.iter() { work(d); }\n\
+             \x20   for i in 0..source.num_docs() { work(i); }\n\
+             \x20   for x in mystery_collection() { work(x); }\n\
+             }\n",
+        );
+        let bounds: Vec<String> = sm.loops.iter().map(|l| l.bound.bound().render()).collect();
+        assert_eq!(bounds, ["O(D)", "O(D)", "O(?)"]);
+    }
+
+    #[test]
+    fn chain_of_doc_and_query_is_the_combined_profile() {
+        let (_, sm) = summarize(
+            "fn f(doc: &[u32], query: &[u32]) {\n\
+             \x20   for &c in doc.iter().chain(query) { work(c); }\n\
+             }\n",
+        );
+        assert_eq!(sm.loops[0].bound.bound().render(), "O(P)");
+    }
+
+    #[test]
+    fn while_and_loop_need_directives() {
+        let (_, sm) = summarize(
+            "fn f(n: usize) {\n\
+             \x20   while cond() { step(); }\n\
+             \x20   // cplx: bound depth — descends one radix edge per turn\n\
+             \x20   loop { if done() { break; } }\n\
+             \x20   // cplx: bound d\n\
+             \x20   while pos < n { pos += 1; }\n\
+             }\n",
+        );
+        assert!(matches!(sm.loops[0].bound, LoopBound::Missing));
+        assert!(matches!(sm.loops[1].bound, LoopBound::Declared(_, Directive::Justified)));
+        assert!(matches!(sm.loops[2].bound, LoopBound::Declared(_, Directive::Bare)));
+    }
+
+    #[test]
+    fn while_let_pops_resolve_the_worklist() {
+        let (_, sm) = summarize(
+            "fn f(frontier: Vec<u32>) {\n\
+             \x20   while let Some(s) = frontier.pop() { work(s); }\n\
+             }\n",
+        );
+        assert_eq!(sm.loops[0].kind, LoopKind::WhileLet);
+        assert_eq!(sm.loops[0].bound.bound().render(), "O(nq·C)");
+    }
+
+    #[test]
+    fn nesting_counters_and_sorts_are_captured() {
+        let (ws, sm) = summarize(
+            "fn f(lists: &[u32], entries: &[u32], order: &mut Vec<u32>) {\n\
+             \x20   // cplx: counter outer\n\
+             \x20   for l in lists {\n\
+             \x20       bump_outer();\n\
+             \x20       for e in entries { work(l, e); }\n\
+             \x20   }\n\
+             \x20   order.sort_unstable_by(|a, b| a.cmp(b));\n\
+             }\n",
+        );
+        let fid = ws.fns.iter().position(|f| f.name == "f").unwrap();
+        assert_eq!(sm.loops[1].parent, Some(0));
+        assert_eq!(sm.loops[0].counter.as_deref(), Some("outer"));
+        assert_eq!(sm.fns[fid].bumps.len(), 1);
+        assert_eq!(sm.fns[fid].bumps[0].in_loop, Some(0));
+        assert_eq!(sm.fns[fid].sorts.len(), 1);
+        assert_eq!(sm.fns[fid].sorts[0].size.render(), "O(D)");
+    }
+
+    #[test]
+    fn sized_sites_inside_loops_carry_capacities() {
+        let (ws, sm) = summarize(
+            "fn f(lists: &[u32], random: &mut Vec<u32>) {\n\
+             \x20   for l in lists {\n\
+             \x20       // bound: sized — one random-access table per query concept\n\
+             \x20       random.push(*l);\n\
+             \x20   }\n\
+             }\n",
+        );
+        let fid = ws.fns.iter().position(|f| f.name == "f").unwrap();
+        assert_eq!(sm.fns[fid].sized.len(), 1);
+        assert_eq!(sm.fns[fid].sized[0].capacity.as_ref().unwrap().render(), "O(nq)");
+    }
+
+    #[test]
+    fn fn_axioms_parse_from_the_comment_block() {
+        let (ws, sm) = summarize(
+            "/// Applies postings.\n\
+             /// cplx: bound nq*post — amortized over the whole query\n\
+             fn apply(postings: &[u32]) { for &d in postings { work(d); } }\n",
+        );
+        let fid = ws.fns.iter().position(|f| f.name == "apply").unwrap();
+        let (b, d) = sm.fns[fid].axiom.clone().unwrap();
+        assert_eq!(b.render(), "O(nq·post)");
+        assert_eq!(d, Directive::Justified);
+    }
+}

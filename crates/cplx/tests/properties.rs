@@ -1,0 +1,69 @@
+//! Property: the complexity analysis is independent of file collection
+//! order.
+//!
+//! Loop summaries, the composed per-function bounds, root matching, and
+//! the C-rule findings must be byte-identical however the source walker
+//! happens to order the files — the allowlist ratchet depends on exact
+//! counts, so any order sensitivity would make the gate flaky.
+
+use cbr_flow::graph::CrateDeps;
+use cbr_flow::scanner::SourceFile;
+use proptest::prelude::*;
+
+const SNAP: &str = include_str!("../fixtures/crates/core/src/snapshot.rs");
+const ENGINE: &str = include_str!("../fixtures/crates/knds/src/engine.rs");
+const TA: &str = include_str!("../fixtures/crates/knds/src/ta.rs");
+const WEIGHTED: &str = include_str!("../fixtures/crates/knds/src/weighted.rs");
+const DAG: &str = include_str!("../fixtures/crates/dradix/src/dag.rs");
+
+const FILES: [(&str, &str); 5] = [
+    ("crates/core/src/snapshot.rs", SNAP),
+    ("crates/knds/src/engine.rs", ENGINE),
+    ("crates/knds/src/ta.rs", TA),
+    ("crates/knds/src/weighted.rs", WEIGHTED),
+    ("crates/dradix/src/dag.rs", DAG),
+];
+
+type Keyed = (Vec<(String, String, usize, String)>, usize, usize, String, String);
+
+/// Decodes `k < 5!` into the `k`-th permutation of `0..5`.
+fn nth_permutation(mut k: usize) -> [usize; 5] {
+    let mut pool: Vec<usize> = (0..5).collect();
+    let mut out = [0usize; 5];
+    for (slot, fact) in out.iter_mut().zip([24usize, 6, 2, 1, 1]) {
+        *slot = pool.remove(k / fact);
+        k %= fact;
+    }
+    out
+}
+
+fn run_in_order(order: &[usize; 5]) -> Keyed {
+    let sources: Vec<SourceFile> =
+        order.iter().map(|&i| SourceFile::parse(FILES[i].0, FILES[i].1)).collect();
+    let cr = cbr_cplx::analyze(sources, "", "cplx.allow", &CrateDeps::default());
+    let mut keyed: Vec<_> = cr
+        .report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line, f.message.clone()))
+        .collect();
+    keyed.sort();
+    (
+        keyed,
+        cr.stats.proof.reachable_fns,
+        cr.stats.proof.reachable_loops,
+        cr.stats.proof.c03_dradix_path.clone(),
+        cr.stats.proof.c03_ta_path.clone(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analysis_is_permutation_stable(k in 0usize..120) {
+        let baseline = run_in_order(&nth_permutation(0));
+        prop_assert!(!baseline.0.is_empty(), "fixture findings must be non-empty");
+        prop_assert_eq!(baseline, run_in_order(&nth_permutation(k)));
+    }
+}

@@ -284,7 +284,10 @@ impl DRadixDag {
         // second insertion is a no-op) and needs no per-build Vec of
         // borrowed slices.
         for &c in doc.iter().chain(query) {
+            // cplx: counter addrs
             for (rank, addr) in paths.addresses_ranked(c) {
+                #[cfg(feature = "counters")]
+                crate::counters::bump_addrs();
                 let start = packing::csr_offset(self.labels.len());
                 // bound: sized — one label range per ranked address of d ∪ q
                 self.labels.extend_from_slice(addr);
@@ -320,6 +323,7 @@ impl DRadixDag {
         self.compute_topological_order();
         let order = std::mem::take(&mut self.topo_order);
         // Bottom-up: pull distances from children.
+        // cplx: bound p*depth — the topological order holds each live radix node once
         for &n in order.iter().rev() {
             let node = &self.nodes[n as usize];
             let mut doc = node.doc_dist;
@@ -336,6 +340,7 @@ impl DRadixDag {
         // Top-down: push distances to children. Indexed iteration because
         // the children being relaxed live in the same arena as the edges
         // being read (the DAG is acyclic, so a node never relaxes itself).
+        // cplx: bound p*depth — the topological order holds each live radix node once
         for &n in &order {
             let node = &self.nodes[n as usize];
             let doc = node.doc_dist;
@@ -571,9 +576,15 @@ impl DRadixDag {
         debug_assert!(self.suffix_work.is_empty(), "worklist drains within each insertion");
         // bound: sized — at most two subrange items replace each popped item
         self.suffix_work.push((from, target, vs, vl));
+        // cplx: counter suffix_pops
         'work: while let Some((from, target, mut vs, mut vl)) = self.suffix_work.pop() {
+            #[cfg(feature = "counters")]
+            crate::counters::bump_suffix_pops();
             let mut cn = from;
+            // cplx: bound depth — descends one radix edge per turn, vl strictly shrinking; cplx: counter radix_steps
             loop {
+                #[cfg(feature = "counters")]
+                crate::counters::bump_radix_steps();
                 if vl == 0 {
                     // Fully matched: the walk ended on an existing node, which
                     // must be the target (equal Dewey position ⇒ equal concept).
@@ -634,10 +645,10 @@ impl DRadixDag {
                 // copying. Queue order keeps the displaced edge first.
                 let old_target_concept = self.nodes[m_target as usize].concept;
                 if mid_concept != target {
-                    // bound: sized — strict subrange of the popped item
+                    // bound: sized — strict subrange of the popped item (cplx: cap depth*depth — resplits bounded by the label length)
                     self.suffix_work.push((mid, target, vs + lcp, vl - lcp));
                 }
-                // bound: sized — strict subrange of the split edge label
+                // bound: sized — strict subrange of the split edge label (cplx: cap depth*depth — resplits bounded by the label length)
                 self.suffix_work.push((mid, old_target_concept, ms + lcp, ml - lcp));
                 continue 'work;
             }

@@ -37,6 +37,8 @@
 #![warn(missing_docs)]
 
 pub mod brute;
+#[cfg(feature = "counters")]
+pub mod counters;
 pub mod dag;
 pub mod drc;
 

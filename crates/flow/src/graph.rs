@@ -113,7 +113,7 @@ impl GraphStats {
 /// Resolution candidates must respect it: a call in crate A can only
 /// target crate B when A's manifest (dev-)depends on B. An empty map
 /// (fixture trees, unit tests) is fully permissive.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CrateDeps {
     /// Normalized crate name → normalized names of its dependencies.
     pub deps: HashMap<String, BTreeSet<String>>,

@@ -199,32 +199,71 @@ impl FlowReport {
     }
 }
 
+/// A workspace scanned, parsed, and call-graph-built exactly once.
+///
+/// Every analyzer in the stack (flow, race, bound, cplx) starts from the
+/// same three artifacts — the scanned [`Workspace`], the manifest-derived
+/// [`CrateDeps`], and the [`Graph`] built from them. `cbr-audit all`
+/// builds one `ParsedWorkspace` and hands it to each analyzer's
+/// `run_parsed` entry point, so the five-analyzer gate parses each source
+/// file exactly once instead of once per analyzer.
+#[derive(Debug)]
+pub struct ParsedWorkspace {
+    /// Parsed items and source files.
+    pub ws: Workspace,
+    /// Crate-dependency relation from the workspace manifests.
+    pub deps: CrateDeps,
+    /// The approximate call graph over `ws` under `deps`.
+    pub graph: Graph,
+}
+
+impl ParsedWorkspace {
+    /// Scans, parses, and builds the call graph for the workspace at
+    /// `root`.
+    pub fn load(root: &Path) -> ParsedWorkspace {
+        let deps = crate_deps(&collect_manifests(root));
+        let ws = Workspace::parse(collect_sources(root));
+        let graph = Graph::build(&ws, &deps);
+        ParsedWorkspace { ws, deps, graph }
+    }
+}
+
 /// Analyzes scanned sources with an allowlist (`origin` names the
 /// allowlist file in parse-error findings) under a crate-dependency
 /// constraint.
 pub fn analyze(files: Vec<SourceFile>, allow: &str, origin: &str, deps: &CrateDeps) -> FlowReport {
     let ws = Workspace::parse(files);
     let graph = Graph::build(&ws, deps);
-    let findings = allowlist::ratchet(rules::run(&ws, &graph), allow, origin);
+    let pw = ParsedWorkspace { ws, deps: deps.clone(), graph };
+    analyze_parsed(&pw, allow, origin)
+}
+
+/// [`analyze`] over an already-parsed workspace (the parse-once path).
+pub fn analyze_parsed(pw: &ParsedWorkspace, allow: &str, origin: &str) -> FlowReport {
+    let findings = allowlist::ratchet(rules::run(&pw.ws, &pw.graph), allow, origin);
 
     let mut report = Report { findings, passed: Vec::new() };
     if report.ok() {
         for rule in ["F01", "F02", "F03", "F04", "F05"] {
             report.passed.push(format!(
                 "flow {rule} ({} fns, {} edges)",
-                ws.fns.len(),
-                graph.stats.edges
+                pw.ws.fns.len(),
+                pw.graph.stats.edges
             ));
         }
     }
-    FlowReport { report, stats: graph.stats }
+    FlowReport { report, stats: pw.graph.stats }
 }
 
 /// Runs the flow analysis over the real workspace with `flow.allow`.
 pub fn run_workspace(root: &Path) -> FlowReport {
+    run_parsed(root, &ParsedWorkspace::load(root))
+}
+
+/// [`run_workspace`] over a shared [`ParsedWorkspace`].
+pub fn run_parsed(root: &Path, pw: &ParsedWorkspace) -> FlowReport {
     let allow = allowlist::load(root, "flow.allow");
-    let deps = crate_deps(&collect_manifests(root));
-    analyze(collect_sources(root), &allow, "flow.allow", &deps)
+    analyze_parsed(pw, &allow, "flow.allow")
 }
 
 /// Runs the flow analysis over the seeded-violation fixture tree (no

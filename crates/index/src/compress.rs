@@ -81,12 +81,13 @@ impl CompressedPostings {
         let mut slice = &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize];
         let mut prev = 0u32;
         let mut first = true;
+        // cplx: bound d — one varint-coded posting per turn, ≤ one per corpus document
         while !slice.is_empty() {
             let (delta, used) = get_varint(slice);
             slice = &slice[used..];
             prev = if first { delta } else { prev + delta };
             first = false;
-            // bound: sized — one DocId per posting encoded in the block
+            // bound: sized — one DocId per posting (cplx: cap d — a block holds one delta per posting document)
             out.push(DocId(prev));
         }
     }

@@ -92,7 +92,7 @@ impl IndexSource for SegmentedView {
             for &local in seg.local_postings(c) {
                 let id = first + local;
                 if !bit(&self.dead, id as usize) {
-                    // bound: sized — at most one DocId per live posting
+                    // bound: sized — one DocId per live posting (cplx: cap seg*d — one slot per live (segment, posting) pair; globally ≤ one per corpus doc)
                     out.push(DocId(id));
                 }
             }

@@ -386,7 +386,10 @@ impl<S: IndexSource> Search<'_, '_, S> {
         }
 
         let mut level: u32 = 0;
+        // cplx: bound depth — one BFS level per turn, exhausting within the diameter; cplx: counter levels
         loop {
+            #[cfg(feature = "counters")]
+            crate::counters::bump_levels();
             self.trace(|| crate::trace::TraceEvent::LevelStart { level, frontier: frontier.len() });
             // --- coverage + expansion (traversal bucket) --------------------
             let t0 = Instant::now();
@@ -475,6 +478,8 @@ impl<S: IndexSource> Search<'_, '_, S> {
     /// Applies the posting list of `node` to the candidate bookkeeping:
     /// forward coverage once per `(origin, node)`, reverse coverage (SDS)
     /// once per `node`.
+    // cplx: bound nq*post — amortized: the dense pair marks admit each (origin,
+    // concept) pair once per query, so the posting scans sum to nq·Σ|postings|
     fn apply_coverage(&mut self, origin: u32, node: ConceptId, level: u32) {
         let fwd_new = self.ws.dense.mark_pair(origin, node);
         let rev_new = self.kind == Kind::Sds && self.ws.dense.touch_first(node);

@@ -131,6 +131,7 @@ pub fn rds_with<S: IndexSource>(
     let t = Instant::now();
     let mut heap = TopK::new(k);
     let mut pos = 0usize;
+    // cplx: bound d — one sorted round-robin position per turn, at most num_docs
     while pos < num_docs {
         // Threshold: sum of the distances at the current sorted positions.
         // Every list holds exactly `num_docs` entries and `pos < num_docs`,

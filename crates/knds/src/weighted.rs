@@ -172,7 +172,10 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         }
 
         let mut d: u32 = 0;
+        // cplx: bound depth — one bucket per turn, spanning the valid-path diameter; cplx: counter buckets
         loop {
+            #[cfg(feature = "counters")]
+            crate::counters::bump_buckets();
             // --- process bucket `d` (traversal bucket) ----------------------
             let t0 = Instant::now();
             let mut forced = false;
@@ -239,6 +242,8 @@ impl<S: IndexSource> WeightedSearch<'_, '_, S> {
         QueryResult { results, metrics: std::mem::take(&mut self.metrics) }
     }
 
+    // cplx: bound nq*post — amortized: mark_pair admits each (origin, concept)
+    // pair once per query, so the posting scans sum to nq·Σ|postings|
     fn apply_coverage(&mut self, origin: u32, node: ConceptId, dist: u32) {
         let fwd_new = self.ws.dense.mark_pair(origin, node);
         let rev_new = self.kind == Kind::Sds && self.ws.dense.touch_first(node);

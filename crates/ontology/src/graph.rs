@@ -199,6 +199,8 @@ impl Ontology {
     ///
     /// Building is `O(Σ paths · depth)`; the result is cached for the
     /// lifetime of the ontology.
+    // cplx: bound 1 — amortized: the lazy one-time PathTable build is paid at
+    // first access and every later query-path call is a cached-field read
     pub fn path_table(&self) -> &PathTable {
         self.path_table.get_or_init(|| PathTable::build(self))
     }

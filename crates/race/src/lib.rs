@@ -39,6 +39,7 @@ use cbr_flow::graph::{CrateDeps, Graph};
 use cbr_flow::parser::Workspace;
 use cbr_flow::report::Report;
 use cbr_flow::scanner::SourceFile;
+use cbr_flow::ParsedWorkspace;
 use std::path::Path;
 
 /// The race report: findings plus the R04 lock-free-read proof stats.
@@ -107,8 +108,20 @@ pub fn analyze(
 ) -> RaceReport {
     let ws = Workspace::parse(files);
     let graph = Graph::build(&ws, deps);
-    let fx = summary::extract(&ws, &graph, fixtures);
-    let (findings, r04) = rules::run(&ws, &graph, &fx);
+    let pw = ParsedWorkspace { ws, deps: deps.clone(), graph };
+    analyze_parsed(&pw, allow, origin, fixtures)
+}
+
+/// [`analyze`] over an already-parsed workspace (the parse-once path).
+pub fn analyze_parsed(
+    pw: &ParsedWorkspace,
+    allow: &str,
+    origin: &str,
+    fixtures: bool,
+) -> RaceReport {
+    let (ws, graph) = (&pw.ws, &pw.graph);
+    let fx = summary::extract(ws, graph, fixtures);
+    let (findings, r04) = rules::run(ws, graph, &fx);
     let findings = allowlist::ratchet(findings, allow, origin);
 
     let mut report = Report { findings, passed: Vec::new() };
@@ -130,9 +143,13 @@ pub fn analyze(
 
 /// Runs the race analysis over the real workspace with `race.allow`.
 pub fn run_workspace(root: &Path) -> RaceReport {
+    run_parsed(root, &ParsedWorkspace::load(root))
+}
+
+/// [`run_workspace`] over a shared [`ParsedWorkspace`].
+pub fn run_parsed(root: &Path, pw: &ParsedWorkspace) -> RaceReport {
     let allow = allowlist::load(root, "race.allow");
-    let deps = cbr_flow::crate_deps(&cbr_flow::collect_manifests(root));
-    analyze(cbr_flow::collect_sources(root), &allow, "race.allow", &deps, false)
+    analyze_parsed(pw, &allow, "race.allow", false)
 }
 
 /// Runs the race analysis over the seeded-violation fixture tree (no

@@ -7,11 +7,15 @@
 # lock-free-read proof, plus the same seeded-fixture pairing), the
 # cbr-bound numeric-safety analysis (honest pass with a non-vacuous
 # B04 recursion-freedom proof, plus its own seeded fixtures), the
-# cbr-sched schedule exploration — including the publish/retire and
-# compaction harnesses over the epoch-published snapshot — (same honest
-# + seeded-bug pairing), the bench smoke passes (both JSON trajectory
-# pipelines end to end at micro scale), and tests. Run from the
-# repository root. All fourteen must pass before merging.
+# cbr-cplx symbolic complexity analysis (honest pass proving the
+# paper's differential asymptotic claim — D-Radix recognizably
+# O((|Pq|+|Pd|)·log), TA the only quadratic root — plus its seeded
+# fixtures), the cbr-sched schedule exploration — including the
+# publish/retire and compaction harnesses over the epoch-published
+# snapshot — (same honest + seeded-bug pairing), the bench smoke
+# passes (both JSON trajectory pipelines end to end at micro scale),
+# and tests. Run from the repository root. All sixteen must pass
+# before merging.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +47,17 @@ grep -q '"b04_roots": 8' <<<"$bound_json"
 grep -q '"b04_cyclic_fns": 0' <<<"$bound_json"
 # Non-vacuity: the seeded fixture tree must trip every rule B01-B05.
 cargo run -q -p cbr-bound -- --fixtures --expect-findings
+# Honest tree: the symbolic complexity rules (C01-C05) must run clean
+# against cplx.allow, and the C03 differential proof must be
+# non-vacuous — the D-Radix build recognized as O((|Pq|+|Pd|)·log),
+# exactly one quadratic root (the TA baseline), and a non-empty
+# reachable loop set actually analyzed.
+cplx_json="$(cargo run -q -p cbr-cplx -- --json)"
+grep -q '"c03_dradix_recognized": true' <<<"$cplx_json"
+grep -q '"c03_quadratic_roots": 1' <<<"$cplx_json"
+grep -q '"reachable_loops": [1-9]' <<<"$cplx_json"
+# Non-vacuity: the seeded fixture tree must trip every rule C01-C05.
+cargo run -q -p cbr-cplx -- --fixtures --expect-findings
 # Honest tree: every concurrency harness must explore clean — the
 # publish-retire and compact-race harnesses prove epoch publishes are
 # atomic and compaction never invalidates a pinned reader — and the CI
